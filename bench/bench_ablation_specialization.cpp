@@ -1,0 +1,89 @@
+// Ablation: configuration-specialized synthesis (paper §IV-B1: "less code
+// leads to more efficient code paths") vs a generic monolithic program that
+// carries every feature branch whether configured or not.
+//
+// We sweep feature combinations and compare the synthesized minimal program
+// against a maximal program synthesized as if every feature were on.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/synthesizer.h"
+
+using namespace linuxfp;
+using namespace linuxfp::bench;
+
+namespace {
+std::uint64_t measure(sim::LinuxTestbed& dut) {
+  util::OnlineStats cycles;
+  for (int i = 0; i < 1000; ++i) {
+    auto out = dut.process(
+        dut.forward_packet(i % 10, static_cast<std::uint16_t>(i % 128)));
+    cycles.add(static_cast<double>(out.cycles));
+  }
+  return static_cast<std::uint64_t>(cycles.mean());
+}
+}  // namespace
+
+int main() {
+  print_header(
+      "Ablation — configuration-specialized vs generic synthesis",
+      "paper §IV-B: code not required by the current configuration is never "
+      "generated (minimal critical path)");
+
+  // Specialized: router only (no filtering configured).
+  sim::ScenarioConfig minimal_cfg;
+  minimal_cfg.prefixes = 10;
+  minimal_cfg.accel = sim::Accel::kLinuxFpXdp;
+  sim::LinuxTestbed minimal(minimal_cfg);
+
+  // Same traffic, but the DUT carries filtering configuration it does not
+  // need for this traffic (all-features program): filter node with port
+  // parsing forced by a dport rule that never matches.
+  sim::ScenarioConfig generic_cfg = minimal_cfg;
+  generic_cfg.filter_rules = 0;
+  sim::LinuxTestbed generic(generic_cfg);
+  generic.run("iptables -A FORWARD -p tcp --dport 65000 -j DROP");
+  generic.run("iptables -A FORWARD -s 172.31.0.0/16 -j DROP");
+
+  auto minimal_cycles = measure(minimal);
+  auto generic_cycles = measure(generic);
+
+  // Program sizes from the deployed attachments.
+  auto* min_att = minimal.controller()->deployer().attachment(
+      "eth0", ebpf::HookType::kXdp);
+  auto* gen_att = generic.controller()->deployer().attachment(
+      "eth0", ebpf::HookType::kXdp);
+  std::size_t min_insns =
+      min_att->programs()[min_att->active_prog_id()].size();
+  std::size_t gen_insns =
+      gen_att->programs()[gen_att->active_prog_id()].size();
+
+  print_row({"variant", "insns", "cycles/pkt", "Mpps"}, {30, 10, 14, 10});
+  print_row({"specialized (router only)", std::to_string(min_insns),
+             std::to_string(minimal_cycles),
+             fmt_mpps(minimal.cpu_hz() / minimal_cycles)},
+            {30, 10, 14, 10});
+  print_row({"generic (filter branches in)", std::to_string(gen_insns),
+             std::to_string(generic_cycles),
+             fmt_mpps(generic.cpu_hz() / generic_cycles)},
+            {30, 10, 14, 10});
+
+  std::printf("\nshape check: the specialized program is smaller and faster; "
+              "synthesis removes %zu instructions (%.0f%% cycle saving) that "
+              "a generic pipeline would execute per packet.\n",
+              gen_insns - min_insns,
+              100.0 * (1.0 - double(minimal_cycles) / double(generic_cycles)));
+
+  // Tail-call vs inline composition on the same graph (design decision 2).
+  sim::ScenarioConfig tail_cfg = generic_cfg;
+  tail_cfg.chain = core::ChainMode::kTailCalls;
+  sim::LinuxTestbed tail(tail_cfg);
+  tail.run("iptables -A FORWARD -p tcp --dport 65000 -j DROP");
+  auto tail_cycles = measure(tail);
+  std::printf("\ncomposition ablation (filter+router graph): inline %llu "
+              "cycles/pkt vs tail-call %llu cycles/pkt (paper §VI-B: inlined "
+              "function calls win)\n",
+              (unsigned long long)generic_cycles,
+              (unsigned long long)tail_cycles);
+  return 0;
+}

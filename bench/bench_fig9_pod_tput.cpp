@@ -1,0 +1,75 @@
+// Figure 9: pod-to-pod communication throughput (TCP_RR transactions/s) as
+// a function of concurrently running pod pairs (1-10), intra- and
+// inter-node. Shape claim: LinuxFP ~120% (intra) / ~116% (inter) of Linux.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "k8s/cluster.h"
+#include "k8s/latency_model.h"
+
+using namespace linuxfp;
+using namespace linuxfp::bench;
+
+namespace {
+// Transactions/s for p closed-loop pairs: each pair completes 1/RTT
+// transactions per second; co-located pairs contend slightly for the node's
+// softirq/CPU (mild sublinearity seen in the paper's curves).
+double pairs_tps(double rtt_ms, int pairs) {
+  double contention = 1.0 + 0.025 * (pairs - 1);
+  return pairs * 1000.0 / (rtt_ms * contention);
+}
+
+struct PathMeasure {
+  std::uint64_t cycles = 0;
+  int crossings = 0;
+};
+
+PathMeasure measure_cycles(bool linuxfp, bool inter, int pairs) {
+  k8s::Cluster cluster(2);
+  if (linuxfp) cluster.enable_linuxfp();
+  // Launch `pairs` pod pairs; measure the first pair (all equivalent).
+  std::vector<std::pair<k8s::PodRef, k8s::PodRef>> refs;
+  for (int i = 0; i < pairs; ++i) {
+    auto c = cluster.launch_pod(1);
+    auto s = cluster.launch_pod(inter ? 2 : 1);
+    refs.emplace_back(c, s);
+  }
+  cluster.warm_path(refs[0].first, refs[0].second);
+  auto rr = cluster.run_rr_transaction(refs[0].first, refs[0].second);
+  return {rr.cycles, rr.underlay_crossings};
+}
+}  // namespace
+
+int main() {
+  print_header(
+      "Fig 9 — pod-to-pod throughput vs #pod pairs (TCP_RR trans/s)",
+      "paper Fig 9: LinuxFP = 120% of Linux (intra), 116% (inter)");
+
+  k8s::PodLatencyModel model;
+
+  PathMeasure li_m = measure_cycles(false, false, 1);
+  PathMeasure fi_m = measure_cycles(true, false, 1);
+  PathMeasure lr_m = measure_cycles(false, true, 1);
+  PathMeasure fr_m = measure_cycles(true, true, 1);
+  double li = model.mean_rtt_ms(li_m.cycles, li_m.crossings);
+  double fi = model.mean_rtt_ms(fi_m.cycles, fi_m.crossings);
+  double lr = model.mean_rtt_ms(lr_m.cycles, lr_m.crossings);
+  double fr = model.mean_rtt_ms(fr_m.cycles, fr_m.crossings);
+
+  std::vector<int> widths{8, 14, 14, 14, 14};
+  print_row({"pairs", "Linux intra", "LFP intra", "Linux inter", "LFP inter"},
+            widths);
+  print_row({"", "(tps)", "(tps)", "(tps)", "(tps)"}, widths);
+  for (int pairs = 1; pairs <= 10; ++pairs) {
+    print_row({std::to_string(pairs), fmt(pairs_tps(li, pairs), 1),
+               fmt(pairs_tps(fi, pairs), 1), fmt(pairs_tps(lr, pairs), 1),
+               fmt(pairs_tps(fr, pairs), 1)},
+              widths);
+  }
+  std::printf("\nshape checks:\n");
+  std::printf("  LinuxFP/Linux intra = %.0f%%  (paper: 120%%)\n",
+              100.0 * li / fi);
+  std::printf("  LinuxFP/Linux inter = %.0f%%  (paper: 116%%)\n",
+              100.0 * lr / fr);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Table IV: virtual gateway RTT with a single core, 128 netperf sessions,
+// including the Linux(ipset) and LinuxFP(ipset) variants.
+#include "bench/bench_util.h"
+
+using namespace linuxfp;
+using namespace linuxfp::bench;
+
+namespace {
+sim::RrResult run_linux_variant(const sim::ScenarioConfig& cfg,
+                                const sim::RrConfig& rr_cfg) {
+  sim::LinuxTestbed dut(cfg);
+  auto req = [&dut](int s) {
+    return dut.forward_packet(s % 50, static_cast<std::uint16_t>(s), 66);
+  };
+  return sim::RrLatencyRunner(rr_cfg).run(dut, req, req);
+}
+
+void report(const std::string& name, const util::SampleSet& rtt,
+            const std::string& paper_ref) {
+  print_row({name, fmt(rtt.mean(), 3), fmt(rtt.p99(), 3),
+             fmt(rtt.stddev(), 3), paper_ref},
+            {18, 12, 12, 12, 28});
+}
+}  // namespace
+
+int main() {
+  print_header(
+      "Table IV — virtual gateway RTT, 1 core, 128 sessions (us); 100 rules",
+      "paper: Linux 388.9/512.4, Linux(ipset) 331.5/437.3, Polycube "
+      "181.5/289.4, VPP 85.6/180.9, LinuxFP 212.8/317.6, LinuxFP(ipset) "
+      "161.5/275.1");
+
+  sim::RrConfig rr_cfg;
+  rr_cfg.sessions = 128;
+  rr_cfg.transactions = 20000;
+
+  print_row({"platform", "avg", "p99", "stddev", "paper avg/p99"},
+            {18, 12, 12, 12, 28});
+
+  sim::ScenarioConfig base;
+  base.prefixes = 50;
+  base.filter_rules = 100;
+
+  {
+    auto r = run_linux_variant(base, rr_cfg);
+    report("Linux", r.rtt_us, "388.9 / 512.4");
+  }
+  {
+    auto cfg = base;
+    cfg.use_ipset = true;
+    auto r = run_linux_variant(cfg, rr_cfg);
+    report("Linux (ipset)", r.rtt_us, "331.5 / 437.3");
+  }
+  {
+    PolycubeScenario pcn(50, 100);
+    auto req = [&](int s) {
+      return pcn.host->forward_packet(s % 50, static_cast<std::uint16_t>(s),
+                                      66);
+    };
+    auto r = sim::RrLatencyRunner(rr_cfg).run(*pcn.router, req, req);
+    report("Polycube", r.rtt_us, "181.5 / 289.4");
+  }
+  {
+    VppScenario vpp(50, 100);
+    sim::ScenarioConfig src_cfg;
+    src_cfg.prefixes = 1;
+    sim::LinuxTestbed pktsrc(src_cfg);
+    auto req = [&](int s) {
+      return pktsrc.forward_packet(s % 50, static_cast<std::uint16_t>(s), 66);
+    };
+    auto r = sim::RrLatencyRunner(rr_cfg).run(vpp.router, req, req);
+    report("VPP", r.rtt_us, "85.6 / 180.9");
+  }
+  {
+    auto cfg = base;
+    cfg.accel = sim::Accel::kLinuxFpXdp;
+    auto r = run_linux_variant(cfg, rr_cfg);
+    report("LinuxFP", r.rtt_us, "212.8 / 317.6");
+  }
+  {
+    auto cfg = base;
+    cfg.accel = sim::Accel::kLinuxFpXdp;
+    cfg.use_ipset = true;
+    auto r = run_linux_variant(cfg, rr_cfg);
+    report("LinuxFP (ipset)", r.rtt_us, "161.5 / 275.1");
+  }
+  std::printf("\nshape checks: ipset < linear rules on both platforms; "
+              "LinuxFP(ipset) below Polycube; ordering Linux > Linux(ipset) > "
+              "LinuxFP > LinuxFP(ipset) > VPP\n");
+  return 0;
+}

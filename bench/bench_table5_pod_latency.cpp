@@ -1,0 +1,87 @@
+// Table V: pod-to-pod latency with a single pod pair (ms), intra- and
+// inter-node, Flannel CNI, netperf TCP_RR — Linux vs LinuxFP with the
+// unmodified plugin.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "k8s/cluster.h"
+#include "k8s/latency_model.h"
+
+using namespace linuxfp;
+using namespace linuxfp::bench;
+
+namespace {
+struct Measured {
+  std::uint64_t intra_cycles = 0;
+  std::uint64_t inter_cycles = 0;
+  int inter_crossings = 0;
+};
+
+Measured measure(bool linuxfp) {
+  k8s::Cluster cluster(2);
+  if (linuxfp) cluster.enable_linuxfp();
+  auto a = cluster.launch_pod(1);
+  auto b = cluster.launch_pod(1);
+  auto c = cluster.launch_pod(2);
+  cluster.warm_path(a, b);
+  cluster.warm_path(a, c);
+  Measured m;
+  m.intra_cycles = cluster.run_rr_transaction(a, b).cycles;
+  auto inter = cluster.run_rr_transaction(a, c);
+  m.inter_cycles = inter.cycles;
+  m.inter_crossings = inter.underlay_crossings;
+  return m;
+}
+}  // namespace
+
+int main() {
+  print_header("Table V — pod-to-pod RTT, single pair, Flannel CNI (ms)",
+               "paper: Linux intra 9.68/20.1, LinuxFP intra 7.92/15.9, Linux "
+               "inter 29.2/34.7, LinuxFP inter 25.2/30.9 (avg/p99)");
+
+  Measured linux_m = measure(false);
+  Measured lfp_m = measure(true);
+
+  k8s::PodLatencyModel model;
+  const int kSamples = 20000;
+
+  print_row({"config", "avg", "p99", "stddev", "paper avg/p99"},
+            {20, 10, 10, 10, 24});
+  struct Row {
+    const char* name;
+    std::uint64_t cycles;
+    int crossings;
+    const char* paper;
+    std::uint64_t seed;
+  };
+  Row rows[] = {
+      {"Linux (intra)", linux_m.intra_cycles, 0, "9.68 / 20.1", 11},
+      {"LinuxFP (intra)", lfp_m.intra_cycles, 0, "7.92 / 15.9", 12},
+      {"Linux (inter)", linux_m.inter_cycles, linux_m.inter_crossings,
+       "29.2 / 34.7", 13},
+      {"LinuxFP (inter)", lfp_m.inter_cycles, lfp_m.inter_crossings,
+       "25.2 / 30.9", 14},
+  };
+  for (const Row& row : rows) {
+    auto samples = model.sample_rtts(row.cycles, row.crossings, kSamples,
+                                     row.seed);
+    print_row({row.name, fmt(samples.mean(), 3), fmt(samples.p99(), 1),
+               fmt(samples.stddev(), 3), row.paper},
+              {20, 10, 10, 10, 24});
+  }
+
+  std::printf("\nmeasured datapath cycles per transaction:\n");
+  std::printf("  intra: Linux %llu, LinuxFP %llu  (reduction %.0f%%, paper "
+              "RTT reduction 18%%)\n",
+              (unsigned long long)linux_m.intra_cycles,
+              (unsigned long long)lfp_m.intra_cycles,
+              100.0 * (1.0 - double(lfp_m.intra_cycles) /
+                                 double(linux_m.intra_cycles)));
+  std::printf("  inter: Linux %llu, LinuxFP %llu  (reduction %.0f%%, paper "
+              "RTT reduction 14%%)\n",
+              (unsigned long long)linux_m.inter_cycles,
+              (unsigned long long)lfp_m.inter_cycles,
+              100.0 * (1.0 - double(lfp_m.inter_cycles) /
+                                 double(linux_m.inter_cycles)));
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Table VII: throughput and latency of LinuxFP network functions on the XDP
+// hook vs the TC hook, in a forwarding scenario (single core).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace linuxfp;
+using namespace linuxfp::bench;
+
+namespace {
+
+struct NfResult {
+  double pps = 0;
+  double mean_latency_us = 0;
+};
+
+// Bridge scenario: two ports, stations pre-learned; fast path bridges.
+NfResult run_bridge(sim::Accel accel, sim::RrConfig rr_cfg) {
+  kern::Kernel k("dut");
+  std::uint64_t sunk = 0;
+  k.add_phys_dev("p1").set_phys_tx([](net::Packet&&) {});
+  k.add_phys_dev("p2").set_phys_tx([&](net::Packet&&) { ++sunk; });
+  (void)kern::run_command(k, "brctl addbr br0");
+  for (const char* d : {"p1", "p2", "br0"}) {
+    (void)kern::run_command(k, std::string("ip link set ") + d + " up");
+  }
+  (void)kern::run_command(k, "brctl addif br0 p1");
+  (void)kern::run_command(k, "brctl addif br0 p2");
+  auto a = net::MacAddr::from_id(0xA), b = net::MacAddr::from_id(0xB);
+  int p1 = k.dev_by_name("p1")->ifindex();
+  int p2 = k.dev_by_name("p2")->ifindex();
+  k.bridge_by_name("br0")->fdb_learn(a, 0, p1, k.now_ns());
+  k.bridge_by_name("br0")->fdb_learn(b, 0, p2, k.now_ns());
+
+  std::unique_ptr<core::Controller> controller;
+  if (accel != sim::Accel::kNone) {
+    core::ControllerOptions opts;
+    opts.attach_bridge_ports = true;
+    opts.attach_physical = false;
+    opts.hook = accel == sim::Accel::kLinuxFpTc ? "tc" : "xdp";
+    controller = std::make_unique<core::Controller>(k, opts);
+    controller->start();
+  }
+
+  net::FlowKey f;
+  f.src_ip = net::Ipv4Addr::parse("1.1.1.1").value();
+  f.dst_ip = net::Ipv4Addr::parse("2.2.2.2").value();
+  util::OnlineStats cycles;
+  for (int i = 0; i < 2000; ++i) {
+    f.src_port = static_cast<std::uint16_t>(i);
+    kern::CycleTrace t;
+    k.rx(p1, net::build_udp_packet(a, b, f, 64), t);
+    cycles.add(static_cast<double>(t.total()));
+  }
+  NfResult out;
+  out.pps = k.cost().cpu_hz / cycles.mean();
+  // Closed-loop latency estimate: sessions * 2 * service + base.
+  double service_us = cycles.mean() / k.cost().cpu_hz * 1e6;
+  out.mean_latency_us =
+      rr_cfg.base_rtt_us + rr_cfg.sessions * 2 * service_us;
+  return out;
+}
+
+NfResult run_l3(sim::Accel accel, int rules, sim::RrConfig rr_cfg) {
+  sim::ScenarioConfig cfg;
+  cfg.prefixes = 50;
+  cfg.filter_rules = rules;
+  cfg.accel = accel;
+  sim::LinuxTestbed dut(cfg);
+  util::OnlineStats cycles;
+  for (int i = 0; i < 2000; ++i) {
+    auto out = dut.process(
+        dut.forward_packet(i % 50, static_cast<std::uint16_t>(i % 256)));
+    cycles.add(static_cast<double>(out.cycles));
+  }
+  NfResult out;
+  out.pps = dut.cpu_hz() / cycles.mean();
+  double service_us = cycles.mean() / dut.cpu_hz() * 1e6;
+  out.mean_latency_us =
+      rr_cfg.base_rtt_us + rr_cfg.sessions * 2 * service_us;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Table VII — XDP vs TC hook: throughput (pps) and latency per NF",
+      "paper: bridge 1,914,978/889,735; forwarding 1,768,221/850,209; "
+      "filtering 1,183,252/680,065 (XDP/TC pps)");
+
+  sim::RrConfig rr;
+  rr.sessions = 128;
+
+  struct Row {
+    const char* name;
+    NfResult xdp;
+    NfResult tc;
+    const char* paper_pps;
+  };
+  Row rows[] = {
+      {"bridge", run_bridge(sim::Accel::kLinuxFpXdp, rr),
+       run_bridge(sim::Accel::kLinuxFpTc, rr), "1,914,978 / 889,735"},
+      {"forwarding", run_l3(sim::Accel::kLinuxFpXdp, 0, rr),
+       run_l3(sim::Accel::kLinuxFpTc, 0, rr), "1,768,221 / 850,209"},
+      {"filtering", run_l3(sim::Accel::kLinuxFpXdp, 100, rr),
+       run_l3(sim::Accel::kLinuxFpTc, 100, rr), "1,183,252 / 680,065"},
+  };
+
+  std::vector<int> widths{12, 13, 13, 12, 12, 24};
+  print_row({"nf", "XDP pps", "TC pps", "XDP lat", "TC lat", "paper XDP/TC pps"},
+            widths);
+  for (const Row& row : rows) {
+    print_row({row.name, fmt(row.xdp.pps, 0), fmt(row.tc.pps, 0),
+               fmt(row.xdp.mean_latency_us, 1),
+               fmt(row.tc.mean_latency_us, 1), row.paper_pps},
+              widths);
+  }
+  std::printf("\nshape check: XDP > TC for every NF (sk_buff allocation and "
+              "the deeper hook position cost the TC path ~2x); container "
+              "scenarios still prefer TC because the sk_buff is needed "
+              "anyway (paper §VI-B).\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Shared helpers for the reproduction benchmarks: table formatting with
+// paper-reference columns, and platform builders wired to each scenario.
+//
+// Every bench regenerates one table or figure from the paper's evaluation
+// (§VI); EXPERIMENTS.md records measured-vs-paper for each. Absolute numbers
+// come from the calibrated cost model (DESIGN.md §5); the claims under test
+// are the SHAPES: who wins, by what factor, where curves cross.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/polycube/polycube.h"
+#include "baselines/vpp/vpp.h"
+#include "sim/runners.h"
+#include "sim/testbed.h"
+
+namespace linuxfp::bench {
+
+inline void print_header(const std::string& title, const std::string& paper) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_row(const std::vector<std::string>& cells,
+                      const std::vector<int>& widths) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    int w = i < widths.size() ? widths[i] : 14;
+    std::printf("%-*s", w, cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string fmt_mpps(double pps) { return fmt(pps / 1e6, 3); }
+
+// --- Polycube scenario builder -------------------------------------------------
+// A Polycube DUT configured "with commands equivalent to the Linux
+// configuration" (paper §VI-A): same prefixes, same neighbours, optional
+// firewall blacklist.
+struct PolycubeScenario {
+  std::unique_ptr<sim::LinuxTestbed> host;  // provides devices + links only
+  std::unique_ptr<pcn::PolycubeRouter> router;
+
+  explicit PolycubeScenario(int prefixes, int fw_rules = 0) {
+    sim::ScenarioConfig cfg;
+    cfg.prefixes = 0;  // Polycube ignores kernel routes; none needed
+    host = std::make_unique<sim::LinuxTestbed>(cfg);
+    router = std::make_unique<pcn::PolycubeRouter>(host->kernel());
+    auto cli = [&](const std::string& c) {
+      auto st = router->cli(c);
+      LFP_CHECK_MSG(st.ok(), "pcn cli failed: " + c);
+    };
+    cli("pcn router port add eth0 10.10.1.1/24");
+    cli("pcn router port add eth1 10.10.2.1/24");
+    cli("pcn router neigh add 10.10.1.2 " +
+        net::MacAddr::from_id(0x501).to_string() + " eth0");
+    cli("pcn router neigh add 10.10.2.2 " +
+        net::MacAddr::from_id(0x502).to_string() + " eth1");
+    for (int i = 0; i < prefixes; ++i) {
+      cli("pcn router route add 10." + std::to_string(100 + (i % 150)) + "." +
+          std::to_string(i / 150) + ".0/24 10.10.2.2");
+    }
+    for (int i = 0; i < fw_rules; ++i) {
+      cli("pcn firewall rule add src 10.66." + std::to_string(i / 250) + "." +
+          std::to_string(1 + i % 250) + " action DROP");
+    }
+  }
+};
+
+// --- VPP scenario builder --------------------------------------------------------
+struct VppScenario {
+  vpp::VppRouter router;
+
+  explicit VppScenario(int prefixes, int acl_rules = 0) {
+    auto cli = [&](const std::string& c) {
+      auto st = router.cli(c);
+      LFP_CHECK_MSG(st.ok(), "vpp cli failed: " + c);
+    };
+    cli("set interface ip address eth0 10.10.1.1/24");
+    cli("set interface ip address eth1 10.10.2.1/24");
+    cli("set ip neighbor eth1 10.10.2.2 " +
+        net::MacAddr::from_id(0x502).to_string());
+    for (int i = 0; i < prefixes; ++i) {
+      cli("ip route add 10." + std::to_string(100 + (i % 150)) + "." +
+          std::to_string(i / 150) + ".0/24 via 10.10.2.2");
+    }
+    for (int i = 0; i < acl_rules; ++i) {
+      cli("acl add deny src 10.66." + std::to_string(i / 250) + "." +
+          std::to_string(1 + i % 250) + "/32");
+    }
+  }
+};
+
+// Forward-traffic factory shared by throughput benches.
+inline sim::ThroughputRunner::PacketFactory
+forward_factory(sim::LinuxTestbed& dut, int prefixes, int flows,
+                std::size_t frame_len = 64) {
+  return [&dut, prefixes, flows, frame_len](std::uint64_t i) {
+    return dut.forward_packet(static_cast<int>(i % prefixes),
+                              static_cast<std::uint16_t>(i % flows),
+                              frame_len);
+  };
+}
+
+}  // namespace linuxfp::bench

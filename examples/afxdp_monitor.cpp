@@ -1,0 +1,114 @@
+// AF_XDP user-space application example (paper §VIII: "add custom
+// packet-processing applications in user space and use a special type of
+// socket, called AF_XDP, that allows sending raw packets directly from the
+// XDP layer to user space").
+//
+// A router keeps forwarding on the LinuxFP fast path while a user-space
+// monitor receives a copy-free feed of DNS traffic selected by a custom XDP
+// sampler chained in front of the synthesized fast path.
+#include <cstdio>
+#include <map>
+
+#include "core/controller.h"
+#include "ebpf/afxdp.h"
+#include "ebpf/kernel_helpers.h"
+#include "kernel/commands.h"
+
+using namespace linuxfp;
+
+int main() {
+  kern::Kernel kernel("edge-router");
+  kernel.add_phys_dev("eth0");
+  kernel.add_phys_dev("eth1");
+  std::uint64_t forwarded = 0;
+  kernel.dev_by_name("eth1")->set_phys_tx(
+      [&](net::Packet&&) { ++forwarded; });
+  for (const char* cmd :
+       {"ip link set eth0 up", "ip link set eth1 up",
+        "ip addr add 10.10.1.1/24 dev eth0",
+        "ip addr add 10.10.2.1/24 dev eth1",
+        "sysctl -w net.ipv4.ip_forward=1",
+        "ip route add 10.100.0.0/24 via 10.10.2.2 dev eth1",
+        "ip neigh add 10.10.2.2 lladdr 02:00:00:00:05:02 dev eth1 "
+        "nud permanent"}) {
+    if (!kern::run_command(kernel, cmd).ok()) return 1;
+  }
+
+  core::Controller controller(kernel);
+  controller.start();
+
+  // Bind an AF_XDP socket on eth0's attachment and stand up an XSK map.
+  ebpf::Attachment* att =
+      controller.deployer().attachment("eth0", ebpf::HookType::kXdp);
+  ebpf::AfXdpSocket monitor_socket;
+  std::uint32_t slot = att->register_xsk(&monitor_socket);
+  std::uint32_t xsk_map =
+      att->maps().create("monitor_xsks", ebpf::MapType::kXskMap, 4, 4, 4);
+  std::uint32_t key = 0;
+  (void)att->maps().get(xsk_map)->update(
+      reinterpret_cast<std::uint8_t*>(&key),
+      reinterpret_cast<std::uint8_t*>(&slot));
+
+  // Custom sampler snippet ahead of the synthesized FPMs: UDP/53 -> XSK.
+  controller.set_custom_snippet([xsk_map](ebpf::ProgramBuilder& b) {
+    using namespace ebpf;
+    b.new_scope();
+    b.mov_reg(kR2, kR7);
+    b.add(kR2, 38);
+    b.jgt_reg(kR2, kR8, b.scoped("skip"));
+    b.ldx(kR2, kR7, 12, MemSize::kU16);
+    b.be16(kR2);
+    b.jne(kR2, 0x0800, b.scoped("skip"));
+    b.ldx(kR2, kR7, 23, MemSize::kU8);
+    b.jne(kR2, 17, b.scoped("skip"));
+    b.ldx(kR2, kR7, 36, MemSize::kU16);
+    b.be16(kR2);
+    b.jne(kR2, 53, b.scoped("skip"));
+    b.mov(kR1, xsk_map);
+    b.mov(kR2, 0);
+    b.call(kHelperRedirectMap);
+    b.exit();
+    b.label(b.scoped("skip"));
+  });
+  controller.run_once();
+
+  // Traffic mix: mostly HTTP-ish forwarding + some DNS.
+  int eth0 = kernel.dev_by_name("eth0")->ifindex();
+  auto send = [&](std::uint16_t dport, std::uint8_t host) {
+    net::FlowKey f;
+    f.src_ip = net::Ipv4Addr::from_octets(10, 10, 1, host);
+    f.dst_ip = net::Ipv4Addr::parse("10.100.0.9").value();
+    f.proto = net::kIpProtoUdp;
+    f.src_port = 4000;
+    f.dst_port = dport;
+    kern::CycleTrace t;
+    kernel.rx(eth0,
+              net::build_udp_packet(net::MacAddr::from_id(host),
+                                    kernel.dev_by_name("eth0")->mac(), f, 96),
+              t);
+  };
+  for (int i = 0; i < 50; ++i) {
+    send(80, static_cast<std::uint8_t>(2 + i % 8));
+    if (i % 5 == 0) send(53, static_cast<std::uint8_t>(2 + i % 8));
+  }
+
+  // The user-space monitor drains its ring.
+  std::map<std::string, int> dns_clients;
+  while (auto frame = monitor_socket.poll()) {
+    auto parsed = net::parse_packet(*frame);
+    if (parsed) dns_clients[parsed->ip_src.to_string()]++;
+  }
+
+  std::printf("forwarded on fast path: %llu packets (port 80 traffic)\n",
+              (unsigned long long)forwarded);
+  std::printf("DNS frames delivered to the user-space monitor: %llu\n",
+              (unsigned long long)att->stats().to_userspace);
+  std::printf("per-client DNS counts seen by the monitor app:\n");
+  for (auto& [client, n] : dns_clients) {
+    std::printf("  %-14s %d\n", client.c_str(), n);
+  }
+  std::printf("\nmonitored traffic never touched the Linux stack (slow-path "
+              "packets: %llu); forwarding stayed accelerated throughout.\n",
+              (unsigned long long)kernel.counters().slow_path_packets);
+  return 0;
+}

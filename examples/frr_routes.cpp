@@ -1,0 +1,123 @@
+// Routing-daemon example: the paper's claim that "control plane software,
+// such as FRRouting (FRR), works without modification and transparently
+// benefits from a faster network data plane" (§I).
+//
+// A mini route daemon (standing in for FRR's zebra) converges on a route
+// table, installs it through the ordinary kernel interface, and keeps
+// churning it — withdrawals, re-advertisements, metric changes — while
+// traffic flows. The LinuxFP fast path stays coherent at every instant
+// because its helpers read the live FIB; the controller only re-synthesizes
+// when the derived graph changes.
+#include <cstdio>
+#include <vector>
+
+#include "core/controller.h"
+#include "kernel/commands.h"
+#include "kernel/kernel.h"
+#include "util/rng.h"
+
+using namespace linuxfp;
+
+namespace {
+// The "FRR" stand-in: receives advertisements and programs the kernel.
+class MiniZebra {
+ public:
+  explicit MiniZebra(kern::Kernel& kernel) : kernel_(kernel) {}
+
+  void advertise(const std::string& prefix, const std::string& via) {
+    (void)kern::run_command(kernel_,
+                            "ip route add " + prefix + " via " + via +
+                                " dev eth1");
+    installed_.push_back(prefix);
+  }
+  void withdraw(const std::string& prefix) {
+    (void)kern::run_command(kernel_, "ip route del " + prefix);
+    for (auto it = installed_.begin(); it != installed_.end(); ++it) {
+      if (*it == prefix) {
+        installed_.erase(it);
+        break;
+      }
+    }
+  }
+  const std::vector<std::string>& installed() const { return installed_; }
+
+ private:
+  kern::Kernel& kernel_;
+  std::vector<std::string> installed_;
+};
+}  // namespace
+
+int main() {
+  kern::Kernel kernel("bgp-router");
+  kernel.add_phys_dev("eth0");
+  kernel.add_phys_dev("eth1");
+  std::uint64_t forwarded = 0;
+  kernel.dev_by_name("eth1")->set_phys_tx(
+      [&](net::Packet&&) { ++forwarded; });
+  for (const char* cmd :
+       {"ip link set eth0 up", "ip link set eth1 up",
+        "ip addr add 10.10.1.1/24 dev eth0",
+        "ip addr add 10.10.2.1/24 dev eth1",
+        "sysctl -w net.ipv4.ip_forward=1",
+        "ip neigh add 10.10.2.2 lladdr 02:00:00:00:05:02 dev eth1 "
+        "nud permanent"}) {
+    if (!kern::run_command(kernel, cmd).ok()) return 1;
+  }
+
+  core::Controller controller(kernel);
+  controller.start();
+  MiniZebra zebra(kernel);
+
+  // Initial convergence: 40 prefixes learned from peers.
+  for (int i = 0; i < 40; ++i) {
+    zebra.advertise("10." + std::to_string(100 + i) + ".0.0/16", "10.10.2.2");
+  }
+  controller.run_once();
+
+  int eth0 = kernel.dev_by_name("eth0")->ifindex();
+  auto send_to = [&](int prefix) {
+    net::FlowKey f;
+    f.src_ip = net::Ipv4Addr::parse("10.10.1.2").value();
+    f.dst_ip = net::Ipv4Addr::from_octets(
+        10, static_cast<std::uint8_t>(100 + prefix), 0, 9);
+    f.src_port = 7;
+    f.dst_port = 7;
+    kern::CycleTrace t;
+    auto s = kernel.rx(eth0,
+                       net::build_udp_packet(
+                           net::MacAddr::from_id(1),
+                           kernel.dev_by_name("eth0")->mac(), f, 64),
+                       t);
+    return s.fast_path;
+  };
+
+  std::printf("converged: %zu routes installed via the Linux API\n",
+              zebra.installed().size());
+  std::printf("traffic to prefix 7 rides the fast path: %s\n",
+              send_to(7) ? "yes" : "no");
+
+  // Route churn while traffic flows: withdrawals are honoured by the very
+  // next packet — no controller round-trip needed for FIB content changes.
+  util::Rng rng(1);
+  int flaps = 0, wrong = 0;
+  for (int round = 0; round < 200; ++round) {
+    int p = static_cast<int>(rng.next_below(40));
+    std::string prefix = "10." + std::to_string(100 + p) + ".0.0/16";
+    zebra.withdraw(prefix);
+    ++flaps;
+    std::uint64_t before = forwarded;
+    send_to(p);  // must NOT be forwarded: route is gone
+    if (forwarded != before) ++wrong;
+    zebra.advertise(prefix, "10.10.2.2");
+    before = forwarded;
+    send_to(p);  // must be forwarded again
+    if (forwarded == before) ++wrong;
+    if (round % 20 == 0) controller.run_once();  // periodic daemon wakeup
+  }
+  std::printf("route flaps under traffic: %d, incoherent packets: %d\n",
+              flaps, wrong);
+  std::printf("controller resyntheses during churn: %llu (the graph shape "
+              "never changed — only FIB content, which helpers read live)\n",
+              (unsigned long long)controller.resynth_count());
+  return wrong == 0 ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// Kubernetes example (paper §VI-A2): a 3-node cluster with the Flannel VXLAN
+// CNI. LinuxFP controllers run per node on the TC hook and accelerate
+// pod-to-pod traffic with an UNMODIFIED network plugin — nothing in the
+// cluster setup knows LinuxFP exists.
+#include <cstdio>
+
+#include "k8s/cluster.h"
+#include "k8s/latency_model.h"
+
+using namespace linuxfp;
+
+namespace {
+void report(const char* label, k8s::Cluster& cluster, const k8s::PodRef& a,
+            const k8s::PodRef& b) {
+  cluster.warm_path(a, b);
+  auto rr = cluster.run_rr_transaction(a, b);
+  k8s::PodLatencyModel model;
+  std::printf("  %-12s %8llu cycles/rtt  -> modeled netperf TCP_RR "
+              "%.2f ms avg\n",
+              label, (unsigned long long)rr.cycles,
+              model.mean_rtt_ms(rr.cycles, rr.underlay_crossings));
+}
+}  // namespace
+
+int main() {
+  std::printf("=== plain Linux cluster (flannel) ===\n");
+  {
+    k8s::Cluster cluster(2);
+    auto a = cluster.launch_pod(1);
+    auto b = cluster.launch_pod(1);  // same node
+    auto c = cluster.launch_pod(2);  // remote node
+    report("intra-node:", cluster, a, b);
+    report("inter-node:", cluster, a, c);
+  }
+
+  std::printf("\n=== same cluster + LinuxFP controllers (tc hook) ===\n");
+  {
+    k8s::Cluster cluster(2);
+    cluster.enable_linuxfp();  // the ONLY difference
+    auto a = cluster.launch_pod(1);
+    auto b = cluster.launch_pod(1);
+    auto c = cluster.launch_pod(2);
+    report("intra-node:", cluster, a, b);
+    report("inter-node:", cluster, a, c);
+
+    std::printf("\nper-node synthesized graphs (node 1):\n%s\n",
+                cluster.controller(1)->current_graphs().dump(2).c_str());
+    std::printf("fast-path packets handled on node 1: %llu\n",
+                (unsigned long long)
+                    cluster.node(1).counters().fast_path_packets);
+  }
+  std::printf("\nno kubelet, CNI, or pod change was needed: the controller "
+              "introspected the bridge/veth/vxlan plumbing flannel created "
+              "and accelerated it (paper §VI-A2).\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Polycube-like baseline platform (paper §II-B, v0.9.0 comparator).
+//
+// Architectural contrasts with LinuxFP, all modeled here:
+//  1. Custom control plane + CLI ("pcn ..."): configuration does NOT come
+//     from Linux; the kernel's own tables are ignored.
+//  2. State lives in eBPF maps owned by the platform (LPM route map,
+//     neighbour hash, port array), mirrored from ITS control plane only —
+//     so kernel-side changes are invisible until the operator reconfigures
+//     Polycube (the coherence ablation measures exactly this).
+//  3. Cubes (modules) are generic, not configuration-specialized, and are
+//     chained with tail calls (paper §VI-B attributes the LinuxFP/Polycube
+//     performance delta to these implementation choices).
+//
+// The data plane is real bytecode executed by the same VM at the same XDP
+// hook; only the state-access pattern differs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ebpf/loader.h"
+#include "kernel/kernel.h"
+#include "sim/dut.h"
+#include "util/result.h"
+
+namespace linuxfp::pcn {
+
+class PolycubeRouter : public sim::DeviceUnderTest {
+ public:
+  // Attaches the Polycube pipeline to both physical devices of the DUT
+  // kernel. The kernel still owns devices/links; Polycube ignores its FIB.
+  explicit PolycubeRouter(kern::Kernel& kernel);
+
+  // --- pcn CLI (custom management interface) -----------------------------
+  //   pcn router port add <dev> <ip/prefix>
+  //   pcn router route add <prefix> <nexthop>
+  //   pcn router route del <prefix>
+  //   pcn router neigh add <ip> <mac> <dev>
+  //   pcn firewall rule add src <prefix> action DROP
+  //   pcn firewall rule del src <prefix>
+  util::Status cli(const std::string& command);
+
+  std::string name() const override { return "Polycube"; }
+  sim::ProcessOutcome process(net::Packet&& pkt) override;
+  double cpu_hz() const override { return kernel_.cost().cpu_hz; }
+
+  std::size_t route_map_entries() const;
+  ebpf::Attachment& attachment() { return *attachment_; }
+
+ private:
+  void rebuild_pipeline();
+  util::Status sync_route_map();
+
+  struct RouteEntry {
+    net::Ipv4Prefix prefix;
+    net::Ipv4Addr next_hop;
+  };
+  struct NeighEntryP {
+    net::Ipv4Addr ip;
+    net::MacAddr mac;
+    int ifindex;
+  };
+  struct PortEntry {
+    int ifindex;
+    net::Ipv4Addr ip;
+    net::MacAddr mac;
+  };
+
+  kern::Kernel& kernel_;
+  ebpf::HelperRegistry helpers_;
+  std::unique_ptr<ebpf::Attachment> attachment_;
+  int ingress_ifindex_ = 0;
+
+  // Control-plane state (mirrored into maps by sync_route_map).
+  std::vector<RouteEntry> routes_;
+  std::vector<NeighEntryP> neighbors_;
+  std::vector<PortEntry> ports_;
+  std::vector<net::Ipv4Prefix> fw_drop_src_;
+  bool fw_enabled_ = false;
+
+  // Map ids within the attachment.
+  std::uint32_t route_map_ = 0;
+  std::uint32_t neigh_map_ = 0;
+  std::uint32_t fw_map_ = 0;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace linuxfp::pcn

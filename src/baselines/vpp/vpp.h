@@ -1,0 +1,76 @@
+// VPP-like baseline (paper §II-B, v23.10 comparator): a user-space vector
+// packet processor over kernel-bypass I/O.
+//
+// Architectural contrasts modeled:
+//  1. Kernel bypass: packets never touch the Linux stack — no skb, no
+//     netfilter, no kernel FIB; VPP keeps its OWN tables configured through
+//     its OWN CLI ("set interface ip address", "ip route add", ...).
+//  2. Vector processing: the graph nodes amortize per-node fixed costs over
+//     batches of packets, the source of VPP's throughput lead (Fig 5/7).
+//  3. Busy polling: each configured worker core spins at 100% regardless of
+//     load (paper: "requires it to dedicate the configured number of cores
+//     entirely to VPP").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel/fib.h"
+#include "net/headers.h"
+#include "sim/dut.h"
+#include "util/result.h"
+
+namespace linuxfp::vpp {
+
+// One graph node's cost envelope.
+struct NodeCost {
+  const char* name;
+  std::uint64_t per_packet;
+  std::uint64_t per_vector;  // amortized over the vector size
+};
+
+class VppRouter : public sim::DeviceUnderTest {
+ public:
+  VppRouter();
+
+  // --- vppctl-style CLI ----------------------------------------------------
+  //   set interface ip address <dev> <ip/len>
+  //   ip route add <prefix> via <ip>
+  //   set ip neighbor <dev> <ip> <mac>
+  //   acl add deny src <prefix>
+  util::Status cli(const std::string& command);
+
+  std::string name() const override { return "VPP"; }
+  sim::ProcessOutcome process(net::Packet&& pkt) override;
+  bool busy_poll() const override { return true; }
+  double cpu_hz() const override { return cpu_hz_; }
+
+  void set_vector_size(std::uint32_t n) { vector_size_ = n; }
+  std::uint32_t vector_size() const { return vector_size_; }
+
+  const std::vector<NodeCost>& graph_nodes() const { return nodes_; }
+
+ private:
+  struct Interface {
+    std::string name;
+    int index;
+    net::IfAddr addr;
+    net::MacAddr mac;
+  };
+  struct Neighbor {
+    net::Ipv4Addr ip;
+    net::MacAddr mac;
+    int if_index;
+  };
+
+  double cpu_hz_ = 2.4e9;
+  std::uint32_t vector_size_ = 256;
+  std::vector<NodeCost> nodes_;
+  std::vector<Interface> interfaces_;
+  std::vector<Neighbor> neighbors_;
+  kern::Fib fib_;  // VPP's own FIB instance, not the kernel's
+  std::vector<net::Ipv4Prefix> acl_deny_src_;
+};
+
+}  // namespace linuxfp::vpp

@@ -1,0 +1,36 @@
+// Capability Manager: ensures the system supports the fast path being built
+// (paper §V) by checking each FPM's required helpers against the helper set
+// the target kernel exposes. Unsupportable nodes are pruned from the graph —
+// e.g. on a mainline kernel without the paper's bpf_fdb_lookup patch, bridge
+// FPMs are not synthesized and bridging stays on the slow path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ebpf/program.h"
+#include "util/json.h"
+
+namespace linuxfp::core {
+
+class CapabilityManager {
+ public:
+  explicit CapabilityManager(const ebpf::HelperRegistry& helpers)
+      : helpers_(helpers) {}
+
+  // Helpers an FPM requires.
+  static std::vector<std::uint32_t> required_helpers(const std::string& fpm);
+
+  bool supports(const std::string& fpm) const;
+
+  // Returns a copy of `graphs` with unsupported nodes removed (and dangling
+  // next_nf references fixed up). Names of dropped nodes are appended to
+  // `dropped` when provided.
+  util::Json prune(const util::Json& graphs,
+                   std::vector<std::string>* dropped = nullptr) const;
+
+ private:
+  const ebpf::HelperRegistry& helpers_;
+};
+
+}  // namespace linuxfp::core

@@ -1,0 +1,85 @@
+// The LinuxFP controller daemon: continuously introspects the kernel,
+// rebuilds the processing graph on configuration changes, synthesizes the
+// minimal fast path and deploys it (paper Fig 2 / Fig 3 / §V).
+//
+// In a real deployment run() loops forever; in the simulation the event loop
+// calls run_once() whenever simulated time advances or a tool command ran.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/capability.h"
+#include "core/deployer.h"
+#include "core/introspect.h"
+#include "core/synthesizer.h"
+#include "core/topology.h"
+#include "ebpf/kernel_helpers.h"
+#include "kernel/kernel.h"
+
+namespace linuxfp::core {
+
+struct ControllerOptions {
+  std::string hook = "xdp";  // "xdp" (driver mode) or "tc"
+  ChainMode chain = ChainMode::kInlineCalls;
+  bool attach_physical = true;
+  bool attach_bridge_ports = false;  // container/TC mode
+  bool attach_overlay = false;       // vxlan VTEP devices
+  // Restrict to mainline helpers (no bpf_fdb_lookup/bpf_ipt_lookup): the
+  // Capability Manager will prune bridge/filter FPMs.
+  bool mainline_helpers_only = false;
+};
+
+// One controller reaction (paper Table VI): from seeing a configuration
+// change to confirmed fast-path installation.
+struct Reaction {
+  bool changed = false;
+  std::size_t graphs = 0;
+  std::size_t programs = 0;
+  std::size_t insns = 0;
+  std::vector<std::string> dropped_fpms;
+  double wall_seconds = 0;     // measured in this reproduction
+  double modeled_seconds = 0;  // + modeled clang/libbpf stages (Table VI)
+};
+
+class Controller {
+ public:
+  explicit Controller(kern::Kernel& kernel, ControllerOptions options = {});
+
+  // Initial sync + first synthesis/deployment.
+  Reaction start();
+
+  // Polls netlink; on relevant change re-synthesizes and redeploys.
+  Reaction run_once();
+
+  const WorldView& view() const { return introspection_.view(); }
+  const util::Json& current_graphs() const { return graphs_; }
+  Deployer& deployer() { return deployer_; }
+  Synthesizer& synthesizer() { return synthesizer_; }
+  const ebpf::HelperRegistry& helpers() const { return helpers_; }
+  std::uint64_t resynth_count() const { return resynth_count_; }
+
+  // Injects a custom verified snippet ahead of every synthesized fast path
+  // (monitoring extension); triggers a redeploy on the next run_once.
+  void set_custom_snippet(Synthesizer::CustomSnippet snippet);
+
+ private:
+  Reaction rebuild_and_deploy(bool force = false);
+
+  kern::Kernel& kernel_;
+  ControllerOptions options_;
+  ebpf::HelperRegistry helpers_;
+  ServiceIntrospection introspection_;
+  TopologyManager topology_;
+  CapabilityManager capability_;
+  Synthesizer synthesizer_;
+  Deployer deployer_;
+  util::Json graphs_;
+  std::string last_signature_;
+  std::uint64_t resynth_count_ = 0;
+  bool force_resynth_ = false;
+};
+
+}  // namespace linuxfp::core

@@ -1,0 +1,45 @@
+// Service Introspection: maintains a WorldView of the kernel configuration
+// by (1) issuing full dumps at startup and (2) subscribing to netlink
+// multicast groups for incremental updates (paper §IV-C1, §V "Controller").
+#pragma once
+
+#include "core/objects.h"
+#include "netlink/netlink.h"
+
+namespace linuxfp::core {
+
+class ServiceIntrospection {
+ public:
+  // Opens a socket on the bus and joins all relevant multicast groups.
+  explicit ServiceIntrospection(nl::Bus& bus);
+
+  // Initial full dump (RTM_GET* for every subsystem).
+  void initial_sync();
+
+  // Drains pending notifications; returns true if the view changed in a way
+  // that can affect the fast path.
+  bool poll();
+
+  const WorldView& view() const { return view_; }
+
+  std::uint64_t events_processed() const { return events_; }
+
+ private:
+  bool apply(const nl::Message& msg);
+  void apply_link(const util::Json& attrs, bool deleted);
+  // Rules/sets/routes are cheap to re-dump; on any change event we refresh
+  // the affected table from a dump (what the real controller does with
+  // libiptc, which has no incremental API).
+  void refresh_routes();
+  void refresh_rules();
+  void refresh_sets();
+  void refresh_neighbors();
+  void refresh_services();
+
+  nl::Bus& bus_;
+  nl::Socket* socket_;
+  WorldView view_;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace linuxfp::core

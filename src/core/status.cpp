@@ -1,0 +1,112 @@
+#include "core/status.h"
+
+#include <sstream>
+
+#include "ebpf/loader.h"
+
+namespace linuxfp::core {
+
+namespace {
+ebpf::HookType hook_of(const util::Json& graph) {
+  return graph.at("hook").as_string() == "tc" ? ebpf::HookType::kTcIngress
+                                              : ebpf::HookType::kXdp;
+}
+}  // namespace
+
+util::Json status_json(Controller& controller) {
+  util::Json out = util::Json::object();
+
+  const WorldView& view = controller.view();
+  util::Json world = util::Json::object();
+  world["links"] = static_cast<std::int64_t>(view.links.size());
+  world["routes"] = static_cast<std::int64_t>(view.routes.size());
+  world["forward_rules"] =
+      static_cast<std::int64_t>(view.forward_rule_count());
+  world["ipsets"] = static_cast<std::int64_t>(view.sets.size());
+  world["services"] = static_cast<std::int64_t>(view.services.size());
+  world["ip_forward"] = view.ip_forward();
+  out["world"] = world;
+
+  out["graphs"] = controller.current_graphs();
+  out["resyntheses"] = static_cast<std::int64_t>(controller.resynth_count());
+
+  util::Json attachments = util::Json::array();
+  for (std::size_t i = 0; i < controller.current_graphs().size(); ++i) {
+    const util::Json& graph = controller.current_graphs().at(i);
+    const std::string device = graph.at("device").as_string();
+    ebpf::Attachment* att =
+        controller.deployer().attachment(device, hook_of(graph));
+    if (!att) continue;
+    util::Json a = util::Json::object();
+    a["device"] = device;
+    a["hook"] = graph.at("hook");
+    a["programs_loaded"] = static_cast<std::int64_t>(att->programs().size());
+    a["active_program"] =
+        att->programs().empty()
+            ? util::Json(nullptr)
+            : util::Json(att->programs()[att->active_prog_id()].name);
+    a["active_insns"] = static_cast<std::int64_t>(
+        att->programs().empty()
+            ? 0
+            : att->programs()[att->active_prog_id()].size());
+    const ebpf::AttachmentStats& s = att->stats();
+    util::Json stats = util::Json::object();
+    stats["runs"] = static_cast<std::int64_t>(s.runs);
+    stats["pass"] = static_cast<std::int64_t>(s.pass);
+    stats["drop"] = static_cast<std::int64_t>(s.drop);
+    stats["redirect"] = static_cast<std::int64_t>(s.redirect);
+    stats["to_userspace"] = static_cast<std::int64_t>(s.to_userspace);
+    stats["aborted"] = static_cast<std::int64_t>(s.aborted);
+    a["stats"] = stats;
+    attachments.push_back(a);
+  }
+  out["attachments"] = attachments;
+  return out;
+}
+
+std::string format_status(Controller& controller) {
+  util::Json j = status_json(controller);
+  std::ostringstream out;
+  out << "LinuxFP controller status\n";
+  out << "=========================\n";
+  const util::Json& world = j.at("world");
+  out << "introspected: " << world.at("links").as_int() << " links, "
+      << world.at("routes").as_int() << " routes, "
+      << world.at("forward_rules").as_int() << " FORWARD rules, "
+      << world.at("ipsets").as_int() << " ipsets, "
+      << world.at("services").as_int() << " ipvs services, ip_forward="
+      << (world.at("ip_forward").as_bool() ? "on" : "off") << "\n";
+  out << "resyntheses: " << j.at("resyntheses").as_int() << "\n\n";
+
+  const util::Json& graphs = j.at("graphs");
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const util::Json& g = graphs.at(i);
+    out << "device " << g.at("device").as_string() << " (hook "
+        << g.at("hook").as_string() << "): ";
+    bool first = true;
+    for (const auto& [name, node] : g.at("nodes").object_items()) {
+      if (!first) out << " -> ";
+      first = false;
+      out << name;
+    }
+    out << "\n";
+  }
+  out << "\n";
+
+  const util::Json& atts = j.at("attachments");
+  for (std::size_t i = 0; i < atts.size(); ++i) {
+    const util::Json& a = atts.at(i);
+    const util::Json& s = a.at("stats");
+    out << "attachment " << a.at("device").as_string() << ": active='"
+        << a.at("active_program").as_string() << "' ("
+        << a.at("active_insns").as_int() << " insns, "
+        << a.at("programs_loaded").as_int() << " loaded)  runs="
+        << s.at("runs").as_int() << " redirect=" << s.at("redirect").as_int()
+        << " drop=" << s.at("drop").as_int() << " pass="
+        << s.at("pass").as_int() << " user=" << s.at("to_userspace").as_int()
+        << " aborted=" << s.at("aborted").as_int() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace linuxfp::core

@@ -1,0 +1,18 @@
+// Operator-facing status report (what a `linuxfpctl show` CLI prints):
+// the introspected world view, the current processing graphs, and per-
+// attachment fast-path statistics. Pure formatting over controller state.
+#pragma once
+
+#include <string>
+
+#include "core/controller.h"
+
+namespace linuxfp::core {
+
+// Multi-line human-readable report.
+std::string format_status(Controller& controller);
+
+// Machine-readable variant (JSON) for tooling.
+util::Json status_json(Controller& controller);
+
+}  // namespace linuxfp::core

@@ -1,0 +1,63 @@
+// AF_XDP-style user-space socket (paper §VIII: "add custom packet-processing
+// applications in user space and use a special type of socket, called
+// AF_XDP, that allows sending raw packets directly from the XDP layer to
+// user space").
+//
+// An XDP program redirects frames into an XSK map slot; the attachment
+// copies the frame into the bound socket's RX ring, and the user application
+// consumes it without any further kernel processing. The TX side injects raw
+// frames back through a device.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "kernel/kernel.h"
+#include "net/packet.h"
+
+namespace linuxfp::ebpf {
+
+class AfXdpSocket {
+ public:
+  explicit AfXdpSocket(std::size_t ring_size = 2048)
+      : ring_size_(ring_size) {}
+
+  // RX ring (filled by the attachment on XSK redirect).
+  void push_rx(net::Packet&& pkt) {
+    if (rx_ring_.size() >= ring_size_) {
+      ++stats_.rx_ring_full;
+      return;
+    }
+    ++stats_.rx_delivered;
+    rx_ring_.push_back(std::move(pkt));
+  }
+  std::optional<net::Packet> poll() {
+    if (rx_ring_.empty()) return std::nullopt;
+    net::Packet pkt = std::move(rx_ring_.front());
+    rx_ring_.pop_front();
+    return pkt;
+  }
+  std::size_t pending() const { return rx_ring_.size(); }
+
+  // TX: inject a raw frame out of a device (zero-copy send model).
+  void send(kern::Kernel& kernel, int ifindex, net::Packet&& pkt) {
+    kern::CycleTrace trace;
+    ++stats_.tx_sent;
+    kernel.dev_xmit(ifindex, std::move(pkt), trace);
+  }
+
+  struct Stats {
+    std::uint64_t rx_delivered = 0;
+    std::uint64_t rx_ring_full = 0;
+    std::uint64_t tx_sent = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::size_t ring_size_;
+  std::deque<net::Packet> rx_ring_;
+  Stats stats_;
+};
+
+}  // namespace linuxfp::ebpf

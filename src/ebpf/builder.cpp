@@ -1,0 +1,166 @@
+#include "ebpf/builder.h"
+
+namespace linuxfp::ebpf {
+
+ProgramBuilder& ProgramBuilder::label(const std::string& name) {
+  labels_[name] = prog_.insns.size();
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::mov(int dst, std::int64_t imm) {
+  return emit({Op::kMov, static_cast<std::uint8_t>(dst), 0, true, 0, imm,
+               MemSize::kU64});
+}
+
+ProgramBuilder& ProgramBuilder::mov_reg(int dst, int src) {
+  return emit({Op::kMov, static_cast<std::uint8_t>(dst),
+               static_cast<std::uint8_t>(src), false, 0, 0, MemSize::kU64});
+}
+
+ProgramBuilder& ProgramBuilder::add(int dst, std::int64_t imm) {
+  return emit({Op::kAdd, static_cast<std::uint8_t>(dst), 0, true, 0, imm,
+               MemSize::kU64});
+}
+
+ProgramBuilder& ProgramBuilder::add_reg(int dst, int src) {
+  return emit({Op::kAdd, static_cast<std::uint8_t>(dst),
+               static_cast<std::uint8_t>(src), false, 0, 0, MemSize::kU64});
+}
+
+ProgramBuilder& ProgramBuilder::sub(int dst, std::int64_t imm) {
+  return emit({Op::kSub, static_cast<std::uint8_t>(dst), 0, true, 0, imm,
+               MemSize::kU64});
+}
+
+ProgramBuilder& ProgramBuilder::sub_reg(int dst, int src) {
+  return emit({Op::kSub, static_cast<std::uint8_t>(dst),
+               static_cast<std::uint8_t>(src), false, 0, 0, MemSize::kU64});
+}
+
+ProgramBuilder& ProgramBuilder::and_(int dst, std::int64_t imm) {
+  return emit({Op::kAnd, static_cast<std::uint8_t>(dst), 0, true, 0, imm,
+               MemSize::kU64});
+}
+
+ProgramBuilder& ProgramBuilder::or_(int dst, std::int64_t imm) {
+  return emit({Op::kOr, static_cast<std::uint8_t>(dst), 0, true, 0, imm,
+               MemSize::kU64});
+}
+
+ProgramBuilder& ProgramBuilder::xor_reg(int dst, int src) {
+  return emit({Op::kXor, static_cast<std::uint8_t>(dst),
+               static_cast<std::uint8_t>(src), false, 0, 0, MemSize::kU64});
+}
+
+ProgramBuilder& ProgramBuilder::lsh(int dst, std::int64_t imm) {
+  return emit({Op::kLsh, static_cast<std::uint8_t>(dst), 0, true, 0, imm,
+               MemSize::kU64});
+}
+
+ProgramBuilder& ProgramBuilder::rsh(int dst, std::int64_t imm) {
+  return emit({Op::kRsh, static_cast<std::uint8_t>(dst), 0, true, 0, imm,
+               MemSize::kU64});
+}
+
+ProgramBuilder& ProgramBuilder::be16(int dst) {
+  return emit({Op::kBe16, static_cast<std::uint8_t>(dst), 0, true, 0, 0,
+               MemSize::kU64});
+}
+
+ProgramBuilder& ProgramBuilder::be32(int dst) {
+  return emit({Op::kBe32, static_cast<std::uint8_t>(dst), 0, true, 0, 0,
+               MemSize::kU64});
+}
+
+ProgramBuilder& ProgramBuilder::ldx(int dst, int src, std::int32_t off,
+                                    MemSize size) {
+  return emit({Op::kLdx, static_cast<std::uint8_t>(dst),
+               static_cast<std::uint8_t>(src), false, off, 0, size});
+}
+
+ProgramBuilder& ProgramBuilder::stx(int dst, std::int32_t off, int src,
+                                    MemSize size) {
+  return emit({Op::kStx, static_cast<std::uint8_t>(dst),
+               static_cast<std::uint8_t>(src), false, off, 0, size});
+}
+
+ProgramBuilder& ProgramBuilder::st(int dst, std::int32_t off,
+                                   std::int64_t imm, MemSize size) {
+  return emit({Op::kSt, static_cast<std::uint8_t>(dst), 0, true, off, imm,
+               size});
+}
+
+ProgramBuilder& ProgramBuilder::jump(Op op, int dst, int src, bool use_imm,
+                                     std::int64_t imm,
+                                     const std::string& target) {
+  fixups_.emplace_back(prog_.insns.size(), target);
+  return emit({op, static_cast<std::uint8_t>(dst),
+               static_cast<std::uint8_t>(src), use_imm, 0, imm,
+               MemSize::kU64});
+}
+
+ProgramBuilder& ProgramBuilder::ja(const std::string& t) {
+  return jump(Op::kJa, 0, 0, true, 0, t);
+}
+ProgramBuilder& ProgramBuilder::jeq(int d, std::int64_t i, const std::string& t) {
+  return jump(Op::kJeq, d, 0, true, i, t);
+}
+ProgramBuilder& ProgramBuilder::jne(int d, std::int64_t i, const std::string& t) {
+  return jump(Op::kJne, d, 0, true, i, t);
+}
+ProgramBuilder& ProgramBuilder::jgt(int d, std::int64_t i, const std::string& t) {
+  return jump(Op::kJgt, d, 0, true, i, t);
+}
+ProgramBuilder& ProgramBuilder::jge(int d, std::int64_t i, const std::string& t) {
+  return jump(Op::kJge, d, 0, true, i, t);
+}
+ProgramBuilder& ProgramBuilder::jlt(int d, std::int64_t i, const std::string& t) {
+  return jump(Op::kJlt, d, 0, true, i, t);
+}
+ProgramBuilder& ProgramBuilder::jle(int d, std::int64_t i, const std::string& t) {
+  return jump(Op::kJle, d, 0, true, i, t);
+}
+ProgramBuilder& ProgramBuilder::jset(int d, std::int64_t i, const std::string& t) {
+  return jump(Op::kJset, d, 0, true, i, t);
+}
+ProgramBuilder& ProgramBuilder::jeq_reg(int d, int s, const std::string& t) {
+  return jump(Op::kJeq, d, s, false, 0, t);
+}
+ProgramBuilder& ProgramBuilder::jne_reg(int d, int s, const std::string& t) {
+  return jump(Op::kJne, d, s, false, 0, t);
+}
+ProgramBuilder& ProgramBuilder::jgt_reg(int d, int s, const std::string& t) {
+  return jump(Op::kJgt, d, s, false, 0, t);
+}
+ProgramBuilder& ProgramBuilder::jlt_reg(int d, int s, const std::string& t) {
+  return jump(Op::kJlt, d, s, false, 0, t);
+}
+
+ProgramBuilder& ProgramBuilder::call(std::uint32_t helper_id) {
+  return emit({Op::kCall, 0, 0, true, 0, helper_id, MemSize::kU64});
+}
+
+ProgramBuilder& ProgramBuilder::exit() {
+  return emit({Op::kExit, 0, 0, true, 0, 0, MemSize::kU64});
+}
+
+ProgramBuilder& ProgramBuilder::ret(std::uint64_t action) {
+  mov(kR0, static_cast<std::int64_t>(action));
+  return exit();
+}
+
+util::Result<Program> ProgramBuilder::build() {
+  for (const auto& [index, target] : fixups_) {
+    auto it = labels_.find(target);
+    if (it == labels_.end()) {
+      return util::Error::make("builder.label",
+                               "undefined label: " + target);
+    }
+    std::int64_t off = static_cast<std::int64_t>(it->second) -
+                       static_cast<std::int64_t>(index) - 1;
+    prog_.insns[index].off = static_cast<std::int32_t>(off);
+  }
+  return prog_;
+}
+
+}  // namespace linuxfp::ebpf

@@ -1,0 +1,93 @@
+// ProgramBuilder: a small assembler with symbolic labels. The LinuxFP
+// synthesizer's code snippets emit instructions through this interface; at
+// build() time labels are resolved to relative jump offsets and basic
+// structural sanity is checked.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ebpf/program.h"
+#include "util/result.h"
+
+namespace linuxfp::ebpf {
+
+class ProgramBuilder {
+ public:
+  ProgramBuilder(std::string name, HookType hook) {
+    prog_.name = std::move(name);
+    prog_.hook = hook;
+  }
+
+  // --- labels ---------------------------------------------------------------
+  ProgramBuilder& label(const std::string& name);
+  // Makes label names unique per snippet: "drop" -> "drop@3".
+  std::string scoped(const std::string& base) const {
+    return base + "@" + std::to_string(scope_);
+  }
+  void new_scope() { ++scope_; }
+
+  // --- ALU -----------------------------------------------------------------
+  ProgramBuilder& mov(int dst, std::int64_t imm);
+  ProgramBuilder& mov_reg(int dst, int src);
+  ProgramBuilder& add(int dst, std::int64_t imm);
+  ProgramBuilder& add_reg(int dst, int src);
+  ProgramBuilder& sub(int dst, std::int64_t imm);
+  ProgramBuilder& sub_reg(int dst, int src);
+  ProgramBuilder& and_(int dst, std::int64_t imm);
+  ProgramBuilder& or_(int dst, std::int64_t imm);
+  ProgramBuilder& xor_reg(int dst, int src);
+  ProgramBuilder& lsh(int dst, std::int64_t imm);
+  ProgramBuilder& rsh(int dst, std::int64_t imm);
+  ProgramBuilder& be16(int dst);
+  ProgramBuilder& be32(int dst);
+
+  // --- memory ---------------------------------------------------------------
+  ProgramBuilder& ldx(int dst, int src, std::int32_t off, MemSize size);
+  ProgramBuilder& stx(int dst, std::int32_t off, int src, MemSize size);
+  ProgramBuilder& st(int dst, std::int32_t off, std::int64_t imm,
+                     MemSize size);
+
+  // --- control flow ------------------------------------------------------------
+  ProgramBuilder& ja(const std::string& target);
+  ProgramBuilder& jeq(int dst, std::int64_t imm, const std::string& target);
+  ProgramBuilder& jne(int dst, std::int64_t imm, const std::string& target);
+  ProgramBuilder& jgt(int dst, std::int64_t imm, const std::string& target);
+  ProgramBuilder& jge(int dst, std::int64_t imm, const std::string& target);
+  ProgramBuilder& jlt(int dst, std::int64_t imm, const std::string& target);
+  ProgramBuilder& jle(int dst, std::int64_t imm, const std::string& target);
+  ProgramBuilder& jset(int dst, std::int64_t imm, const std::string& target);
+  ProgramBuilder& jeq_reg(int dst, int src, const std::string& target);
+  ProgramBuilder& jne_reg(int dst, int src, const std::string& target);
+  ProgramBuilder& jgt_reg(int dst, int src, const std::string& target);
+  ProgramBuilder& jlt_reg(int dst, int src, const std::string& target);
+
+  ProgramBuilder& call(std::uint32_t helper_id);
+  ProgramBuilder& exit();
+
+  // Convenience: r0 = action; exit.
+  ProgramBuilder& ret(std::uint64_t action);
+
+  std::size_t size() const { return prog_.insns.size(); }
+
+  // Resolves labels; fails on unknown/duplicate labels.
+  util::Result<Program> build();
+
+ private:
+  ProgramBuilder& emit(Insn insn) {
+    prog_.insns.push_back(insn);
+    return *this;
+  }
+  ProgramBuilder& jump(Op op, int dst, int src, bool use_imm,
+                       std::int64_t imm, const std::string& target);
+
+  Program prog_;
+  std::map<std::string, std::size_t> labels_;
+  // (insn index, label) pairs awaiting resolution.
+  std::vector<std::pair<std::size_t, std::string>> fixups_;
+  int scope_ = 0;
+};
+
+}  // namespace linuxfp::ebpf

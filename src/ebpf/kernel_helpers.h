@@ -1,0 +1,105 @@
+// Kernel-bound helper functions.
+//
+// These are the unification mechanism of LinuxFP (paper §IV-B2): instead of
+// mirroring configuration into eBPF maps, fast-path programs call helpers
+// that read (and where appropriate update) the *live* kernel structures —
+// the FIB, the bridge FDB, iptables rules/ipsets and conntrack. bpf_fib_lookup
+// exists in mainline; bpf_fdb_lookup and bpf_ipt_lookup are the ~260 LoC the
+// paper adds to its kernel fork; bpf_ct_lookup supports the ipvs future-work
+// extension.
+//
+// Param structs live on the BPF stack; layouts below are shared between the
+// code generator (core/fpm_library) and the helper implementations.
+#pragma once
+
+#include <cstdint>
+
+#include "ebpf/program.h"
+#include "kernel/cost_model.h"
+
+namespace linuxfp::ebpf {
+
+// --- struct bpf_fib_lookup (modeled, 40 bytes) -------------------------------
+// in:  ifindex (u32), ipv4_dst (u32 host order)
+// out: out_ifindex (u32), smac[6], dmac[6], mtu (u32)
+inline constexpr std::int32_t kFibParamIfindex = 0;
+inline constexpr std::int32_t kFibParamDst = 4;
+inline constexpr std::int32_t kFibParamOutIfindex = 8;
+inline constexpr std::int32_t kFibParamSmac = 12;
+inline constexpr std::int32_t kFibParamDmac = 18;
+inline constexpr std::int32_t kFibParamMtu = 24;
+inline constexpr std::int32_t kFibParamSize = 40;
+// return values (mirroring BPF_FIB_LKUP_RET_*)
+inline constexpr std::uint64_t kFibLkupSuccess = 0;
+inline constexpr std::uint64_t kFibLkupNotFwded = 1;  // no route / blackhole
+inline constexpr std::uint64_t kFibLkupNoNeigh = 7;   // punt: resolve via slow path
+
+// --- struct bpf_fdb_lookup (24 bytes) ----------------------------------------
+// in:  ifindex (u32, ingress bridge port), vlan (u16), dmac[6], smac[6]
+// out: out_ifindex (u32)
+inline constexpr std::int32_t kFdbParamIfindex = 0;
+inline constexpr std::int32_t kFdbParamVlan = 4;
+inline constexpr std::int32_t kFdbParamDmac = 6;
+inline constexpr std::int32_t kFdbParamSmac = 12;
+inline constexpr std::int32_t kFdbParamOutIfindex = 20;
+inline constexpr std::int32_t kFdbParamSize = 24;
+inline constexpr std::uint64_t kFdbLkupSuccess = 0;
+inline constexpr std::uint64_t kFdbLkupMiss = 1;       // punt: flood in slow path
+inline constexpr std::uint64_t kFdbLkupLearn = 2;      // punt: src unknown, learn
+inline constexpr std::uint64_t kFdbLkupBlocked = 3;    // STP forbids forwarding
+inline constexpr std::uint64_t kFdbLkupVlanDenied = 4; // VLAN filtering denied
+
+// --- struct bpf_ipt_lookup (24 bytes) ---------------------------------------
+// in: src (u32), dst (u32), proto (u8), hook (u8), sport (u16), dport (u16),
+//     in_ifindex (u32), out_ifindex (u32)
+inline constexpr std::int32_t kIptParamSrc = 0;
+inline constexpr std::int32_t kIptParamDst = 4;
+inline constexpr std::int32_t kIptParamProto = 8;
+inline constexpr std::int32_t kIptParamHook = 9;
+inline constexpr std::int32_t kIptParamSport = 10;
+inline constexpr std::int32_t kIptParamDport = 12;
+inline constexpr std::int32_t kIptParamInIf = 16;
+inline constexpr std::int32_t kIptParamOutIf = 20;
+inline constexpr std::int32_t kIptParamSize = 24;
+inline constexpr std::uint64_t kIptVerdictAccept = 0;
+inline constexpr std::uint64_t kIptVerdictDrop = 1;
+inline constexpr std::uint64_t kIptVerdictPunt = 2;  // unsupported construct
+inline constexpr std::uint8_t kIptHookForward = 0;
+inline constexpr std::uint8_t kIptHookInput = 1;
+inline constexpr std::uint8_t kIptHookOutput = 2;
+
+// --- struct bpf_ct_lookup (32 bytes) ------------------------------------------
+// in:  src (u32), dst (u32), proto (u8), pad, sport (u16), dport (u16)
+// out: state (u32): 0 new, 1 established
+//      rewrite_addr/rewrite_port: NAT rewrite this direction needs (the
+//      DNAT backend for original-direction packets; the VIP for replies)
+//      flags: bit0 = reply direction, bit1 = rewrite needed
+inline constexpr std::int32_t kCtParamSrc = 0;
+inline constexpr std::int32_t kCtParamDst = 4;
+inline constexpr std::int32_t kCtParamProto = 8;
+inline constexpr std::int32_t kCtParamSport = 10;
+inline constexpr std::int32_t kCtParamDport = 12;
+inline constexpr std::int32_t kCtParamState = 16;
+inline constexpr std::int32_t kCtParamRewriteAddr = 20;
+inline constexpr std::int32_t kCtParamRewritePort = 24;
+inline constexpr std::int32_t kCtParamFlags = 26;
+inline constexpr std::int32_t kCtParamSize = 32;
+inline constexpr std::uint64_t kCtLkupFound = 0;
+inline constexpr std::uint64_t kCtLkupMiss = 1;  // punt: slow path creates
+inline constexpr std::uint8_t kCtFlagReply = 0x1;
+inline constexpr std::uint8_t kCtFlagRewrite = 0x2;
+
+// Registers the full helper set (generic map/ktime/redirect helpers plus all
+// kernel-bound helpers). `cost` provides charges for helpers executed when
+// no kernel is bound.
+void register_all_helpers(HelperRegistry& registry,
+                          const kern::CostModel& cost);
+
+// Registers only the helpers available in a mainline kernel (no
+// bpf_fdb_lookup / bpf_ipt_lookup / bpf_ct_lookup). Used by the Capability
+// Manager tests: synthesis must degrade when the kernel lacks the paper's
+// helper patches.
+void register_mainline_helpers(HelperRegistry& registry,
+                               const kern::CostModel& cost);
+
+}  // namespace linuxfp::ebpf

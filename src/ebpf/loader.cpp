@@ -1,0 +1,154 @@
+#include "ebpf/loader.h"
+
+#include "ebpf/builder.h"
+#include "util/logging.h"
+
+namespace linuxfp::ebpf {
+
+Attachment::Attachment(std::string name, HookType hook, kern::Kernel& kernel,
+                       const HelperRegistry& helpers)
+    : name_(std::move(name)), hook_(hook), kernel_(kernel), helpers_(helpers) {
+  vm_ = std::make_unique<Vm>(kernel_.cost(), helpers_, maps_, &programs_);
+}
+
+util::Result<std::uint32_t> Attachment::load(Program prog) {
+  VerifyOptions opts;
+  opts.helpers = &helpers_;
+  opts.maps = &maps_;
+  auto status = verify(prog, opts);
+  if (!status.ok()) return status.error();
+  programs_.push_back(std::move(prog));
+  return static_cast<std::uint32_t>(programs_.size() - 1);
+}
+
+void Attachment::enable_dispatcher() {
+  if (dispatcher_enabled_) return;
+  prog_array_id_ = maps_.create("fp_dispatch", MapType::kProgArray, 4, 4, 256);
+
+  ProgramBuilder b("dispatcher", hook_);
+  // bpf_tail_call(ctx, prog_array, 0); fall through to PASS on miss so the
+  // window between attach and first deploy degrades to pure Linux.
+  b.mov_reg(kR6, kR1);
+  b.mov_reg(kR1, kR6);
+  b.mov(kR2, prog_array_id_);
+  b.mov(kR3, 0);
+  b.call(kHelperTailCall);
+  b.ret(kActPass);
+  auto prog = b.build();
+  LFP_CHECK(prog.ok());
+  auto id = load(std::move(prog).take());
+  LFP_CHECK_MSG(id.ok(), "dispatcher failed verification");
+  entry_prog_ = id.value();
+  has_entry_ = true;
+  dispatcher_enabled_ = true;
+}
+
+util::Status Attachment::swap(std::uint32_t prog_id) {
+  if (!dispatcher_enabled_) {
+    return util::Error::make("loader.nodispatch", "dispatcher not enabled");
+  }
+  if (prog_id >= programs_.size()) {
+    return util::Error::make("loader.badprog", "unknown program id");
+  }
+  Map* prog_array = maps_.get(prog_array_id_);
+  auto st = prog_array->set_prog(0, prog_id);
+  if (st.ok()) active_prog_ = prog_id;
+  return st;
+}
+
+util::Status Attachment::set_entry(std::uint32_t prog_id) {
+  if (prog_id >= programs_.size()) {
+    return util::Error::make("loader.badprog", "unknown program id");
+  }
+  entry_prog_ = prog_id;
+  active_prog_ = prog_id;
+  has_entry_ = true;
+  return {};
+}
+
+std::uint32_t Attachment::register_xsk(AfXdpSocket* socket) {
+  xsk_sockets_.push_back(socket);
+  return static_cast<std::uint32_t>(xsk_sockets_.size() - 1);
+}
+
+Attachment::RunResult Attachment::run(net::Packet& pkt, int ingress_ifindex) {
+  RunResult out;
+  if (!has_entry_) {
+    out.verdict = Verdict::kPass;
+    return out;
+  }
+  VmResult r = vm_->run(programs_[entry_prog_], pkt, ingress_ifindex,
+                        &kernel_);
+  ++stats_.runs;
+  stats_.total_cycles += r.cycles;
+  stats_.total_insns += r.insns_executed;
+  out.cycles = r.cycles;
+  if (r.aborted) {
+    ++stats_.aborted;
+    out.verdict = Verdict::kAborted;
+    LFP_WARN("ebpf") << name_ << " aborted: " << r.error;
+    return out;
+  }
+  switch (r.ret) {
+    case kActDrop:
+      ++stats_.drop;
+      out.verdict = Verdict::kDrop;
+      break;
+    case kActTx:
+      ++stats_.tx;
+      out.verdict = Verdict::kTx;
+      break;
+    case kActRedirect:
+      if (r.redirect_xsk >= 0) {
+        // AF_XDP delivery: hand the frame to the bound user-space socket.
+        if (static_cast<std::size_t>(r.redirect_xsk) < xsk_sockets_.size()) {
+          xsk_sockets_[static_cast<std::size_t>(r.redirect_xsk)]->push_rx(
+              net::Packet(pkt));
+          ++stats_.to_userspace;
+          out.verdict = Verdict::kUserspace;
+        } else {
+          ++stats_.aborted;
+          out.verdict = Verdict::kAborted;
+        }
+        break;
+      }
+      ++stats_.redirect;
+      out.verdict = Verdict::kRedirect;
+      out.redirect_ifindex = r.redirect_ifindex;
+      break;
+    case kActPass:
+      ++stats_.pass;
+      out.verdict = Verdict::kPass;
+      break;
+    default:
+      ++stats_.aborted;
+      out.verdict = Verdict::kAborted;
+      break;
+  }
+  return out;
+}
+
+util::Status attach_to_device(kern::Kernel& kernel, const std::string& dev,
+                              HookType hook, Attachment* attachment) {
+  kern::NetDevice* d = kernel.dev_by_name(dev);
+  if (!d) return util::Error::make("dev.missing", "no such device: " + dev);
+  switch (hook) {
+    case HookType::kXdp: d->attach_xdp(attachment); break;
+    case HookType::kTcIngress: d->attach_tc_ingress(attachment); break;
+    case HookType::kTcEgress: d->attach_tc_egress(attachment); break;
+  }
+  return {};
+}
+
+void detach_from_device(kern::Kernel& kernel, const std::string& dev,
+                        HookType hook) {
+  kern::NetDevice* d = kernel.dev_by_name(dev);
+  if (!d) return;
+  switch (hook) {
+    case HookType::kXdp: d->attach_xdp(nullptr); break;
+    case HookType::kTcIngress: d->attach_tc_ingress(nullptr); break;
+    case HookType::kTcEgress: d->attach_tc_egress(nullptr); break;
+  }
+}
+
+}  // namespace linuxfp::ebpf

@@ -1,0 +1,94 @@
+// Attachment: one loaded fast path on one hook of one device (the libbpf
+// analogue). Owns the program table, the map set (including the tail-call
+// dispatcher's prog array and the redirect devmap), and a VM. Implements
+// kern::PacketProgram so the kernel invokes it at the hook.
+//
+// Atomic redeploy (paper §IV-A2 / Fig 4): detaching and re-attaching an eBPF
+// program loses packets for seconds; instead the attachment's entry point is
+// a tiny dispatcher that tail-calls prog_array[0], and deploying a new fast
+// path is a single prog-array update — packets never observe a missing
+// program.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ebpf/afxdp.h"
+#include "ebpf/program.h"
+#include "ebpf/verifier.h"
+#include "ebpf/vm.h"
+#include "kernel/kernel.h"
+
+namespace linuxfp::ebpf {
+
+struct AttachmentStats {
+  std::uint64_t runs = 0;
+  std::uint64_t pass = 0;
+  std::uint64_t drop = 0;
+  std::uint64_t tx = 0;
+  std::uint64_t redirect = 0;
+  std::uint64_t to_userspace = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t total_cycles = 0;
+  std::uint64_t total_insns = 0;
+};
+
+class Attachment : public kern::PacketProgram {
+ public:
+  // `helpers` defines the capability set available at this hook; the
+  // verifier rejects programs calling anything else.
+  Attachment(std::string name, HookType hook, kern::Kernel& kernel,
+             const HelperRegistry& helpers);
+
+  // --- program management ------------------------------------------------------
+  // Verifies and loads; returns the program id.
+  util::Result<std::uint32_t> load(Program prog);
+
+  // Dispatcher mode: entry tail-calls prog_array[0]. swap() retargets it.
+  void enable_dispatcher();
+  bool dispatcher_enabled() const { return dispatcher_enabled_; }
+  util::Status swap(std::uint32_t prog_id);
+  // Direct mode: entry is the given program (no dispatcher indirection).
+  util::Status set_entry(std::uint32_t prog_id);
+
+  MapSet& maps() { return maps_; }
+
+  // Binds an AF_XDP socket; the returned slot is what an XSK-map entry must
+  // contain for bpf_redirect_map to deliver into this socket.
+  std::uint32_t register_xsk(AfXdpSocket* socket);
+  const std::vector<Program>& programs() const { return programs_; }
+  std::uint32_t active_prog_id() const { return active_prog_; }
+
+  // --- kern::PacketProgram -----------------------------------------------------
+  RunResult run(net::Packet& pkt, int ingress_ifindex) override;
+  std::string name() const override { return name_; }
+
+  const AttachmentStats& stats() const { return stats_; }
+  HookType hook() const { return hook_; }
+
+ private:
+  std::string name_;
+  HookType hook_;
+  kern::Kernel& kernel_;
+  const HelperRegistry& helpers_;
+  MapSet maps_;
+  std::vector<Program> programs_;
+  std::unique_ptr<Vm> vm_;
+  bool dispatcher_enabled_ = false;
+  std::uint32_t prog_array_id_ = 0;
+  std::uint32_t entry_prog_ = 0;
+  std::uint32_t active_prog_ = 0;
+  bool has_entry_ = false;
+  std::vector<AfXdpSocket*> xsk_sockets_;
+  AttachmentStats stats_;
+};
+
+// Attach/detach convenience wrappers (libbpf-style API).
+util::Status attach_to_device(kern::Kernel& kernel, const std::string& dev,
+                              HookType hook, Attachment* attachment);
+void detach_from_device(kern::Kernel& kernel, const std::string& dev,
+                        HookType hook);
+
+}  // namespace linuxfp::ebpf

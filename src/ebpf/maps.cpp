@@ -1,0 +1,176 @@
+#include "ebpf/maps.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace linuxfp::ebpf {
+
+const char* map_type_name(MapType type) {
+  switch (type) {
+    case MapType::kArray: return "array";
+    case MapType::kHash: return "hash";
+    case MapType::kLpmTrie: return "lpm_trie";
+    case MapType::kProgArray: return "prog_array";
+    case MapType::kDevMap: return "devmap";
+    case MapType::kXskMap: return "xskmap";
+  }
+  return "?";
+}
+
+Map::Map(std::string name, MapType type, std::uint32_t key_size,
+         std::uint32_t value_size, std::uint32_t max_entries)
+    : name_(std::move(name)),
+      type_(type),
+      key_size_(key_size),
+      value_size_(value_size),
+      max_entries_(max_entries) {
+  if (is_array_like()) {
+    LFP_CHECK_MSG(key_size_ == 4, "array-like maps require u32 keys");
+    array_storage_.resize(std::size_t{max_entries_} * value_size_, 0);
+    array_present_.resize(max_entries_, false);
+  }
+  if (type_ == MapType::kLpmTrie) {
+    LFP_CHECK_MSG(key_size_ == 8, "LPM key is {u32 prefixlen, u32 addr}");
+  }
+}
+
+std::uint8_t* Map::lookup(const std::uint8_t* key) {
+  switch (type_) {
+    case MapType::kArray:
+    case MapType::kProgArray:
+    case MapType::kDevMap:
+    case MapType::kXskMap: {
+      std::uint32_t index;
+      std::memcpy(&index, key, 4);
+      if (index >= max_entries_ || !array_present_[index]) return nullptr;
+      return array_storage_.data() + std::size_t{index} * value_size_;
+    }
+    case MapType::kHash: {
+      auto it = hash_storage_.find(key_str(key));
+      return it == hash_storage_.end() ? nullptr : it->second.data();
+    }
+    case MapType::kLpmTrie: {
+      std::uint32_t max_len, addr;
+      std::memcpy(&max_len, key, 4);
+      std::memcpy(&addr, key + 4, 4);
+      for (auto& [plen, bucket] : lpm_storage_) {
+        if (plen > max_len) continue;
+        std::uint32_t mask =
+            plen == 0 ? 0 : (0xffffffffu << (32 - plen));
+        auto it = bucket.find(addr & mask);
+        if (it != bucket.end()) return it->second.data();
+      }
+      return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+util::Status Map::update(const std::uint8_t* key, const std::uint8_t* value) {
+  switch (type_) {
+    case MapType::kArray:
+    case MapType::kProgArray:
+    case MapType::kDevMap:
+    case MapType::kXskMap: {
+      std::uint32_t index;
+      std::memcpy(&index, key, 4);
+      if (index >= max_entries_) {
+        return util::Error::make("map.bounds", "index out of range");
+      }
+      std::memcpy(array_storage_.data() + std::size_t{index} * value_size_,
+                  value, value_size_);
+      array_present_[index] = true;
+      return {};
+    }
+    case MapType::kHash: {
+      if (hash_storage_.size() >= max_entries_ &&
+          !hash_storage_.count(key_str(key))) {
+        return util::Error::make("map.full", "hash map full");
+      }
+      hash_storage_[key_str(key)] =
+          std::vector<std::uint8_t>(value, value + value_size_);
+      return {};
+    }
+    case MapType::kLpmTrie: {
+      std::uint32_t plen, addr;
+      std::memcpy(&plen, key, 4);
+      std::memcpy(&addr, key + 4, 4);
+      if (plen > 32) return util::Error::make("map.key", "prefixlen > 32");
+      std::uint32_t mask = plen == 0 ? 0 : (0xffffffffu << (32 - plen));
+      lpm_storage_[plen][addr & mask] =
+          std::vector<std::uint8_t>(value, value + value_size_);
+      return {};
+    }
+  }
+  return util::Error::make("map.type", "unsupported");
+}
+
+bool Map::erase(const std::uint8_t* key) {
+  switch (type_) {
+    case MapType::kArray:
+    case MapType::kProgArray:
+    case MapType::kDevMap:
+    case MapType::kXskMap: {
+      std::uint32_t index;
+      std::memcpy(&index, key, 4);
+      if (index >= max_entries_ || !array_present_[index]) return false;
+      array_present_[index] = false;
+      return true;
+    }
+    case MapType::kHash:
+      return hash_storage_.erase(key_str(key)) > 0;
+    case MapType::kLpmTrie: {
+      std::uint32_t plen, addr;
+      std::memcpy(&plen, key, 4);
+      std::memcpy(&addr, key + 4, 4);
+      std::uint32_t mask = plen == 0 ? 0 : (0xffffffffu << (32 - plen));
+      auto it = lpm_storage_.find(plen);
+      if (it == lpm_storage_.end()) return false;
+      return it->second.erase(addr & mask) > 0;
+    }
+  }
+  return false;
+}
+
+void Map::clear() {
+  std::fill(array_present_.begin(), array_present_.end(), false);
+  hash_storage_.clear();
+  lpm_storage_.clear();
+}
+
+std::size_t Map::size() const {
+  switch (type_) {
+    case MapType::kArray:
+    case MapType::kProgArray:
+    case MapType::kDevMap:
+    case MapType::kXskMap: {
+      std::size_t n = 0;
+      for (bool p : array_present_) n += p;
+      return n;
+    }
+    case MapType::kHash:
+      return hash_storage_.size();
+    case MapType::kLpmTrie: {
+      std::size_t n = 0;
+      for (const auto& [plen, bucket] : lpm_storage_) n += bucket.size();
+      return n;
+    }
+  }
+  return 0;
+}
+
+std::optional<std::uint32_t> Map::prog_at(std::uint32_t index) const {
+  if (index >= max_entries_ || !array_present_[index]) return std::nullopt;
+  std::uint32_t id;
+  std::memcpy(&id, array_storage_.data() + std::size_t{index} * value_size_, 4);
+  return id;
+}
+
+util::Status Map::set_prog(std::uint32_t index, std::uint32_t prog_id) {
+  LFP_CHECK(type_ == MapType::kProgArray);
+  return update(reinterpret_cast<const std::uint8_t*>(&index),
+                reinterpret_cast<const std::uint8_t*>(&prog_id));
+}
+
+}  // namespace linuxfp::ebpf

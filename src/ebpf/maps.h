@@ -1,0 +1,83 @@
+// eBPF maps: array, hash, LPM trie, program array (tail-call targets) and
+// device map (redirect targets). Keys and values are raw byte strings, as in
+// the kernel.
+//
+// Note LinuxFP's design point (paper §IV-B2): LinuxFP FPMs deliberately do
+// NOT mirror kernel state into maps — they use kernel-bound helpers instead.
+// Maps exist in this substrate because (a) the tail-call dispatcher that
+// gives atomic fast-path swap is a prog-array map, and (b) the Polycube
+// baseline uses maps for its mirrored state, which is exactly the
+// architectural difference the coherence ablation measures.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+
+namespace linuxfp::ebpf {
+
+enum class MapType { kArray, kHash, kLpmTrie, kProgArray, kDevMap, kXskMap };
+
+const char* map_type_name(MapType type);
+
+class Map {
+ public:
+  Map(std::string name, MapType type, std::uint32_t key_size,
+      std::uint32_t value_size, std::uint32_t max_entries);
+
+  const std::string& name() const { return name_; }
+  MapType type() const { return type_; }
+  std::uint32_t key_size() const { return key_size_; }
+  std::uint32_t value_size() const { return value_size_; }
+  std::uint32_t max_entries() const { return max_entries_; }
+
+  // Returns a pointer to the stored value bytes (stable until the entry is
+  // deleted), or nullptr on miss.
+  std::uint8_t* lookup(const std::uint8_t* key);
+  util::Status update(const std::uint8_t* key, const std::uint8_t* value);
+  bool erase(const std::uint8_t* key);
+  void clear();
+  std::size_t size() const;
+
+  // LPM trie lookup: key layout is {u32 prefix_len, u32 be_addr} like the
+  // kernel's bpf_lpm_trie_key. Regular lookup() on an LPM map performs LPM.
+
+  // Prog-array convenience (value is a u32 program id).
+  std::optional<std::uint32_t> prog_at(std::uint32_t index) const;
+  util::Status set_prog(std::uint32_t index, std::uint32_t prog_id);
+
+  // Cost class used by the VM to charge map operations.
+  bool is_array_like() const {
+    return type_ == MapType::kArray || type_ == MapType::kProgArray ||
+           type_ == MapType::kDevMap || type_ == MapType::kXskMap;
+  }
+
+ private:
+  std::string key_str(const std::uint8_t* key) const {
+    return std::string(reinterpret_cast<const char*>(key), key_size_);
+  }
+
+  std::string name_;
+  MapType type_;
+  std::uint32_t key_size_;
+  std::uint32_t value_size_;
+  std::uint32_t max_entries_;
+
+  // Array storage: contiguous slots. Hash/LPM: map keyed by bytes.
+  std::vector<std::uint8_t> array_storage_;
+  std::vector<bool> array_present_;
+  std::unordered_map<std::string, std::vector<std::uint8_t>> hash_storage_;
+  // LPM: entries grouped by prefix length (longest first at lookup).
+  std::map<std::uint32_t, std::unordered_map<std::uint32_t,
+                                             std::vector<std::uint8_t>>,
+           std::greater<>>
+      lpm_storage_;
+};
+
+}  // namespace linuxfp::ebpf

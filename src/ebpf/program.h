@@ -1,0 +1,125 @@
+// Program representation and the helper-function registry.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ebpf/insn.h"
+#include "ebpf/maps.h"
+#include "net/packet.h"
+#include "util/result.h"
+
+namespace linuxfp::kern {
+class Kernel;
+}
+
+namespace linuxfp::ebpf {
+
+enum class HookType { kXdp, kTcIngress, kTcEgress };
+
+const char* hook_type_name(HookType type);
+
+struct Program {
+  std::string name;
+  HookType hook = HookType::kXdp;
+  std::vector<Insn> insns;
+
+  std::size_t size() const { return insns.size(); }
+};
+
+// Well-known helper ids (kernel-numbering where one exists).
+inline constexpr std::uint32_t kHelperMapLookup = 1;
+inline constexpr std::uint32_t kHelperMapUpdate = 2;
+inline constexpr std::uint32_t kHelperMapDelete = 3;
+inline constexpr std::uint32_t kHelperKtimeGetNs = 5;
+inline constexpr std::uint32_t kHelperTailCall = 12;
+inline constexpr std::uint32_t kHelperCsumDiff = 28;
+inline constexpr std::uint32_t kHelperRedirect = 23;
+inline constexpr std::uint32_t kHelperRedirectMap = 51;
+inline constexpr std::uint32_t kHelperFibLookup = 69;
+// Helpers the paper adds to the kernel (§V "Helper Functions"):
+inline constexpr std::uint32_t kHelperFdbLookup = 200;
+inline constexpr std::uint32_t kHelperIptLookup = 201;
+// Extension helper for the ipvs-style load balancer (paper future work):
+inline constexpr std::uint32_t kHelperCtLookup = 202;
+
+class Vm;  // fwd
+
+// Execution-time services available to helpers.
+class HelperContext {
+ public:
+  HelperContext(Vm& vm, net::Packet* pkt, kern::Kernel* kernel,
+                int ingress_ifindex)
+      : vm_(vm), pkt_(pkt), kernel_(kernel), ingress_ifindex_(ingress_ifindex) {}
+
+  net::Packet* packet() { return pkt_; }
+  kern::Kernel* kernel() { return kernel_; }
+  int ingress_ifindex() const { return ingress_ifindex_; }
+
+  // Translates a tagged pointer to host memory with bounds checking.
+  util::Result<std::uint8_t*> mem(std::uint64_t tagged, std::size_t len);
+
+  // Charges extra cycles beyond the per-helper base cost.
+  void charge(std::uint64_t cycles);
+
+  // Records an XDP_REDIRECT target.
+  void set_redirect(int ifindex);
+  // Records an AF_XDP (XSK map) redirect target.
+  void set_redirect_xsk(int slot);
+
+  Map* map(std::uint32_t map_id);
+
+  // Wraps raw storage (a map value) into a tagged pointer valid for the rest
+  // of this program run.
+  std::uint64_t make_map_value_ptr(std::uint8_t* base, std::size_t size);
+
+ private:
+  Vm& vm_;
+  net::Packet* pkt_;
+  kern::Kernel* kernel_;
+  int ingress_ifindex_;
+};
+
+// r1..r5 in, r0 out.
+using HelperFn = std::function<std::uint64_t(
+    HelperContext&, std::uint64_t, std::uint64_t, std::uint64_t,
+    std::uint64_t, std::uint64_t)>;
+
+struct Helper {
+  std::uint32_t id = 0;
+  std::string name;
+  HelperFn fn;
+};
+
+class HelperRegistry {
+ public:
+  void register_helper(std::uint32_t id, std::string name, HelperFn fn);
+  const Helper* find(std::uint32_t id) const;
+  bool supports(std::uint32_t id) const { return find(id) != nullptr; }
+  std::vector<std::uint32_t> ids() const;
+
+ private:
+  std::map<std::uint32_t, Helper> helpers_;
+};
+
+// A set of maps shared by the programs of one attachment (prog array,
+// devmap, plus whatever the platform created).
+class MapSet {
+ public:
+  // Returns the new map's id.
+  std::uint32_t create(std::string name, MapType type, std::uint32_t key_size,
+                       std::uint32_t value_size, std::uint32_t max_entries);
+  Map* get(std::uint32_t id);
+  const Map* get(std::uint32_t id) const;
+  Map* by_name(const std::string& name);
+  std::size_t count() const { return maps_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Map>> maps_;
+};
+
+}  // namespace linuxfp::ebpf

@@ -1,0 +1,45 @@
+// Static verifier for simulated eBPF programs.
+//
+// Models the safety contract of the kernel verifier that LinuxFP relies on
+// ("safety is provided through an in-kernel verifier of bytecode", paper
+// §II-A): programs are rejected unless every memory access is provably in
+// bounds on every execution path.
+//
+// Analysis: path-sensitive abstract interpretation over register states.
+//  - register typing: uninit / scalar (with constant tracking) / stack ptr /
+//    ctx ptr / packet ptr / packet-end ptr / map-value ptr (maybe-null);
+//  - packet accesses require a dominating bounds check against data_end
+//    (the canonical `if (data + N > data_end) return` pattern);
+//  - map-value dereferences require a dominating null check;
+//  - stack and ctx accesses are range-checked against their fixed sizes;
+//  - only forward jumps are accepted (guaranteed termination; our code
+//    generator never emits loops, mirroring pre-5.3 eBPF);
+//  - helper calls are checked against the capability set (registered
+//    helpers) and per-helper argument contracts; calls clobber r1-r5;
+//  - exit requires an initialized r0.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ebpf/program.h"
+#include "util/result.h"
+
+namespace linuxfp::ebpf {
+
+struct VerifyStats {
+  std::size_t paths_explored = 0;
+  std::size_t states_visited = 0;
+};
+
+struct VerifyOptions {
+  const HelperRegistry* helpers = nullptr;  // capability set (required)
+  const MapSet* maps = nullptr;             // for map id validation
+  std::size_t max_states = 1 << 20;
+};
+
+// Returns ok on acceptance; error.code starts with "verifier." on rejection.
+util::Status verify(const Program& prog, const VerifyOptions& options,
+                    VerifyStats* stats = nullptr);
+
+}  // namespace linuxfp::ebpf

@@ -1,0 +1,69 @@
+// The eBPF interpreter with cycle accounting.
+//
+// Executes verified programs against a packet + context. Cycles charged:
+// per-instruction cost, per-helper base cost plus whatever the helper itself
+// charges (e.g. a FIB lookup charges the kernel's LPM cost), and a tail-call
+// penalty per transition — the source of the Fig 10 result.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ebpf/program.h"
+#include "kernel/cost_model.h"
+#include "net/packet.h"
+
+namespace linuxfp::ebpf {
+
+struct VmResult {
+  std::uint64_t ret = kActAborted;
+  std::uint64_t cycles = 0;
+  bool aborted = false;
+  std::string error;
+  int redirect_ifindex = 0;
+  int redirect_xsk = -1;  // XSK map slot on AF_XDP redirect
+  std::uint64_t insns_executed = 0;
+  std::uint32_t tail_calls = 0;
+};
+
+class Vm {
+ public:
+  Vm(const kern::CostModel& cost, const HelperRegistry& helpers,
+     MapSet& maps, const std::vector<Program>* prog_table)
+      : cost_(cost), helpers_(helpers), maps_(maps), prog_table_(prog_table) {}
+
+  // Runs `prog` on the packet. `kernel` is the kernel whose state the
+  // kernel-bound helpers access (nullptr for pure programs).
+  VmResult run(const Program& prog, net::Packet& pkt, int ingress_ifindex,
+               kern::Kernel* kernel);
+
+ private:
+  friend class HelperContext;
+
+  struct RunState {
+    net::Packet* pkt = nullptr;
+    std::uint8_t stack[kStackSize];
+    std::uint8_t ctx[kCtxSize];
+    std::uint64_t regs[kNumRegs];
+    std::uint64_t extra_cycles = 0;
+    int redirect_ifindex = 0;
+    int redirect_xsk = -1;
+    // Live map-value spans handed out by map_lookup during this run.
+    struct Span {
+      std::uint8_t* base;
+      std::size_t size;
+    };
+    std::vector<Span> spans;
+  };
+
+  util::Result<std::uint8_t*> translate(std::uint64_t tagged, std::size_t len);
+
+  const kern::CostModel& cost_;
+  const HelperRegistry& helpers_;
+  MapSet& maps_;
+  const std::vector<Program>* prog_table_;
+  RunState* state_ = nullptr;  // valid during run()
+};
+
+}  // namespace linuxfp::ebpf

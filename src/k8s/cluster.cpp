@@ -1,0 +1,260 @@
+#include "k8s/cluster.h"
+
+#include "util/logging.h"
+
+namespace linuxfp::k8s {
+
+namespace {
+std::string pod_subnet(int node) {
+  return "10.244." + std::to_string(node) + ".0/24";
+}
+std::string cni_gw(int node) {
+  return "10.244." + std::to_string(node) + ".1";
+}
+std::string underlay(int node) {
+  return "192.168.0." + std::to_string(10 + node);
+}
+}  // namespace
+
+void Cluster::run_on(kern::Kernel& k, const std::string& cmd) {
+  auto st = kern::run_command(k, cmd);
+  LFP_CHECK_MSG(st.ok(), "cluster command failed: " + cmd + " (" +
+                             st.error().message + ")");
+}
+
+Cluster::Cluster(int worker_nodes) {
+  int total = worker_nodes + 1;
+  for (int i = 0; i < total; ++i) {
+    auto node = std::make_unique<Node>();
+    node->host = std::make_unique<kern::Kernel>("node" + std::to_string(i));
+    node->underlay_ip = net::Ipv4Addr::parse(underlay(i)).value();
+    kern::Kernel& k = *node->host;
+
+    k.add_phys_dev("ens0");
+    run_on(k, "ip link set ens0 up");
+    run_on(k, "ip addr add " + underlay(i) + "/24 dev ens0");
+    run_on(k, "sysctl -w net.ipv4.ip_forward=1");
+    run_on(k, "sysctl -w net.bridge.bridge-nf-call-iptables=1");
+
+    // cni0 bridge with the node's pod-subnet gateway address.
+    run_on(k, "ip link add cni0 type bridge");
+    run_on(k, "ip link set cni0 up");
+    run_on(k, "ip addr add " + cni_gw(i) + "/24 dev cni0");
+
+    // flannel.1 VTEP.
+    k.add_vxlan_dev("flannel.1", 1, node->underlay_ip,
+                    k.dev_by_name("ens0")->ifindex());
+    run_on(k, "ip link set flannel.1 up");
+    // flannel assigns the VTEP the .0 address of the node's pod subnet.
+    run_on(k, "ip addr add 10.244." + std::to_string(i) + ".0/32 dev flannel.1");
+
+    // kube-proxy programs service/NAT bookkeeping chains that every
+    // forwarded packet scans before flannel's cluster-CIDR ACCEPTs; a real
+    // worker node carries dozens of such rules plus conntrack.
+    run_on(k, "iptables -N KUBE-SERVICES");
+    for (int svc = 0; svc < 24; ++svc) {
+      run_on(k, "iptables -A KUBE-SERVICES -d 10.96." +
+                    std::to_string(svc / 8) + "." + std::to_string(svc % 8) +
+                    " -p tcp --dport " + std::to_string(30000 + svc) +
+                    " -j ACCEPT");
+    }
+    run_on(k, "iptables -A FORWARD -j KUBE-SERVICES");
+    // Flannel's conservative FORWARD policy for the cluster CIDR.
+    run_on(k, "iptables -A FORWARD -s 10.244.0.0/16 -j ACCEPT");
+    run_on(k, "iptables -A FORWARD -d 10.244.0.0/16 -j ACCEPT");
+    k.set_conntrack_enabled(true);
+
+    nodes_.push_back(std::move(node));
+  }
+
+  // Flannel overlay wiring: routes + static ARP + VTEP FDB toward every
+  // remote node (what flanneld programs from its subnet leases).
+  for (int i = 0; i < total; ++i) {
+    kern::Kernel& k = *nodes_[static_cast<std::size_t>(i)]->host;
+    for (int j = 0; j < total; ++j) {
+      if (i == j) continue;
+      kern::Kernel& peer = *nodes_[static_cast<std::size_t>(j)]->host;
+      std::string remote_vtep_mac =
+          peer.dev_by_name("flannel.1")->mac().to_string();
+      std::string remote_ens_mac = peer.dev_by_name("ens0")->mac().to_string();
+      run_on(k, "ip route add " + pod_subnet(j) + " via 10.244." +
+                    std::to_string(j) + ".0 dev flannel.1");
+      run_on(k, "ip neigh add 10.244." + std::to_string(j) + ".0 lladdr " +
+                    remote_vtep_mac + " dev flannel.1 nud permanent");
+      run_on(k, "bridge fdb append " + remote_vtep_mac +
+                    " dev flannel.1 dst " + underlay(j));
+      run_on(k, "ip neigh add " + underlay(j) + " lladdr " + remote_ens_mac +
+                    " dev ens0 nud permanent");
+    }
+  }
+  wire_underlay();
+}
+
+Cluster::~Cluster() = default;
+
+int Cluster::node_of_mac(const net::MacAddr& mac) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i]->host->dev_by_name("ens0")->mac() == mac) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void Cluster::wire_underlay() {
+  // The underlay switch: delivery by destination MAC. The active trace is
+  // threaded through so a transaction's cycle cost spans nodes.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    kern::Kernel& k = *nodes_[i]->host;
+    k.dev_by_name("ens0")->set_phys_tx([this](net::Packet&& pkt) {
+      net::EthernetView eth(pkt.data());
+      int target = node_of_mac(eth.dst());
+      if (target < 0) return;  // no such host on the segment
+      kern::Kernel& peer = *nodes_[static_cast<std::size_t>(target)]->host;
+      LFP_CHECK(active_trace_ != nullptr);
+      ++crossings_;
+      peer.rx(peer.dev_by_name("ens0")->ifindex(), std::move(pkt),
+              *active_trace_);
+    });
+  }
+}
+
+PodRef Cluster::launch_pod(int node_index) {
+  Node& node = *nodes_[static_cast<std::size_t>(node_index)];
+  kern::Kernel& host = *node.host;
+  int k = node.pod_count++;
+
+  auto pod = std::make_unique<kern::Kernel>(
+      "pod-" + std::to_string(node_index) + "-" + std::to_string(k));
+  std::string host_veth = "veth" + std::to_string(k);
+  host.add_veth_to(host_veth, *pod, "eth0");
+  run_on(host, "ip link set " + host_veth + " up");
+  run_on(host, "ip link set " + host_veth + " master cni0");
+
+  std::string pod_ip = "10.244." + std::to_string(node_index) + "." +
+                       std::to_string(10 + k);
+  run_on(*pod, "ip link set eth0 up");
+  run_on(*pod, "ip addr add " + pod_ip + "/24 dev eth0");
+  run_on(*pod, "ip route add default via " + cni_gw(node_index) + " dev eth0");
+
+  PodRef ref;
+  ref.node = node_index;
+  ref.index = k;
+  ref.ip = net::Ipv4Addr::parse(pod_ip).value();
+  node.pods.push_back(std::move(pod));
+
+  if (!controllers_.empty()) {
+    // New veth port: the per-node controller reacts (as the real daemon
+    // does when kubelet plumbs a pod).
+    for (auto& ctl : controllers_) ctl->run_once();
+  }
+  return ref;
+}
+
+void Cluster::delete_pod(const PodRef& ref) {
+  kern::Kernel& host = *nodes_[static_cast<std::size_t>(ref.node)]->host;
+  std::string host_veth = "veth" + std::to_string(ref.index);
+  run_on(host, "ip link del " + host_veth);
+  // The pod kernel stays allocated (its veth peer is gone) — like a pod in
+  // Terminating state; we only care about the host-side plumbing.
+  if (!controllers_.empty()) {
+    for (auto& ctl : controllers_) ctl->run_once();
+  }
+}
+
+kern::Kernel& Cluster::pod_kernel(const PodRef& ref) {
+  return *nodes_[static_cast<std::size_t>(ref.node)]
+              ->pods[static_cast<std::size_t>(ref.index)];
+}
+
+void Cluster::enable_linuxfp() {
+  LFP_CHECK(controllers_.empty());
+  for (auto& node : nodes_) {
+    core::ControllerOptions opts;
+    opts.hook = "tc";
+    opts.attach_physical = true;
+    opts.attach_bridge_ports = true;
+    opts.attach_overlay = true;
+    auto ctl = std::make_unique<core::Controller>(*node->host, opts);
+    ctl->start();
+    controllers_.push_back(std::move(ctl));
+  }
+}
+
+core::Controller* Cluster::controller(int node) {
+  return controllers_.empty()
+             ? nullptr
+             : controllers_[static_cast<std::size_t>(node)].get();
+}
+
+void Cluster::warm_path(const PodRef& client, const PodRef& server) {
+  for (int i = 0; i < 3; ++i) {
+    run_rr_transaction(client, server);
+    if (!controllers_.empty()) {
+      for (auto& ctl : controllers_) ctl->run_once();
+    }
+  }
+}
+
+Cluster::RrOutcome Cluster::run_rr_transaction(const PodRef& client,
+                                               const PodRef& server,
+                                               std::size_t request_bytes,
+                                               std::size_t response_bytes) {
+  kern::Kernel& client_k = pod_kernel(client);
+  kern::Kernel& server_k = pod_kernel(server);
+
+  // Server application: answers a request with a response (netserver).
+  server_k.register_l4_handler(
+      net::kIpProtoTcp, kRrPort,
+      [this, response_bytes](kern::Kernel& kernel,
+                             const net::ParsedPacket& info,
+                             const net::Packet&, kern::CycleTrace& trace) {
+        trace.charge("pod_app", kernel.cost().process_wakeup);
+        net::FlowKey back;
+        back.src_ip = info.ip_dst;
+        back.dst_ip = info.ip_src;
+        back.proto = net::kIpProtoTcp;
+        back.src_port = info.dst_port;
+        back.dst_port = info.src_port;
+        net::Packet response = net::build_tcp_packet(
+            kernel.dev_by_name("eth0")->mac(), net::MacAddr::zero(), back,
+            /*flags=*/0x18 /* PSH|ACK */,
+            net::kEthHdrLen + net::kIpv4HdrLen + net::kTcpHdrLen +
+                response_bytes);
+        kernel.send_ip_packet(std::move(response), trace);
+      });
+
+  // Client application: notes the response arrival.
+  rr_response_seen_ = false;
+  client_k.register_l4_handler(
+      net::kIpProtoTcp, 40000,
+      [this](kern::Kernel& kernel, const net::ParsedPacket&,
+             const net::Packet&, kern::CycleTrace& trace) {
+        trace.charge("pod_app", kernel.cost().process_wakeup);
+        rr_response_seen_ = true;
+      });
+
+  kern::CycleTrace trace;
+  active_trace_ = &trace;
+  crossings_ = 0;
+  net::FlowKey flow;
+  flow.src_ip = client.ip;
+  flow.dst_ip = server.ip;
+  flow.proto = net::kIpProtoTcp;
+  flow.src_port = 40000;
+  flow.dst_port = kRrPort;
+  net::Packet request = net::build_tcp_packet(
+      client_k.dev_by_name("eth0")->mac(), net::MacAddr::zero(), flow,
+      /*flags=*/0x18,
+      net::kEthHdrLen + net::kIpv4HdrLen + net::kTcpHdrLen + request_bytes);
+  client_k.send_ip_packet(std::move(request), trace);
+  active_trace_ = nullptr;
+
+  RrOutcome outcome;
+  outcome.cycles = trace.total();
+  outcome.underlay_crossings = crossings_;
+  outcome.completed = rr_response_seen_;
+  return outcome;
+}
+
+}  // namespace linuxfp::k8s

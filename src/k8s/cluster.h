@@ -1,0 +1,93 @@
+// Kubernetes cluster simulation with a Flannel-style VXLAN CNI
+// (paper §VI-A2): one primary and N worker nodes, pods in their own network
+// namespaces (Kernel instances) wired to the per-node cni0 bridge via veth
+// pairs, inter-node pod traffic VXLAN-encapsulated over the underlay.
+//
+// Everything is configured through the standard tool front-ends — exactly
+// what Flannel's flanneld + the kubelet do on a real node — so the LinuxFP
+// controller accelerates the plugin unmodified (the paper's headline
+// transparency demonstration).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/controller.h"
+#include "kernel/commands.h"
+#include "kernel/kernel.h"
+#include "net/headers.h"
+
+namespace linuxfp::k8s {
+
+struct PodRef {
+  int node = 0;
+  int index = 0;
+  net::Ipv4Addr ip;
+};
+
+class Cluster {
+ public:
+  // worker_nodes excludes the primary (node 0), mirroring the paper's
+  // 3-node cluster = 1 primary + 2 workers.
+  explicit Cluster(int worker_nodes = 2);
+  ~Cluster();
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  kern::Kernel& node(int i) { return *nodes_[static_cast<std::size_t>(i)]->host; }
+  kern::Kernel& pod_kernel(const PodRef& ref);
+
+  // Schedules a pod onto a node; plumbs veth + bridge + address + routes
+  // (what the CNI plugin binary does on ADD).
+  PodRef launch_pod(int node);
+
+  // CNI DEL: removes the pod's veth plumbing; controllers react to the
+  // withdrawn port.
+  void delete_pod(const PodRef& ref);
+
+  // Deploys a LinuxFP controller per node (TC hook, bridge-port attach —
+  // paper: "The LinuxFP synthesized data plane is attached to the tc hook").
+  void enable_linuxfp();
+  bool linuxfp_enabled() const { return !controllers_.empty(); }
+  core::Controller* controller(int node);
+
+  // Runs one TCP_RR transaction between two pods, returning the total
+  // datapath cycles spent across every kernel on the round trip.
+  struct RrOutcome {
+    std::uint64_t cycles = 0;
+    // Physical-underlay wire crossings (0 intra-node, 2 inter-node when
+    // warm); each adds NIC/interrupt-moderation latency in the RTT model.
+    int underlay_crossings = 0;
+    bool completed = false;
+  };
+  RrOutcome run_rr_transaction(const PodRef& client, const PodRef& server,
+                               std::size_t request_bytes = 64,
+                               std::size_t response_bytes = 64);
+
+  // Warms ARP/FDB state along the path (first transactions take slow-path
+  // resolution detours, as in reality).
+  void warm_path(const PodRef& client, const PodRef& server);
+
+  static constexpr std::uint16_t kRrPort = 12865;  // netperf control port
+
+ private:
+  struct Node {
+    std::unique_ptr<kern::Kernel> host;
+    std::vector<std::unique_ptr<kern::Kernel>> pods;
+    int pod_count = 0;
+    net::Ipv4Addr underlay_ip;
+  };
+
+  void run_on(kern::Kernel& k, const std::string& cmd);
+  void wire_underlay();
+  int node_of_mac(const net::MacAddr& mac) const;
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<core::Controller>> controllers_;
+  // Trace threaded through underlay wire crossings (single-threaded sim).
+  kern::CycleTrace* active_trace_ = nullptr;
+  int crossings_ = 0;
+  bool rr_response_seen_ = false;
+};
+
+}  // namespace linuxfp::k8s

@@ -1,0 +1,57 @@
+// Pod-to-pod latency model.
+//
+// netperf TCP_RR between containers measures milliseconds, not the
+// microseconds the raw datapath costs: the RTT is dominated by process
+// wakeups, scheduler latency and interrupt moderation — amplification the
+// per-packet cycle model cannot produce directly. We model
+//
+//   RTT = base + amplification * datapath_time + crossing_penalty * hops
+//
+// where `hops` counts physical-underlay crossings (NIC interrupt moderation
+// applies per crossing, which is what separates the paper's intra ~9.7 ms
+// from inter ~29 ms rows). base/amplification/crossing are calibrated
+// against the paper's two *Linux* rows only (see EXPERIMENTS.md); the
+// LinuxFP rows then FOLLOW from the measured cycle reduction, which is the
+// claim under test.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace linuxfp::k8s {
+
+struct PodLatencyModel {
+  double cpu_hz = 2.4e9;
+  // Fixed per-transaction overhead: two scheduler wakeups with timer slack +
+  // netperf bookkeeping (ms).
+  double base_ms = 1.2;
+  // Each datapath millisecond costs this many RTT milliseconds end-to-end
+  // (softirq->process handoffs, wakeup chains along the path).
+  double amplification = 1240.0;
+  // Per physical-underlay crossing: NIC interrupt moderation + PCIe +
+  // inter-node wire (ms).
+  double crossing_ms = 5.9;
+  // Lognormal jitter on each transaction.
+  double jitter_sigma = 0.20;
+
+  double mean_rtt_ms(std::uint64_t datapath_cycles, int crossings = 0) const {
+    double datapath_ms = static_cast<double>(datapath_cycles) / cpu_hz * 1e3;
+    return base_ms + amplification * datapath_ms + crossing_ms * crossings;
+  }
+
+  // Simulates `n` transactions with jitter; returns RTT samples in ms.
+  util::SampleSet sample_rtts(std::uint64_t datapath_cycles, int crossings,
+                              int n, std::uint64_t seed) const {
+    util::SampleSet out;
+    util::Rng rng(seed);
+    double mean = mean_rtt_ms(datapath_cycles, crossings);
+    for (int i = 0; i < n; ++i) {
+      out.add(mean * rng.next_lognormal(0.0, jitter_sigma));
+    }
+    return out;
+  }
+};
+
+}  // namespace linuxfp::k8s

@@ -1,0 +1,271 @@
+#include "kernel/bridge.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace linuxfp::kern {
+
+const char* stp_state_name(StpState s) {
+  switch (s) {
+    case StpState::kDisabled: return "disabled";
+    case StpState::kBlocking: return "blocking";
+    case StpState::kListening: return "listening";
+    case StpState::kLearning: return "learning";
+    case StpState::kForwarding: return "forwarding";
+  }
+  return "?";
+}
+
+net::MacAddr stp_multicast_mac() {
+  return net::MacAddr({0x01, 0x80, 0xC2, 0x00, 0x00, 0x00});
+}
+
+void Bridge::set_priority(std::uint16_t priority) {
+  id_.priority = priority;
+  if (stp_enabled_) recompute_roles();
+}
+
+void Bridge::add_port(int port_ifindex) {
+  if (ports_.count(port_ifindex)) return;
+  BridgePort p;
+  p.ifindex = port_ifindex;
+  p.port_id = static_cast<std::uint16_t>(ports_.size() + 1);
+  // Without STP ports go straight to forwarding (Linux default when
+  // stp_state=0); with STP new ports start listening.
+  p.state = stp_enabled_ ? StpState::kListening : StpState::kForwarding;
+  ports_[port_ifindex] = p;
+  if (stp_enabled_) {
+    transition_start_[port_ifindex] = 0;
+    recompute_roles();
+  }
+}
+
+void Bridge::del_port(int port_ifindex) {
+  ports_.erase(port_ifindex);
+  port_best_.erase(port_ifindex);
+  transition_start_.erase(port_ifindex);
+  // Flush FDB entries learned on the removed port.
+  for (auto it = fdb_.begin(); it != fdb_.end();) {
+    if (it->second.port_ifindex == port_ifindex) {
+      it = fdb_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (stp_enabled_) recompute_roles();
+}
+
+bool Bridge::has_port(int port_ifindex) const {
+  return ports_.count(port_ifindex) > 0;
+}
+
+BridgePort* Bridge::port(int port_ifindex) {
+  auto it = ports_.find(port_ifindex);
+  return it == ports_.end() ? nullptr : &it->second;
+}
+
+const BridgePort* Bridge::port(int port_ifindex) const {
+  auto it = ports_.find(port_ifindex);
+  return it == ports_.end() ? nullptr : &it->second;
+}
+
+const FdbEntry* Bridge::fdb_lookup(const net::MacAddr& mac,
+                                   std::uint16_t vlan) const {
+  auto it = fdb_.find(FdbKey{mac, vlan});
+  return it == fdb_.end() ? nullptr : &it->second;
+}
+
+void Bridge::fdb_learn(const net::MacAddr& mac, std::uint16_t vlan,
+                       int port_ifindex, std::uint64_t now_ns) {
+  if (mac.is_multicast()) return;  // never learn multicast sources
+  const BridgePort* p = port(port_ifindex);
+  if (!p || !p->can_learn()) return;
+  FdbEntry& e = fdb_[FdbKey{mac, vlan}];
+  if (e.is_static) return;
+  e.port_ifindex = port_ifindex;
+  e.updated_ns = now_ns;
+}
+
+void Bridge::fdb_add_static(const net::MacAddr& mac, std::uint16_t vlan,
+                            int port_ifindex) {
+  FdbEntry& e = fdb_[FdbKey{mac, vlan}];
+  e.port_ifindex = port_ifindex;
+  e.is_static = true;
+}
+
+bool Bridge::fdb_delete(const net::MacAddr& mac, std::uint16_t vlan) {
+  return fdb_.erase(FdbKey{mac, vlan}) > 0;
+}
+
+std::size_t Bridge::fdb_age(std::uint64_t now_ns) {
+  std::size_t removed = 0;
+  for (auto it = fdb_.begin(); it != fdb_.end();) {
+    if (!it->second.is_static &&
+        now_ns - it->second.updated_ns > aging_time_ns_) {
+      it = fdb_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<std::pair<FdbKey, FdbEntry>> Bridge::fdb_dump() const {
+  std::vector<std::pair<FdbKey, FdbEntry>> out(fdb_.begin(), fdb_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (!(a.first.mac == b.first.mac)) return a.first.mac < b.first.mac;
+    return a.first.vlan < b.first.vlan;
+  });
+  return out;
+}
+
+void Bridge::set_stp_enabled(bool enabled) {
+  if (stp_enabled_ == enabled) return;
+  stp_enabled_ = enabled;
+  if (enabled) {
+    root_ = id_;
+    root_path_cost_ = 0;
+    root_port_ = 0;
+    for (auto& [ifi, p] : ports_) {
+      p.state = StpState::kListening;
+      transition_start_[ifi] = 0;
+    }
+  } else {
+    for (auto& [ifi, p] : ports_) p.state = StpState::kForwarding;
+    port_best_.clear();
+    transition_start_.clear();
+    root_ = id_;
+    root_port_ = 0;
+  }
+}
+
+bool Bridge::process_bpdu(int port_ifindex, const Bpdu& bpdu) {
+  if (!stp_enabled_ || !has_port(port_ifindex)) return false;
+  // Keep the best (superior) BPDU heard on this port. Priority vector
+  // comparison: root id, then root path cost, then sender id, sender port.
+  auto superior = [](const Bpdu& a, const Bpdu& b) {
+    if (!(a.root == b.root)) return a.root < b.root;
+    if (a.root_path_cost != b.root_path_cost) {
+      return a.root_path_cost < b.root_path_cost;
+    }
+    if (!(a.sender == b.sender)) return a.sender < b.sender;
+    return a.sender_port < b.sender_port;
+  };
+  auto it = port_best_.find(port_ifindex);
+  if (it == port_best_.end() || superior(bpdu, it->second)) {
+    port_best_[port_ifindex] = bpdu;
+  } else {
+    return false;  // inferior to what we already hold
+  }
+
+  BridgeId old_root = root_;
+  int old_root_port = root_port_;
+  std::vector<StpState> old_states;
+  for (const auto& [ifi, p] : ports_) old_states.push_back(p.state);
+
+  recompute_roles();
+
+  std::vector<StpState> new_states;
+  for (const auto& [ifi, p] : ports_) new_states.push_back(p.state);
+  return !(old_root == root_) || old_root_port != root_port_ ||
+         old_states != new_states;
+}
+
+void Bridge::recompute_roles() {
+  // Root selection: best of own id and every port's heard root.
+  root_ = id_;
+  root_path_cost_ = 0;
+  root_port_ = 0;
+  for (const auto& [ifi, bpdu] : port_best_) {
+    const BridgePort* p = port(ifi);
+    if (!p) continue;
+    std::uint32_t cost = bpdu.root_path_cost + p->path_cost;
+    if (bpdu.root < root_ ||
+        (bpdu.root == root_ && root_port_ != 0 && cost < root_path_cost_)) {
+      root_ = bpdu.root;
+      root_path_cost_ = cost;
+      root_port_ = ifi;
+    }
+  }
+
+  // Port roles: root port forwards; a port is designated (forwards) unless a
+  // better bridge is designated on that segment (we heard a BPDU advertising
+  // the same root with lower cost / better sender) — then it blocks.
+  for (auto& [ifi, p] : ports_) {
+    StpState target;
+    if (!stp_enabled_) {
+      target = StpState::kForwarding;
+    } else if (ifi == root_port_) {
+      target = StpState::kForwarding;
+    } else {
+      auto heard = port_best_.find(ifi);
+      bool we_are_designated = true;
+      if (heard != port_best_.end()) {
+        const Bpdu& b = heard->second;
+        if (b.root == root_) {
+          if (b.root_path_cost < root_path_cost_) we_are_designated = false;
+          else if (b.root_path_cost == root_path_cost_ && b.sender < id_) {
+            we_are_designated = false;
+          }
+        }
+      }
+      target = we_are_designated ? StpState::kForwarding : StpState::kBlocking;
+    }
+
+    if (target == StpState::kForwarding && p.state == StpState::kBlocking) {
+      // Must transition through listening/learning (handled by stp_tick);
+      // enter listening now.
+      p.state = StpState::kListening;
+      transition_start_[ifi] = 0;
+    } else if (target == StpState::kBlocking) {
+      p.state = StpState::kBlocking;
+      transition_start_.erase(ifi);
+    }
+  }
+}
+
+std::vector<std::pair<int, Bpdu>> Bridge::generate_bpdus() const {
+  std::vector<std::pair<int, Bpdu>> out;
+  if (!stp_enabled_) return out;
+  for (const auto& [ifi, p] : ports_) {
+    if (ifi == root_port_) continue;  // root port receives, not sends
+    if (p.state == StpState::kDisabled) continue;
+    Bpdu b;
+    b.root = root_;
+    b.root_path_cost = root_path_cost_;
+    b.sender = id_;
+    b.sender_port = p.port_id;
+    out.emplace_back(ifi, b);
+  }
+  return out;
+}
+
+void Bridge::stp_tick(std::uint64_t now_ns) {
+  if (!stp_enabled_) return;
+  for (auto& [ifi, p] : ports_) {
+    if (p.state != StpState::kListening && p.state != StpState::kLearning) {
+      continue;
+    }
+    auto it = transition_start_.find(ifi);
+    if (it == transition_start_.end()) {
+      transition_start_[ifi] = now_ns;
+      continue;
+    }
+    if (it->second == 0) {
+      it->second = now_ns;
+      continue;
+    }
+    if (now_ns - it->second >= forward_delay_ns_) {
+      if (p.state == StpState::kListening) {
+        p.state = StpState::kLearning;
+      } else {
+        p.state = StpState::kForwarding;
+      }
+      it->second = now_ns;
+    }
+  }
+}
+
+}  // namespace linuxfp::kern

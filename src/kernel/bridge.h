@@ -1,0 +1,171 @@
+// 802.1D bridge model: learning FDB with aging, per-port STP states with a
+// simplified spanning-tree protocol (root election, root/designated port
+// roles), per-port VLAN filtering, and flooding on FDB miss.
+//
+// In the LinuxFP decomposition (paper Table I) the *fast path* performs
+// parsing, FDB lookup and forwarding; the slow path (this class, invoked via
+// Kernel) handles learning refresh on misses, aging, flooding and STP.
+// The FDB itself is the shared state exposed to the fast path through the
+// bpf_fdb_lookup helper.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/mac.h"
+
+namespace linuxfp::kern {
+
+enum class StpState { kDisabled, kBlocking, kListening, kLearning, kForwarding };
+
+const char* stp_state_name(StpState s);
+
+// 802.1D bridge identifier: priority (high 16 bits) + MAC.
+struct BridgeId {
+  std::uint16_t priority = 0x8000;
+  net::MacAddr mac;
+
+  std::uint64_t as_u64() const {
+    return (std::uint64_t{priority} << 48) | mac.as_u64();
+  }
+  bool operator<(const BridgeId& o) const { return as_u64() < o.as_u64(); }
+  bool operator==(const BridgeId& o) const { return as_u64() == o.as_u64(); }
+};
+
+// Configuration BPDU contents (simplified: no timers inside the BPDU).
+struct Bpdu {
+  BridgeId root;
+  std::uint32_t root_path_cost = 0;
+  BridgeId sender;
+  std::uint16_t sender_port = 0;
+};
+
+struct FdbKey {
+  net::MacAddr mac;
+  std::uint16_t vlan = 0;
+
+  bool operator==(const FdbKey&) const = default;
+};
+
+struct FdbKeyHash {
+  std::size_t operator()(const FdbKey& k) const noexcept {
+    return std::hash<net::MacAddr>{}(k.mac) ^ (std::size_t{k.vlan} << 1);
+  }
+};
+
+struct FdbEntry {
+  int port_ifindex = 0;
+  std::uint64_t updated_ns = 0;
+  bool is_static = false;  // added via `bridge fdb add`, never ages
+};
+
+struct BridgePort {
+  int ifindex = 0;
+  StpState state = StpState::kForwarding;
+  std::uint32_t path_cost = 100;
+  std::uint16_t port_id = 0;
+  // VLAN filtering configuration (only consulted when the bridge has
+  // vlan_filtering enabled).
+  std::uint16_t pvid = 1;
+  std::set<std::uint16_t> allowed_vlans{1};
+  std::set<std::uint16_t> untagged_vlans{1};
+
+  bool allows_vlan(std::uint16_t vid) const {
+    return allowed_vlans.count(vid) > 0;
+  }
+  bool can_forward() const { return state == StpState::kForwarding; }
+  bool can_learn() const {
+    return state == StpState::kLearning || state == StpState::kForwarding;
+  }
+};
+
+class Bridge {
+ public:
+  Bridge(int ifindex, const net::MacAddr& mac)
+      : ifindex_(ifindex) {
+    id_.mac = mac;
+    root_ = id_;
+  }
+
+  int ifindex() const { return ifindex_; }
+  const BridgeId& bridge_id() const { return id_; }
+  void set_priority(std::uint16_t priority);
+
+  // --- ports -------------------------------------------------------------
+  void add_port(int port_ifindex);
+  void del_port(int port_ifindex);
+  bool has_port(int port_ifindex) const;
+  BridgePort* port(int port_ifindex);
+  const BridgePort* port(int port_ifindex) const;
+  const std::map<int, BridgePort>& ports() const { return ports_; }
+
+  // --- FDB -----------------------------------------------------------------
+  // Lookup without side effects (used by the fast path helper).
+  const FdbEntry* fdb_lookup(const net::MacAddr& mac, std::uint16_t vlan) const;
+  // Learning: insert/refresh the source MAC on an ingress port.
+  void fdb_learn(const net::MacAddr& mac, std::uint16_t vlan, int port_ifindex,
+                 std::uint64_t now_ns);
+  void fdb_add_static(const net::MacAddr& mac, std::uint16_t vlan,
+                      int port_ifindex);
+  bool fdb_delete(const net::MacAddr& mac, std::uint16_t vlan);
+  // Removes dynamic entries older than aging_time; returns count removed.
+  std::size_t fdb_age(std::uint64_t now_ns);
+  std::size_t fdb_size() const { return fdb_.size(); }
+  std::vector<std::pair<FdbKey, FdbEntry>> fdb_dump() const;
+
+  std::uint64_t aging_time_ns() const { return aging_time_ns_; }
+  void set_aging_time_ns(std::uint64_t ns) { aging_time_ns_ = ns; }
+
+  // --- VLAN filtering --------------------------------------------------------
+  bool vlan_filtering() const { return vlan_filtering_; }
+  void set_vlan_filtering(bool enabled) { vlan_filtering_ = enabled; }
+
+  // --- STP ---------------------------------------------------------------
+  bool stp_enabled() const { return stp_enabled_; }
+  void set_stp_enabled(bool enabled);
+
+  bool is_root() const { return root_ == id_; }
+  const BridgeId& root() const { return root_; }
+  int root_port() const { return root_port_; }
+
+  // Processes a received configuration BPDU (slow-path only). Returns true
+  // if any port state changed (which triggers re-synthesis in LinuxFP).
+  bool process_bpdu(int port_ifindex, const Bpdu& bpdu);
+
+  // BPDUs this bridge should emit this hello interval (root emits on all
+  // designated ports; non-root relays on designated ports).
+  std::vector<std::pair<int, Bpdu>> generate_bpdus() const;
+
+  // Advances listening->learning->forwarding transitions (forward delay).
+  void stp_tick(std::uint64_t now_ns);
+
+ private:
+  void recompute_roles();
+
+  int ifindex_;
+  BridgeId id_;
+  std::map<int, BridgePort> ports_;
+  std::unordered_map<FdbKey, FdbEntry, FdbKeyHash> fdb_;
+  std::uint64_t aging_time_ns_ = 300ull * 1000 * 1000 * 1000;  // 300 s
+  bool vlan_filtering_ = false;
+
+  bool stp_enabled_ = false;
+  BridgeId root_;
+  std::uint32_t root_path_cost_ = 0;
+  int root_port_ = 0;
+  // Best BPDU heard per port (port priority vector).
+  std::map<int, Bpdu> port_best_;
+  // Ports in transitional STP states and when they entered them.
+  std::map<int, std::uint64_t> transition_start_;
+  std::uint64_t forward_delay_ns_ = 15ull * 1000 * 1000 * 1000;
+};
+
+// The destination MAC 01:80:C2:00:00:00 used by STP BPDUs.
+net::MacAddr stp_multicast_mac();
+
+}  // namespace linuxfp::kern

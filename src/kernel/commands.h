@@ -1,0 +1,36 @@
+// Command-line tool front-ends: parses iproute2 / brctl / iptables / ipset /
+// sysctl command strings and applies them to a Kernel.
+//
+// This is the "unmodified tooling" surface of the reproduction: examples,
+// tests and benchmarks configure the system exclusively through these
+// commands (never through controller APIs), demonstrating the paper's
+// transparency claim — the LinuxFP controller only learns about changes via
+// netlink introspection.
+#pragma once
+
+#include <string>
+
+#include "kernel/kernel.h"
+#include "util/result.h"
+
+namespace linuxfp::kern {
+
+// Executes one command line, e.g.
+//   ip link add br0 type bridge
+//   ip link set dev eth0 up
+//   ip link set eth1 master br0
+//   ip addr add 10.10.1.1/24 dev eth0
+//   ip route add 10.2.0.0/16 via 10.10.1.2 dev eth0
+//   ip neigh add 10.10.1.2 lladdr 02:00:00:00:00:05 dev eth0 nud permanent
+//   sysctl -w net.ipv4.ip_forward=1
+//   brctl addbr br0 | brctl addif br0 veth11 | brctl stp br0 on
+//   bridge vlan add dev veth11 vid 100 [pvid untagged]
+//   bridge fdb add 02:..:01 dev veth11 [vlan 100]
+//   iptables -A FORWARD -s 10.10.3.0/24 -j DROP
+//   iptables -A FORWARD -p tcp --dport 80 -j ACCEPT
+//   iptables -A FORWARD -m set --match-set blacklist src -j DROP
+//   iptables -P FORWARD DROP | iptables -F FORWARD | iptables -N mychain
+//   ipset create blacklist hash:ip | ipset add blacklist 10.9.0.1
+util::Status run_command(Kernel& kernel, const std::string& command_line);
+
+}  // namespace linuxfp::kern

@@ -1,0 +1,109 @@
+#include "kernel/conntrack.h"
+
+namespace linuxfp::kern {
+
+net::FlowKey Conntrack::reversed(const net::FlowKey& key) {
+  net::FlowKey r;
+  r.src_ip = key.dst_ip;
+  r.dst_ip = key.src_ip;
+  r.proto = key.proto;
+  r.src_port = key.dst_port;
+  r.dst_port = key.src_port;
+  return r;
+}
+
+Conntrack::LookupResult Conntrack::lookup(const net::FlowKey& key,
+                                          std::uint64_t now_ns) {
+  LookupResult res;
+  auto it = table_.find(key);
+  if (it != table_.end()) {
+    res.entry = &it->second;
+    res.is_reply_direction = false;
+  } else {
+    it = table_.find(reversed(key));
+    if (it != table_.end()) {
+      res.entry = &it->second;
+      res.is_reply_direction = true;
+    } else {
+      // Post-NAT reply tuple (backend -> client after an ipvs DNAT).
+      auto nat = nat_index_.find(key);
+      if (nat != nat_index_.end()) {
+        it = table_.find(nat->second);
+        if (it != table_.end()) {
+          res.entry = &it->second;
+          res.is_reply_direction = true;
+        }
+      }
+    }
+  }
+  if (res.entry) {
+    res.entry->last_seen_ns = now_ns;
+    ++res.entry->packets;
+    if (res.is_reply_direction && res.entry->state == CtState::kNew) {
+      res.entry->state = CtState::kEstablished;
+    }
+  }
+  return res;
+}
+
+Conntrack::LookupResult Conntrack::lookup_or_create(const net::FlowKey& key,
+                                                    std::uint64_t now_ns) {
+  LookupResult res = lookup(key, now_ns);
+  if (res.entry) return res;
+  CtEntry e;
+  e.original = key;
+  e.state = CtState::kNew;
+  e.created_ns = now_ns;
+  e.last_seen_ns = now_ns;
+  e.packets = 1;
+  auto [it, inserted] = table_.emplace(key, e);
+  res.entry = &it->second;
+  res.created = inserted;
+  return res;
+}
+
+void Conntrack::set_dnat(CtEntry& entry, net::Ipv4Addr addr,
+                         std::uint16_t port) {
+  entry.dnat_addr = addr;
+  entry.dnat_port = port;
+  // Reply tuple: backend -> client.
+  net::FlowKey reply;
+  reply.src_ip = addr;
+  reply.src_port = port;
+  reply.dst_ip = entry.original.src_ip;
+  reply.dst_port = entry.original.src_port;
+  reply.proto = entry.original.proto;
+  nat_index_[reply] = entry.original;
+}
+
+std::size_t Conntrack::expire_idle(std::uint64_t now_ns,
+                                   std::uint64_t idle_ns) {
+  std::size_t removed = 0;
+  for (auto it = table_.begin(); it != table_.end();) {
+    if (now_ns - it->second.last_seen_ns > idle_ns) {
+      if (it->second.dnat_addr) {
+        net::FlowKey reply;
+        reply.src_ip = *it->second.dnat_addr;
+        reply.src_port = it->second.dnat_port;
+        reply.dst_ip = it->second.original.src_ip;
+        reply.dst_port = it->second.original.src_port;
+        reply.proto = it->second.original.proto;
+        nat_index_.erase(reply);
+      }
+      it = table_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<const CtEntry*> Conntrack::dump() const {
+  std::vector<const CtEntry*> out;
+  out.reserve(table_.size());
+  for (const auto& [key, entry] : table_) out.push_back(&entry);
+  return out;
+}
+
+}  // namespace linuxfp::kern

@@ -1,0 +1,64 @@
+// Connection tracking model (nf_conntrack analogue): direction-normalized
+// 5-tuple table with NEW/ESTABLISHED states and idle expiry. Used by the
+// Kubernetes datapath and by the ipvs-style load-balancer extension
+// (paper Table I, load balancing row).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/headers.h"
+
+namespace linuxfp::kern {
+
+enum class CtState { kNew, kEstablished };
+
+struct CtEntry {
+  net::FlowKey original;    // direction as first seen
+  CtState state = CtState::kNew;
+  std::uint64_t created_ns = 0;
+  std::uint64_t last_seen_ns = 0;
+  std::uint64_t packets = 0;
+  // Optional NAT/load-balancer rewrite applied to the original direction.
+  std::optional<net::Ipv4Addr> dnat_addr;
+  std::uint16_t dnat_port = 0;
+};
+
+class Conntrack {
+ public:
+  struct LookupResult {
+    CtEntry* entry = nullptr;
+    bool is_reply_direction = false;
+    bool created = false;
+  };
+
+  // Finds the entry for the flow in either direction; creates a kNew entry
+  // when absent. A packet seen in the reply direction of a kNew entry
+  // promotes it to kEstablished (the netfilter state machine for UDP; close
+  // enough for TCP RR traffic at our abstraction level).
+  LookupResult lookup_or_create(const net::FlowKey& key, std::uint64_t now_ns);
+
+  // Pure lookup, no creation (fast-path helper semantics: misses punt to the
+  // slow path, which creates).
+  LookupResult lookup(const net::FlowKey& key, std::uint64_t now_ns);
+
+  // Installs a DNAT mapping on the entry (ipvs scheduling outcome) and
+  // indexes the post-NAT reply tuple (backend -> client) so reply-direction
+  // packets resolve to the same entry — what nf_conntrack's reply tuple
+  // does.
+  void set_dnat(CtEntry& entry, net::Ipv4Addr addr, std::uint16_t port);
+
+  std::size_t expire_idle(std::uint64_t now_ns, std::uint64_t idle_ns);
+  std::size_t size() const { return table_.size(); }
+  std::vector<const CtEntry*> dump() const;
+
+ private:
+  static net::FlowKey reversed(const net::FlowKey& key);
+  std::unordered_map<net::FlowKey, CtEntry> table_;
+  // post-NAT reply tuple -> original tuple
+  std::unordered_map<net::FlowKey, net::FlowKey> nat_index_;
+};
+
+}  // namespace linuxfp::kern

@@ -1,0 +1,99 @@
+#include "kernel/fib.h"
+
+#include <functional>
+
+namespace linuxfp::kern {
+
+struct Fib::Node {
+  std::unique_ptr<Node> child[2];
+  std::optional<Route> route;  // set when a prefix terminates here
+};
+
+Fib::Fib() : root_(std::make_unique<Node>()) {}
+Fib::~Fib() = default;
+
+namespace {
+// Bit i (0 = MSB) of an IPv4 address.
+inline int addr_bit(std::uint32_t addr, std::uint8_t i) {
+  return (addr >> (31 - i)) & 1u;
+}
+}  // namespace
+
+void Fib::add_route(const Route& route) {
+  Node* node = root_.get();
+  std::uint32_t addr = route.dst.network().value();
+  for (std::uint8_t i = 0; i < route.dst.prefix_len(); ++i) {
+    int b = addr_bit(addr, i);
+    if (!node->child[b]) node->child[b] = std::make_unique<Node>();
+    node = node->child[b].get();
+  }
+  if (!node->route) ++size_;
+  // Replace semantics: a new route for the same prefix wins if its metric is
+  // lower or equal (mirrors `ip route replace`; our tools use replace).
+  if (!node->route || route.metric <= node->route->metric) {
+    node->route = route;
+  }
+}
+
+bool Fib::del_route(const net::Ipv4Prefix& prefix) {
+  Node* node = root_.get();
+  std::uint32_t addr = prefix.network().value();
+  for (std::uint8_t i = 0; i < prefix.prefix_len(); ++i) {
+    int b = addr_bit(addr, i);
+    if (!node->child[b]) return false;
+    node = node->child[b].get();
+  }
+  if (!node->route) return false;
+  node->route.reset();
+  --size_;
+  return true;
+}
+
+std::vector<Route> Fib::purge_interface(int ifindex) {
+  std::vector<Route> removed;
+  std::function<void(Node*)> walk = [&](Node* node) {
+    if (!node) return;
+    if (node->route && node->route->oif == ifindex) {
+      removed.push_back(*node->route);
+      node->route.reset();
+      --size_;
+    }
+    walk(node->child[0].get());
+    walk(node->child[1].get());
+  };
+  walk(root_.get());
+  return removed;
+}
+
+std::optional<FibResult> Fib::lookup(net::Ipv4Addr dst) const {
+  const Node* node = root_.get();
+  const Route* best = node->route ? &*node->route : nullptr;
+  std::size_t depth = 0;
+  std::uint32_t addr = dst.value();
+  for (std::uint8_t i = 0; i < 32 && node; ++i) {
+    node = node->child[addr_bit(addr, i)].get();
+    if (!node) break;
+    ++depth;
+    if (node->route) best = &*node->route;
+  }
+  last_depth_ = depth;
+  if (!best) return std::nullopt;
+  FibResult res;
+  res.route = *best;
+  res.next_hop = best->gateway.is_zero() ? dst : best->gateway;
+  return res;
+}
+
+std::vector<Route> Fib::dump() const {
+  std::vector<Route> out;
+  std::function<void(const Node*)> walk = [&](const Node* node) {
+    if (!node) return;
+    if (node->route) out.push_back(*node->route);
+    walk(node->child[0].get());
+    walk(node->child[1].get());
+  };
+  walk(root_.get());
+  return out;
+}
+
+}  // namespace linuxfp::kern

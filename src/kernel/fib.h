@@ -1,0 +1,70 @@
+// Forwarding Information Base: an LPM binary trie over IPv4 prefixes,
+// modeling the kernel's fib_trie. This is the authoritative routing state
+// shared by the slow path and (via the bpf_fib_lookup helper) the fast path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipaddr.h"
+#include "util/result.h"
+
+namespace linuxfp::kern {
+
+enum class RouteScope { kLink, kGlobal };  // link = directly connected subnet
+
+struct Route {
+  net::Ipv4Prefix dst;
+  net::Ipv4Addr gateway;   // zero for directly connected routes
+  int oif = 0;             // egress interface index
+  RouteScope scope = RouteScope::kGlobal;
+  std::uint32_t metric = 0;
+
+  bool operator==(const Route& o) const {
+    return dst == o.dst && gateway == o.gateway && oif == o.oif &&
+           scope == o.scope && metric == o.metric;
+  }
+};
+
+struct FibResult {
+  Route route;
+  // The address to resolve at L2: the gateway, or the destination itself for
+  // directly connected routes.
+  net::Ipv4Addr next_hop;
+};
+
+class Fib {
+ public:
+  Fib();
+  ~Fib();
+  Fib(const Fib&) = delete;
+  Fib& operator=(const Fib&) = delete;
+
+  // Inserts or replaces the route for (prefix, metric).
+  void add_route(const Route& route);
+  // Removes the route with exactly this prefix; returns false if absent.
+  bool del_route(const net::Ipv4Prefix& prefix);
+  // Removes all routes whose egress is this interface (link-down semantics).
+  std::vector<Route> purge_interface(int ifindex);
+
+  // Longest-prefix-match lookup.
+  std::optional<FibResult> lookup(net::Ipv4Addr dst) const;
+
+  std::vector<Route> dump() const;
+  std::size_t size() const { return size_; }
+
+  // Number of trie nodes visited by the last lookup (exposed so the cost
+  // model can scale lookup cost with trie depth if desired).
+  std::size_t last_lookup_depth() const { return last_depth_; }
+
+ private:
+  struct Node;
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+  mutable std::size_t last_depth_ = 0;
+};
+
+}  // namespace linuxfp::kern

@@ -1,0 +1,82 @@
+#include "kernel/ipset.h"
+
+namespace linuxfp::kern {
+
+util::Status IpSet::add(const net::Ipv4Prefix& member) {
+  if (type_ == IpSetType::kHashIp) {
+    if (member.prefix_len() != 32) {
+      return util::Error::make("ipset.type",
+                               "hash:ip set accepts only /32 members");
+    }
+    ips_.insert(member.network());
+  } else {
+    nets_.insert(member);
+    net_lens_.insert(member.prefix_len());
+  }
+  return {};
+}
+
+bool IpSet::del(const net::Ipv4Prefix& member) {
+  if (type_ == IpSetType::kHashIp) {
+    return ips_.erase(member.network()) > 0;
+  }
+  return nets_.erase(member) > 0;
+}
+
+bool IpSet::test(net::Ipv4Addr addr) const {
+  if (type_ == IpSetType::kHashIp) {
+    return ips_.count(addr) > 0;
+  }
+  // hash:net probes one hash per distinct prefix length, like the kernel.
+  for (std::uint8_t len : net_lens_) {
+    if (nets_.count(net::Ipv4Prefix(addr, len)) > 0) return true;
+  }
+  return false;
+}
+
+std::size_t IpSet::size() const {
+  return type_ == IpSetType::kHashIp ? ips_.size() : nets_.size();
+}
+
+std::vector<net::Ipv4Prefix> IpSet::dump() const {
+  std::vector<net::Ipv4Prefix> out;
+  if (type_ == IpSetType::kHashIp) {
+    for (const auto& ip : ips_) out.emplace_back(ip, 32);
+  } else {
+    out.assign(nets_.begin(), nets_.end());
+  }
+  return out;
+}
+
+util::Status IpSetManager::create(const std::string& name, IpSetType type) {
+  if (sets_.count(name)) {
+    return util::Error::make("ipset.exists", "set exists: " + name);
+  }
+  sets_[name] = std::make_unique<IpSet>(name, type);
+  return {};
+}
+
+util::Status IpSetManager::destroy(const std::string& name) {
+  if (!sets_.erase(name)) {
+    return util::Error::make("ipset.missing", "no such set: " + name);
+  }
+  return {};
+}
+
+IpSet* IpSetManager::find(const std::string& name) {
+  auto it = sets_.find(name);
+  return it == sets_.end() ? nullptr : it->second.get();
+}
+
+const IpSet* IpSetManager::find(const std::string& name) const {
+  auto it = sets_.find(name);
+  return it == sets_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const IpSet*> IpSetManager::dump() const {
+  std::vector<const IpSet*> out;
+  for (const auto& [name, set] : sets_) out.push_back(set.get());
+  return out;
+}
+
+}  // namespace linuxfp::kern

@@ -1,0 +1,57 @@
+// ipset model: named sets of addresses/networks with O(1)/O(prefixes) match,
+// referenced by iptables rules via `-m set --match-set`. The paper's virtual
+// gateway evaluation (Fig 8, Table IV) relies on aggregating a 100-entry
+// blacklist into a single ipset-backed rule.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/ipaddr.h"
+#include "util/result.h"
+
+namespace linuxfp::kern {
+
+enum class IpSetType { kHashIp, kHashNet };
+
+class IpSet {
+ public:
+  IpSet(std::string name, IpSetType type)
+      : name_(std::move(name)), type_(type) {}
+
+  const std::string& name() const { return name_; }
+  IpSetType type() const { return type_; }
+
+  util::Status add(const net::Ipv4Prefix& member);
+  bool del(const net::Ipv4Prefix& member);
+  bool test(net::Ipv4Addr addr) const;
+
+  std::size_t size() const;
+  std::vector<net::Ipv4Prefix> dump() const;
+
+ private:
+  std::string name_;
+  IpSetType type_;
+  std::set<net::Ipv4Addr> ips_;          // hash:ip
+  std::set<net::Ipv4Prefix> nets_;       // hash:net (linear by /len buckets)
+  std::set<std::uint8_t> net_lens_;      // which prefix lengths exist
+};
+
+class IpSetManager {
+ public:
+  util::Status create(const std::string& name, IpSetType type);
+  util::Status destroy(const std::string& name);
+  IpSet* find(const std::string& name);
+  const IpSet* find(const std::string& name) const;
+  std::vector<const IpSet*> dump() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<IpSet>> sets_;
+};
+
+}  // namespace linuxfp::kern

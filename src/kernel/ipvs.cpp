@@ -1,0 +1,112 @@
+#include "kernel/ipvs.h"
+
+namespace linuxfp::kern {
+
+VirtualService* Ipvs::find(net::Ipv4Addr vip, std::uint16_t port,
+                           std::uint8_t proto) {
+  for (VirtualService& svc : services_) {
+    if (svc.vip == vip && svc.port == port && svc.proto == proto) return &svc;
+  }
+  return nullptr;
+}
+
+util::Status Ipvs::add_service(net::Ipv4Addr vip, std::uint16_t port,
+                               std::uint8_t proto, IpvsScheduler scheduler) {
+  if (find(vip, port, proto)) {
+    return util::Error::make("ipvs.exists", "service exists");
+  }
+  VirtualService svc;
+  svc.vip = vip;
+  svc.port = port;
+  svc.proto = proto;
+  svc.scheduler = scheduler;
+  services_.push_back(svc);
+  ++generation_;
+  return {};
+}
+
+util::Status Ipvs::del_service(net::Ipv4Addr vip, std::uint16_t port,
+                               std::uint8_t proto) {
+  for (auto it = services_.begin(); it != services_.end(); ++it) {
+    if (it->vip == vip && it->port == port && it->proto == proto) {
+      services_.erase(it);
+      ++generation_;
+      return {};
+    }
+  }
+  return util::Error::make("ipvs.missing", "no such service");
+}
+
+util::Status Ipvs::add_backend(net::Ipv4Addr vip, std::uint16_t port,
+                               std::uint8_t proto, net::Ipv4Addr backend,
+                               std::uint16_t backend_port,
+                               std::uint32_t weight) {
+  VirtualService* svc = find(vip, port, proto);
+  if (!svc) return util::Error::make("ipvs.missing", "no such service");
+  for (const RealServer& rs : svc->backends) {
+    if (rs.addr == backend && rs.port == backend_port) {
+      return util::Error::make("ipvs.exists", "backend exists");
+    }
+  }
+  svc->backends.push_back({backend, backend_port, weight, 0});
+  ++generation_;
+  return {};
+}
+
+util::Status Ipvs::del_backend(net::Ipv4Addr vip, std::uint16_t port,
+                               std::uint8_t proto, net::Ipv4Addr backend,
+                               std::uint16_t backend_port) {
+  VirtualService* svc = find(vip, port, proto);
+  if (!svc) return util::Error::make("ipvs.missing", "no such service");
+  for (auto it = svc->backends.begin(); it != svc->backends.end(); ++it) {
+    if (it->addr == backend && it->port == backend_port) {
+      svc->backends.erase(it);
+      svc->rr_cursor = 0;
+      ++generation_;
+      return {};
+    }
+  }
+  return util::Error::make("ipvs.missing", "no such backend");
+}
+
+const VirtualService* Ipvs::match(net::Ipv4Addr dst, std::uint8_t proto,
+                                  std::uint16_t dport) const {
+  for (const VirtualService& svc : services_) {
+    if (svc.vip == dst && svc.proto == proto && svc.port == dport) {
+      return &svc;
+    }
+  }
+  return nullptr;
+}
+
+const RealServer* Ipvs::schedule(const VirtualService& svc,
+                                 net::Ipv4Addr client) const {
+  if (svc.backends.empty()) return nullptr;
+  const RealServer* picked = nullptr;
+  switch (svc.scheduler) {
+    case IpvsScheduler::kRoundRobin: {
+      // Weighted RR over a flattened weight wheel.
+      std::uint64_t total = 0;
+      for (const RealServer& rs : svc.backends) total += rs.weight;
+      if (total == 0) return nullptr;
+      std::uint64_t slot = svc.rr_cursor++ % total;
+      for (const RealServer& rs : svc.backends) {
+        if (slot < rs.weight) {
+          picked = &rs;
+          break;
+        }
+        slot -= rs.weight;
+      }
+      break;
+    }
+    case IpvsScheduler::kSourceHash: {
+      std::uint64_t h = client.value() * 0x9e3779b97f4a7c15ull;
+      picked = &svc.backends[(h >> 33) % svc.backends.size()];
+      break;
+    }
+  }
+  if (picked) ++picked->connections;
+  return picked;
+}
+
+}  // namespace linuxfp::kern

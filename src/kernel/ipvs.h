@@ -1,0 +1,79 @@
+// ipvs model: the Linux virtual-server load balancer (paper Table I, last
+// row — "left as future work" there, prototyped in §VIII; implemented here
+// as the reproduction's extension).
+//
+// Decomposition per Table I: the fast path performs parsing, rewriting and
+// conntrack lookup/update (through bpf_ct_lookup, which exposes the DNAT
+// mapping); connection *scheduling* — picking a backend for a NEW flow —
+// stays in the slow path, which also creates the conntrack entry both paths
+// subsequently share.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipaddr.h"
+#include "util/result.h"
+
+namespace linuxfp::kern {
+
+enum class IpvsScheduler {
+  kRoundRobin,   // rr
+  kSourceHash,   // sh (client affinity without conntrack)
+};
+
+struct RealServer {
+  net::Ipv4Addr addr;
+  std::uint16_t port = 0;
+  std::uint32_t weight = 1;
+  mutable std::uint64_t connections = 0;  // scheduled flows (stats)
+};
+
+struct VirtualService {
+  net::Ipv4Addr vip;
+  std::uint16_t port = 0;
+  std::uint8_t proto = 6;  // TCP by default, like ipvsadm -t
+  IpvsScheduler scheduler = IpvsScheduler::kRoundRobin;
+  std::vector<RealServer> backends;
+  mutable std::size_t rr_cursor = 0;
+};
+
+class Ipvs {
+ public:
+  util::Status add_service(net::Ipv4Addr vip, std::uint16_t port,
+                           std::uint8_t proto, IpvsScheduler scheduler);
+  util::Status del_service(net::Ipv4Addr vip, std::uint16_t port,
+                           std::uint8_t proto);
+  util::Status add_backend(net::Ipv4Addr vip, std::uint16_t port,
+                           std::uint8_t proto, net::Ipv4Addr backend,
+                           std::uint16_t backend_port, std::uint32_t weight);
+  util::Status del_backend(net::Ipv4Addr vip, std::uint16_t port,
+                           std::uint8_t proto, net::Ipv4Addr backend,
+                           std::uint16_t backend_port);
+
+  const VirtualService* match(net::Ipv4Addr dst, std::uint8_t proto,
+                              std::uint16_t dport) const;
+
+  // Scheduling (slow path only): picks a backend for a new flow. Weighted
+  // round-robin or source-hash, per the service's scheduler.
+  const RealServer* schedule(const VirtualService& svc,
+                             net::Ipv4Addr client) const;
+
+  bool empty() const { return services_.empty(); }
+  std::size_t service_count() const { return services_.size(); }
+  const std::vector<VirtualService>& services() const { return services_; }
+
+  // Monotonic config generation (controller change detection).
+  std::uint64_t generation() const { return generation_; }
+
+ private:
+  VirtualService* find(net::Ipv4Addr vip, std::uint16_t port,
+                       std::uint8_t proto);
+
+  std::vector<VirtualService> services_;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace linuxfp::kern

@@ -1,0 +1,708 @@
+#include "kernel/kernel.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace linuxfp::kern {
+
+namespace {
+util::Json route_attrs(const Route& r, const std::string& dev_name) {
+  util::Json j = util::Json::object();
+  j["dst"] = r.dst.to_string();
+  j["gateway"] = r.gateway.is_zero() ? "" : r.gateway.to_string();
+  j["oif"] = r.oif;
+  j["dev"] = dev_name;
+  j["scope"] = r.scope == RouteScope::kLink ? "link" : "global";
+  j["metric"] = static_cast<std::int64_t>(r.metric);
+  return j;
+}
+}  // namespace
+
+Kernel::Kernel(std::string hostname, CostModel cost)
+    : hostname_(std::move(hostname)), cost_(cost) {
+  netlink_.set_dump_provider(this);
+}
+
+Kernel::~Kernel() = default;
+
+void Kernel::tick() {
+  for (auto& [ifi, br] : bridges_) {
+    br->fdb_age(now_ns_);
+    br->stp_tick(now_ns_);
+    // Emit BPDUs on designated ports (slow-path control traffic).
+    for (auto& [port_ifi, bpdu] : br->generate_bpdus()) {
+      // BPDUs are modeled as control messages delivered directly to the
+      // peer's bridge (we do not serialize LLC frames); what matters for
+      // LinuxFP is that they traverse the slow path and can change state.
+      NetDevice* port = dev(port_ifi);
+      if (!port || !port->is_up()) continue;
+      if (port->kind() == DevKind::kVeth && port->veth().kernel) {
+        Kernel& peer = *port->veth().kernel;
+        NetDevice* peer_dev = peer.dev(port->veth().ifindex);
+        if (peer_dev && peer_dev->master() != 0) {
+          Bridge* peer_br = peer.bridge(peer_dev->master());
+          if (peer_br && peer_br->process_bpdu(peer_dev->ifindex(), bpdu)) {
+            peer.publish_link(*peer_dev);
+          }
+          ++peer.counters_.bpdus_processed;
+        }
+      }
+    }
+  }
+  neigh_.age(now_ns_, 60ull * 1000 * 1000 * 1000);
+  conntrack_.expire_idle(now_ns_, 120ull * 1000 * 1000 * 1000);
+}
+
+// --- device management -------------------------------------------------------
+
+NetDevice& Kernel::add_phys_dev(const std::string& name) {
+  int ifi = next_ifindex_++;
+  auto dev = std::make_unique<NetDevice>(
+      ifi, name, DevKind::kPhysical,
+      net::MacAddr::from_id(static_cast<std::uint32_t>(
+          std::hash<std::string>{}(hostname_ + name) & 0xffffff)));
+  NetDevice& ref = *dev;
+  devs_[ifi] = std::move(dev);
+  dev_names_[name] = ifi;
+  publish_link(ref);
+  return ref;
+}
+
+NetDevice& Kernel::add_loopback() {
+  int ifi = next_ifindex_++;
+  auto dev = std::make_unique<NetDevice>(ifi, "lo", DevKind::kLoopback,
+                                         net::MacAddr::zero());
+  dev->set_up(true);
+  NetDevice& ref = *dev;
+  devs_[ifi] = std::move(dev);
+  dev_names_["lo"] = ifi;
+  return ref;
+}
+
+NetDevice& Kernel::add_bridge_dev(const std::string& name) {
+  int ifi = next_ifindex_++;
+  auto dev = std::make_unique<NetDevice>(
+      ifi, name, DevKind::kBridge,
+      net::MacAddr::from_id(static_cast<std::uint32_t>(
+          std::hash<std::string>{}(hostname_ + name + "br") & 0xffffff)));
+  NetDevice& ref = *dev;
+  devs_[ifi] = std::move(dev);
+  dev_names_[name] = ifi;
+  bridges_[ifi] = std::make_unique<Bridge>(ifi, ref.mac());
+  publish_link(ref);
+  return ref;
+}
+
+std::pair<NetDevice*, NetDevice*> Kernel::add_veth_pair(const std::string& a,
+                                                        const std::string& b) {
+  NetDevice& da = add_veth_to(a, *this, b);
+  NetDevice* db = dev_by_name(b);
+  return {&da, db};
+}
+
+NetDevice& Kernel::add_veth_to(const std::string& name, Kernel& peer_kernel,
+                               const std::string& peer_name) {
+  int ifi = next_ifindex_++;
+  auto dev = std::make_unique<NetDevice>(
+      ifi, name, DevKind::kVeth,
+      net::MacAddr::from_id(static_cast<std::uint32_t>(
+          std::hash<std::string>{}(hostname_ + name) & 0xffffff)));
+  NetDevice& ref = *dev;
+  devs_[ifi] = std::move(dev);
+  dev_names_[name] = ifi;
+
+  int peer_ifi = peer_kernel.next_ifindex_++;
+  auto peer = std::make_unique<NetDevice>(
+      peer_ifi, peer_name, DevKind::kVeth,
+      net::MacAddr::from_id(static_cast<std::uint32_t>(
+          std::hash<std::string>{}(peer_kernel.hostname_ + peer_name) &
+          0xffffff)));
+  NetDevice& peer_ref = *peer;
+  peer_kernel.devs_[peer_ifi] = std::move(peer);
+  peer_kernel.dev_names_[peer_name] = peer_ifi;
+
+  ref.veth() = VethPeer{&peer_kernel, peer_ifi};
+  peer_ref.veth() = VethPeer{this, ifi};
+
+  publish_link(ref);
+  peer_kernel.publish_link(peer_ref);
+  return ref;
+}
+
+NetDevice& Kernel::add_vxlan_dev(const std::string& name, std::uint32_t vni,
+                                 net::Ipv4Addr local, int underlay_ifindex) {
+  int ifi = next_ifindex_++;
+  auto dev = std::make_unique<NetDevice>(
+      ifi, name, DevKind::kVxlan,
+      net::MacAddr::from_id(static_cast<std::uint32_t>(
+          std::hash<std::string>{}(hostname_ + name + "vx") & 0xffffff)));
+  dev->vxlan().vni = vni;
+  dev->vxlan().local = local;
+  dev->vxlan().underlay_ifindex = underlay_ifindex;
+  NetDevice& ref = *dev;
+  devs_[ifi] = std::move(dev);
+  dev_names_[name] = ifi;
+  publish_link(ref);
+  return ref;
+}
+
+util::Status Kernel::del_dev(const std::string& name) {
+  auto it = dev_names_.find(name);
+  if (it == dev_names_.end()) {
+    return util::Error::make("dev.missing", "no such device: " + name);
+  }
+  int ifi = it->second;
+  NetDevice* d = dev(ifi);
+  // Remove from any bridge it is enslaved to.
+  if (d->master() != 0) {
+    Bridge* br = bridge(d->master());
+    if (br) br->del_port(ifi);
+  }
+  // Deleting a bridge device deletes the bridge object.
+  bridges_.erase(ifi);
+  for (Route& r : fib_.purge_interface(ifi)) {
+    netlink_.publish(nl::MsgType::kDelRoute, route_attrs(r, name));
+  }
+  publish_link(*d, /*deleted=*/true);
+  dev_names_.erase(it);
+  devs_.erase(ifi);
+  return {};
+}
+
+NetDevice* Kernel::dev(int ifindex) {
+  auto it = devs_.find(ifindex);
+  return it == devs_.end() ? nullptr : it->second.get();
+}
+
+const NetDevice* Kernel::dev(int ifindex) const {
+  auto it = devs_.find(ifindex);
+  return it == devs_.end() ? nullptr : it->second.get();
+}
+
+NetDevice* Kernel::dev_by_name(const std::string& name) {
+  auto it = dev_names_.find(name);
+  return it == dev_names_.end() ? nullptr : dev(it->second);
+}
+
+const NetDevice* Kernel::dev_by_name(const std::string& name) const {
+  auto it = dev_names_.find(name);
+  return it == dev_names_.end() ? nullptr : dev(it->second);
+}
+
+std::vector<NetDevice*> Kernel::devices() {
+  std::vector<NetDevice*> out;
+  for (auto& [ifi, d] : devs_) out.push_back(d.get());
+  return out;
+}
+
+util::Status Kernel::set_link_up(const std::string& name, bool up) {
+  NetDevice* d = dev_by_name(name);
+  if (!d) return util::Error::make("dev.missing", "no such device: " + name);
+  if (d->is_up() == up) return {};
+  d->set_up(up);
+  if (!up) {
+    for (Route& r : fib_.purge_interface(d->ifindex())) {
+      netlink_.publish(nl::MsgType::kDelRoute, route_attrs(r, name));
+    }
+  }
+  publish_link(*d);
+  return {};
+}
+
+util::Status Kernel::enslave(const std::string& port,
+                             const std::string& bridge_name) {
+  NetDevice* p = dev_by_name(port);
+  NetDevice* b = dev_by_name(bridge_name);
+  if (!p || !b) return util::Error::make("dev.missing", "no such device");
+  Bridge* br = bridge(b->ifindex());
+  if (!br) {
+    return util::Error::make("bridge.missing",
+                             bridge_name + " is not a bridge");
+  }
+  if (p->master() != 0) {
+    return util::Error::make("bridge.enslaved", port + " already has master");
+  }
+  p->set_master(b->ifindex());
+  br->add_port(p->ifindex());
+  publish_link(*p);
+  return {};
+}
+
+util::Status Kernel::release(const std::string& port) {
+  NetDevice* p = dev_by_name(port);
+  if (!p) return util::Error::make("dev.missing", "no such device: " + port);
+  if (p->master() == 0) {
+    return util::Error::make("bridge.notport", port + " has no master");
+  }
+  Bridge* br = bridge(p->master());
+  if (br) br->del_port(p->ifindex());
+  p->set_master(0);
+  publish_link(*p);
+  return {};
+}
+
+// --- addresses and routes -----------------------------------------------------
+
+util::Status Kernel::add_addr(const std::string& dev_name,
+                              const net::IfAddr& addr) {
+  NetDevice* d = dev_by_name(dev_name);
+  if (!d) {
+    return util::Error::make("dev.missing", "no such device: " + dev_name);
+  }
+  if (!d->add_addr(addr)) {
+    return util::Error::make("addr.exists", "address exists");
+  }
+  util::Json attrs = util::Json::object();
+  attrs["dev"] = dev_name;
+  attrs["ifindex"] = d->ifindex();
+  attrs["addr"] = addr.to_string();
+  netlink_.publish(nl::MsgType::kNewAddr, attrs);
+
+  // Kernel behaviour: adding an address installs the connected route.
+  if (addr.prefix_len < 32) {
+    Route r;
+    r.dst = addr.subnet();
+    r.oif = d->ifindex();
+    r.scope = RouteScope::kLink;
+    fib_.add_route(r);
+    netlink_.publish(nl::MsgType::kNewRoute, route_attrs(r, dev_name));
+  }
+  return {};
+}
+
+util::Status Kernel::del_addr(const std::string& dev_name,
+                              const net::IfAddr& addr) {
+  NetDevice* d = dev_by_name(dev_name);
+  if (!d) {
+    return util::Error::make("dev.missing", "no such device: " + dev_name);
+  }
+  if (!d->del_addr(addr)) {
+    return util::Error::make("addr.missing", "no such address");
+  }
+  util::Json attrs = util::Json::object();
+  attrs["dev"] = dev_name;
+  attrs["ifindex"] = d->ifindex();
+  attrs["addr"] = addr.to_string();
+  netlink_.publish(nl::MsgType::kDelAddr, attrs);
+  if (addr.prefix_len < 32) {
+    Route r;
+    r.dst = addr.subnet();
+    if (fib_.del_route(r.dst)) {
+      r.oif = d->ifindex();
+      r.scope = RouteScope::kLink;
+      netlink_.publish(nl::MsgType::kDelRoute, route_attrs(r, dev_name));
+    }
+  }
+  return {};
+}
+
+util::Status Kernel::add_route(const net::Ipv4Prefix& dst, net::Ipv4Addr via,
+                               const std::string& dev_name,
+                               std::uint32_t metric) {
+  NetDevice* d = dev_by_name(dev_name);
+  if (!d) {
+    return util::Error::make("dev.missing", "no such device: " + dev_name);
+  }
+  Route r;
+  r.dst = dst;
+  r.gateway = via;
+  r.oif = d->ifindex();
+  r.scope = via.is_zero() ? RouteScope::kLink : RouteScope::kGlobal;
+  r.metric = metric;
+  fib_.add_route(r);
+  netlink_.publish(nl::MsgType::kNewRoute, route_attrs(r, dev_name));
+  return {};
+}
+
+util::Status Kernel::del_route(const net::Ipv4Prefix& dst) {
+  auto found = fib_.lookup(dst.network());
+  if (!fib_.del_route(dst)) {
+    return util::Error::make("route.missing", "no such route");
+  }
+  Route r;
+  r.dst = dst;
+  std::string dev_name;
+  if (found && found->route.dst == dst) {
+    r = found->route;
+    const NetDevice* d = dev(r.oif);
+    if (d) dev_name = d->name();
+  }
+  netlink_.publish(nl::MsgType::kDelRoute, route_attrs(r, dev_name));
+  return {};
+}
+
+util::Status Kernel::add_neigh(net::Ipv4Addr ip, const net::MacAddr& mac,
+                               const std::string& dev_name, bool permanent) {
+  NetDevice* d = dev_by_name(dev_name);
+  if (!d) {
+    return util::Error::make("dev.missing", "no such device: " + dev_name);
+  }
+  neigh_.update(ip, mac, d->ifindex(),
+                permanent ? NeighState::kPermanent : NeighState::kReachable,
+                now_ns_);
+  util::Json attrs = util::Json::object();
+  attrs["ip"] = ip.to_string();
+  attrs["mac"] = mac.to_string();
+  attrs["dev"] = dev_name;
+  attrs["state"] = permanent ? "PERMANENT" : "REACHABLE";
+  attrs["dynamic"] = false;
+  netlink_.publish(nl::MsgType::kNewNeigh, attrs);
+  return {};
+}
+
+util::Status Kernel::del_neigh(net::Ipv4Addr ip) {
+  if (!neigh_.erase(ip)) {
+    return util::Error::make("neigh.missing", "no such neighbour");
+  }
+  util::Json attrs = util::Json::object();
+  attrs["ip"] = ip.to_string();
+  netlink_.publish(nl::MsgType::kDelNeigh, attrs);
+  return {};
+}
+
+util::Status Kernel::set_sysctl(const std::string& key, int value) {
+  sysctls_[key] = value;
+  util::Json attrs = util::Json::object();
+  attrs["key"] = key;
+  attrs["value"] = value;
+  netlink_.publish(nl::MsgType::kSysctl, attrs);
+  return {};
+}
+
+int Kernel::sysctl(const std::string& key, int fallback) const {
+  auto it = sysctls_.find(key);
+  return it == sysctls_.end() ? fallback : it->second;
+}
+
+Bridge* Kernel::bridge(int ifindex) {
+  auto it = bridges_.find(ifindex);
+  return it == bridges_.end() ? nullptr : it->second.get();
+}
+
+const Bridge* Kernel::bridge(int ifindex) const {
+  auto it = bridges_.find(ifindex);
+  return it == bridges_.end() ? nullptr : it->second.get();
+}
+
+Bridge* Kernel::bridge_by_name(const std::string& name) {
+  NetDevice* d = dev_by_name(name);
+  return d ? bridge(d->ifindex()) : nullptr;
+}
+
+std::vector<Bridge*> Kernel::bridges() {
+  std::vector<Bridge*> out;
+  for (auto& [ifi, br] : bridges_) out.push_back(br.get());
+  return out;
+}
+
+// --- netfilter mutations -------------------------------------------------------
+
+namespace {
+util::Json rule_event(const std::string& chain) {
+  util::Json j = util::Json::object();
+  j["chain"] = chain;
+  return j;
+}
+}  // namespace
+
+util::Status Kernel::ipt_append(const std::string& chain, Rule rule) {
+  auto st = netfilter_.append_rule(chain, std::move(rule));
+  if (st.ok()) netlink_.publish(nl::MsgType::kNewRule, rule_event(chain));
+  return st;
+}
+
+util::Status Kernel::ipt_insert(const std::string& chain, std::size_t index,
+                                Rule rule) {
+  auto st = netfilter_.insert_rule(chain, index, std::move(rule));
+  if (st.ok()) netlink_.publish(nl::MsgType::kNewRule, rule_event(chain));
+  return st;
+}
+
+util::Status Kernel::ipt_delete(const std::string& chain, std::size_t index) {
+  auto st = netfilter_.delete_rule(chain, index);
+  if (st.ok()) netlink_.publish(nl::MsgType::kDelRule, rule_event(chain));
+  return st;
+}
+
+util::Status Kernel::ipt_flush(const std::string& chain) {
+  auto st = netfilter_.flush(chain);
+  if (st.ok()) netlink_.publish(nl::MsgType::kDelRule, rule_event(chain));
+  return st;
+}
+
+util::Status Kernel::ipt_new_chain(const std::string& name) {
+  auto st = netfilter_.new_chain(name);
+  if (st.ok()) netlink_.publish(nl::MsgType::kNewRule, rule_event(name));
+  return st;
+}
+
+util::Status Kernel::ipt_set_policy(const std::string& chain,
+                                    NfVerdict policy) {
+  auto st = netfilter_.set_policy(chain, policy);
+  if (st.ok()) netlink_.publish(nl::MsgType::kNewRule, rule_event(chain));
+  return st;
+}
+
+util::Status Kernel::ipset_create(const std::string& name, IpSetType type) {
+  auto st = ipsets_.create(name, type);
+  if (st.ok()) {
+    util::Json j = util::Json::object();
+    j["set"] = name;
+    netlink_.publish(nl::MsgType::kNewSet, j);
+  }
+  return st;
+}
+
+util::Status Kernel::ipset_add(const std::string& name,
+                               const net::Ipv4Prefix& member) {
+  IpSet* set = ipsets_.find(name);
+  if (!set) return util::Error::make("ipset.missing", "no such set: " + name);
+  auto st = set->add(member);
+  if (st.ok()) {
+    util::Json j = util::Json::object();
+    j["set"] = name;
+    netlink_.publish(nl::MsgType::kNewSet, j);
+  }
+  return st;
+}
+
+util::Status Kernel::ipset_del(const std::string& name,
+                               const net::Ipv4Prefix& member) {
+  IpSet* set = ipsets_.find(name);
+  if (!set) return util::Error::make("ipset.missing", "no such set: " + name);
+  if (!set->del(member)) {
+    return util::Error::make("ipset.member", "no such member");
+  }
+  util::Json j = util::Json::object();
+  j["set"] = name;
+  netlink_.publish(nl::MsgType::kNewSet, j);
+  return {};
+}
+
+util::Status Kernel::ipset_destroy(const std::string& name) {
+  auto st = ipsets_.destroy(name);
+  if (st.ok()) {
+    util::Json j = util::Json::object();
+    j["set"] = name;
+    netlink_.publish(nl::MsgType::kDelSet, j);
+  }
+  return st;
+}
+
+namespace {
+util::Json svc_event(net::Ipv4Addr vip, std::uint16_t port,
+                     std::uint8_t proto) {
+  util::Json j = util::Json::object();
+  j["vip"] = vip.to_string();
+  j["port"] = static_cast<int>(port);
+  j["proto"] = static_cast<int>(proto);
+  return j;
+}
+}  // namespace
+
+util::Status Kernel::ipvs_add_service(net::Ipv4Addr vip, std::uint16_t port,
+                                      std::uint8_t proto,
+                                      IpvsScheduler scheduler) {
+  auto st = ipvs_.add_service(vip, port, proto, scheduler);
+  if (st.ok()) {
+    netlink_.publish(nl::MsgType::kNewService, svc_event(vip, port, proto));
+  }
+  return st;
+}
+
+util::Status Kernel::ipvs_del_service(net::Ipv4Addr vip, std::uint16_t port,
+                                      std::uint8_t proto) {
+  auto st = ipvs_.del_service(vip, port, proto);
+  if (st.ok()) {
+    netlink_.publish(nl::MsgType::kDelService, svc_event(vip, port, proto));
+  }
+  return st;
+}
+
+util::Status Kernel::ipvs_add_backend(net::Ipv4Addr vip, std::uint16_t port,
+                                      std::uint8_t proto,
+                                      net::Ipv4Addr backend,
+                                      std::uint16_t backend_port,
+                                      std::uint32_t weight) {
+  auto st =
+      ipvs_.add_backend(vip, port, proto, backend, backend_port, weight);
+  if (st.ok()) {
+    netlink_.publish(nl::MsgType::kNewService, svc_event(vip, port, proto));
+  }
+  return st;
+}
+
+// --- netlink dump provider -----------------------------------------------------
+
+util::Json Kernel::link_attrs(const NetDevice& d) const {
+  util::Json attrs = util::Json::object();
+  attrs["ifindex"] = d.ifindex();
+  attrs["ifname"] = d.name();
+  attrs["kind"] = dev_kind_name(d.kind());
+  attrs["mac"] = d.mac().to_string();
+  attrs["up"] = d.is_up();
+  attrs["mtu"] = static_cast<std::int64_t>(d.mtu());
+  attrs["master"] = d.master();
+  if (d.kind() == DevKind::kBridge) {
+    const Bridge* br = bridge(d.ifindex());
+    if (br) {
+      attrs["stp"] = br->stp_enabled();
+      attrs["vlan_filtering"] = br->vlan_filtering();
+      util::Json ports = util::Json::array();
+      for (const auto& [ifi, p] : br->ports()) {
+        util::Json pj = util::Json::object();
+        pj["ifindex"] = ifi;
+        const NetDevice* pd = dev(ifi);
+        pj["ifname"] = pd ? pd->name() : "";
+        pj["state"] = stp_state_name(p.state);
+        pj["pvid"] = p.pvid;
+        ports.push_back(pj);
+      }
+      attrs["ports"] = ports;
+    }
+  }
+  if (d.kind() == DevKind::kVxlan) {
+    attrs["vni"] = static_cast<std::int64_t>(d.vxlan().vni);
+    attrs["local"] = d.vxlan().local.to_string();
+  }
+  util::Json addrs = util::Json::array();
+  for (const auto& a : d.addrs()) addrs.push_back(a.to_string());
+  attrs["addrs"] = addrs;
+  return attrs;
+}
+
+void Kernel::publish_link(const NetDevice& d, bool deleted) {
+  netlink_.publish(deleted ? nl::MsgType::kDelLink : nl::MsgType::kNewLink,
+                   link_attrs(d));
+}
+
+std::vector<nl::Message> Kernel::dump(nl::DumpKind kind) const {
+  std::vector<nl::Message> out;
+  switch (kind) {
+    case nl::DumpKind::kLinks: {
+      for (const auto& [ifi, d] : devs_) {
+        out.push_back({nl::MsgType::kNewLink, link_attrs(*d)});
+      }
+      break;
+    }
+    case nl::DumpKind::kAddrs: {
+      for (const auto& [ifi, d] : devs_) {
+        for (const auto& a : d->addrs()) {
+          util::Json attrs = util::Json::object();
+          attrs["dev"] = d->name();
+          attrs["ifindex"] = d->ifindex();
+          attrs["addr"] = a.to_string();
+          out.push_back({nl::MsgType::kNewAddr, attrs});
+        }
+      }
+      break;
+    }
+    case nl::DumpKind::kRoutes: {
+      for (const Route& r : fib_.dump()) {
+        const NetDevice* d = dev(r.oif);
+        out.push_back(
+            {nl::MsgType::kNewRoute, route_attrs(r, d ? d->name() : "")});
+      }
+      break;
+    }
+    case nl::DumpKind::kNeighbors: {
+      for (const NeighEntry* e : neigh_.dump()) {
+        util::Json attrs = util::Json::object();
+        attrs["ip"] = e->ip.to_string();
+        attrs["mac"] = e->mac.to_string();
+        const NetDevice* d = dev(e->ifindex);
+        attrs["dev"] = d ? d->name() : "";
+        attrs["state"] = neigh_state_name(e->state);
+        attrs["dynamic"] = e->state != NeighState::kPermanent;
+        out.push_back({nl::MsgType::kNewNeigh, attrs});
+      }
+      break;
+    }
+    case nl::DumpKind::kRules: {
+      for (const Chain* c : netfilter_.dump()) {
+        util::Json attrs = util::Json::object();
+        attrs["chain"] = c->name;
+        attrs["builtin"] = c->builtin;
+        attrs["policy"] = c->policy == NfVerdict::kDrop ? "DROP" : "ACCEPT";
+        util::Json rules = util::Json::array();
+        for (const Rule& r : c->rules) {
+          util::Json rj = util::Json::object();
+          if (r.match.src) rj["src"] = r.match.src->to_string();
+          if (r.match.dst) rj["dst"] = r.match.dst->to_string();
+          if (r.match.src_negated) rj["src_neg"] = true;
+          if (r.match.dst_negated) rj["dst_neg"] = true;
+          if (r.match.proto) rj["proto"] = static_cast<int>(*r.match.proto);
+          if (r.match.dport) rj["dport"] = static_cast<int>(*r.match.dport);
+          if (r.match.sport) rj["sport"] = static_cast<int>(*r.match.sport);
+          if (!r.match.in_if.empty()) rj["in_if"] = r.match.in_if;
+          if (!r.match.out_if.empty()) rj["out_if"] = r.match.out_if;
+          if (!r.match.match_set.empty()) {
+            rj["match_set"] = r.match.match_set;
+            rj["set_dir"] = r.match.set_match_src ? "src" : "dst";
+          }
+          if (!r.match.ct_state.empty()) rj["ct_state"] = r.match.ct_state;
+          switch (r.target) {
+            case RuleTarget::kAccept: rj["target"] = "ACCEPT"; break;
+            case RuleTarget::kDrop: rj["target"] = "DROP"; break;
+            case RuleTarget::kReturn: rj["target"] = "RETURN"; break;
+            case RuleTarget::kJump: rj["target"] = r.jump_chain; break;
+          }
+          rules.push_back(rj);
+        }
+        attrs["rules"] = rules;
+        out.push_back({nl::MsgType::kNewRule, attrs});
+      }
+      break;
+    }
+    case nl::DumpKind::kSets: {
+      for (const IpSet* s : ipsets_.dump()) {
+        util::Json attrs = util::Json::object();
+        attrs["set"] = s->name();
+        attrs["type"] =
+            s->type() == IpSetType::kHashIp ? "hash:ip" : "hash:net";
+        attrs["size"] = static_cast<std::int64_t>(s->size());
+        out.push_back({nl::MsgType::kNewSet, attrs});
+      }
+      break;
+    }
+    case nl::DumpKind::kServices: {
+      for (const VirtualService& svc : ipvs_.services()) {
+        util::Json attrs = util::Json::object();
+        attrs["vip"] = svc.vip.to_string();
+        attrs["port"] = static_cast<int>(svc.port);
+        attrs["proto"] = static_cast<int>(svc.proto);
+        attrs["scheduler"] =
+            svc.scheduler == IpvsScheduler::kRoundRobin ? "rr" : "sh";
+        util::Json backends = util::Json::array();
+        for (const RealServer& rs : svc.backends) {
+          util::Json b = util::Json::object();
+          b["addr"] = rs.addr.to_string();
+          b["port"] = static_cast<int>(rs.port);
+          b["weight"] = static_cast<std::int64_t>(rs.weight);
+          backends.push_back(b);
+        }
+        attrs["backends"] = backends;
+        out.push_back({nl::MsgType::kNewService, attrs});
+      }
+      break;
+    }
+    case nl::DumpKind::kSysctls: {
+      for (const auto& [key, value] : sysctls_) {
+        util::Json attrs = util::Json::object();
+        attrs["key"] = key;
+        attrs["value"] = value;
+        out.push_back({nl::MsgType::kSysctl, attrs});
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+void Kernel::register_l4_handler(std::uint8_t proto, std::uint16_t port,
+                                 L4Handler handler) {
+  l4_handlers_[{proto, port}] = std::move(handler);
+}
+
+}  // namespace linuxfp::kern

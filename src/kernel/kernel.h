@@ -1,0 +1,277 @@
+// The Kernel facade: one instance models one network namespace (a host, or a
+// pod's netns). It owns all networking state — devices, FIB, neighbour
+// table, bridges, netfilter, ipsets, conntrack, sysctls — runs the slow-path
+// datapath with cycle accounting, invokes attached fast-path programs at the
+// XDP/TC hooks, and publishes configuration changes on the netlink bus.
+//
+// All configuration mutators emit netlink notifications, which is what makes
+// the LinuxFP controller's transparent introspection work: tools (the
+// command front-ends in commands.h) only talk to this class, never to the
+// controller.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kernel/bridge.h"
+#include "kernel/conntrack.h"
+#include "kernel/cost_model.h"
+#include "kernel/fib.h"
+#include "kernel/neigh.h"
+#include "kernel/netdev.h"
+#include "kernel/netfilter.h"
+#include "kernel/ipset.h"
+#include "kernel/ipvs.h"
+#include "net/headers.h"
+#include "net/packet.h"
+#include "netlink/netlink.h"
+#include "util/result.h"
+
+namespace linuxfp::kern {
+
+// Why a packet terminated in this kernel (for counters and tests).
+enum class Drop {
+  kNone,
+  kLinkDown,
+  kStpBlocked,
+  kVlanFiltered,
+  kPolicy,        // netfilter DROP
+  kNoRoute,
+  kTtlExceeded,
+  kNeighPending,  // queued awaiting ARP resolution (not lost)
+  kMalformed,
+  kNotForUs,
+  kXdpDrop,
+  kTcDrop,
+  kNoHandler,
+};
+
+struct KernelCounters {
+  std::uint64_t slow_path_packets = 0;
+  std::uint64_t fast_path_packets = 0;  // consumed by an XDP/TC program
+  std::uint64_t forwarded = 0;
+  std::uint64_t bridged = 0;
+  std::uint64_t flooded = 0;
+  std::uint64_t locally_delivered = 0;
+  std::uint64_t arp_rx = 0;
+  std::uint64_t arp_tx = 0;
+  std::uint64_t icmp_echo_replies = 0;
+  std::uint64_t bpdus_processed = 0;
+  std::map<Drop, std::uint64_t> drops;
+
+  std::uint64_t total_drops() const {
+    std::uint64_t n = 0;
+    for (const auto& [k, v] : drops) {
+      if (k != Drop::kNone && k != Drop::kNeighPending) n += v;
+    }
+    return n;
+  }
+};
+
+// Result of injecting one packet.
+struct RxSummary {
+  bool fast_path = false;  // terminally handled by an XDP/TC program
+  Drop drop = Drop::kNone;
+};
+
+class Kernel : public nl::DumpProvider {
+ public:
+  explicit Kernel(std::string hostname, CostModel cost = CostModel{});
+  ~Kernel() override;
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  const std::string& hostname() const { return hostname_; }
+  const CostModel& cost() const { return cost_; }
+  CostModel& mutable_cost() { return cost_; }
+
+  // --- time ----------------------------------------------------------------
+  std::uint64_t now_ns() const { return now_ns_; }
+  void set_now_ns(std::uint64_t ns) { now_ns_ = ns; }
+  // Periodic housekeeping: FDB aging, neighbour aging, conntrack expiry,
+  // STP timers + BPDU emission.
+  void tick();
+
+  // --- device management ------------------------------------------------------
+  NetDevice& add_phys_dev(const std::string& name);
+  NetDevice& add_loopback();
+  NetDevice& add_bridge_dev(const std::string& name);
+  // veth pair within this kernel.
+  std::pair<NetDevice*, NetDevice*> add_veth_pair(const std::string& a,
+                                                  const std::string& b);
+  // veth endpoint whose peer lives in another kernel (container netns).
+  NetDevice& add_veth_to(const std::string& name, Kernel& peer_kernel,
+                         const std::string& peer_name);
+  NetDevice& add_vxlan_dev(const std::string& name, std::uint32_t vni,
+                           net::Ipv4Addr local, int underlay_ifindex);
+  util::Status del_dev(const std::string& name);
+
+  NetDevice* dev(int ifindex);
+  const NetDevice* dev(int ifindex) const;
+  NetDevice* dev_by_name(const std::string& name);
+  const NetDevice* dev_by_name(const std::string& name) const;
+  std::vector<NetDevice*> devices();
+
+  util::Status set_link_up(const std::string& name, bool up);
+  util::Status enslave(const std::string& port, const std::string& bridge);
+  util::Status release(const std::string& port);
+
+  // --- addresses and routes ------------------------------------------------
+  util::Status add_addr(const std::string& dev, const net::IfAddr& addr);
+  util::Status del_addr(const std::string& dev, const net::IfAddr& addr);
+  util::Status add_route(const net::Ipv4Prefix& dst, net::Ipv4Addr via,
+                         const std::string& dev, std::uint32_t metric = 0);
+  util::Status del_route(const net::Ipv4Prefix& dst);
+  util::Status add_neigh(net::Ipv4Addr ip, const net::MacAddr& mac,
+                         const std::string& dev, bool permanent);
+  util::Status del_neigh(net::Ipv4Addr ip);
+
+  // --- sysctl -----------------------------------------------------------------
+  util::Status set_sysctl(const std::string& key, int value);
+  int sysctl(const std::string& key, int fallback = 0) const;
+  bool ip_forward_enabled() const { return sysctl("net.ipv4.ip_forward") != 0; }
+
+  // --- subsystem access (shared state the fast path reads via helpers) ------
+  Fib& fib() { return fib_; }
+  const Fib& fib() const { return fib_; }
+  NeighborTable& neigh() { return neigh_; }
+  const NeighborTable& neigh() const { return neigh_; }
+  Netfilter& netfilter() { return netfilter_; }
+  const Netfilter& netfilter() const { return netfilter_; }
+  IpSetManager& ipsets() { return ipsets_; }
+  const IpSetManager& ipsets() const { return ipsets_; }
+  Conntrack& conntrack() { return conntrack_; }
+  Ipvs& ipvs() { return ipvs_; }
+  const Ipvs& ipvs() const { return ipvs_; }
+  Bridge* bridge(int ifindex);
+  const Bridge* bridge(int ifindex) const;
+  Bridge* bridge_by_name(const std::string& name);
+  std::vector<Bridge*> bridges();
+
+  // Netfilter mutations via the kernel so change events are published.
+  util::Status ipt_append(const std::string& chain, Rule rule);
+  util::Status ipt_insert(const std::string& chain, std::size_t index, Rule r);
+  util::Status ipt_delete(const std::string& chain, std::size_t index);
+  util::Status ipt_flush(const std::string& chain);
+  util::Status ipt_new_chain(const std::string& name);
+  util::Status ipt_set_policy(const std::string& chain, NfVerdict policy);
+  util::Status ipset_create(const std::string& name, IpSetType type);
+  util::Status ipset_add(const std::string& name,
+                         const net::Ipv4Prefix& member);
+  util::Status ipset_del(const std::string& name,
+                         const net::Ipv4Prefix& member);
+  util::Status ipset_destroy(const std::string& name);
+
+  // ipvs mutations via the kernel so change events are published.
+  util::Status ipvs_add_service(net::Ipv4Addr vip, std::uint16_t port,
+                                std::uint8_t proto, IpvsScheduler scheduler);
+  util::Status ipvs_del_service(net::Ipv4Addr vip, std::uint16_t port,
+                                std::uint8_t proto);
+  util::Status ipvs_add_backend(net::Ipv4Addr vip, std::uint16_t port,
+                                std::uint8_t proto, net::Ipv4Addr backend,
+                                std::uint16_t backend_port,
+                                std::uint32_t weight);
+
+  // --- netlink ---------------------------------------------------------------
+  nl::Bus& netlink() { return netlink_; }
+  std::vector<nl::Message> dump(nl::DumpKind kind) const override;
+
+  // --- datapath ----------------------------------------------------------------
+  // Packet arrives on a device (from a NIC, a veth peer, or XDP_TX bounce).
+  RxSummary rx(int ifindex, net::Packet&& pkt, CycleTrace& trace);
+
+  // Transmit out of a device from the stack / fast path.
+  void dev_xmit(int ifindex, net::Packet&& pkt, CycleTrace& trace);
+
+  // Host-originated IP packet (OUTPUT path: netfilter OUTPUT, FIB, neigh).
+  void send_ip_packet(net::Packet&& pkt, CycleTrace& trace);
+
+  // Local L4 delivery: handlers keyed by (proto, dst port); e.g. a netperf
+  // server. Handler may synthesize replies via send_ip_packet.
+  using L4Handler = std::function<void(Kernel& kernel,
+                                       const net::ParsedPacket& info,
+                                       const net::Packet& pkt,
+                                       CycleTrace& trace)>;
+  void register_l4_handler(std::uint8_t proto, std::uint16_t port,
+                           L4Handler handler);
+
+  const KernelCounters& counters() const { return counters_; }
+  KernelCounters& mutable_counters() { return counters_; }
+
+  // Enables conntrack consultation on forwarded/delivered packets (off by
+  // default; the Kubernetes scenario turns it on, like kube-proxy does).
+  void set_conntrack_enabled(bool enabled) { conntrack_enabled_ = enabled; }
+  bool conntrack_enabled() const { return conntrack_enabled_; }
+
+ private:
+  // Slow-path stages (slowpath.cpp).
+  RxSummary stack_rx(NetDevice& dev, net::Packet&& pkt, CycleTrace& trace);
+  RxSummary bridge_rx(Bridge& br, NetDevice& port_dev, net::Packet&& pkt,
+                      CycleTrace& trace);
+  RxSummary ip_rcv(NetDevice& in_dev, net::Packet&& pkt, CycleTrace& trace);
+  RxSummary ip_forward(NetDevice& in_dev, net::Packet&& pkt,
+                       const net::ParsedPacket& info, CycleTrace& trace);
+  RxSummary local_deliver(NetDevice& in_dev, net::Packet&& pkt,
+                          const net::ParsedPacket& info, CycleTrace& trace);
+  RxSummary arp_rx(NetDevice& in_dev, net::Packet&& pkt, CycleTrace& trace);
+  // ipvs director input path: schedule/NAT traffic addressed to a VIP.
+  RxSummary ipvs_in(NetDevice& in_dev, net::Packet&& pkt,
+                    const net::ParsedPacket& info,
+                    const VirtualService& svc, CycleTrace& trace);
+  void bridge_dev_xmit(Bridge& br, NetDevice& br_dev, net::Packet&& pkt,
+                       CycleTrace& trace);
+  void vxlan_xmit(NetDevice& vxlan_dev, net::Packet&& pkt, CycleTrace& trace);
+  RxSummary vxlan_rx(NetDevice& in_dev, net::Packet&& pkt,
+                     const net::ParsedPacket& outer, CycleTrace& trace);
+  void icmp_echo_reply(NetDevice& in_dev, const net::Packet& request,
+                       const net::ParsedPacket& info, CycleTrace& trace);
+  // Returns kNone when the packet was handed to a device, kNeighPending when
+  // it was parked awaiting ARP resolution, or a drop reason.
+  Drop resolve_and_xmit(net::Packet&& pkt, net::Ipv4Addr next_hop, int oif,
+                        CycleTrace& trace);
+  void emit_arp_request(net::Ipv4Addr target, int oif, CycleTrace& trace);
+  // Is `addr` assigned to any local device?
+  NetDevice* local_addr_owner(net::Ipv4Addr addr);
+
+  RxSummary drop(Drop reason) {
+    ++counters_.drops[reason];
+    return RxSummary{false, reason};
+  }
+
+  util::Json link_attrs(const NetDevice& dev) const;
+  void publish_link(const NetDevice& dev, bool deleted = false);
+
+  std::string hostname_;
+  CostModel cost_;
+  std::uint64_t now_ns_ = 1'000'000'000;  // start at t=1s
+  int next_ifindex_ = 1;
+
+  std::map<int, std::unique_ptr<NetDevice>> devs_;
+  std::map<std::string, int> dev_names_;
+  std::map<int, std::unique_ptr<Bridge>> bridges_;
+
+  Fib fib_;
+  NeighborTable neigh_;
+  Netfilter netfilter_;
+  IpSetManager ipsets_;
+  Conntrack conntrack_;
+  Ipvs ipvs_;
+  std::map<std::string, int> sysctls_;
+  bool conntrack_enabled_ = false;
+
+  nl::Bus netlink_;
+  KernelCounters counters_;
+
+  std::map<std::pair<std::uint8_t, std::uint16_t>, L4Handler> l4_handlers_;
+
+  // Guards against unbounded recursion through veth/vxlan chains.
+  int rx_depth_ = 0;
+  std::uint64_t last_vxlan_entropy_ = 0;
+};
+
+}  // namespace linuxfp::kern

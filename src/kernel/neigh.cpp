@@ -1,0 +1,73 @@
+#include "kernel/neigh.h"
+
+namespace linuxfp::kern {
+
+const char* neigh_state_name(NeighState s) {
+  switch (s) {
+    case NeighState::kIncomplete: return "INCOMPLETE";
+    case NeighState::kReachable: return "REACHABLE";
+    case NeighState::kStale: return "STALE";
+    case NeighState::kPermanent: return "PERMANENT";
+  }
+  return "?";
+}
+
+NeighEntry& NeighborTable::update(net::Ipv4Addr ip, const net::MacAddr& mac,
+                                  int ifindex, NeighState state,
+                                  std::uint64_t now_ns) {
+  NeighEntry& e = entries_[ip];
+  e.ip = ip;
+  e.mac = mac;
+  e.ifindex = ifindex;
+  // PERMANENT entries (static `ip neigh add ... nud permanent`) are never
+  // downgraded by learning.
+  if (e.state != NeighState::kPermanent || state == NeighState::kPermanent) {
+    e.state = state;
+  }
+  e.updated_ns = now_ns;
+  return e;
+}
+
+NeighEntry& NeighborTable::create_incomplete(net::Ipv4Addr ip, int ifindex,
+                                             std::uint64_t now_ns) {
+  auto it = entries_.find(ip);
+  if (it != entries_.end()) return it->second;
+  NeighEntry& e = entries_[ip];
+  e.ip = ip;
+  e.ifindex = ifindex;
+  e.state = NeighState::kIncomplete;
+  e.updated_ns = now_ns;
+  return e;
+}
+
+const NeighEntry* NeighborTable::lookup(net::Ipv4Addr ip) const {
+  auto it = entries_.find(ip);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+NeighEntry* NeighborTable::lookup_mutable(net::Ipv4Addr ip) {
+  auto it = entries_.find(ip);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool NeighborTable::erase(net::Ipv4Addr ip) { return entries_.erase(ip) > 0; }
+
+std::size_t NeighborTable::age(std::uint64_t now_ns, std::uint64_t ttl_ns) {
+  std::size_t aged = 0;
+  for (auto& [ip, e] : entries_) {
+    if (e.state == NeighState::kReachable && now_ns - e.updated_ns > ttl_ns) {
+      e.state = NeighState::kStale;
+      ++aged;
+    }
+  }
+  return aged;
+}
+
+std::vector<const NeighEntry*> NeighborTable::dump() const {
+  std::vector<const NeighEntry*> out;
+  out.reserve(entries_.size());
+  for (const auto& [ip, e] : entries_) out.push_back(&e);
+  return out;
+}
+
+}  // namespace linuxfp::kern

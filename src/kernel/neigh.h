@@ -1,0 +1,58 @@
+// Neighbor (ARP) table, modeling the kernel neighbour subsystem: per-device
+// IPv4 -> MAC entries with reachability state, plus the small queue of
+// packets parked while resolution is in flight (Linux queues up to
+// unres_qlen packets per pending neighbour).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipaddr.h"
+#include "net/mac.h"
+#include "net/packet.h"
+
+namespace linuxfp::kern {
+
+enum class NeighState { kIncomplete, kReachable, kStale, kPermanent };
+
+const char* neigh_state_name(NeighState s);
+
+struct NeighEntry {
+  net::Ipv4Addr ip;
+  net::MacAddr mac;
+  int ifindex = 0;
+  NeighState state = NeighState::kReachable;
+  std::uint64_t updated_ns = 0;
+  std::vector<net::Packet> pending;  // packets awaiting resolution
+};
+
+class NeighborTable {
+ public:
+  static constexpr std::size_t kMaxPending = 3;  // unres_qlen_pkts analogue
+
+  // Inserts/updates an entry (learning from ARP or `ip neigh add`).
+  NeighEntry& update(net::Ipv4Addr ip, const net::MacAddr& mac, int ifindex,
+                     NeighState state, std::uint64_t now_ns);
+
+  // Creates (or returns) an incomplete entry for an in-flight resolution.
+  NeighEntry& create_incomplete(net::Ipv4Addr ip, int ifindex,
+                                std::uint64_t now_ns);
+
+  const NeighEntry* lookup(net::Ipv4Addr ip) const;
+  NeighEntry* lookup_mutable(net::Ipv4Addr ip);
+
+  bool erase(net::Ipv4Addr ip);
+
+  // Marks entries not refreshed within ttl_ns as stale; returns count.
+  std::size_t age(std::uint64_t now_ns, std::uint64_t ttl_ns);
+
+  std::vector<const NeighEntry*> dump() const;
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<net::Ipv4Addr, NeighEntry> entries_;
+};
+
+}  // namespace linuxfp::kern

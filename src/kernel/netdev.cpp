@@ -1,0 +1,47 @@
+#include "kernel/netdev.h"
+
+#include <algorithm>
+
+namespace linuxfp::kern {
+
+const char* dev_kind_name(DevKind kind) {
+  switch (kind) {
+    case DevKind::kPhysical: return "physical";
+    case DevKind::kVeth: return "veth";
+    case DevKind::kBridge: return "bridge";
+    case DevKind::kVxlan: return "vxlan";
+    case DevKind::kLoopback: return "loopback";
+  }
+  return "?";
+}
+
+bool NetDevice::add_addr(const net::IfAddr& addr) {
+  if (std::find(addrs_.begin(), addrs_.end(), addr) != addrs_.end()) {
+    return false;
+  }
+  addrs_.push_back(addr);
+  return true;
+}
+
+bool NetDevice::del_addr(const net::IfAddr& addr) {
+  auto it = std::find(addrs_.begin(), addrs_.end(), addr);
+  if (it == addrs_.end()) return false;
+  addrs_.erase(it);
+  return true;
+}
+
+bool NetDevice::has_addr(net::Ipv4Addr addr) const {
+  for (const auto& a : addrs_) {
+    if (a.addr == addr) return true;
+  }
+  return false;
+}
+
+bool NetDevice::on_link(net::Ipv4Addr addr) const {
+  for (const auto& a : addrs_) {
+    if (a.subnet().contains(addr)) return true;
+  }
+  return false;
+}
+
+}  // namespace linuxfp::kern

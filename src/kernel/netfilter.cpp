@@ -1,0 +1,237 @@
+#include "kernel/netfilter.h"
+
+#include "util/logging.h"
+
+namespace linuxfp::kern {
+
+const char* nf_hook_name(NfHook hook) {
+  switch (hook) {
+    case NfHook::kPrerouting: return "PREROUTING";
+    case NfHook::kInput: return "INPUT";
+    case NfHook::kForward: return "FORWARD";
+    case NfHook::kOutput: return "OUTPUT";
+    case NfHook::kPostrouting: return "POSTROUTING";
+  }
+  return "?";
+}
+
+const char* Netfilter::builtin_chain_for(NfHook hook) {
+  switch (hook) {
+    case NfHook::kInput: return "INPUT";
+    case NfHook::kForward: return "FORWARD";
+    case NfHook::kOutput: return "OUTPUT";
+    default: return nullptr;  // filter table has no PRE/POSTROUTING
+  }
+}
+
+Netfilter::Netfilter() {
+  for (const char* name : {"INPUT", "FORWARD", "OUTPUT"}) {
+    Chain c;
+    c.name = name;
+    c.builtin = true;
+    chains_[name] = std::move(c);
+  }
+}
+
+util::Status Netfilter::new_chain(const std::string& name) {
+  if (chains_.count(name)) {
+    return util::Error::make("ipt.exists", "chain exists: " + name);
+  }
+  Chain c;
+  c.name = name;
+  chains_[name] = std::move(c);
+  ++generation_;
+  return {};
+}
+
+util::Status Netfilter::delete_chain(const std::string& name) {
+  auto it = chains_.find(name);
+  if (it == chains_.end()) {
+    return util::Error::make("ipt.missing", "no such chain: " + name);
+  }
+  if (it->second.builtin) {
+    return util::Error::make("ipt.builtin", "cannot delete builtin chain");
+  }
+  if (!it->second.rules.empty()) {
+    return util::Error::make("ipt.nonempty", "chain not empty: " + name);
+  }
+  chains_.erase(it);
+  ++generation_;
+  return {};
+}
+
+util::Status Netfilter::set_policy(const std::string& chain,
+                                   NfVerdict policy) {
+  Chain* c = find_chain(chain);
+  if (!c) return util::Error::make("ipt.missing", "no such chain: " + chain);
+  if (!c->builtin) {
+    return util::Error::make("ipt.policy", "policy only on builtin chains");
+  }
+  c->policy = policy;
+  ++generation_;
+  return {};
+}
+
+util::Status Netfilter::flush(const std::string& chain) {
+  Chain* c = find_chain(chain);
+  if (!c) return util::Error::make("ipt.missing", "no such chain: " + chain);
+  c->rules.clear();
+  ++generation_;
+  return {};
+}
+
+util::Status Netfilter::append_rule(const std::string& chain, Rule rule) {
+  Chain* c = find_chain(chain);
+  if (!c) return util::Error::make("ipt.missing", "no such chain: " + chain);
+  if (rule.target == RuleTarget::kJump && !chains_.count(rule.jump_chain)) {
+    return util::Error::make("ipt.missing",
+                             "no such jump target: " + rule.jump_chain);
+  }
+  c->rules.push_back(std::move(rule));
+  ++generation_;
+  return {};
+}
+
+util::Status Netfilter::insert_rule(const std::string& chain,
+                                    std::size_t index, Rule rule) {
+  Chain* c = find_chain(chain);
+  if (!c) return util::Error::make("ipt.missing", "no such chain: " + chain);
+  if (index > c->rules.size()) {
+    return util::Error::make("ipt.index", "rule index out of range");
+  }
+  c->rules.insert(c->rules.begin() + static_cast<std::ptrdiff_t>(index),
+                  std::move(rule));
+  ++generation_;
+  return {};
+}
+
+util::Status Netfilter::delete_rule(const std::string& chain,
+                                    std::size_t index) {
+  Chain* c = find_chain(chain);
+  if (!c) return util::Error::make("ipt.missing", "no such chain: " + chain);
+  if (index >= c->rules.size()) {
+    return util::Error::make("ipt.index", "rule index out of range");
+  }
+  c->rules.erase(c->rules.begin() + static_cast<std::ptrdiff_t>(index));
+  ++generation_;
+  return {};
+}
+
+Chain* Netfilter::find_chain(const std::string& name) {
+  auto it = chains_.find(name);
+  return it == chains_.end() ? nullptr : &it->second;
+}
+
+const Chain* Netfilter::find_chain(const std::string& name) const {
+  auto it = chains_.find(name);
+  return it == chains_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Chain*> Netfilter::dump() const {
+  std::vector<const Chain*> out;
+  for (const auto& [name, chain] : chains_) out.push_back(&chain);
+  return out;
+}
+
+std::size_t Netfilter::rule_count(const std::string& chain) const {
+  const Chain* c = find_chain(chain);
+  if (!c) return 0;
+  std::size_t n = c->rules.size();
+  for (const Rule& r : c->rules) {
+    if (r.target == RuleTarget::kJump) n += rule_count(r.jump_chain);
+  }
+  return n;
+}
+
+bool Netfilter::has_any_rules_on(NfHook hook) const {
+  const char* name = builtin_chain_for(hook);
+  if (!name) return false;
+  const Chain* c = find_chain(name);
+  if (!c) return false;
+  return !c->rules.empty() || c->policy == NfVerdict::kDrop;
+}
+
+bool Netfilter::rule_matches(const Rule& rule, const NfPacketInfo& info,
+                             const IpSetManager& ipsets,
+                             NfEvalResult& stats) {
+  const RuleMatch& m = rule.match;
+  if (m.src) {
+    bool hit = m.src->contains(info.src);
+    if (hit == m.src_negated) return false;
+  }
+  if (m.dst) {
+    bool hit = m.dst->contains(info.dst);
+    if (hit == m.dst_negated) return false;
+  }
+  if (m.proto && *m.proto != info.proto) return false;
+  if (m.sport && *m.sport != info.sport) return false;
+  if (m.dport && *m.dport != info.dport) return false;
+  if (!m.in_if.empty() && m.in_if != info.in_if) return false;
+  if (!m.out_if.empty() && m.out_if != info.out_if) return false;
+  if (!m.match_set.empty()) {
+    const IpSet* set = ipsets.find(m.match_set);
+    if (!set) return false;
+    ++stats.ipset_probes;
+    if (!set->test(m.set_match_src ? info.src : info.dst)) return false;
+  }
+  if (!m.ct_state.empty()) {
+    // Untracked packets (ct_state < 0) match no state rule, like packets
+    // nf_conntrack classifies INVALID.
+    if (m.ct_state == "NEW" && info.ct_state != 0) return false;
+    if (m.ct_state == "ESTABLISHED" && info.ct_state != 1) return false;
+  }
+  return true;
+}
+
+NfVerdict Netfilter::eval_chain(const Chain& chain, const NfPacketInfo& info,
+                                const IpSetManager& ipsets,
+                                NfEvalResult& stats, int depth,
+                                bool& decided) const {
+  LFP_CHECK_MSG(depth < 16, "iptables jump depth exceeded");
+  for (const Rule& rule : chain.rules) {
+    ++stats.rules_examined;
+    if (!rule_matches(rule, info, ipsets, stats)) continue;
+    ++rule.hits;
+    rule.hit_bytes += info.bytes;
+    switch (rule.target) {
+      case RuleTarget::kAccept:
+        decided = true;
+        return NfVerdict::kAccept;
+      case RuleTarget::kDrop:
+        decided = true;
+        return NfVerdict::kDrop;
+      case RuleTarget::kReturn:
+        decided = false;
+        return NfVerdict::kAccept;
+      case RuleTarget::kJump: {
+        const Chain* target = find_chain(rule.jump_chain);
+        LFP_CHECK_MSG(target != nullptr, "dangling jump target");
+        bool sub_decided = false;
+        NfVerdict v =
+            eval_chain(*target, info, ipsets, stats, depth + 1, sub_decided);
+        if (sub_decided) {
+          decided = true;
+          return v;
+        }
+        break;  // RETURN or fall-through: continue this chain
+      }
+    }
+  }
+  decided = false;
+  return NfVerdict::kAccept;
+}
+
+NfEvalResult Netfilter::evaluate(NfHook hook, const NfPacketInfo& info,
+                                 const IpSetManager& ipsets) const {
+  NfEvalResult result;
+  const char* name = builtin_chain_for(hook);
+  if (!name) return result;
+  const Chain* chain = find_chain(name);
+  if (!chain) return result;
+  bool decided = false;
+  NfVerdict v = eval_chain(*chain, info, ipsets, result, 0, decided);
+  result.verdict = decided ? v : chain->policy;
+  return result;
+}
+
+}  // namespace linuxfp::kern

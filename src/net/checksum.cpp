@@ -1,0 +1,37 @@
+#include "net/checksum.h"
+
+namespace linuxfp::net {
+
+std::uint16_t checksum_fold(const std::uint8_t* data, std::size_t len,
+                            std::uint32_t initial) {
+  std::uint32_t sum = initial;
+  std::size_t i = 0;
+  for (; i + 1 < len; i += 2) {
+    sum += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
+  }
+  if (i < len) {
+    sum += static_cast<std::uint32_t>(data[i]) << 8;
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(sum);
+}
+
+std::uint16_t internet_checksum(const std::uint8_t* data, std::size_t len) {
+  return static_cast<std::uint16_t>(~checksum_fold(data, len));
+}
+
+std::uint16_t checksum_update16(std::uint16_t old_csum, std::uint16_t old_val,
+                                std::uint16_t new_val) {
+  // HC' = ~(~HC + ~m + m') per RFC 1624.
+  std::uint32_t sum = static_cast<std::uint16_t>(~old_csum);
+  sum += static_cast<std::uint16_t>(~old_val);
+  sum += new_val;
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum);
+}
+
+}  // namespace linuxfp::net

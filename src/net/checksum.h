@@ -1,0 +1,22 @@
+// Internet checksum (RFC 1071) helpers, including incremental update used by
+// fast-path TTL decrement (mirrors the kernel's ip_decrease_ttl).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace linuxfp::net {
+
+// One's-complement sum over a byte range, folded to 16 bits (not inverted).
+std::uint16_t checksum_fold(const std::uint8_t* data, std::size_t len,
+                            std::uint32_t initial = 0);
+
+// Full internet checksum (inverted fold) over the range.
+std::uint16_t internet_checksum(const std::uint8_t* data, std::size_t len);
+
+// Incrementally updates an existing checksum when a 16-bit field changes
+// (RFC 1624 eqn. 3).
+std::uint16_t checksum_update16(std::uint16_t old_csum, std::uint16_t old_val,
+                                std::uint16_t new_val);
+
+}  // namespace linuxfp::net

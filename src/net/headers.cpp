@@ -1,0 +1,327 @@
+#include "net/headers.h"
+
+#include <cstring>
+
+#include "net/checksum.h"
+#include "util/logging.h"
+
+namespace linuxfp::net {
+
+std::uint16_t load_be16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(std::uint16_t{p[0]} << 8 | p[1]);
+}
+
+std::uint32_t load_be32(const std::uint8_t* p) {
+  return std::uint32_t{p[0]} << 24 | std::uint32_t{p[1]} << 16 |
+         std::uint32_t{p[2]} << 8 | p[3];
+}
+
+void store_be16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+
+void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+MacAddr EthernetView::dst() const {
+  std::array<std::uint8_t, 6> b;
+  std::memcpy(b.data(), base_, 6);
+  return MacAddr(b);
+}
+
+MacAddr EthernetView::src() const {
+  std::array<std::uint8_t, 6> b;
+  std::memcpy(b.data(), base_ + 6, 6);
+  return MacAddr(b);
+}
+
+void EthernetView::set_dst(const MacAddr& mac) {
+  std::memcpy(base_, mac.bytes().data(), 6);
+}
+
+void EthernetView::set_src(const MacAddr& mac) {
+  std::memcpy(base_ + 6, mac.bytes().data(), 6);
+}
+
+void Ipv4View::update_checksum() {
+  set_checksum(0);
+  set_checksum(internet_checksum(base_, header_len()));
+}
+
+bool Ipv4View::checksum_valid() const {
+  return checksum_fold(base_, header_len()) == 0xffff;
+}
+
+void Ipv4View::decrement_ttl() {
+  // The TTL shares a 16-bit checksum word with the protocol field.
+  std::uint16_t old_word = load_be16(base_ + 8);
+  set_ttl(static_cast<std::uint8_t>(ttl() - 1));
+  std::uint16_t new_word = load_be16(base_ + 8);
+  set_checksum(checksum_update16(checksum(), old_word, new_word));
+}
+
+void IcmpView::update_checksum(std::size_t icmp_len) {
+  store_be16(base_ + 2, 0);
+  store_be16(base_ + 2, internet_checksum(base_, icmp_len));
+}
+
+ArpFields ArpView::read() const {
+  ArpFields f;
+  f.opcode = load_be16(base_ + 6);
+  std::array<std::uint8_t, 6> mac;
+  std::memcpy(mac.data(), base_ + 8, 6);
+  f.sender_mac = MacAddr(mac);
+  f.sender_ip = Ipv4Addr(load_be32(base_ + 14));
+  std::memcpy(mac.data(), base_ + 18, 6);
+  f.target_mac = MacAddr(mac);
+  f.target_ip = Ipv4Addr(load_be32(base_ + 24));
+  return f;
+}
+
+void ArpView::write(const ArpFields& fields) {
+  store_be16(base_, 1);       // HTYPE: Ethernet
+  store_be16(base_ + 2, kEtherTypeIpv4);
+  base_[4] = 6;               // HLEN
+  base_[5] = 4;               // PLEN
+  store_be16(base_ + 6, fields.opcode);
+  std::memcpy(base_ + 8, fields.sender_mac.bytes().data(), 6);
+  store_be32(base_ + 14, fields.sender_ip.value());
+  std::memcpy(base_ + 18, fields.target_mac.bytes().data(), 6);
+  store_be32(base_ + 24, fields.target_ip.value());
+}
+
+std::optional<ParsedPacket> parse_packet(const Packet& pkt) {
+  ParsedPacket out;
+  const std::uint8_t* base = pkt.data();
+  std::size_t len = pkt.size();
+  if (len < kEthHdrLen) return std::nullopt;
+
+  EthernetView eth(const_cast<std::uint8_t*>(base));
+  out.eth_dst = eth.dst();
+  out.eth_src = eth.src();
+  out.ethertype = eth.ethertype();
+  std::size_t offset = kEthHdrLen;
+
+  if (out.ethertype == kEtherTypeVlan) {
+    if (len < offset + kVlanHdrLen) return std::nullopt;
+    VlanView vlan(const_cast<std::uint8_t*>(base + 12 + 2));
+    out.has_vlan = true;
+    out.vlan_id = vlan.vid();
+    out.ethertype = vlan.inner_ethertype();
+    offset += kVlanHdrLen;
+  }
+  out.l3_offset = offset;
+
+  if (out.ethertype == kEtherTypeIpv4) {
+    if (len < offset + kIpv4HdrLen) return std::nullopt;
+    Ipv4View ip(const_cast<std::uint8_t*>(base + offset));
+    if (ip.version() != 4 || ip.header_len() < kIpv4HdrLen) return std::nullopt;
+    if (len < offset + ip.header_len()) return std::nullopt;
+    out.has_ipv4 = true;
+    out.ip_src = ip.src();
+    out.ip_dst = ip.dst();
+    out.ip_proto = ip.protocol();
+    out.ttl = ip.ttl();
+    out.ip_fragment = ip.is_fragment();
+    out.l4_offset = offset + ip.header_len();
+
+    if (!out.ip_fragment &&
+        (out.ip_proto == kIpProtoUdp || out.ip_proto == kIpProtoTcp)) {
+      std::size_t need = out.ip_proto == kIpProtoUdp ? kUdpHdrLen : kTcpHdrLen;
+      if (len >= out.l4_offset + need) {
+        out.has_ports = true;
+        out.src_port = load_be16(base + out.l4_offset);
+        out.dst_port = load_be16(base + out.l4_offset + 2);
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Writes eth + ipv4 headers; returns the L4 offset.
+std::size_t write_eth_ipv4(Packet& pkt, const MacAddr& eth_src,
+                           const MacAddr& eth_dst, Ipv4Addr src, Ipv4Addr dst,
+                           std::uint8_t proto, std::uint8_t ttl,
+                           std::size_t ip_total_len) {
+  EthernetView eth(pkt.data());
+  eth.set_dst(eth_dst);
+  eth.set_src(eth_src);
+  eth.set_ethertype(kEtherTypeIpv4);
+
+  std::uint8_t* l3 = pkt.data() + kEthHdrLen;
+  l3[0] = 0x45;  // version 4, IHL 5
+  l3[1] = 0;     // DSCP
+  Ipv4View ip(l3);
+  ip.set_total_len(static_cast<std::uint16_t>(ip_total_len));
+  ip.set_id(0);
+  ip.set_frag_field(0x4000);  // DF
+  ip.set_ttl(ttl);
+  ip.set_protocol(proto);
+  ip.set_src(src);
+  ip.set_dst(dst);
+  ip.update_checksum();
+  return kEthHdrLen + kIpv4HdrLen;
+}
+
+}  // namespace
+
+Packet build_udp_packet(const MacAddr& eth_src, const MacAddr& eth_dst,
+                        const FlowKey& flow, std::size_t frame_len,
+                        std::uint8_t ttl) {
+  std::size_t min_len = kEthHdrLen + kIpv4HdrLen + kUdpHdrLen;
+  if (frame_len < std::max<std::size_t>(min_len, 60)) {
+    frame_len = std::max<std::size_t>(min_len, 60);
+  }
+  Packet pkt(frame_len);
+  std::size_t l4 = write_eth_ipv4(pkt, eth_src, eth_dst, flow.src_ip,
+                                  flow.dst_ip, kIpProtoUdp, ttl,
+                                  frame_len - kEthHdrLen);
+  UdpView udp(pkt.data() + l4);
+  udp.set_src_port(flow.src_port);
+  udp.set_dst_port(flow.dst_port);
+  udp.set_length(static_cast<std::uint16_t>(frame_len - l4));
+  udp.set_checksum(0);  // optional for IPv4
+  return pkt;
+}
+
+Packet build_tcp_packet(const MacAddr& eth_src, const MacAddr& eth_dst,
+                        const FlowKey& flow, std::uint8_t flags,
+                        std::size_t frame_len, std::uint8_t ttl) {
+  std::size_t min_len = kEthHdrLen + kIpv4HdrLen + kTcpHdrLen;
+  if (frame_len < std::max<std::size_t>(min_len, 60)) {
+    frame_len = std::max<std::size_t>(min_len, 60);
+  }
+  Packet pkt(frame_len);
+  std::size_t l4 = write_eth_ipv4(pkt, eth_src, eth_dst, flow.src_ip,
+                                  flow.dst_ip, kIpProtoTcp, ttl,
+                                  frame_len - kEthHdrLen);
+  TcpView tcp(pkt.data() + l4);
+  tcp.set_src_port(flow.src_port);
+  tcp.set_dst_port(flow.dst_port);
+  tcp.set_seq(1);
+  tcp.set_ack(0);
+  tcp.set_data_offset_words(5);
+  tcp.set_flags(flags);
+  return pkt;
+}
+
+Packet build_arp_request(const MacAddr& sender_mac, Ipv4Addr sender_ip,
+                         Ipv4Addr target_ip) {
+  Packet pkt(60);
+  EthernetView eth(pkt.data());
+  eth.set_dst(MacAddr::broadcast());
+  eth.set_src(sender_mac);
+  eth.set_ethertype(kEtherTypeArp);
+  ArpView arp(pkt.data() + kEthHdrLen);
+  arp.write({.opcode = 1,
+             .sender_mac = sender_mac,
+             .sender_ip = sender_ip,
+             .target_mac = MacAddr::zero(),
+             .target_ip = target_ip});
+  return pkt;
+}
+
+Packet build_arp_reply(const MacAddr& sender_mac, Ipv4Addr sender_ip,
+                       const MacAddr& target_mac, Ipv4Addr target_ip) {
+  Packet pkt(60);
+  EthernetView eth(pkt.data());
+  eth.set_dst(target_mac);
+  eth.set_src(sender_mac);
+  eth.set_ethertype(kEtherTypeArp);
+  ArpView arp(pkt.data() + kEthHdrLen);
+  arp.write({.opcode = 2,
+             .sender_mac = sender_mac,
+             .sender_ip = sender_ip,
+             .target_mac = target_mac,
+             .target_ip = target_ip});
+  return pkt;
+}
+
+Packet build_icmp_echo(const MacAddr& eth_src, const MacAddr& eth_dst,
+                       Ipv4Addr src_ip, Ipv4Addr dst_ip, bool is_reply,
+                       std::uint16_t ident, std::uint16_t seq) {
+  std::size_t frame_len = kEthHdrLen + kIpv4HdrLen + kIcmpHdrLen + 32;
+  Packet pkt(frame_len);
+  std::size_t l4 = write_eth_ipv4(pkt, eth_src, eth_dst, src_ip, dst_ip,
+                                  kIpProtoIcmp, 64, frame_len - kEthHdrLen);
+  IcmpView icmp(pkt.data() + l4);
+  icmp.set_type(is_reply ? 0 : 8);
+  icmp.set_code(0);
+  icmp.set_ident(ident);
+  icmp.set_sequence(seq);
+  icmp.update_checksum(kIcmpHdrLen + 32);
+  return pkt;
+}
+
+void insert_vlan_tag(Packet& pkt, std::uint16_t vid) {
+  LFP_CHECK(pkt.size() >= kEthHdrLen);
+  std::uint16_t outer_type = load_be16(pkt.data() + 12);
+  std::uint8_t* p = pkt.push_front(kVlanHdrLen);
+  // Move dst+src MAC to the new front.
+  std::memmove(p, p + kVlanHdrLen, 12);
+  store_be16(p + 12, kEtherTypeVlan);
+  VlanView vlan(p + 14);
+  vlan.set_tci(vid & 0x0fff);
+  vlan.set_inner_ethertype(outer_type);
+}
+
+void strip_vlan_tag(Packet& pkt) {
+  LFP_CHECK(pkt.size() >= kEthHdrLen + kVlanHdrLen);
+  LFP_CHECK(load_be16(pkt.data() + 12) == kEtherTypeVlan);
+  std::uint16_t inner = load_be16(pkt.data() + 16);
+  std::memmove(pkt.data() + kVlanHdrLen, pkt.data(), 12);
+  pkt.pull_front(kVlanHdrLen);
+  store_be16(pkt.data() + 12, inner);
+}
+
+void vxlan_encap(Packet& pkt, std::uint32_t vni, const MacAddr& outer_src_mac,
+                 const MacAddr& outer_dst_mac, Ipv4Addr outer_src,
+                 Ipv4Addr outer_dst, std::uint16_t src_port_entropy) {
+  std::size_t inner_len = pkt.size();
+  std::size_t overhead = kEthHdrLen + kIpv4HdrLen + kUdpHdrLen + kVxlanHdrLen;
+  std::uint8_t* p = pkt.push_front(overhead);
+
+  EthernetView eth(p);
+  eth.set_dst(outer_dst_mac);
+  eth.set_src(outer_src_mac);
+  eth.set_ethertype(kEtherTypeIpv4);
+
+  std::uint8_t* l3 = p + kEthHdrLen;
+  l3[0] = 0x45;
+  l3[1] = 0;
+  Ipv4View ip(l3);
+  ip.set_total_len(static_cast<std::uint16_t>(
+      kIpv4HdrLen + kUdpHdrLen + kVxlanHdrLen + inner_len));
+  ip.set_id(0);
+  ip.set_frag_field(0x4000);
+  ip.set_ttl(64);
+  ip.set_protocol(kIpProtoUdp);
+  ip.set_src(outer_src);
+  ip.set_dst(outer_dst);
+  ip.update_checksum();
+
+  UdpView udp(l3 + kIpv4HdrLen);
+  udp.set_src_port(static_cast<std::uint16_t>(0xc000 | (src_port_entropy & 0x3fff)));
+  udp.set_dst_port(kVxlanPort);
+  udp.set_length(
+      static_cast<std::uint16_t>(kUdpHdrLen + kVxlanHdrLen + inner_len));
+  udp.set_checksum(0);
+
+  VxlanView vxlan(l3 + kIpv4HdrLen + kUdpHdrLen);
+  vxlan.set_vni(vni);
+}
+
+void vxlan_decap(Packet& pkt) {
+  std::size_t overhead = kEthHdrLen + kIpv4HdrLen + kUdpHdrLen + kVxlanHdrLen;
+  LFP_CHECK(pkt.size() > overhead);
+  pkt.pull_front(overhead);
+}
+
+}  // namespace linuxfp::net

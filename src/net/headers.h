@@ -1,0 +1,291 @@
+// Protocol header views and packet builders.
+//
+// Views are non-owning accessors over packet bytes; all multi-byte fields are
+// big-endian on the wire and exposed in host order. Callers are responsible
+// for length validation before constructing a view (the kernel slow path and
+// the eBPF verifier each enforce this on their own paths, mirroring Linux).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/ipaddr.h"
+#include "net/mac.h"
+#include "net/packet.h"
+
+namespace linuxfp::net {
+
+// EtherTypes / protocol numbers.
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint16_t kEtherTypeArp = 0x0806;
+inline constexpr std::uint16_t kEtherTypeVlan = 0x8100;
+inline constexpr std::uint8_t kIpProtoIcmp = 1;
+inline constexpr std::uint8_t kIpProtoTcp = 6;
+inline constexpr std::uint8_t kIpProtoUdp = 17;
+
+inline constexpr std::size_t kEthHdrLen = 14;
+inline constexpr std::size_t kVlanHdrLen = 4;
+inline constexpr std::size_t kIpv4HdrLen = 20;  // no options in our traffic
+inline constexpr std::size_t kUdpHdrLen = 8;
+inline constexpr std::size_t kTcpHdrLen = 20;
+inline constexpr std::size_t kIcmpHdrLen = 8;
+inline constexpr std::size_t kArpLen = 28;
+inline constexpr std::size_t kVxlanHdrLen = 8;
+inline constexpr std::uint16_t kVxlanPort = 8472;  // Linux/flannel default
+
+// Raw big-endian accessors.
+std::uint16_t load_be16(const std::uint8_t* p);
+std::uint32_t load_be32(const std::uint8_t* p);
+void store_be16(std::uint8_t* p, std::uint16_t v);
+void store_be32(std::uint8_t* p, std::uint32_t v);
+
+class EthernetView {
+ public:
+  explicit EthernetView(std::uint8_t* base) : base_(base) {}
+
+  MacAddr dst() const;
+  MacAddr src() const;
+  std::uint16_t ethertype() const { return load_be16(base_ + 12); }
+
+  void set_dst(const MacAddr& mac);
+  void set_src(const MacAddr& mac);
+  void set_ethertype(std::uint16_t type) { store_be16(base_ + 12, type); }
+
+ private:
+  std::uint8_t* base_;
+};
+
+class VlanView {
+ public:
+  // base points at the 4-byte 802.1Q tag (right after the src MAC).
+  explicit VlanView(std::uint8_t* base) : base_(base) {}
+  std::uint16_t tci() const { return load_be16(base_); }
+  std::uint16_t vid() const { return tci() & 0x0fff; }
+  std::uint8_t pcp() const { return static_cast<std::uint8_t>(tci() >> 13); }
+  std::uint16_t inner_ethertype() const { return load_be16(base_ + 2); }
+  void set_tci(std::uint16_t tci) { store_be16(base_, tci); }
+  void set_inner_ethertype(std::uint16_t t) { store_be16(base_ + 2, t); }
+
+ private:
+  std::uint8_t* base_;
+};
+
+class Ipv4View {
+ public:
+  explicit Ipv4View(std::uint8_t* base) : base_(base) {}
+
+  std::uint8_t version() const { return base_[0] >> 4; }
+  std::uint8_t ihl() const { return base_[0] & 0x0f; }
+  std::size_t header_len() const { return std::size_t{ihl()} * 4; }
+  std::uint16_t total_len() const { return load_be16(base_ + 2); }
+  std::uint16_t id() const { return load_be16(base_ + 4); }
+  std::uint16_t frag_field() const { return load_be16(base_ + 6); }
+  bool more_fragments() const { return (frag_field() & 0x2000) != 0; }
+  std::uint16_t frag_offset() const { return frag_field() & 0x1fff; }
+  bool is_fragment() const { return more_fragments() || frag_offset() != 0; }
+  std::uint8_t ttl() const { return base_[8]; }
+  std::uint8_t protocol() const { return base_[9]; }
+  std::uint16_t checksum() const { return load_be16(base_ + 10); }
+  Ipv4Addr src() const { return Ipv4Addr(load_be32(base_ + 12)); }
+  Ipv4Addr dst() const { return Ipv4Addr(load_be32(base_ + 16)); }
+
+  void set_total_len(std::uint16_t v) { store_be16(base_ + 2, v); }
+  void set_id(std::uint16_t v) { store_be16(base_ + 4, v); }
+  void set_frag_field(std::uint16_t v) { store_be16(base_ + 6, v); }
+  void set_ttl(std::uint8_t v) { base_[8] = v; }
+  void set_protocol(std::uint8_t v) { base_[9] = v; }
+  void set_checksum(std::uint16_t v) { store_be16(base_ + 10, v); }
+  void set_src(Ipv4Addr a) { store_be32(base_ + 12, a.value()); }
+  void set_dst(Ipv4Addr a) { store_be32(base_ + 16, a.value()); }
+
+  // Recomputes the header checksum from scratch.
+  void update_checksum();
+  bool checksum_valid() const;
+
+  // Decrements TTL and incrementally fixes the checksum, exactly like the
+  // kernel's ip_decrease_ttl.
+  void decrement_ttl();
+
+ private:
+  std::uint8_t* base_;
+};
+
+class UdpView {
+ public:
+  explicit UdpView(std::uint8_t* base) : base_(base) {}
+  std::uint16_t src_port() const { return load_be16(base_); }
+  std::uint16_t dst_port() const { return load_be16(base_ + 2); }
+  std::uint16_t length() const { return load_be16(base_ + 4); }
+  void set_src_port(std::uint16_t v) { store_be16(base_, v); }
+  void set_dst_port(std::uint16_t v) { store_be16(base_ + 2, v); }
+  void set_length(std::uint16_t v) { store_be16(base_ + 4, v); }
+  void set_checksum(std::uint16_t v) { store_be16(base_ + 6, v); }
+
+ private:
+  std::uint8_t* base_;
+};
+
+class TcpView {
+ public:
+  explicit TcpView(std::uint8_t* base) : base_(base) {}
+  std::uint16_t src_port() const { return load_be16(base_); }
+  std::uint16_t dst_port() const { return load_be16(base_ + 2); }
+  std::uint32_t seq() const { return load_be32(base_ + 4); }
+  std::uint32_t ack() const { return load_be32(base_ + 8); }
+  std::uint8_t flags() const { return base_[13]; }
+  bool syn() const { return (flags() & 0x02) != 0; }
+  bool ack_flag() const { return (flags() & 0x10) != 0; }
+  bool fin() const { return (flags() & 0x01) != 0; }
+  bool rst() const { return (flags() & 0x04) != 0; }
+  void set_src_port(std::uint16_t v) { store_be16(base_, v); }
+  void set_dst_port(std::uint16_t v) { store_be16(base_ + 2, v); }
+  void set_seq(std::uint32_t v) { store_be32(base_ + 4, v); }
+  void set_ack(std::uint32_t v) { store_be32(base_ + 8, v); }
+  void set_flags(std::uint8_t v) { base_[13] = v; }
+  void set_data_offset_words(std::uint8_t words) {
+    base_[12] = static_cast<std::uint8_t>(words << 4);
+  }
+
+ private:
+  std::uint8_t* base_;
+};
+
+class IcmpView {
+ public:
+  explicit IcmpView(std::uint8_t* base) : base_(base) {}
+  std::uint8_t type() const { return base_[0]; }
+  std::uint8_t code() const { return base_[1]; }
+  std::uint16_t ident() const { return load_be16(base_ + 4); }
+  std::uint16_t sequence() const { return load_be16(base_ + 6); }
+  void set_type(std::uint8_t v) { base_[0] = v; }
+  void set_code(std::uint8_t v) { base_[1] = v; }
+  void set_ident(std::uint16_t v) { store_be16(base_ + 4, v); }
+  void set_sequence(std::uint16_t v) { store_be16(base_ + 6, v); }
+  void update_checksum(std::size_t icmp_len);
+
+ private:
+  std::uint8_t* base_;
+};
+
+struct ArpFields {
+  std::uint16_t opcode = 0;  // 1=request, 2=reply
+  MacAddr sender_mac;
+  Ipv4Addr sender_ip;
+  MacAddr target_mac;
+  Ipv4Addr target_ip;
+};
+
+class ArpView {
+ public:
+  explicit ArpView(std::uint8_t* base) : base_(base) {}
+  ArpFields read() const;
+  void write(const ArpFields& fields);
+
+ private:
+  std::uint8_t* base_;
+};
+
+class VxlanView {
+ public:
+  explicit VxlanView(std::uint8_t* base) : base_(base) {}
+  std::uint32_t vni() const { return load_be32(base_ + 4) >> 8; }
+  void set_vni(std::uint32_t vni) {
+    base_[0] = 0x08;  // flags: VNI valid
+    base_[1] = base_[2] = base_[3] = 0;
+    store_be32(base_ + 4, vni << 8);
+  }
+
+ private:
+  std::uint8_t* base_;
+};
+
+// --- Parsed summary ---------------------------------------------------------
+
+// A decoded summary of the outermost headers; convenience for tests and the
+// slow-path dispatcher (the fast path parses bytes itself).
+struct ParsedPacket {
+  MacAddr eth_dst;
+  MacAddr eth_src;
+  std::uint16_t ethertype = 0;  // inner type when a VLAN tag is present
+  bool has_vlan = false;
+  std::uint16_t vlan_id = 0;
+  std::size_t l3_offset = 0;
+
+  bool has_ipv4 = false;
+  Ipv4Addr ip_src;
+  Ipv4Addr ip_dst;
+  std::uint8_t ip_proto = 0;
+  std::uint8_t ttl = 0;
+  bool ip_fragment = false;
+  std::size_t l4_offset = 0;
+
+  bool has_ports = false;  // UDP or TCP
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+};
+
+// Returns nullopt if the packet is too short for the headers it claims.
+std::optional<ParsedPacket> parse_packet(const Packet& pkt);
+
+// --- Builders ---------------------------------------------------------------
+
+struct FlowKey {
+  Ipv4Addr src_ip;
+  Ipv4Addr dst_ip;
+  std::uint8_t proto = kIpProtoUdp;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  bool operator==(const FlowKey&) const = default;
+};
+
+// Builds an Ethernet+IPv4+UDP packet of exactly `frame_len` bytes (>= 60 and
+// >= the header stack); payload is zeroed.
+Packet build_udp_packet(const MacAddr& eth_src, const MacAddr& eth_dst,
+                        const FlowKey& flow, std::size_t frame_len,
+                        std::uint8_t ttl = 64);
+
+// Builds an Ethernet+IPv4+TCP packet; flags is the TCP flags byte.
+Packet build_tcp_packet(const MacAddr& eth_src, const MacAddr& eth_dst,
+                        const FlowKey& flow, std::uint8_t flags,
+                        std::size_t frame_len, std::uint8_t ttl = 64);
+
+Packet build_arp_request(const MacAddr& sender_mac, Ipv4Addr sender_ip,
+                         Ipv4Addr target_ip);
+Packet build_arp_reply(const MacAddr& sender_mac, Ipv4Addr sender_ip,
+                       const MacAddr& target_mac, Ipv4Addr target_ip);
+
+Packet build_icmp_echo(const MacAddr& eth_src, const MacAddr& eth_dst,
+                       Ipv4Addr src_ip, Ipv4Addr dst_ip, bool is_reply,
+                       std::uint16_t ident, std::uint16_t seq);
+
+// Inserts an 802.1Q tag after the source MAC (packet grows by 4 bytes).
+void insert_vlan_tag(Packet& pkt, std::uint16_t vid);
+// Removes the 802.1Q tag; precondition: packet is tagged.
+void strip_vlan_tag(Packet& pkt);
+
+// VXLAN encapsulation: pushes outer Ethernet+IPv4+UDP+VXLAN in the headroom.
+void vxlan_encap(Packet& pkt, std::uint32_t vni, const MacAddr& outer_src_mac,
+                 const MacAddr& outer_dst_mac, Ipv4Addr outer_src,
+                 Ipv4Addr outer_dst, std::uint16_t src_port_entropy);
+// Removes the outer headers; precondition: packet is a VXLAN frame.
+void vxlan_decap(Packet& pkt);
+
+}  // namespace linuxfp::net
+
+template <>
+struct std::hash<linuxfp::net::FlowKey> {
+  std::size_t operator()(const linuxfp::net::FlowKey& f) const noexcept {
+    // splitmix64 finalizer so every tuple bit affects the low bits (RSS
+    // queue selection uses hash % nqueues).
+    std::uint64_t x = (std::uint64_t{f.src_ip.value()} << 32) |
+                      f.dst_ip.value();
+    x ^= (std::uint64_t{f.src_port} << 24) ^ (std::uint64_t{f.dst_port} << 8) ^
+         f.proto;
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};

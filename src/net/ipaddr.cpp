@@ -1,0 +1,94 @@
+#include "net/ipaddr.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace linuxfp::net {
+
+util::Result<Ipv4Addr> Ipv4Addr::parse(const std::string& text) {
+  unsigned a, b, c, d;
+  char tail;
+  int matched =
+      std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail);
+  if (matched != 4 || a > 255 || b > 255 || c > 255 || d > 255) {
+    return util::Error::make("ip.parse", "bad IPv4 address: " + text);
+  }
+  return Ipv4Addr::from_octets(static_cast<std::uint8_t>(a),
+                               static_cast<std::uint8_t>(b),
+                               static_cast<std::uint8_t>(c),
+                               static_cast<std::uint8_t>(d));
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", value_ >> 24,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+Ipv4Prefix::Ipv4Prefix(Ipv4Addr addr, std::uint8_t prefix_len)
+    : prefix_len_(prefix_len) {
+  LFP_CHECK_MSG(prefix_len <= 32, "prefix length out of range");
+  network_ = Ipv4Addr(addr.value() & mask());
+}
+
+util::Result<Ipv4Prefix> Ipv4Prefix::parse(const std::string& text) {
+  auto parts = util::split(text, '/');
+  if (parts.size() > 2) {
+    return util::Error::make("prefix.parse", "bad prefix: " + text);
+  }
+  auto addr = Ipv4Addr::parse(parts[0]);
+  if (!addr.ok()) return addr.error();
+  std::uint8_t len = 32;
+  if (parts.size() == 2) {
+    unsigned long long v;
+    if (!util::parse_u64(parts[1], v) || v > 32) {
+      return util::Error::make("prefix.parse", "bad prefix length: " + text);
+    }
+    len = static_cast<std::uint8_t>(v);
+  }
+  return Ipv4Prefix(addr.value(), len);
+}
+
+std::uint32_t Ipv4Prefix::mask() const {
+  if (prefix_len_ == 0) return 0;
+  return 0xffffffffu << (32 - prefix_len_);
+}
+
+bool Ipv4Prefix::contains(Ipv4Addr addr) const {
+  return (addr.value() & mask()) == network_.value();
+}
+
+bool Ipv4Prefix::contains(const Ipv4Prefix& other) const {
+  return other.prefix_len() >= prefix_len_ && contains(other.network());
+}
+
+Ipv4Addr Ipv4Prefix::host(std::uint32_t k) const {
+  return Ipv4Addr(network_.value() | (k & ~mask()));
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return network_.to_string() + "/" + std::to_string(prefix_len_);
+}
+
+util::Result<IfAddr> IfAddr::parse(const std::string& text) {
+  auto parts = util::split(text, '/');
+  if (parts.size() > 2) {
+    return util::Error::make("ifaddr.parse", "bad address: " + text);
+  }
+  auto addr = Ipv4Addr::parse(parts[0]);
+  if (!addr.ok()) return addr.error();
+  std::uint8_t len = 32;
+  if (parts.size() == 2) {
+    unsigned long long v;
+    if (!util::parse_u64(parts[1], v) || v > 32) {
+      return util::Error::make("ifaddr.parse", "bad prefix length: " + text);
+    }
+    len = static_cast<std::uint8_t>(v);
+  }
+  return IfAddr{addr.value(), len};
+}
+
+}  // namespace linuxfp::net

@@ -1,0 +1,99 @@
+// IPv4 address and CIDR prefix value types.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/result.h"
+
+namespace linuxfp::net {
+
+class Ipv4Addr {
+ public:
+  Ipv4Addr() = default;
+  // Host byte order value (0x0A000001 == 10.0.0.1).
+  explicit Ipv4Addr(std::uint32_t host_order) : value_(host_order) {}
+
+  static Ipv4Addr from_octets(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                              std::uint8_t d) {
+    return Ipv4Addr((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                    (std::uint32_t{c} << 8) | d);
+  }
+  static util::Result<Ipv4Addr> parse(const std::string& text);
+
+  std::uint32_t value() const { return value_; }
+  bool is_zero() const { return value_ == 0; }
+  bool is_broadcast() const { return value_ == 0xffffffffu; }
+  bool is_multicast() const { return (value_ & 0xf0000000u) == 0xe0000000u; }
+  bool is_loopback() const { return (value_ >> 24) == 127; }
+
+  std::string to_string() const;
+
+  bool operator==(const Ipv4Addr& o) const { return value_ == o.value_; }
+  bool operator!=(const Ipv4Addr& o) const { return value_ != o.value_; }
+  bool operator<(const Ipv4Addr& o) const { return value_ < o.value_; }
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+// A CIDR prefix: address + prefix length, canonicalized (host bits zeroed).
+class Ipv4Prefix {
+ public:
+  Ipv4Prefix() = default;
+  Ipv4Prefix(Ipv4Addr addr, std::uint8_t prefix_len);
+
+  // Parses "a.b.c.d/len" or a bare address (treated as /32).
+  static util::Result<Ipv4Prefix> parse(const std::string& text);
+
+  Ipv4Addr network() const { return network_; }
+  std::uint8_t prefix_len() const { return prefix_len_; }
+  std::uint32_t mask() const;
+
+  bool contains(Ipv4Addr addr) const;
+  bool contains(const Ipv4Prefix& other) const;
+
+  // The k-th host address inside the prefix (k=1 is .1 etc.).
+  Ipv4Addr host(std::uint32_t k) const;
+
+  std::string to_string() const;
+
+  bool operator==(const Ipv4Prefix& o) const {
+    return network_ == o.network_ && prefix_len_ == o.prefix_len_;
+  }
+  bool operator<(const Ipv4Prefix& o) const {
+    if (network_ != o.network_) return network_ < o.network_;
+    return prefix_len_ < o.prefix_len_;
+  }
+
+ private:
+  Ipv4Addr network_;
+  std::uint8_t prefix_len_ = 0;
+};
+
+// An interface address: full host address plus prefix length (what
+// `ip addr add 10.0.0.1/24` configures). Unlike Ipv4Prefix the host bits are
+// preserved.
+struct IfAddr {
+  Ipv4Addr addr;
+  std::uint8_t prefix_len = 32;
+
+  static util::Result<IfAddr> parse(const std::string& text);
+
+  Ipv4Prefix subnet() const { return Ipv4Prefix(addr, prefix_len); }
+  std::string to_string() const {
+    return addr.to_string() + "/" + std::to_string(prefix_len);
+  }
+
+  bool operator==(const IfAddr&) const = default;
+};
+
+}  // namespace linuxfp::net
+
+template <>
+struct std::hash<linuxfp::net::Ipv4Addr> {
+  std::size_t operator()(const linuxfp::net::Ipv4Addr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

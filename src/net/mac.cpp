@@ -1,0 +1,65 @@
+#include "net/mac.h"
+
+#include <cstdio>
+
+namespace linuxfp::net {
+
+MacAddr MacAddr::from_id(std::uint32_t id) {
+  std::array<std::uint8_t, 6> b{};
+  b[0] = 0x02;  // locally administered, unicast
+  b[1] = 0x00;
+  b[2] = static_cast<std::uint8_t>(id >> 24);
+  b[3] = static_cast<std::uint8_t>(id >> 16);
+  b[4] = static_cast<std::uint8_t>(id >> 8);
+  b[5] = static_cast<std::uint8_t>(id);
+  return MacAddr(b);
+}
+
+util::Result<MacAddr> MacAddr::parse(const std::string& text) {
+  std::array<std::uint8_t, 6> b{};
+  unsigned v[6];
+  if (std::sscanf(text.c_str(), "%x:%x:%x:%x:%x:%x", &v[0], &v[1], &v[2],
+                  &v[3], &v[4], &v[5]) != 6) {
+    return util::Error::make("mac.parse", "bad MAC address: " + text);
+  }
+  for (int i = 0; i < 6; ++i) {
+    if (v[i] > 0xff) {
+      return util::Error::make("mac.parse", "MAC octet out of range: " + text);
+    }
+    b[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v[i]);
+  }
+  return MacAddr(b);
+}
+
+MacAddr MacAddr::broadcast() {
+  return MacAddr({0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+}
+
+bool MacAddr::is_broadcast() const {
+  for (auto b : bytes_) {
+    if (b != 0xff) return false;
+  }
+  return true;
+}
+
+bool MacAddr::is_zero() const {
+  for (auto b : bytes_) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+std::uint64_t MacAddr::as_u64() const {
+  std::uint64_t v = 0;
+  for (auto b : bytes_) v = (v << 8) | b;
+  return v;
+}
+
+std::string MacAddr::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0],
+                bytes_[1], bytes_[2], bytes_[3], bytes_[4], bytes_[5]);
+  return buf;
+}
+
+}  // namespace linuxfp::net

@@ -1,0 +1,49 @@
+// 48-bit Ethernet MAC address value type.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/result.h"
+
+namespace linuxfp::net {
+
+class MacAddr {
+ public:
+  MacAddr() = default;
+  explicit MacAddr(const std::array<std::uint8_t, 6>& bytes) : bytes_(bytes) {}
+
+  // Builds a locally-administered unicast MAC from a 32-bit id (used by the
+  // simulator to hand out unique addresses).
+  static MacAddr from_id(std::uint32_t id);
+  static util::Result<MacAddr> parse(const std::string& text);
+  static MacAddr broadcast();
+  static MacAddr zero() { return MacAddr{}; }
+
+  bool is_broadcast() const;
+  bool is_multicast() const { return (bytes_[0] & 0x01) != 0; }
+  bool is_zero() const;
+
+  const std::array<std::uint8_t, 6>& bytes() const { return bytes_; }
+  std::uint64_t as_u64() const;
+
+  std::string to_string() const;
+
+  bool operator==(const MacAddr& other) const { return bytes_ == other.bytes_; }
+  bool operator!=(const MacAddr& other) const { return !(*this == other); }
+  bool operator<(const MacAddr& other) const { return bytes_ < other.bytes_; }
+
+ private:
+  std::array<std::uint8_t, 6> bytes_{};
+};
+
+}  // namespace linuxfp::net
+
+template <>
+struct std::hash<linuxfp::net::MacAddr> {
+  std::size_t operator()(const linuxfp::net::MacAddr& mac) const noexcept {
+    return std::hash<std::uint64_t>{}(mac.as_u64());
+  }
+};

@@ -1,0 +1,69 @@
+// Packet buffer: a contiguous byte buffer with headroom so encapsulation
+// (VXLAN) can push headers without copying, plus receive metadata. This is
+// the object that flows through NICs, the eBPF VM (as packet memory) and the
+// kernel slow path (wrapped in an SkBuff).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace linuxfp::net {
+
+class Packet {
+ public:
+  static constexpr std::size_t kDefaultHeadroom = 128;
+
+  Packet() : Packet(0) {}
+  explicit Packet(std::size_t data_len, std::size_t headroom = kDefaultHeadroom)
+      : buf_(headroom + data_len, 0), offset_(headroom) {}
+
+  static Packet from_bytes(const std::uint8_t* data, std::size_t len,
+                           std::size_t headroom = kDefaultHeadroom) {
+    Packet p(len, headroom);
+    std::memcpy(p.data(), data, len);
+    return p;
+  }
+
+  std::uint8_t* data() { return buf_.data() + offset_; }
+  const std::uint8_t* data() const { return buf_.data() + offset_; }
+  std::size_t size() const { return buf_.size() - offset_; }
+  std::size_t headroom() const { return offset_; }
+
+  // Grows the packet at the front (encap). Returns pointer to the new bytes.
+  std::uint8_t* push_front(std::size_t n) {
+    LFP_CHECK_MSG(offset_ >= n, "packet headroom exhausted");
+    offset_ -= n;
+    return data();
+  }
+
+  // Shrinks the packet at the front (decap).
+  void pull_front(std::size_t n) {
+    LFP_CHECK_MSG(n <= size(), "pull beyond packet end");
+    offset_ += n;
+  }
+
+  // Grows or truncates the tail.
+  void resize_data(std::size_t new_len) { buf_.resize(offset_ + new_len); }
+
+  // Wire size including Ethernet framing overhead (preamble+SFD+IFG+FCS =
+  // 24 bytes total; payload below 60 B is padded to the 64 B minimum frame).
+  std::size_t wire_size() const {
+    std::size_t frame = size() < 60 ? 64 : size() + 4;  // +FCS
+    return frame + 20;                                  // preamble + IFG
+  }
+
+  // Receive metadata (xdp_md analogue).
+  std::uint32_t ingress_ifindex = 0;
+  std::uint32_t rx_queue = 0;
+  // VLAN metadata when offloaded by the (simulated) NIC; 0 = untagged.
+  std::uint16_t vlan_tci = 0;
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t offset_;
+};
+
+}  // namespace linuxfp::net

@@ -1,0 +1,135 @@
+// A netlink-like message bus between the (simulated) kernel and user-space
+// controllers.
+//
+// Mirrors the two ways real netlink is used by the paper's Service
+// Introspection component (§IV-C1):
+//   1. dump requests at startup (RTM_GETLINK, RTM_GETROUTE, ...) answered
+//      synchronously by the kernel, and
+//   2. multicast notification groups (RTNLGRP_LINK, RTNLGRP_IPV4_ROUTE, ...)
+//      delivered asynchronously to subscribers on configuration changes.
+//
+// Messages carry their attributes as a JSON object: this stands in for the
+// TLV attribute encoding of real netlink while keeping messages
+// self-describing and directly consumable by the TopologyManager.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace linuxfp::nl {
+
+// Message types, matching the rtnetlink constants they model. We also define
+// IPT_* types for iptables/ipset change events, which in the real system come
+// from periodic libiptc polling rather than netlink; modeling them as bus
+// messages keeps one introspection pipeline.
+enum class MsgType {
+  kNewLink,
+  kDelLink,
+  kNewAddr,
+  kDelAddr,
+  kNewRoute,
+  kDelRoute,
+  kNewNeigh,
+  kDelNeigh,
+  kNewRule,   // iptables rule appended/inserted
+  kDelRule,   // iptables rule deleted / chain flushed
+  kNewSet,    // ipset created or modified
+  kDelSet,
+  kSysctl,    // sysctl value changed (e.g. net.ipv4.ip_forward)
+  kNewService,  // ipvs virtual service / backend added or changed
+  kDelService,
+};
+
+const char* msg_type_name(MsgType type);
+
+// Multicast groups a subscriber can join.
+enum class Group {
+  kLink,
+  kAddr,
+  kRoute,
+  kNeigh,
+  kNetfilter,
+  kSysctl,
+  kIpvs,
+};
+
+Group group_of(MsgType type);
+
+struct Message {
+  MsgType type;
+  util::Json attrs;  // attribute object, e.g. {"ifname": "eth0", ...}
+};
+
+// Synchronous dump queries a subscriber can issue (RTM_GET* analogues).
+enum class DumpKind {
+  kLinks,
+  kAddrs,
+  kRoutes,
+  kNeighbors,
+  kRules,    // iptables
+  kSets,     // ipsets
+  kSysctls,
+  kServices,  // ipvs
+};
+
+// The kernel side implements this to answer dump requests.
+class DumpProvider {
+ public:
+  virtual ~DumpProvider() = default;
+  virtual std::vector<Message> dump(DumpKind kind) const = 0;
+};
+
+// A subscriber endpoint: joined groups plus a pending-message queue, like a
+// netlink socket with multicast memberships. Consumers poll with receive().
+class Socket {
+ public:
+  void join(Group group) { groups_.push_back(group); }
+  bool member_of(Group group) const;
+
+  bool has_pending() const { return !queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+  // Pops the oldest pending notification; returns false if none.
+  bool receive(Message& out);
+
+ private:
+  friend class Bus;
+  void enqueue(Message msg) { queue_.push_back(std::move(msg)); }
+
+  std::vector<Group> groups_;
+  std::deque<Message> queue_;
+};
+
+// The bus: the kernel publishes, sockets receive, dumps are answered by the
+// registered provider.
+class Bus {
+ public:
+  // The returned socket is owned by the bus (kernel-lifetime), mirroring
+  // netlink sockets living in kernel memory.
+  Socket* open_socket();
+
+  void set_dump_provider(const DumpProvider* provider) {
+    provider_ = provider;
+  }
+
+  // Kernel-side publish to every member socket.
+  void publish(MsgType type, util::Json attrs);
+
+  std::vector<Message> dump(DumpKind kind) const;
+
+  std::uint64_t published_count() const { return published_; }
+
+ private:
+  std::vector<std::unique_ptr<Socket>> sockets_;
+  const DumpProvider* provider_ = nullptr;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace linuxfp::nl

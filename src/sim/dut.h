@@ -1,0 +1,38 @@
+// Device-under-test abstraction: every platform (Linux, LinuxFP, Polycube,
+// VPP) exposes per-packet processing with cycle accounting so the throughput
+// and latency runners can compare them uniformly — the three-node line
+// topology of the paper's evaluation with the middle box abstracted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/packet.h"
+
+namespace linuxfp::sim {
+
+struct ProcessOutcome {
+  std::uint64_t cycles = 0;
+  bool forwarded = false;  // reached the egress wire
+  bool dropped_by_policy = false;
+  bool fast_path = false;
+};
+
+class DeviceUnderTest {
+ public:
+  virtual ~DeviceUnderTest() = default;
+
+  virtual std::string name() const = 0;
+
+  // Processes one packet arriving on the ingress link.
+  virtual ProcessOutcome process(net::Packet&& pkt) = 0;
+
+  // Busy-polling platforms (VPP/DPDK) consume their cores entirely and
+  // amortize per-packet costs over vector batches.
+  virtual bool busy_poll() const { return false; }
+
+  // CPU frequency for cycle->time conversion.
+  virtual double cpu_hz() const = 0;
+};
+
+}  // namespace linuxfp::sim

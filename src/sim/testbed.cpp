@@ -1,0 +1,120 @@
+#include "sim/testbed.h"
+
+#include "util/logging.h"
+
+namespace linuxfp::sim {
+
+LinuxTestbed::LinuxTestbed(const ScenarioConfig& config)
+    : config_(config), kernel_("dut") {
+  kernel_.add_phys_dev("eth0");
+  kern::NetDevice& eth1 = kernel_.add_phys_dev("eth1");
+  eth1.set_phys_tx([this](net::Packet&&) { ++forwarded_; });
+  kernel_.dev_by_name("eth0")->set_phys_tx([](net::Packet&&) {});
+
+  run("ip link set eth0 up");
+  run("ip link set eth1 up");
+  run("ip addr add 10.10.1.1/24 dev eth0");
+  run("ip addr add 10.10.2.1/24 dev eth1");
+  run("sysctl -w net.ipv4.ip_forward=1");
+
+  src_mac_ = net::MacAddr::from_id(0x501);
+  gw_mac_ = net::MacAddr::from_id(0x502);
+  run("ip neigh add 10.10.1.2 lladdr " + src_mac_.to_string() +
+      " dev eth0 nud permanent");
+  run("ip neigh add 10.10.2.2 lladdr " + gw_mac_.to_string() +
+      " dev eth1 nud permanent");
+
+  for (int i = 0; i < config_.prefixes; ++i) {
+    run("ip route add 10." + std::to_string(100 + (i % 150)) + "." +
+        std::to_string(i / 150) + ".0/24 via 10.10.2.2 dev eth1");
+  }
+
+  // Virtual-gateway filtering: a blacklist of source addresses
+  // (paper §VI-A1, "100 rules blocking a blacklist of IP addresses").
+  if (config_.filter_rules > 0) {
+    if (config_.use_ipset) {
+      run("ipset create blacklist hash:ip");
+      for (int i = 0; i < config_.filter_rules; ++i) {
+        run("ipset add blacklist 10.66." + std::to_string(i / 250) + "." +
+            std::to_string(1 + i % 250));
+      }
+      run("iptables -A FORWARD -m set --match-set blacklist src -j DROP");
+    } else {
+      for (int i = 0; i < config_.filter_rules; ++i) {
+        run("iptables -A FORWARD -s 10.66." + std::to_string(i / 250) + "." +
+            std::to_string(1 + i % 250) + " -j DROP");
+      }
+    }
+  }
+
+  ingress_ifindex_ = kernel_.dev_by_name("eth0")->ifindex();
+  eth0_mac_ = kernel_.dev_by_name("eth0")->mac();
+
+  if (config_.accel != Accel::kNone) {
+    core::ControllerOptions opts;
+    opts.hook = config_.accel == Accel::kLinuxFpTc ? "tc" : "xdp";
+    opts.chain = config_.chain;
+    controller_ = std::make_unique<core::Controller>(kernel_, opts);
+    controller_->start();
+  }
+}
+
+std::string LinuxTestbed::name() const {
+  switch (config_.accel) {
+    case Accel::kNone:
+      return config_.use_ipset ? "Linux (ipset)" : "Linux";
+    case Accel::kLinuxFpXdp:
+      return config_.use_ipset ? "LinuxFP (ipset)" : "LinuxFP";
+    case Accel::kLinuxFpTc:
+      return "LinuxFP (tc)";
+  }
+  return "?";
+}
+
+void LinuxTestbed::run(const std::string& command) {
+  auto st = kern::run_command(kernel_, command);
+  LFP_CHECK_MSG(st.ok(), "testbed command failed: " + command);
+  if (controller_) controller_->run_once();
+}
+
+ProcessOutcome LinuxTestbed::process(net::Packet&& pkt) {
+  ProcessOutcome out;
+  std::uint64_t before = forwarded_;
+  kern::CycleTrace trace;
+  auto summary = kernel_.rx(ingress_ifindex_, std::move(pkt), trace);
+  out.cycles = trace.total();
+  out.forwarded = forwarded_ > before;
+  out.dropped_by_policy = summary.drop == kern::Drop::kPolicy ||
+                          summary.drop == kern::Drop::kXdpDrop ||
+                          summary.drop == kern::Drop::kTcDrop;
+  out.fast_path = summary.fast_path;
+  return out;
+}
+
+net::Packet LinuxTestbed::forward_packet(int prefix_index, std::uint16_t flow,
+                                         std::size_t frame_len) const {
+  net::FlowKey f;
+  f.src_ip = net::Ipv4Addr::parse("10.10.1.2").value();
+  f.dst_ip = net::Ipv4Addr::from_octets(
+      10, static_cast<std::uint8_t>(100 + (prefix_index % 150)),
+      static_cast<std::uint8_t>(prefix_index / 150), 9);
+  f.proto = net::kIpProtoUdp;
+  f.src_port = static_cast<std::uint16_t>(1024 + flow);
+  f.dst_port = 7;
+  return net::build_udp_packet(src_mac_, eth0_mac_, f, frame_len);
+}
+
+net::Packet LinuxTestbed::blacklisted_packet(int entry,
+                                             std::uint16_t flow) const {
+  net::FlowKey f;
+  f.src_ip = net::Ipv4Addr::from_octets(
+      10, 66, static_cast<std::uint8_t>(entry / 250),
+      static_cast<std::uint8_t>(1 + entry % 250));
+  f.dst_ip = net::Ipv4Addr::parse("10.100.0.9").value();
+  f.proto = net::kIpProtoUdp;
+  f.src_port = static_cast<std::uint16_t>(1024 + flow);
+  f.dst_port = 7;
+  return net::build_udp_packet(src_mac_, eth0_mac_, f, 64);
+}
+
+}  // namespace linuxfp::sim

@@ -1,0 +1,93 @@
+// Scenario testbeds (paper §VI-A): the three-node line topology with the DUT
+// configured as a virtual router (50 prefixes) or virtual gateway (router +
+// 100 blacklist rules, optionally aggregated into an ipset) — configured
+// exclusively through the standard tool front-ends, which is what makes the
+// LinuxFP acceleration transparent.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/controller.h"
+#include "kernel/commands.h"
+#include "kernel/kernel.h"
+#include "net/headers.h"
+#include "sim/dut.h"
+#include "util/rng.h"
+
+namespace linuxfp::sim {
+
+enum class Accel {
+  kNone,          // plain Linux
+  kLinuxFpXdp,    // LinuxFP controller, XDP driver mode
+  kLinuxFpTc,     // LinuxFP controller, TC hook
+};
+
+struct ScenarioConfig {
+  int prefixes = 50;          // iproute2-installed routes
+  int filter_rules = 0;       // iptables FORWARD blacklist entries
+  bool use_ipset = false;     // aggregate the blacklist into one ipset rule
+  Accel accel = Accel::kNone;
+  core::ChainMode chain = core::ChainMode::kInlineCalls;
+};
+
+// Linux / LinuxFP testbed: a kern::Kernel DUT with two physical links,
+// a traffic source on eth0 and sink on eth1.
+class LinuxTestbed : public DeviceUnderTest {
+ public:
+  explicit LinuxTestbed(const ScenarioConfig& config);
+
+  std::string name() const override;
+  ProcessOutcome process(net::Packet&& pkt) override;
+  double cpu_hz() const override { return kernel_.cost().cpu_hz; }
+
+  kern::Kernel& kernel() { return kernel_; }
+  core::Controller* controller() { return controller_.get(); }
+  void run(const std::string& command);
+
+  // Packet factories for the scenario's traffic matrix.
+  net::Packet forward_packet(int prefix_index, std::uint16_t flow,
+                             std::size_t frame_len = 64) const;
+  // A packet whose source is on the configured blacklist.
+  net::Packet blacklisted_packet(int entry, std::uint16_t flow) const;
+
+  int ingress_ifindex() const { return ingress_ifindex_; }
+  std::uint64_t forwarded_count() const { return forwarded_; }
+
+ private:
+  ScenarioConfig config_;
+  kern::Kernel kernel_;
+  std::unique_ptr<core::Controller> controller_;
+  int ingress_ifindex_ = 0;
+  net::MacAddr eth0_mac_;
+  net::MacAddr src_mac_;
+  net::MacAddr gw_mac_;
+  std::uint64_t forwarded_ = 0;
+};
+
+// Flow generator: cycles destinations across the installed prefixes and
+// varies source ports so RSS spreads flows over cores (Pktgen-style).
+class FlowPattern {
+ public:
+  FlowPattern(int prefixes, int flows, std::size_t frame_len)
+      : prefixes_(prefixes), flows_(flows), frame_len_(frame_len) {}
+
+  int prefixes() const { return prefixes_; }
+  int flows() const { return flows_; }
+  std::size_t frame_len() const { return frame_len_; }
+
+  // Deterministic (prefix, flow) pair for the i-th packet.
+  std::pair<int, std::uint16_t> at(std::uint64_t i) const {
+    return {static_cast<int>(i % static_cast<std::uint64_t>(prefixes_)),
+            static_cast<std::uint16_t>(i % static_cast<std::uint64_t>(flows_))};
+  }
+
+ private:
+  int prefixes_;
+  int flows_;
+  std::size_t frame_len_;
+};
+
+}  // namespace linuxfp::sim

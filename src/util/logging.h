@@ -1,0 +1,70 @@
+// Minimal leveled logger. Global level, stderr sink, printf-free streaming
+// interface. Packet paths must not log at Info or below in hot loops.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace linuxfp::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void emit_log(LogLevel level, const std::string& component,
+              const std::string& message);
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogLine() { emit_log(level_, component_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+struct LogSink {
+  // Swallows the streamed expression when the level is disabled.
+  void operator&(const LogLine&) const {}
+};
+}  // namespace detail
+
+#define LFP_LOG(level, component)                                  \
+  (::linuxfp::util::log_level() > (level))                         \
+      ? (void)0                                                    \
+      : ::linuxfp::util::detail::LogSink{} &                       \
+            ::linuxfp::util::detail::LogLine((level), (component))
+
+#define LFP_TRACE(component) LFP_LOG(::linuxfp::util::LogLevel::kTrace, component)
+#define LFP_DEBUG(component) LFP_LOG(::linuxfp::util::LogLevel::kDebug, component)
+#define LFP_INFO(component) LFP_LOG(::linuxfp::util::LogLevel::kInfo, component)
+#define LFP_WARN(component) LFP_LOG(::linuxfp::util::LogLevel::kWarn, component)
+#define LFP_ERROR(component) LFP_LOG(::linuxfp::util::LogLevel::kError, component)
+
+// Invariant check: programming errors abort with a message. Never used for
+// input validation (that is what Result/Status are for).
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+
+#define LFP_CHECK(expr)                                                     \
+  ((expr) ? (void)0                                                         \
+          : ::linuxfp::util::check_failed(#expr, __FILE__, __LINE__, ""))
+
+#define LFP_CHECK_MSG(expr, msg)                                            \
+  ((expr) ? (void)0                                                         \
+          : ::linuxfp::util::check_failed(#expr, __FILE__, __LINE__, (msg)))
+
+}  // namespace linuxfp::util

@@ -1,0 +1,82 @@
+// Result<T>: a small expected-like type used across the code base for
+// recoverable errors (parse failures, verifier rejections, lookup misses).
+// We deliberately avoid exceptions on packet-processing paths; exceptions are
+// reserved for programming errors (via LFP_CHECK) only.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace linuxfp::util {
+
+// An error carries a short machine-readable code and a human message.
+struct Error {
+  std::string code;     // e.g. "verifier.out_of_bounds"
+  std::string message;  // free-form detail
+
+  static Error make(std::string code, std::string message) {
+    return Error{std::move(code), std::move(message)};
+  }
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error err) : value_(std::move(err)) {}  // NOLINT: implicit by design
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(value_));
+  }
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(value_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(value_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> value_;
+};
+
+// Specialization-free void result.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error err) : err_(std::move(err)) {}  // NOLINT: implicit by design
+
+  static Status ok_status() { return Status{}; }
+
+  bool ok() const { return !err_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const {
+    assert(!ok());
+    return *err_;
+  }
+
+ private:
+  std::optional<Error> err_;
+};
+
+}  // namespace linuxfp::util

@@ -1,0 +1,57 @@
+// Deterministic xorshift64* RNG. All simulation randomness flows through
+// explicitly seeded instances so every benchmark run is reproducible.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace linuxfp::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+      : state_(seed ? seed : 1) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1DULL;
+  }
+
+  std::uint32_t next_u32() {
+    return static_cast<std::uint32_t>(next_u64() >> 32);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) { return next_u64() % bound; }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Exponential with the given mean (used for service-time jitter tails).
+  double next_exponential(double mean) {
+    double u = next_double();
+    if (u >= 1.0) u = 0.9999999999;
+    return -mean * std::log(1.0 - u);
+  }
+
+  // Lognormal via Box-Muller; mu/sigma are the parameters of the underlying
+  // normal distribution.
+  double next_lognormal(double mu, double sigma) {
+    double u1 = next_double();
+    double u2 = next_double();
+    if (u1 <= 0.0) u1 = 1e-12;
+    double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958647 * u2);
+    return std::exp(mu + sigma * z);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace linuxfp::util

@@ -1,0 +1,66 @@
+// Online statistics and sample-based percentile summaries used by every
+// benchmark harness (mean, stddev via Welford, exact percentiles on retained
+// samples).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace linuxfp::util {
+
+// Welford online mean/variance over a stream of doubles.
+class OnlineStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Retains all samples; exact quantiles. Suitable for the sample counts our
+// latency simulations produce (<= a few million doubles).
+class SampleSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double mean() const;
+  double stddev() const;
+  // q in [0,1]; nearest-rank on the sorted samples.
+  double percentile(double q) const;
+  double p50() const { return percentile(0.50); }
+  double p99() const { return percentile(0.99); }
+  double min() const;
+  double max() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+// Fixed-format helpers for printing benchmark tables.
+std::string format_double(double v, int precision);
+std::string format_si_rate(double per_second);  // e.g. 1.77M, 23.4G
+
+}  // namespace linuxfp::util

@@ -1,0 +1,26 @@
+// Small string utilities used by the tool front-ends (iproute2/brctl/iptables
+// style command parsing) and formatting code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace linuxfp::util {
+
+// Split on any run of whitespace; no empty tokens.
+std::vector<std::string> split_ws(const std::string& s);
+
+// Split on a single delimiter character; keeps empty fields.
+std::vector<std::string> split(const std::string& s, char delim);
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+bool starts_with(const std::string& s, const std::string& prefix);
+std::string to_lower(std::string s);
+std::string trim(const std::string& s);
+
+// Parses a non-negative integer; returns false on any non-digit input.
+bool parse_u64(const std::string& s, unsigned long long& out);
+
+}  // namespace linuxfp::util

@@ -1,0 +1,102 @@
+#include "baselines/vpp/vpp.h"
+
+#include <gtest/gtest.h>
+
+namespace linuxfp::vpp {
+namespace {
+
+class VppTest : public ::testing::Test {
+ protected:
+  VppTest() {
+    cli("set interface ip address eth0 10.10.1.1/24");
+    cli("set interface ip address eth1 10.10.2.1/24");
+    cli("set ip neighbor eth1 10.10.2.2 02:00:00:00:05:02");
+    cli("ip route add 10.100.0.0/24 via 10.10.2.2");
+  }
+
+  void cli(const std::string& cmd) {
+    auto st = vpp_.cli(cmd);
+    ASSERT_TRUE(st.ok()) << cmd << ": " << st.error().message;
+  }
+
+  net::Packet packet(const std::string& dst) {
+    net::FlowKey f;
+    f.src_ip = net::Ipv4Addr::parse("10.10.1.2").value();
+    f.dst_ip = net::Ipv4Addr::parse(dst).value();
+    f.src_port = 1234;
+    f.dst_port = 7;
+    return net::build_udp_packet(net::MacAddr::from_id(1),
+                                 net::MacAddr::from_id(2), f, 64);
+  }
+
+  VppRouter vpp_;
+};
+
+TEST_F(VppTest, ForwardsAndRewrites) {
+  net::Packet pkt = packet("10.100.0.9");
+  auto out = vpp_.process(std::move(pkt));
+  EXPECT_TRUE(out.forwarded);
+  EXPECT_TRUE(out.fast_path);
+  EXPECT_GT(out.cycles, 0u);
+}
+
+TEST_F(VppTest, DropsUnroutable) {
+  auto out = vpp_.process(packet("99.9.9.9"));
+  EXPECT_FALSE(out.forwarded);
+}
+
+TEST_F(VppTest, VectorBatchingAmortizesCosts) {
+  vpp_.set_vector_size(1);
+  auto unbatched = vpp_.process(packet("10.100.0.9"));
+  vpp_.set_vector_size(256);
+  auto batched = vpp_.process(packet("10.100.0.9"));
+  EXPECT_GT(unbatched.cycles, batched.cycles);
+  // The entire per-vector cost shows up at vector=1.
+  std::uint64_t per_vector_sum = 0;
+  for (const auto& node : vpp_.graph_nodes()) per_vector_sum += node.per_vector;
+  EXPECT_GE(unbatched.cycles - batched.cycles, per_vector_sum / 2);
+}
+
+TEST_F(VppTest, BusyPollDeclared) { EXPECT_TRUE(vpp_.busy_poll()); }
+
+TEST_F(VppTest, AclDropsAndStaysFlat) {
+  cli("acl add deny src 10.10.1.2/32");
+  auto dropped = vpp_.process(packet("10.100.0.9"));
+  EXPECT_TRUE(dropped.dropped_by_policy);
+
+  // Unmatched traffic forwards; cost independent of rule count.
+  cli("set ip neighbor eth1 10.10.2.3 02:00:00:00:05:03");
+  net::FlowKey f;
+  f.src_ip = net::Ipv4Addr::parse("10.10.1.3").value();
+  f.dst_ip = net::Ipv4Addr::parse("10.100.0.9").value();
+  f.src_port = 9;
+  f.dst_port = 9;
+  auto mk = [&] {
+    return net::build_udp_packet(net::MacAddr::from_id(1),
+                                 net::MacAddr::from_id(2), f, 64);
+  };
+  auto one = vpp_.process(mk());
+  for (int i = 0; i < 99; ++i) {
+    cli("acl add deny src 10.9.0." + std::to_string(i + 1) + "/32");
+  }
+  auto many = vpp_.process(mk());
+  EXPECT_TRUE(one.forwarded);
+  EXPECT_TRUE(many.forwarded);
+  EXPECT_EQ(one.cycles, many.cycles);
+}
+
+TEST_F(VppTest, FasterThanTypicalKernelPaths) {
+  // VPP's whole point: bypass + batching beat in-kernel processing.
+  auto out = vpp_.process(packet("10.100.0.9"));
+  // Under 1000 cycles/packet at vector=256 (cf. LinuxFP ~1356).
+  EXPECT_LT(out.cycles, 1000u);
+}
+
+TEST_F(VppTest, CliErrors) {
+  EXPECT_FALSE(vpp_.cli("ip route add 10.0.0.0/8 via 7.7.7.7").ok());
+  EXPECT_FALSE(vpp_.cli("set ip neighbor nope 1.1.1.1 02:00:00:00:00:01").ok());
+  EXPECT_FALSE(vpp_.cli("bogus").ok());
+}
+
+}  // namespace
+}  // namespace linuxfp::vpp

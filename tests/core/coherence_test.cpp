@@ -1,0 +1,223 @@
+// State-coherence property tests (the paper's central correctness argument,
+// §IV-B2): the fast path reads live kernel state through helpers, so any
+// slow-path/tool mutation is visible to the very next fast-path packet, and
+// packets produce identical results on either path under randomized
+// interleavings of traffic and configuration changes.
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+#include "tests/kernel/test_topo.h"
+#include "util/rng.h"
+
+namespace linuxfp::core {
+namespace {
+
+using linuxfp::testing::RouterDut;
+
+TEST(Coherence, RouteFlapUnderTraffic) {
+  RouterDut dut;
+  dut.add_prefixes(1);
+  Controller controller(dut.kernel);
+  controller.start();
+
+  // Warm: forwarded on fast path.
+  kern::CycleTrace t0;
+  EXPECT_TRUE(
+      dut.kernel.rx(dut.eth0_ifindex(), dut.packet_to_prefix(0), t0)
+          .fast_path);
+  EXPECT_EQ(dut.tx_eth1.size(), 1u);
+
+  // Delete the route. Even BEFORE the controller reacts, the fast path must
+  // not forward (the helper reads the live FIB).
+  dut.run("ip route del 10.100.0.0/24");
+  kern::CycleTrace t1;
+  auto during = dut.kernel.rx(dut.eth0_ifindex(), dut.packet_to_prefix(0), t1);
+  EXPECT_EQ(dut.tx_eth1.size(), 1u) << "stale fast path forwarded a packet";
+  EXPECT_NE(during.drop, kern::Drop::kNone);
+
+  // Re-add; again immediately visible.
+  dut.run("ip route add 10.100.0.0/24 via 10.10.2.2 dev eth1");
+  kern::CycleTrace t2;
+  dut.kernel.rx(dut.eth0_ifindex(), dut.packet_to_prefix(0), t2);
+  EXPECT_EQ(dut.tx_eth1.size(), 2u);
+}
+
+TEST(Coherence, FirewallRuleImmediatelyEnforced) {
+  RouterDut dut;
+  dut.add_prefixes(2);
+  // Pre-existing rule so the filter FPM is already deployed.
+  dut.run("iptables -A FORWARD -d 10.66.0.0/16 -j DROP");
+  Controller controller(dut.kernel);
+  controller.start();
+
+  kern::CycleTrace t0;
+  dut.kernel.rx(dut.eth0_ifindex(), dut.packet_to_prefix(0), t0);
+  EXPECT_EQ(dut.tx_eth1.size(), 1u);
+
+  // Append a rule blocking prefix 0 and do NOT run the controller: the
+  // bpf_ipt_lookup helper walks the live rule list.
+  ASSERT_TRUE(dut.kernel.netfilter()
+                  .append_rule("FORWARD",
+                               [] {
+                                 kern::Rule r;
+                                 r.match.dst = net::Ipv4Prefix::parse(
+                                                   "10.100.0.0/24")
+                                                   .value();
+                                 r.target = kern::RuleTarget::kDrop;
+                                 return r;
+                               }())
+                  .ok());
+  kern::CycleTrace t1;
+  auto summary =
+      dut.kernel.rx(dut.eth0_ifindex(), dut.packet_to_prefix(0), t1);
+  EXPECT_TRUE(summary.fast_path);
+  EXPECT_EQ(summary.drop, kern::Drop::kXdpDrop);
+  EXPECT_EQ(dut.tx_eth1.size(), 1u);
+}
+
+TEST(Coherence, IpsetMembershipLiveOnFastPath) {
+  RouterDut dut;
+  dut.add_prefixes(2);
+  dut.run("ipset create blacklist hash:ip");
+  dut.run("iptables -A FORWARD -m set --match-set blacklist src -j DROP");
+  Controller controller(dut.kernel);
+  controller.start();
+
+  kern::CycleTrace t0;
+  dut.kernel.rx(dut.eth0_ifindex(), dut.packet_to_prefix(0), t0);
+  EXPECT_EQ(dut.tx_eth1.size(), 1u);
+
+  dut.run("ipset add blacklist 10.10.1.2");  // the traffic source
+  kern::CycleTrace t1;
+  auto blocked =
+      dut.kernel.rx(dut.eth0_ifindex(), dut.packet_to_prefix(0), t1);
+  EXPECT_EQ(blocked.drop, kern::Drop::kXdpDrop);
+
+  dut.run("ipset del blacklist 10.10.1.2");
+  kern::CycleTrace t2;
+  dut.kernel.rx(dut.eth0_ifindex(), dut.packet_to_prefix(0), t2);
+  EXPECT_EQ(dut.tx_eth1.size(), 2u);
+}
+
+// Property test: randomized interleaving of config mutations and traffic;
+// after every step an accelerated DUT and a pure-Linux DUT must emit
+// byte-identical packet streams.
+TEST(Coherence, RandomizedEquivalenceWithPureLinux) {
+  util::Rng rng(2024);
+  RouterDut fast, slow;
+  Controller controller(fast.kernel);
+  controller.start();
+
+  std::vector<std::string> installed_routes;
+  std::vector<std::size_t> installed_rules;
+  int rule_seq = 0;
+
+  for (int step = 0; step < 400; ++step) {
+    int action = static_cast<int>(rng.next_below(10));
+    if (action == 0) {
+      // Add a route.
+      std::string prefix = "10." + std::to_string(100 + rng.next_below(20)) +
+                           ".0.0/24";
+      std::string cmd = "ip route add " + prefix + " via 10.10.2.2 dev eth1";
+      (void)kern::run_command(fast.kernel, cmd);
+      (void)kern::run_command(slow.kernel, cmd);
+      installed_routes.push_back(prefix);
+    } else if (action == 1 && !installed_routes.empty()) {
+      // Delete a random installed route from both DUTs.
+      std::size_t pick = rng.next_below(installed_routes.size());
+      std::string cmd = "ip route del " + installed_routes[pick];
+      (void)kern::run_command(fast.kernel, cmd);
+      (void)kern::run_command(slow.kernel, cmd);
+      installed_routes.erase(installed_routes.begin() +
+                             static_cast<std::ptrdiff_t>(pick));
+    } else if (action == 2) {
+      // Add a DROP rule for a random /24.
+      std::string prefix =
+          "10." + std::to_string(100 + rng.next_below(20)) + ".0.0/24";
+      std::string cmd = "iptables -A FORWARD -d " + prefix + " -j DROP";
+      (void)kern::run_command(fast.kernel, cmd);
+      (void)kern::run_command(slow.kernel, cmd);
+      ++rule_seq;
+    } else if (action == 3 && rule_seq > 0) {
+      (void)kern::run_command(fast.kernel, "iptables -D FORWARD 1");
+      (void)kern::run_command(slow.kernel, "iptables -D FORWARD 1");
+      --rule_seq;
+    } else if (action == 4) {
+      controller.run_once();
+    }
+    // Traffic: a random destination in the same universe.
+    int target = static_cast<int>(rng.next_below(20));
+    kern::CycleTrace tf, ts;
+    fast.kernel.rx(fast.eth0_ifindex(), fast.packet_to_prefix(target), tf);
+    slow.kernel.rx(slow.eth0_ifindex(), slow.packet_to_prefix(target), ts);
+
+    ASSERT_EQ(fast.tx_eth1.size(), slow.tx_eth1.size()) << "step " << step;
+    if (!fast.tx_eth1.empty()) {
+      const net::Packet& a = fast.tx_eth1.back();
+      const net::Packet& b = slow.tx_eth1.back();
+      ASSERT_EQ(a.size(), b.size());
+      ASSERT_EQ(0, std::memcmp(a.data(), b.data(), a.size()))
+          << "step " << step;
+    }
+  }
+  // The accelerated DUT really did use the fast path.
+  EXPECT_GT(fast.kernel.counters().fast_path_packets, 40u);
+  EXPECT_EQ(slow.kernel.counters().fast_path_packets, 0u);
+}
+
+TEST(Coherence, SlowPathLearningFeedsFastPath) {
+  // Bridge scenario: first packet floods (slow path learns), subsequent
+  // reverse traffic uses the fast path with the learned entry.
+  kern::Kernel k("br-host");
+  std::vector<net::Packet> tx1, tx2;
+  k.add_phys_dev("p1").set_phys_tx(
+      [&](net::Packet&& p) { tx1.push_back(std::move(p)); });
+  k.add_phys_dev("p2").set_phys_tx(
+      [&](net::Packet&& p) { tx2.push_back(std::move(p)); });
+  ASSERT_TRUE(kern::run_command(k, "brctl addbr br0").ok());
+  for (const char* d : {"p1", "p2", "br0"}) {
+    ASSERT_TRUE(
+        kern::run_command(k, std::string("ip link set ") + d + " up").ok());
+  }
+  ASSERT_TRUE(kern::run_command(k, "brctl addif br0 p1").ok());
+  ASSERT_TRUE(kern::run_command(k, "brctl addif br0 p2").ok());
+
+  ControllerOptions opts;
+  opts.attach_bridge_ports = true;
+  Controller controller(k, opts);
+  controller.start();
+
+  auto a = net::MacAddr::from_id(0xA);
+  auto b = net::MacAddr::from_id(0xB);
+  net::FlowKey f;
+  f.src_ip = net::Ipv4Addr::parse("192.168.0.1").value();
+  f.dst_ip = net::Ipv4Addr::parse("192.168.0.2").value();
+
+  // A -> B: both unknown; fast path punts (learn), slow path floods+learns A.
+  kern::CycleTrace t1;
+  auto s1 = k.rx(k.dev_by_name("p1")->ifindex(),
+                 net::build_udp_packet(a, b, f, 64), t1);
+  EXPECT_FALSE(s1.fast_path);
+  EXPECT_EQ(tx2.size(), 1u);
+
+  // B -> A: B unknown source (punt+learn), but A known -> slow path unicast.
+  net::FlowKey back;
+  back.src_ip = f.dst_ip;
+  back.dst_ip = f.src_ip;
+  kern::CycleTrace t2;
+  auto s2 = k.rx(k.dev_by_name("p2")->ifindex(),
+                 net::build_udp_packet(b, a, back, 64), t2);
+  EXPECT_FALSE(s2.fast_path);
+  EXPECT_EQ(tx1.size(), 1u);
+
+  // A -> B again: both known now -> pure fast path L2 forward.
+  kern::CycleTrace t3;
+  auto s3 = k.rx(k.dev_by_name("p1")->ifindex(),
+                 net::build_udp_packet(a, b, f, 64), t3);
+  EXPECT_TRUE(s3.fast_path);
+  EXPECT_EQ(tx2.size(), 2u);
+  EXPECT_LT(t3.total(), t1.total());
+}
+
+}  // namespace
+}  // namespace linuxfp::core

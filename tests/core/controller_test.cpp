@@ -1,0 +1,374 @@
+// End-to-end controller tests: unmodified tool commands -> introspection ->
+// synthesis -> atomic deploy -> packets take the fast path with results
+// identical to the slow path.
+#include "core/controller.h"
+#include "core/status.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/kernel/test_topo.h"
+
+namespace linuxfp::core {
+namespace {
+
+using linuxfp::testing::RouterDut;
+
+TEST(Controller, AcceleratesForwardingTransparently) {
+  RouterDut dut;
+  dut.add_prefixes(50);
+
+  Controller controller(dut.kernel);
+  auto reaction = controller.start();
+  EXPECT_TRUE(reaction.changed);
+  EXPECT_EQ(reaction.graphs, 2u);  // eth0 + eth1
+
+  kern::CycleTrace trace;
+  auto summary =
+      dut.kernel.rx(dut.eth0_ifindex(), dut.packet_to_prefix(3), trace);
+  EXPECT_TRUE(summary.fast_path);
+  EXPECT_EQ(summary.drop, kern::Drop::kNone);
+  ASSERT_EQ(dut.tx_eth1.size(), 1u);
+  auto out = net::parse_packet(dut.tx_eth1[0]);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->eth_dst, dut.sink_gw_mac);
+  EXPECT_EQ(out->eth_src, dut.eth1_mac());
+  EXPECT_EQ(out->ttl, 63);
+  net::Ipv4View ip(dut.tx_eth1[0].data() + out->l3_offset);
+  EXPECT_TRUE(ip.checksum_valid());
+}
+
+TEST(Controller, FastPathOutputIdenticalToSlowPath) {
+  // Two identical DUTs, one accelerated: byte-identical output packets
+  // (paper §IV-B2: identical result under all circumstances).
+  RouterDut slow, fast;
+  slow.add_prefixes(20);
+  fast.add_prefixes(20);
+  Controller controller(fast.kernel);
+  controller.start();
+
+  for (int i = 0; i < 20; ++i) {
+    kern::CycleTrace t1, t2;
+    slow.kernel.rx(slow.eth0_ifindex(), slow.packet_to_prefix(i, i), t1);
+    fast.kernel.rx(fast.eth0_ifindex(), fast.packet_to_prefix(i, i), t2);
+  }
+  ASSERT_EQ(slow.tx_eth1.size(), fast.tx_eth1.size());
+  for (std::size_t i = 0; i < slow.tx_eth1.size(); ++i) {
+    ASSERT_EQ(slow.tx_eth1[i].size(), fast.tx_eth1[i].size());
+    EXPECT_EQ(0, std::memcmp(slow.tx_eth1[i].data(), fast.tx_eth1[i].data(),
+                             slow.tx_eth1[i].size()))
+        << "packet " << i;
+  }
+  EXPECT_GT(fast.kernel.counters().fast_path_packets, 0u);
+}
+
+TEST(Controller, FastPathIsCheaperThanSlowPath) {
+  RouterDut dut;
+  dut.add_prefixes(50);
+  kern::CycleTrace slow_trace;
+  dut.kernel.rx(dut.eth0_ifindex(), dut.packet_to_prefix(0), slow_trace);
+
+  Controller controller(dut.kernel);
+  controller.start();
+  kern::CycleTrace fast_trace;
+  dut.kernel.rx(dut.eth0_ifindex(), dut.packet_to_prefix(0), fast_trace);
+
+  EXPECT_LT(fast_trace.total(), slow_trace.total());
+  // The paper's headline: ~77% higher throughput, i.e. the fast path costs
+  // roughly 4/7 of the slow path. Accept a generous band here; exact
+  // calibration is checked by the benches.
+  double ratio = static_cast<double>(fast_trace.total()) /
+                 static_cast<double>(slow_trace.total());
+  EXPECT_LT(ratio, 0.75);
+  EXPECT_GT(ratio, 0.30);
+}
+
+TEST(Controller, ReactsToRouteChanges) {
+  RouterDut dut;
+  Controller controller(dut.kernel);
+  controller.start();
+
+  // No routes yet -> packets to 10.100.0.9 can't be forwarded.
+  kern::CycleTrace t0;
+  auto before = dut.kernel.rx(dut.eth0_ifindex(), dut.packet_to_prefix(0), t0);
+  EXPECT_EQ(before.drop, kern::Drop::kNoRoute);
+
+  dut.add_prefixes(1);
+  auto reaction = controller.run_once();
+  EXPECT_TRUE(reaction.changed);
+
+  kern::CycleTrace t1;
+  auto after = dut.kernel.rx(dut.eth0_ifindex(), dut.packet_to_prefix(0), t1);
+  EXPECT_EQ(after.drop, kern::Drop::kNone);
+  EXPECT_TRUE(after.fast_path);
+  EXPECT_EQ(dut.tx_eth1.size(), 1u);
+}
+
+TEST(Controller, NoResynthesisWithoutRelevantChange) {
+  RouterDut dut;
+  dut.add_prefixes(5);
+  Controller controller(dut.kernel);
+  controller.start();
+  auto n = controller.resynth_count();
+  // Route churn changes the graph signature only via route_count; adding a
+  // route with the same count... actually every add changes the dump, so
+  // instead: polling with no events at all must not resynthesize.
+  auto r = controller.run_once();
+  EXPECT_FALSE(r.changed);
+  EXPECT_EQ(controller.resynth_count(), n);
+}
+
+TEST(Controller, DynamicNeighborChurnNeedsNoRedeploy) {
+  RouterDut dut;
+  dut.add_prefixes(5);
+  Controller controller(dut.kernel);
+  controller.start();
+  auto n = controller.resynth_count();
+
+  // Dynamic ARP learning (an RX-path event, not a config change).
+  net::Packet reply = net::build_arp_reply(
+      net::MacAddr::from_id(0x777), net::Ipv4Addr::parse("10.10.1.9").value(),
+      dut.eth0_mac(), net::Ipv4Addr::parse("10.10.1.1").value());
+  kern::CycleTrace t;
+  dut.kernel.rx(dut.eth0_ifindex(), std::move(reply), t);
+
+  controller.run_once();
+  // The fast path keeps working against live state; no redeploy happened.
+  EXPECT_EQ(controller.resynth_count(), n);
+}
+
+TEST(Controller, IptablesRuleInsertsFilterFpm) {
+  RouterDut dut;
+  dut.add_prefixes(5);
+  Controller controller(dut.kernel);
+  controller.start();
+
+  dut.run("iptables -A FORWARD -d 10.100.0.0/24 -j DROP");
+  auto reaction = controller.run_once();
+  EXPECT_TRUE(reaction.changed);
+
+  // Blocked prefix is dropped ON THE FAST PATH (XDP_DROP).
+  kern::CycleTrace t1;
+  auto blocked =
+      dut.kernel.rx(dut.eth0_ifindex(), dut.packet_to_prefix(0), t1);
+  EXPECT_TRUE(blocked.fast_path);
+  EXPECT_EQ(blocked.drop, kern::Drop::kXdpDrop);
+  // Other prefixes still forward on the fast path.
+  kern::CycleTrace t2;
+  auto ok = dut.kernel.rx(dut.eth0_ifindex(), dut.packet_to_prefix(1), t2);
+  EXPECT_TRUE(ok.fast_path);
+  EXPECT_EQ(dut.tx_eth1.size(), 1u);
+}
+
+TEST(Controller, CornerCasesPuntToSlowPath) {
+  RouterDut dut;
+  dut.add_prefixes(5);
+  Controller controller(dut.kernel);
+  controller.start();
+
+  // ARP is slow-path (multicast dst).
+  net::Packet arp = net::build_arp_request(
+      dut.src_host_mac, net::Ipv4Addr::parse("10.10.1.2").value(),
+      net::Ipv4Addr::parse("10.10.1.1").value());
+  kern::CycleTrace t1;
+  auto arp_summary = dut.kernel.rx(dut.eth0_ifindex(), std::move(arp), t1);
+  EXPECT_FALSE(arp_summary.fast_path);
+  EXPECT_EQ(dut.tx_eth0.size(), 1u);  // ARP reply still generated
+
+  // Fragments punt.
+  net::Packet frag = dut.packet_to_prefix(1);
+  net::Ipv4View ip(frag.data() + net::kEthHdrLen);
+  ip.set_frag_field(0x2000);
+  ip.update_checksum();
+  kern::CycleTrace t2;
+  auto frag_summary = dut.kernel.rx(dut.eth0_ifindex(), std::move(frag), t2);
+  EXPECT_FALSE(frag_summary.fast_path);
+  EXPECT_EQ(dut.tx_eth1.size(), 1u);  // still forwarded, by Linux
+
+  // TTL=1 punts (ICMP time-exceeded territory).
+  net::FlowKey f;
+  f.src_ip = net::Ipv4Addr::parse("10.10.1.2").value();
+  f.dst_ip = net::Ipv4Addr::parse("10.100.0.9").value();
+  net::Packet ttl1 =
+      net::build_udp_packet(dut.src_host_mac, dut.eth0_mac(), f, 64, 1);
+  kern::CycleTrace t3;
+  auto ttl_summary = dut.kernel.rx(dut.eth0_ifindex(), std::move(ttl1), t3);
+  EXPECT_FALSE(ttl_summary.fast_path);
+  EXPECT_EQ(ttl_summary.drop, kern::Drop::kTtlExceeded);
+}
+
+TEST(Controller, UnresolvedNeighborPuntsThenAccelerates) {
+  RouterDut dut;
+  dut.run("ip route add 10.200.0.0/24 via 10.10.2.77 dev eth1");
+  Controller controller(dut.kernel);
+  controller.start();
+
+  net::FlowKey f;
+  f.src_ip = net::Ipv4Addr::parse("10.10.1.2").value();
+  f.dst_ip = net::Ipv4Addr::parse("10.200.0.1").value();
+
+  // First packet: helper returns NO_NEIGH -> punt; slow path queues + ARPs.
+  kern::CycleTrace t1;
+  auto first = dut.kernel.rx(
+      dut.eth0_ifindex(),
+      net::build_udp_packet(dut.src_host_mac, dut.eth0_mac(), f, 64), t1);
+  EXPECT_FALSE(first.fast_path);
+  ASSERT_GE(dut.tx_eth1.size(), 1u);  // the ARP request
+
+  // ARP reply resolves the neighbour.
+  kern::CycleTrace t2;
+  dut.kernel.rx(dut.eth1_ifindex(),
+                net::build_arp_reply(
+                    net::MacAddr::from_id(0x321),
+                    net::Ipv4Addr::parse("10.10.2.77").value(),
+                    dut.eth1_mac(),
+                    net::Ipv4Addr::parse("10.10.2.1").value()),
+                t2);
+
+  // Subsequent packets ride the fast path — no controller action needed.
+  kern::CycleTrace t3;
+  auto second = dut.kernel.rx(
+      dut.eth0_ifindex(),
+      net::build_udp_packet(dut.src_host_mac, dut.eth0_mac(), f, 64), t3);
+  EXPECT_TRUE(second.fast_path);
+}
+
+TEST(Controller, LinkDownWithdrawsAcceleration) {
+  RouterDut dut;
+  dut.add_prefixes(5);
+  Controller controller(dut.kernel);
+  controller.start();
+  EXPECT_GT(controller.current_graphs().size(), 0u);
+
+  dut.run("ip link set eth1 down");
+  auto reaction = controller.run_once();
+  EXPECT_TRUE(reaction.changed);
+  // eth1's graph disappears; eth0's routes via eth1 are purged too, so no
+  // router FPM remains anywhere.
+  EXPECT_EQ(controller.current_graphs().size(), 0u);
+
+  // Packets on eth0 now pass through the (PASS-swapped) hook to Linux.
+  kern::CycleTrace t;
+  auto summary =
+      dut.kernel.rx(dut.eth0_ifindex(), dut.packet_to_prefix(0), t);
+  EXPECT_FALSE(summary.fast_path);
+}
+
+TEST(Controller, ReactionTimesArePopulated) {
+  RouterDut dut;
+  dut.add_prefixes(5);
+  Controller controller(dut.kernel);
+  auto reaction = controller.start();
+  EXPECT_GT(reaction.wall_seconds, 0.0);
+  EXPECT_GT(reaction.modeled_seconds, reaction.wall_seconds);
+  EXPECT_GT(reaction.insns, 0u);
+}
+
+TEST(Controller, MainlineHelpersDegradeGracefully) {
+  // On a kernel without the paper's helper patches, the bridge/filter FPMs
+  // are pruned but routing still accelerates (bpf_fib_lookup is mainline).
+  RouterDut dut;
+  dut.add_prefixes(5);
+  dut.run("iptables -A FORWARD -d 10.100.0.0/24 -j DROP");
+  ControllerOptions opts;
+  opts.mainline_helpers_only = true;
+  Controller controller(dut.kernel, opts);
+  auto reaction = controller.start();
+  EXPECT_FALSE(reaction.dropped_fpms.empty());
+
+  // Packet to a non-blocked prefix: the router part is accelerated BUT
+  // filtering must stay correct — since the filter FPM was pruned, the graph
+  // keeps only the router; the blocked prefix would be mis-forwarded, so the
+  // capability manager must have pruned the router too when a filter is
+  // required. Check correctness: the blocked packet is NOT forwarded.
+  kern::CycleTrace t;
+  auto blocked = dut.kernel.rx(dut.eth0_ifindex(), dut.packet_to_prefix(0), t);
+  EXPECT_EQ(blocked.drop, kern::Drop::kPolicy);
+  EXPECT_TRUE(dut.tx_eth1.empty());
+}
+
+TEST(Controller, CustomMonitoringSnippetDeploys) {
+  RouterDut dut;
+  dut.add_prefixes(5);
+  Controller controller(dut.kernel);
+  controller.start();
+  auto n = controller.resynth_count();
+
+  controller.set_custom_snippet([](ebpf::ProgramBuilder& b) {
+    b.mov(ebpf::kR3, 0);
+    b.add(ebpf::kR3, 1);
+  });
+  auto reaction = controller.run_once();
+  EXPECT_TRUE(reaction.changed);
+  EXPECT_EQ(controller.resynth_count(), n + 1);
+
+  kern::CycleTrace t;
+  auto summary =
+      dut.kernel.rx(dut.eth0_ifindex(), dut.packet_to_prefix(0), t);
+  EXPECT_TRUE(summary.fast_path);
+  EXPECT_EQ(dut.tx_eth1.size(), 1u);
+}
+
+TEST(Controller, TailCallModeStillCorrect) {
+  RouterDut dut;
+  dut.add_prefixes(10);
+  dut.run("iptables -A FORWARD -d 10.100.0.0/24 -j DROP");
+  ControllerOptions opts;
+  opts.chain = ChainMode::kTailCalls;
+  Controller controller(dut.kernel, opts);
+  controller.start();
+
+  kern::CycleTrace t1;
+  auto blocked =
+      dut.kernel.rx(dut.eth0_ifindex(), dut.packet_to_prefix(0), t1);
+  EXPECT_TRUE(blocked.fast_path);
+  EXPECT_EQ(blocked.drop, kern::Drop::kXdpDrop);
+
+  kern::CycleTrace t2;
+  auto ok = dut.kernel.rx(dut.eth0_ifindex(), dut.packet_to_prefix(1), t2);
+  EXPECT_TRUE(ok.fast_path);
+  ASSERT_EQ(dut.tx_eth1.size(), 1u);
+
+  // Inline mode costs less than tail-call mode for the same traffic.
+  RouterDut dut2;
+  dut2.add_prefixes(10);
+  dut2.run("iptables -A FORWARD -d 10.100.0.0/24 -j DROP");
+  Controller inline_ctl(dut2.kernel);
+  inline_ctl.start();
+  kern::CycleTrace t3;
+  dut2.kernel.rx(dut2.eth0_ifindex(), dut2.packet_to_prefix(1), t3);
+  EXPECT_LT(t3.total(), t2.total());
+}
+
+TEST(ControllerStatus, ReportsGraphsAndStats) {
+  RouterDut dut;
+  dut.add_prefixes(3);
+  Controller controller(dut.kernel);
+  controller.start();
+  for (int i = 0; i < 5; ++i) {
+    kern::CycleTrace t;
+    dut.kernel.rx(dut.eth0_ifindex(), dut.packet_to_prefix(i % 3), t);
+  }
+  util::Json status = status_json(controller);
+  EXPECT_EQ(status.at("world").at("routes").as_int(), 5);  // 2 conn + 3
+  EXPECT_TRUE(status.at("world").at("ip_forward").as_bool());
+  EXPECT_EQ(status.at("graphs").size(), 2u);
+  ASSERT_GT(status.at("attachments").size(), 0u);
+  bool found_eth0 = false;
+  for (std::size_t i = 0; i < status.at("attachments").size(); ++i) {
+    const util::Json& a = status.at("attachments").at(i);
+    if (a.at("device").as_string() == "eth0") {
+      found_eth0 = true;
+      EXPECT_EQ(a.at("stats").at("runs").as_int(), 5);
+      EXPECT_EQ(a.at("stats").at("redirect").as_int(), 5);
+      EXPECT_EQ(a.at("stats").at("aborted").as_int(), 0);
+    }
+  }
+  EXPECT_TRUE(found_eth0);
+
+  std::string text = format_status(controller);
+  EXPECT_NE(text.find("router"), std::string::npos);
+  EXPECT_NE(text.find("attachment eth0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace linuxfp::core

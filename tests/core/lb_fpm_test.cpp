@@ -1,0 +1,214 @@
+// Load-balancer fast path tests: the controller synthesizes a loadbalance
+// FPM when ipvs services exist; established flows are NATed on the fast path
+// byte-identically to the slow path; new flows punt for scheduling.
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+#include "tests/kernel/test_topo.h"
+
+namespace linuxfp::core {
+namespace {
+
+using linuxfp::testing::RouterDut;
+
+struct LbRig {
+  RouterDut dut;
+
+  explicit LbRig(bool accelerated) {
+    dut.add_prefixes(1);
+    dut.run("ipvsadm -A -t 10.0.0.100:80 -s rr");
+    dut.run("ipvsadm -a -t 10.0.0.100:80 -r 10.100.0.5:8080");
+    dut.run("ipvsadm -a -t 10.0.0.100:80 -r 10.100.0.6:8080");
+    if (accelerated) {
+      controller = std::make_unique<Controller>(dut.kernel);
+      controller->start();
+    }
+  }
+
+  net::Packet client_packet(std::uint16_t sport) {
+    net::FlowKey f;
+    f.src_ip = net::Ipv4Addr::parse("10.10.1.2").value();
+    f.dst_ip = net::Ipv4Addr::parse("10.0.0.100").value();
+    f.proto = net::kIpProtoTcp;
+    f.src_port = sport;
+    f.dst_port = 80;
+    return net::build_tcp_packet(dut.src_host_mac, dut.eth0_mac(), f, 0x18,
+                                 64);
+  }
+
+  net::Packet backend_reply(const std::string& backend, std::uint16_t dport) {
+    net::FlowKey f;
+    f.src_ip = net::Ipv4Addr::parse(backend).value();
+    f.dst_ip = net::Ipv4Addr::parse("10.10.1.2").value();
+    f.proto = net::kIpProtoTcp;
+    f.src_port = 8080;
+    f.dst_port = dport;
+    return net::build_tcp_packet(dut.sink_gw_mac, dut.eth1_mac(), f, 0x18, 64);
+  }
+
+  std::unique_ptr<Controller> controller;
+};
+
+TEST(LbFpm, TopologyEmitsLoadbalanceNode) {
+  LbRig rig(true);
+  const util::Json& graphs = rig.controller->current_graphs();
+  ASSERT_GT(graphs.size(), 0u);
+  bool found = false;
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    if (graphs.at(i).at("nodes").contains("loadbalance")) {
+      found = true;
+      EXPECT_EQ(graphs.at(i)
+                    .at("nodes")
+                    .at("loadbalance")
+                    .at("conf")
+                    .at("service_count")
+                    .as_int(),
+                1);
+      // Keys in processing order: loadbalance before router.
+      std::vector<std::string> keys;
+      for (const auto& [k, v] :
+           graphs.at(i).at("nodes").object_items()) {
+        keys.push_back(k);
+      }
+      EXPECT_LT(std::find(keys.begin(), keys.end(), "loadbalance"),
+                std::find(keys.begin(), keys.end(), "router"));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LbFpm, NewFlowPuntsEstablishedRidesFastPath) {
+  LbRig rig(true);
+  kern::CycleTrace t1;
+  auto first = rig.dut.kernel.rx(rig.dut.eth0_ifindex(),
+                                 rig.client_packet(7000), t1);
+  EXPECT_FALSE(first.fast_path);  // scheduling = slow path
+  ASSERT_EQ(rig.dut.tx_eth1.size(), 1u);
+
+  kern::CycleTrace t2;
+  auto second = rig.dut.kernel.rx(rig.dut.eth0_ifindex(),
+                                  rig.client_packet(7000), t2);
+  EXPECT_TRUE(second.fast_path);  // conntrack DNAT served by the FPM
+  ASSERT_EQ(rig.dut.tx_eth1.size(), 2u);
+  EXPECT_LT(t2.total(), t1.total());
+}
+
+TEST(LbFpm, FastPathNatByteIdenticalToSlowPath) {
+  LbRig fast(true), slow(false);
+  // Establish the same flow on both (slow-path scheduling is deterministic
+  // round-robin, so both pick the same backend).
+  kern::CycleTrace tf0, ts0;
+  fast.dut.kernel.rx(fast.dut.eth0_ifindex(), fast.client_packet(8000), tf0);
+  slow.dut.kernel.rx(slow.dut.eth0_ifindex(), slow.client_packet(8000), ts0);
+
+  for (int i = 0; i < 10; ++i) {
+    kern::CycleTrace tf, ts;
+    fast.dut.kernel.rx(fast.dut.eth0_ifindex(), fast.client_packet(8000), tf);
+    slow.dut.kernel.rx(slow.dut.eth0_ifindex(), slow.client_packet(8000), ts);
+    ASSERT_EQ(fast.dut.tx_eth1.size(), slow.dut.tx_eth1.size());
+    const net::Packet& a = fast.dut.tx_eth1.back();
+    const net::Packet& b = slow.dut.tx_eth1.back();
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(0, std::memcmp(a.data(), b.data(), a.size())) << "packet " << i;
+    // And the fast-path NAT result carries a valid checksum.
+    auto parsed = net::parse_packet(a);
+    net::Ipv4View iph(const_cast<std::uint8_t*>(a.data()) +
+                      parsed->l3_offset);
+    ASSERT_TRUE(iph.checksum_valid());
+    EXPECT_EQ(parsed->dst_port, 8080);
+  }
+  EXPECT_GT(fast.dut.kernel.counters().fast_path_packets, 5u);
+}
+
+TEST(LbFpm, ReplyDirectionUnNatOnFastPath) {
+  LbRig rig(true);
+  kern::CycleTrace t0;
+  rig.dut.kernel.rx(rig.dut.eth0_ifindex(), rig.client_packet(9000), t0);
+  ASSERT_EQ(rig.dut.tx_eth1.size(), 1u);
+  std::string backend =
+      net::parse_packet(rig.dut.tx_eth1[0])->ip_dst.to_string();
+
+  // First reply (reply direction promotes conntrack to established).
+  kern::CycleTrace t1;
+  rig.dut.kernel.rx(rig.dut.eth1_ifindex(), rig.backend_reply(backend, 9000),
+                    t1);
+  ASSERT_EQ(rig.dut.tx_eth0.size(), 1u);
+
+  // Subsequent replies ride the fast path and still un-NAT to the VIP.
+  kern::CycleTrace t2;
+  auto summary = rig.dut.kernel.rx(rig.dut.eth1_ifindex(),
+                                   rig.backend_reply(backend, 9000), t2);
+  EXPECT_TRUE(summary.fast_path);
+  ASSERT_EQ(rig.dut.tx_eth0.size(), 2u);
+  auto parsed = net::parse_packet(rig.dut.tx_eth0[1]);
+  EXPECT_EQ(parsed->ip_src.to_string(), "10.0.0.100");
+  EXPECT_EQ(parsed->src_port, 80);
+  net::Ipv4View iph(rig.dut.tx_eth0[1].data() + parsed->l3_offset);
+  EXPECT_TRUE(iph.checksum_valid());
+}
+
+TEST(LbFpm, NonVipTrafficStaysOnFastPath) {
+  // Regression: with services configured but conntrack cold, traffic NOT
+  // addressed to any VIP must still ride the fast path (the FPM's baked-in
+  // VIP list gates the conntrack punt).
+  LbRig rig(true);
+  kern::CycleTrace t;
+  auto summary = rig.dut.kernel.rx(rig.dut.eth0_ifindex(),
+                                   rig.dut.packet_to_prefix(0), t);
+  EXPECT_TRUE(summary.fast_path);
+  ASSERT_EQ(rig.dut.tx_eth1.size(), 1u);
+  EXPECT_EQ(net::parse_packet(rig.dut.tx_eth1[0])->ip_dst.to_string(),
+            "10.100.0.9");  // untouched by NAT
+}
+
+TEST(LbFpm, ServiceRemovalWithdrawsLbNode) {
+  LbRig rig(true);
+  rig.dut.run("ipvsadm -D -t 10.0.0.100:80");
+  auto reaction = rig.controller->run_once();
+  EXPECT_TRUE(reaction.changed);
+  for (std::size_t i = 0; i < rig.controller->current_graphs().size(); ++i) {
+    EXPECT_FALSE(rig.controller->current_graphs()
+                     .at(i)
+                     .at("nodes")
+                     .contains("loadbalance"));
+  }
+}
+
+TEST(LbFpm, MainlineHelpersPruneLbAndRouter) {
+  RouterDut dut;
+  dut.add_prefixes(1);
+  dut.run("ipvsadm -A -t 10.0.0.100:80 -s rr");
+  dut.run("ipvsadm -a -t 10.0.0.100:80 -r 10.100.0.5:8080");
+  ControllerOptions opts;
+  opts.mainline_helpers_only = true;  // no bpf_ct_lookup
+  Controller controller(dut.kernel, opts);
+  auto reaction = controller.start();
+  // Router must be pruned with the LB (a routing-only fast path would
+  // forward VIP traffic un-NATed).
+  bool lb_dropped = false, router_dropped = false;
+  for (const std::string& d : reaction.dropped_fpms) {
+    if (d.find("loadbalance") != std::string::npos) lb_dropped = true;
+    if (d.find("router") != std::string::npos) router_dropped = true;
+  }
+  EXPECT_TRUE(lb_dropped);
+  EXPECT_TRUE(router_dropped);
+
+  // Correctness: VIP traffic still DNATed (by the slow path).
+  net::FlowKey f;
+  f.src_ip = net::Ipv4Addr::parse("10.10.1.2").value();
+  f.dst_ip = net::Ipv4Addr::parse("10.0.0.100").value();
+  f.proto = net::kIpProtoTcp;
+  f.src_port = 1;
+  f.dst_port = 80;
+  kern::CycleTrace t;
+  dut.kernel.rx(dut.eth0_ifindex(),
+                net::build_tcp_packet(dut.src_host_mac, dut.eth0_mac(), f,
+                                      0x18, 64),
+                t);
+  ASSERT_EQ(dut.tx_eth1.size(), 1u);
+  EXPECT_EQ(net::parse_packet(dut.tx_eth1[0])->ip_dst.to_string(),
+            "10.100.0.5");
+}
+
+}  // namespace
+}  // namespace linuxfp::core

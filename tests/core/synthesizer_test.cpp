@@ -1,0 +1,194 @@
+#include "core/synthesizer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/capability.h"
+#include "core/introspect.h"
+#include "core/topology.h"
+#include "ebpf/kernel_helpers.h"
+#include "ebpf/verifier.h"
+#include "kernel/commands.h"
+#include "kernel/kernel.h"
+
+namespace linuxfp::core {
+namespace {
+
+// Builds the graph for a configured kernel and synthesizes it.
+class SynthesizerTest : public ::testing::Test {
+ protected:
+  SynthesizerTest() { ebpf::register_all_helpers(helpers_, cost_); }
+
+  void cmd(kern::Kernel& k, const std::string& c) {
+    auto st = kern::run_command(k, c);
+    ASSERT_TRUE(st.ok()) << c << ": " << st.error().message;
+  }
+
+  util::Json graphs_for(kern::Kernel& k, bool bridge_ports = false) {
+    ServiceIntrospection si(k.netlink());
+    si.initial_sync();
+    TopologyOptions opts;
+    opts.attach_bridge_ports = bridge_ports;
+    TopologyManager tm(opts);
+    return tm.build(si.view());
+  }
+
+  void setup_router(kern::Kernel& k, bool with_filter) {
+    k.add_phys_dev("eth0");
+    k.add_phys_dev("eth1");
+    cmd(k, "ip link set eth0 up");
+    cmd(k, "ip link set eth1 up");
+    cmd(k, "ip addr add 10.1.0.1/24 dev eth0");
+    cmd(k, "ip addr add 10.2.0.1/24 dev eth1");
+    cmd(k, "sysctl -w net.ipv4.ip_forward=1");
+    cmd(k, "ip route add 10.50.0.0/16 via 10.2.0.2 dev eth1");
+    if (with_filter) {
+      cmd(k, "iptables -A FORWARD -s 10.66.0.0/16 -j DROP");
+    }
+  }
+
+  void expect_verifies(const ebpf::Program& prog) {
+    ebpf::VerifyOptions opts;
+    opts.helpers = &helpers_;
+    auto st = ebpf::verify(prog, opts);
+    EXPECT_TRUE(st.ok()) << prog.name << ": "
+                         << (st.ok() ? "" : st.error().message);
+  }
+
+  kern::CostModel cost_;
+  ebpf::HelperRegistry helpers_;
+};
+
+TEST_F(SynthesizerTest, RouterOnlyProgramVerifies) {
+  kern::Kernel k("host");
+  setup_router(k, false);
+  auto graphs = graphs_for(k);
+  ASSERT_GT(graphs.size(), 0u);
+  Synthesizer synth;
+  auto result = synth.synthesize(graphs.at(0));
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  ASSERT_EQ(result->programs.size(), 1u);
+  EXPECT_EQ(result->fpms, (std::vector<std::string>{"router"}));
+  expect_verifies(result->programs[0]);
+}
+
+TEST_F(SynthesizerTest, FilterInclusionGrowsProgram) {
+  kern::Kernel plain("plain"), filtered("filtered");
+  setup_router(plain, false);
+  setup_router(filtered, true);
+  Synthesizer synth;
+  auto p = synth.synthesize(graphs_for(plain).at(0));
+  auto f = synth.synthesize(graphs_for(filtered).at(0));
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(f.ok());
+  // Specialization: the filter snippet exists only when rules exist.
+  EXPECT_GT(f->programs[0].size(), p->programs[0].size());
+  EXPECT_EQ(f->fpms, (std::vector<std::string>{"filter", "router"}));
+  expect_verifies(f->programs[0]);
+}
+
+TEST_F(SynthesizerTest, PortParsingOnlyWhenRulesNeedPorts) {
+  kern::Kernel no_ports("a"), with_ports("b");
+  setup_router(no_ports, true);  // src-prefix rule only
+  setup_router(with_ports, false);
+  cmd(with_ports, "iptables -A FORWARD -p tcp --dport 80 -j DROP");
+  Synthesizer synth;
+  auto a = synth.synthesize(graphs_for(no_ports).at(0));
+  auto b = synth.synthesize(graphs_for(with_ports).at(0));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(b->programs[0].size(), a->programs[0].size());
+}
+
+TEST_F(SynthesizerTest, BridgeGraphSynthesizesAndVerifies) {
+  kern::Kernel k("host");
+  k.add_phys_dev("eth0");
+  cmd(k, "brctl addbr br0");
+  cmd(k, "ip link set eth0 up");
+  cmd(k, "ip link set br0 up");
+  cmd(k, "brctl addif br0 eth0");
+  auto graphs = graphs_for(k, /*bridge_ports=*/true);
+  ASSERT_EQ(graphs.size(), 1u);
+  Synthesizer synth;
+  auto result = synth.synthesize(graphs.at(0));
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  EXPECT_EQ(result->fpms, (std::vector<std::string>{"bridge"}));
+  expect_verifies(result->programs[0]);
+}
+
+TEST_F(SynthesizerTest, VlanSnippetOnlyWhenConfigured) {
+  kern::Kernel plain("p"), vlan("v");
+  for (kern::Kernel* k : {&plain, &vlan}) {
+    k->add_phys_dev("eth0");
+    cmd(*k, "brctl addbr br0");
+    cmd(*k, "ip link set eth0 up");
+    cmd(*k, "ip link set br0 up");
+    cmd(*k, "brctl addif br0 eth0");
+  }
+  cmd(vlan, "bridge vlan add dev eth0 vid 100");
+  Synthesizer synth;
+  auto p = synth.synthesize(graphs_for(plain, true).at(0));
+  auto v = synth.synthesize(graphs_for(vlan, true).at(0));
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(v.ok());
+  EXPECT_GT(v->programs[0].size(), p->programs[0].size());
+  expect_verifies(v->programs[0]);
+}
+
+TEST_F(SynthesizerTest, TailCallModeEmitsOneProgramPerFpm) {
+  kern::Kernel k("host");
+  setup_router(k, true);
+  Synthesizer synth(ChainMode::kTailCalls);
+  auto result = synth.synthesize(graphs_for(k).at(0), /*tail_call_base=*/5);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  EXPECT_EQ(result->programs.size(), 2u);  // filter, router
+  EXPECT_EQ(result->tail_call_base, 5u);
+  for (const auto& prog : result->programs) expect_verifies(prog);
+}
+
+TEST_F(SynthesizerTest, CustomSnippetInjected) {
+  kern::Kernel k("host");
+  setup_router(k, false);
+  Synthesizer synth;
+  auto base = synth.synthesize(graphs_for(k).at(0));
+  ASSERT_TRUE(base.ok());
+  synth.set_custom_snippet([](ebpf::ProgramBuilder& b) {
+    // Tiny monitoring snippet: count-ish ALU work.
+    b.mov(ebpf::kR3, 1);
+    b.add(ebpf::kR3, 2);
+  });
+  auto custom = synth.synthesize(graphs_for(k).at(0));
+  ASSERT_TRUE(custom.ok());
+  EXPECT_EQ(custom->programs[0].size(), base->programs[0].size() + 2);
+  expect_verifies(custom->programs[0]);
+}
+
+TEST_F(SynthesizerTest, EmptyGraphRejected) {
+  util::Json g = util::Json::object();
+  g["device"] = "eth0";
+  g["ifindex"] = 1;
+  g["hook"] = "xdp";
+  g["dev_mac"] = "02:00:00:00:00:01";
+  g["nodes"] = util::Json::object();
+  Synthesizer synth;
+  EXPECT_FALSE(synth.synthesize(g).ok());
+}
+
+TEST_F(SynthesizerTest, TcHookPropagates) {
+  kern::Kernel k("host");
+  setup_router(k, false);
+  ServiceIntrospection si(k.netlink());
+  si.initial_sync();
+  TopologyOptions opts;
+  opts.hook = "tc";
+  TopologyManager tm(opts);
+  auto graphs = tm.build(si.view());
+  ASSERT_GT(graphs.size(), 0u);
+  Synthesizer synth;
+  auto result = synth.synthesize(graphs.at(0));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->hook, ebpf::HookType::kTcIngress);
+  EXPECT_EQ(result->programs[0].hook, ebpf::HookType::kTcIngress);
+}
+
+}  // namespace
+}  // namespace linuxfp::core

@@ -1,0 +1,226 @@
+#include "core/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "core/capability.h"
+#include "core/introspect.h"
+#include "ebpf/kernel_helpers.h"
+#include "kernel/commands.h"
+#include "kernel/kernel.h"
+
+namespace linuxfp::core {
+namespace {
+
+class TopologyTest : public ::testing::Test {
+ protected:
+  WorldView view_of(kern::Kernel& k) {
+    ServiceIntrospection si(k.netlink());
+    si.initial_sync();
+    return si.view();
+  }
+
+  void cmd(kern::Kernel& k, const std::string& c) {
+    auto st = kern::run_command(k, c);
+    ASSERT_TRUE(st.ok()) << c << ": " << st.error().message;
+  }
+};
+
+TEST_F(TopologyTest, NoConfigMeansNoGraphs) {
+  kern::Kernel k("host");
+  k.add_phys_dev("eth0");
+  cmd(k, "ip link set eth0 up");
+  TopologyManager tm;
+  auto graphs = tm.build(view_of(k));
+  EXPECT_EQ(graphs.size(), 0u);
+}
+
+TEST_F(TopologyTest, RouterGraphWhenForwardingConfigured) {
+  kern::Kernel k("host");
+  k.add_phys_dev("eth0");
+  k.add_phys_dev("eth1");
+  cmd(k, "ip link set eth0 up");
+  cmd(k, "ip link set eth1 up");
+  cmd(k, "ip addr add 10.1.0.1/24 dev eth0");
+  cmd(k, "ip addr add 10.2.0.1/24 dev eth1");
+  cmd(k, "sysctl -w net.ipv4.ip_forward=1");
+  cmd(k, "ip route add 10.50.0.0/16 via 10.2.0.2 dev eth1");
+
+  TopologyManager tm;
+  auto graphs = tm.build(view_of(k));
+  ASSERT_EQ(graphs.size(), 2u);  // one per physical device
+  const util::Json& g = graphs.at(0);
+  EXPECT_EQ(g.at("hook").as_string(), "xdp");
+  ASSERT_TRUE(g.at("nodes").contains("router"));
+  EXPECT_FALSE(g.at("nodes").contains("filter"));
+  EXPECT_FALSE(g.at("nodes").contains("bridge"));
+  EXPECT_EQ(g.at("nodes").at("router").at("conf").at("route_count").as_int(),
+            1);
+}
+
+TEST_F(TopologyTest, RouterRequiresIpForwardSysctl) {
+  kern::Kernel k("host");
+  k.add_phys_dev("eth0");
+  cmd(k, "ip link set eth0 up");
+  cmd(k, "ip addr add 10.1.0.1/24 dev eth0");
+  cmd(k, "ip route add 10.50.0.0/16 via 10.1.0.2 dev eth0");
+  // ip_forward left off.
+  TopologyManager tm;
+  EXPECT_EQ(tm.build(view_of(k)).size(), 0u);
+}
+
+TEST_F(TopologyTest, FilterNodeAddedWithForwardRules) {
+  kern::Kernel k("host");
+  k.add_phys_dev("eth0");
+  cmd(k, "ip link set eth0 up");
+  cmd(k, "ip addr add 10.1.0.1/24 dev eth0");
+  cmd(k, "sysctl -w net.ipv4.ip_forward=1");
+  cmd(k, "ip route add 10.50.0.0/16 via 10.1.0.2 dev eth0");
+  cmd(k, "iptables -A FORWARD -p tcp --dport 80 -j DROP");
+
+  TopologyManager tm;
+  auto graphs = tm.build(view_of(k));
+  ASSERT_EQ(graphs.size(), 1u);
+  const util::Json& nodes = graphs.at(0).at("nodes");
+  ASSERT_TRUE(nodes.contains("filter"));
+  EXPECT_EQ(nodes.at("filter").at("next_nf").as_string(), "router");
+  EXPECT_TRUE(nodes.at("filter").at("conf").at("needs_ports").as_bool());
+  EXPECT_EQ(nodes.at("filter").at("conf").at("rule_count").as_int(), 1);
+  // Keys are ordered: filter precedes router.
+  std::vector<std::string> keys;
+  for (const auto& [k2, v] : nodes.object_items()) keys.push_back(k2);
+  EXPECT_EQ(keys, (std::vector<std::string>{"filter", "router"}));
+}
+
+TEST_F(TopologyTest, BridgePortGetsBridgeNode) {
+  kern::Kernel k("host");
+  k.add_phys_dev("eth0");
+  cmd(k, "brctl addbr br0");
+  cmd(k, "ip link set eth0 up");
+  cmd(k, "ip link set br0 up");
+  cmd(k, "brctl addif br0 eth0");
+
+  // Physical port of a bridge is attachable even in physical-only mode
+  // because it is where packets arrive.
+  TopologyOptions opts;
+  opts.attach_bridge_ports = true;
+  TopologyManager tm(opts);
+  auto graphs = tm.build(view_of(k));
+  ASSERT_EQ(graphs.size(), 1u);
+  const util::Json& nodes = graphs.at(0).at("nodes");
+  ASSERT_TRUE(nodes.contains("bridge"));
+  EXPECT_FALSE(nodes.contains("router"));
+  EXPECT_FALSE(nodes.at("bridge").contains("next_nf"));
+  EXPECT_FALSE(
+      nodes.at("bridge").at("conf").at("STP_enabled").as_bool());
+}
+
+TEST_F(TopologyTest, BridgeWithAddressChainsToRouter) {
+  kern::Kernel k("host");
+  k.add_phys_dev("eth0");
+  k.add_phys_dev("eth1");
+  cmd(k, "brctl addbr br0");
+  cmd(k, "ip link set eth0 up");
+  cmd(k, "ip link set eth1 up");
+  cmd(k, "ip link set br0 up");
+  cmd(k, "brctl addif br0 eth0");
+  cmd(k, "ip addr add 10.1.0.1/24 dev br0");
+  cmd(k, "ip addr add 10.2.0.1/24 dev eth1");
+  cmd(k, "sysctl -w net.ipv4.ip_forward=1");
+  cmd(k, "ip route add 10.50.0.0/16 via 10.2.0.2 dev eth1");
+
+  TopologyOptions opts;
+  opts.attach_bridge_ports = true;
+  TopologyManager tm(opts);
+  auto graphs = tm.build(view_of(k));
+  // eth0 (bridge port) and eth1 (plain L3) both get graphs.
+  ASSERT_EQ(graphs.size(), 2u);
+  const util::Json* port_graph = nullptr;
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    if (graphs.at(i).at("device").as_string() == "eth0") {
+      port_graph = &graphs.at(i);
+    }
+  }
+  ASSERT_NE(port_graph, nullptr);
+  const util::Json& nodes = port_graph->at("nodes");
+  ASSERT_TRUE(nodes.contains("bridge"));
+  EXPECT_EQ(nodes.at("bridge").at("next_nf").as_string(), "router");
+  ASSERT_TRUE(nodes.contains("router"));
+}
+
+TEST_F(TopologyTest, StpAndVlanFlagsReachConf) {
+  kern::Kernel k("host");
+  k.add_phys_dev("eth0");
+  cmd(k, "brctl addbr br0");
+  cmd(k, "brctl addif br0 eth0");
+  cmd(k, "brctl stp br0 on");
+  cmd(k, "bridge vlan add dev eth0 vid 100");
+  cmd(k, "ip link set eth0 up");
+  cmd(k, "ip link set br0 up");
+
+  TopologyOptions opts;
+  opts.attach_bridge_ports = true;
+  TopologyManager tm(opts);
+  auto graphs = tm.build(view_of(k));
+  ASSERT_EQ(graphs.size(), 1u);
+  const util::Json& conf = graphs.at(0).at("nodes").at("bridge").at("conf");
+  EXPECT_TRUE(conf.at("STP_enabled").as_bool());
+  EXPECT_TRUE(conf.at("VLAN_enabled").as_bool());
+}
+
+TEST_F(TopologyTest, DownDevicesAreSkipped) {
+  kern::Kernel k("host");
+  k.add_phys_dev("eth0");
+  cmd(k, "ip addr add 10.1.0.1/24 dev eth0");
+  cmd(k, "sysctl -w net.ipv4.ip_forward=1");
+  cmd(k, "ip route add 10.50.0.0/16 via 10.1.0.2 dev eth0");
+  // Route add on a down device: kernel allows it in our model, but the
+  // device is down so no graph is built.
+  TopologyManager tm;
+  EXPECT_EQ(tm.build(view_of(k)).size(), 0u);
+}
+
+TEST_F(TopologyTest, CapabilityPruneDropsBridgeOnMainline) {
+  kern::Kernel k("host");
+  k.add_phys_dev("eth0");
+  cmd(k, "brctl addbr br0");
+  cmd(k, "ip link set eth0 up");
+  cmd(k, "ip link set br0 up");
+  cmd(k, "brctl addif br0 eth0");
+
+  TopologyOptions opts;
+  opts.attach_bridge_ports = true;
+  TopologyManager tm(opts);
+  auto graphs = tm.build(view_of(k));
+  ASSERT_EQ(graphs.size(), 1u);
+
+  ebpf::HelperRegistry mainline;
+  ebpf::register_mainline_helpers(mainline, k.cost());
+  CapabilityManager cap(mainline);
+  std::vector<std::string> dropped;
+  auto pruned = cap.prune(graphs, &dropped);
+  EXPECT_EQ(pruned.size(), 0u);  // bridge node removed -> empty graph
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped[0], "eth0:bridge");
+
+  // With the full helper set nothing is pruned.
+  ebpf::HelperRegistry full;
+  ebpf::register_all_helpers(full, k.cost());
+  CapabilityManager cap_full(full);
+  EXPECT_EQ(cap_full.prune(graphs).size(), 1u);
+}
+
+TEST_F(TopologyTest, SignatureStableAcrossRebuilds) {
+  kern::Kernel k("host");
+  k.add_phys_dev("eth0");
+  cmd(k, "ip link set eth0 up");
+  cmd(k, "ip addr add 10.1.0.1/24 dev eth0");
+  cmd(k, "sysctl -w net.ipv4.ip_forward=1");
+  cmd(k, "ip route add 10.50.0.0/16 via 10.1.0.2 dev eth0");
+  TopologyManager tm;
+  auto v = view_of(k);
+  EXPECT_EQ(TopologyManager::signature(tm.build(v)),
+            TopologyManager::signature(tm.build(v)));
+}
+
+}  // namespace
+}  // namespace linuxfp::core

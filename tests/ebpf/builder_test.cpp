@@ -1,0 +1,58 @@
+#include "ebpf/builder.h"
+
+#include <gtest/gtest.h>
+
+namespace linuxfp::ebpf {
+namespace {
+
+TEST(Builder, ResolvesForwardLabels) {
+  ProgramBuilder b("lbl", HookType::kXdp);
+  b.mov(kR0, 1);
+  b.jeq(kR0, 1, "done");
+  b.mov(kR0, 2);
+  b.label("done");
+  b.exit();
+  auto p = b.build();
+  ASSERT_TRUE(p.ok());
+  // jeq at index 1 must skip index 2 (off = +1).
+  EXPECT_EQ(p->insns[1].off, 1);
+}
+
+TEST(Builder, UndefinedLabelFails) {
+  ProgramBuilder b("bad", HookType::kXdp);
+  b.ja("nowhere");
+  b.exit();
+  auto p = b.build();
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.error().code, "builder.label");
+}
+
+TEST(Builder, ScopedLabelsAreUniquePerScope) {
+  ProgramBuilder b("scoped", HookType::kXdp);
+  std::string first = b.scoped("x");
+  b.new_scope();
+  std::string second = b.scoped("x");
+  EXPECT_NE(first, second);
+}
+
+TEST(Builder, DisassemblerCoversOps) {
+  Insn ldx{Op::kLdx, kR2, kR7, false, 12, 0, MemSize::kU16};
+  EXPECT_EQ(disassemble(ldx), "r2 = *(u16*)(r7 +12)");
+  Insn call{Op::kCall, 0, 0, true, 0, 69, MemSize::kU64};
+  EXPECT_EQ(disassemble(call), "call 69");
+  Insn mov{Op::kMov, kR0, 0, true, 0, 2, MemSize::kU64};
+  EXPECT_EQ(disassemble(mov), "mov r0, 2");
+}
+
+TEST(Builder, RetEmitsMovAndExit) {
+  ProgramBuilder b("ret", HookType::kTcIngress);
+  b.ret(kActDrop);
+  auto p = b.build().value();
+  ASSERT_EQ(p.insns.size(), 2u);
+  EXPECT_EQ(p.insns[0].op, Op::kMov);
+  EXPECT_EQ(p.insns[1].op, Op::kExit);
+  EXPECT_EQ(p.hook, HookType::kTcIngress);
+}
+
+}  // namespace
+}  // namespace linuxfp::ebpf

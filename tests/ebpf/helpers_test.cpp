@@ -1,0 +1,336 @@
+// Kernel-bound helper tests: the state-unification mechanism. Each helper is
+// exercised through a real program so the full ctx/stack/verifier path runs.
+#include <gtest/gtest.h>
+
+#include "ebpf/builder.h"
+#include "ebpf/kernel_helpers.h"
+#include "ebpf/verifier.h"
+#include "ebpf/vm.h"
+#include "tests/kernel/test_topo.h"
+
+namespace linuxfp::ebpf {
+namespace {
+
+using linuxfp::testing::RouterDut;
+
+class HelpersTest : public ::testing::Test {
+ protected:
+  HelpersTest() { register_all_helpers(helpers_, cost_); }
+
+  VmResult run_on(kern::Kernel& kernel, const Program& prog, net::Packet& pkt,
+                  int ifindex) {
+    VerifyOptions opts;
+    opts.helpers = &helpers_;
+    opts.maps = &maps_;
+    auto st = verify(prog, opts);
+    EXPECT_TRUE(st.ok()) << (st.ok() ? "" : st.error().message);
+    Vm vm(cost_, helpers_, maps_, nullptr);
+    return vm.run(prog, pkt, ifindex, &kernel);
+  }
+
+  // Program: fib_lookup for the packet's dst; on success return
+  // out_ifindex, else return 1000 + helper return code.
+  Program fib_probe() {
+    ProgramBuilder b("fib_probe", HookType::kXdp);
+    b.mov_reg(kR6, kR1);
+    b.ldx(kR7, kR6, kCtxData, MemSize::kU64);
+    b.ldx(kR8, kR6, kCtxDataEnd, MemSize::kU64);
+    b.mov_reg(kR2, kR7);
+    b.add(kR2, 34);
+    b.jgt_reg(kR2, kR8, "short");
+    b.mov_reg(kR9, kR10);
+    b.add(kR9, -64);
+    b.ldx(kR2, kR6, kCtxIfindex, MemSize::kU64);
+    b.stx(kR9, kFibParamIfindex, kR2, MemSize::kU32);
+    b.ldx(kR2, kR7, 30, MemSize::kU32);
+    b.be32(kR2);
+    b.stx(kR9, kFibParamDst, kR2, MemSize::kU32);
+    b.mov_reg(kR1, kR6);
+    b.mov_reg(kR2, kR9);
+    b.mov(kR3, kFibParamSize);
+    b.mov(kR4, 0);
+    b.call(kHelperFibLookup);
+    b.jne(kR0, 0, "fail");
+    b.ldx(kR0, kR9, kFibParamOutIfindex, MemSize::kU32);
+    b.exit();
+    b.label("fail");
+    b.add(kR0, 1000);
+    b.exit();
+    b.label("short");
+    b.ret(999);
+    return b.build().value();
+  }
+
+  kern::CostModel cost_;
+  HelperRegistry helpers_;
+  MapSet maps_;
+};
+
+TEST_F(HelpersTest, FibLookupReadsLiveKernelState) {
+  RouterDut dut;
+  dut.add_prefixes(3);
+  net::Packet pkt = dut.packet_to_prefix(1);
+  auto r = run_on(dut.kernel, fib_probe(), pkt, dut.eth0_ifindex());
+  ASSERT_FALSE(r.aborted) << r.error;
+  EXPECT_EQ(r.ret, static_cast<std::uint64_t>(dut.eth1_ifindex()));
+
+  // Route removal is visible to the very next helper call — no resync.
+  dut.run("ip route del 10.101.0.0/24");
+  net::Packet pkt2 = dut.packet_to_prefix(1);
+  auto r2 = run_on(dut.kernel, fib_probe(), pkt2, dut.eth0_ifindex());
+  EXPECT_EQ(r2.ret, 1000 + kFibLkupNotFwded);
+}
+
+TEST_F(HelpersTest, FibLookupReturnsNoNeighWhenUnresolved) {
+  RouterDut dut;
+  dut.run("ip route add 10.200.0.0/24 via 10.10.2.77 dev eth1");
+  net::FlowKey f;
+  f.src_ip = net::Ipv4Addr::parse("10.10.1.2").value();
+  f.dst_ip = net::Ipv4Addr::parse("10.200.0.1").value();
+  net::Packet pkt =
+      net::build_udp_packet(dut.src_host_mac, dut.eth0_mac(), f, 64);
+  auto r = run_on(dut.kernel, fib_probe(), pkt, dut.eth0_ifindex());
+  EXPECT_EQ(r.ret, 1000 + kFibLkupNoNeigh);
+}
+
+TEST_F(HelpersTest, FibLookupFillsMacs) {
+  RouterDut dut;
+  dut.add_prefixes(1);
+  // Variant returning first smac byte for inspection.
+  ProgramBuilder b("fib_macs", HookType::kXdp);
+  b.mov_reg(kR6, kR1);
+  b.ldx(kR7, kR6, kCtxData, MemSize::kU64);
+  b.ldx(kR8, kR6, kCtxDataEnd, MemSize::kU64);
+  b.mov_reg(kR2, kR7);
+  b.add(kR2, 34);
+  b.jgt_reg(kR2, kR8, "short");
+  b.mov_reg(kR9, kR10);
+  b.add(kR9, -64);
+  b.ldx(kR2, kR7, 30, MemSize::kU32);
+  b.be32(kR2);
+  b.stx(kR9, kFibParamDst, kR2, MemSize::kU32);
+  b.mov_reg(kR1, kR6);
+  b.mov_reg(kR2, kR9);
+  b.call(kHelperFibLookup);
+  b.jne(kR0, 0, "short");
+  b.ldx(kR0, kR9, kFibParamDmac, MemSize::kU32);
+  b.exit();
+  b.label("short");
+  b.ret(0);
+  net::Packet pkt = dut.packet_to_prefix(0);
+  auto r = run_on(dut.kernel, b.build().value(), pkt, dut.eth0_ifindex());
+  // First 4 bytes of the sink gateway MAC, little-endian packed.
+  const auto& mac = dut.sink_gw_mac.bytes();
+  std::uint32_t expect = std::uint32_t{mac[0]} | std::uint32_t{mac[1]} << 8 |
+                         std::uint32_t{mac[2]} << 16 |
+                         std::uint32_t{mac[3]} << 24;
+  EXPECT_EQ(r.ret, expect);
+}
+
+Program fdb_probe() {
+  ProgramBuilder b("fdb_probe", HookType::kXdp);
+  b.mov_reg(kR6, kR1);
+  b.ldx(kR7, kR6, kCtxData, MemSize::kU64);
+  b.ldx(kR8, kR6, kCtxDataEnd, MemSize::kU64);
+  b.mov_reg(kR2, kR7);
+  b.add(kR2, 14);
+  b.jgt_reg(kR2, kR8, "short");
+  b.mov_reg(kR9, kR10);
+  b.add(kR9, -64);
+  b.ldx(kR2, kR6, kCtxIfindex, MemSize::kU64);
+  b.stx(kR9, kFdbParamIfindex, kR2, MemSize::kU32);
+  b.st(kR9, kFdbParamVlan, 0, MemSize::kU16);
+  b.ldx(kR2, kR7, 0, MemSize::kU32);
+  b.stx(kR9, kFdbParamDmac, kR2, MemSize::kU32);
+  b.ldx(kR2, kR7, 4, MemSize::kU16);
+  b.stx(kR9, kFdbParamDmac + 4, kR2, MemSize::kU16);
+  b.ldx(kR2, kR7, 6, MemSize::kU32);
+  b.stx(kR9, kFdbParamSmac, kR2, MemSize::kU32);
+  b.ldx(kR2, kR7, 10, MemSize::kU16);
+  b.stx(kR9, kFdbParamSmac + 4, kR2, MemSize::kU16);
+  b.mov_reg(kR1, kR6);
+  b.mov_reg(kR2, kR9);
+  b.call(kHelperFdbLookup);
+  b.jne(kR0, 0, "code");
+  b.ldx(kR0, kR9, kFdbParamOutIfindex, MemSize::kU32);
+  b.exit();
+  b.label("code");
+  b.add(kR0, 1000);
+  b.exit();
+  b.label("short");
+  b.ret(999);
+  return b.build().value();
+}
+
+TEST_F(HelpersTest, FdbLookupFindsLearnedStations) {
+  kern::Kernel k("br");
+  k.add_phys_dev("p1");
+  k.add_phys_dev("p2");
+  ASSERT_TRUE(kern::run_command(k, "brctl addbr br0").ok());
+  for (const char* d : {"p1", "p2", "br0"}) {
+    ASSERT_TRUE(
+        kern::run_command(k, std::string("ip link set ") + d + " up").ok());
+  }
+  ASSERT_TRUE(kern::run_command(k, "brctl addif br0 p1").ok());
+  ASSERT_TRUE(kern::run_command(k, "brctl addif br0 p2").ok());
+
+  auto a = net::MacAddr::from_id(0xA);
+  auto b_mac = net::MacAddr::from_id(0xB);
+  int p1 = k.dev_by_name("p1")->ifindex();
+  int p2 = k.dev_by_name("p2")->ifindex();
+  kern::Bridge* br = k.bridge_by_name("br0");
+  br->fdb_learn(a, 0, p1, k.now_ns());
+  br->fdb_learn(b_mac, 0, p2, k.now_ns());
+
+  net::FlowKey f;
+  f.src_ip = net::Ipv4Addr::parse("1.1.1.1").value();
+  f.dst_ip = net::Ipv4Addr::parse("2.2.2.2").value();
+  net::Packet pkt = net::build_udp_packet(a, b_mac, f, 64);
+  auto r = run_on(k, fdb_probe(), pkt, p1);
+  ASSERT_FALSE(r.aborted) << r.error;
+  EXPECT_EQ(r.ret, static_cast<std::uint64_t>(p2));
+
+  // Unknown destination -> miss code (slow path floods).
+  net::Packet pkt2 =
+      net::build_udp_packet(a, net::MacAddr::from_id(0xC), f, 64);
+  auto r2 = run_on(k, fdb_probe(), pkt2, p1);
+  EXPECT_EQ(r2.ret, 1000 + kFdbLkupMiss);
+
+  // Unknown *source* -> learn punt (slow path learns).
+  net::Packet pkt3 =
+      net::build_udp_packet(net::MacAddr::from_id(0xD), b_mac, f, 64);
+  auto r3 = run_on(k, fdb_probe(), pkt3, p1);
+  EXPECT_EQ(r3.ret, 1000 + kFdbLkupLearn);
+}
+
+TEST_F(HelpersTest, FdbLookupRefreshesAging) {
+  kern::Kernel k("br");
+  k.add_phys_dev("p1");
+  k.add_phys_dev("p2");
+  ASSERT_TRUE(kern::run_command(k, "brctl addbr br0").ok());
+  for (const char* d : {"p1", "p2", "br0"}) {
+    ASSERT_TRUE(
+        kern::run_command(k, std::string("ip link set ") + d + " up").ok());
+  }
+  ASSERT_TRUE(kern::run_command(k, "brctl addif br0 p1").ok());
+  ASSERT_TRUE(kern::run_command(k, "brctl addif br0 p2").ok());
+
+  auto a = net::MacAddr::from_id(0xA);
+  auto b_mac = net::MacAddr::from_id(0xB);
+  int p1 = k.dev_by_name("p1")->ifindex();
+  int p2 = k.dev_by_name("p2")->ifindex();
+  kern::Bridge* br = k.bridge_by_name("br0");
+  br->fdb_learn(a, 0, p1, k.now_ns());
+  br->fdb_learn(b_mac, 0, p2, k.now_ns());
+
+  // Advance close to the aging limit, then run the fast path: the helper
+  // refreshes the source entry.
+  k.set_now_ns(k.now_ns() + 299'000'000'000ull);
+  net::FlowKey f;
+  f.src_ip = net::Ipv4Addr::parse("1.1.1.1").value();
+  f.dst_ip = net::Ipv4Addr::parse("2.2.2.2").value();
+  net::Packet pkt = net::build_udp_packet(a, b_mac, f, 64);
+  run_on(k, fdb_probe(), pkt, p1);
+
+  // Aging now removes only the un-refreshed destination entry.
+  EXPECT_EQ(br->fdb_age(k.now_ns() + 2'000'000'000ull), 1u);
+  EXPECT_NE(br->fdb_lookup(a, 0), nullptr);
+  EXPECT_EQ(br->fdb_lookup(b_mac, 0), nullptr);
+}
+
+TEST_F(HelpersTest, IptLookupEvaluatesLiveRules) {
+  RouterDut dut;
+  dut.add_prefixes(1);
+  dut.run("iptables -A FORWARD -s 10.10.1.0/24 -d 10.100.0.0/24 -j DROP");
+
+  ProgramBuilder b("ipt_probe", HookType::kXdp);
+  b.mov_reg(kR6, kR1);
+  b.ldx(kR7, kR6, kCtxData, MemSize::kU64);
+  b.ldx(kR8, kR6, kCtxDataEnd, MemSize::kU64);
+  b.mov_reg(kR2, kR7);
+  b.add(kR2, 34);
+  b.jgt_reg(kR2, kR8, "short");
+  b.mov_reg(kR9, kR10);
+  b.add(kR9, -64);
+  b.ldx(kR2, kR7, 26, MemSize::kU32);
+  b.be32(kR2);
+  b.stx(kR9, kIptParamSrc, kR2, MemSize::kU32);
+  b.ldx(kR2, kR7, 30, MemSize::kU32);
+  b.be32(kR2);
+  b.stx(kR9, kIptParamDst, kR2, MemSize::kU32);
+  b.ldx(kR2, kR7, 23, MemSize::kU8);
+  b.stx(kR9, kIptParamProto, kR2, MemSize::kU8);
+  b.st(kR9, kIptParamHook, kIptHookForward, MemSize::kU8);
+  b.st(kR9, kIptParamSport, 0, MemSize::kU16);
+  b.st(kR9, kIptParamDport, 0, MemSize::kU16);
+  b.st(kR9, kIptParamInIf, 0, MemSize::kU32);
+  b.st(kR9, kIptParamOutIf, 0, MemSize::kU32);
+  b.mov_reg(kR1, kR6);
+  b.mov_reg(kR2, kR9);
+  b.call(kHelperIptLookup);
+  b.exit();
+  b.label("short");
+  b.ret(999);
+  Program prog = b.build().value();
+
+  net::Packet blocked = dut.packet_to_prefix(0);  // dst 10.100.0.9
+  auto r = run_on(dut.kernel, prog, blocked, dut.eth0_ifindex());
+  EXPECT_EQ(r.ret, kIptVerdictDrop);
+
+  // Flush the chain: the helper immediately sees ACCEPT.
+  dut.run("iptables -F FORWARD");
+  net::Packet ok = dut.packet_to_prefix(0);
+  auto r2 = run_on(dut.kernel, prog, ok, dut.eth0_ifindex());
+  EXPECT_EQ(r2.ret, kIptVerdictAccept);
+}
+
+TEST_F(HelpersTest, CtLookupMissThenHit) {
+  RouterDut dut;
+  dut.kernel.set_conntrack_enabled(true);
+
+  ProgramBuilder b("ct_probe", HookType::kXdp);
+  b.mov_reg(kR6, kR1);
+  b.ldx(kR7, kR6, kCtxData, MemSize::kU64);
+  b.ldx(kR8, kR6, kCtxDataEnd, MemSize::kU64);
+  b.mov_reg(kR2, kR7);
+  b.add(kR2, 38);
+  b.jgt_reg(kR2, kR8, "short");
+  b.mov_reg(kR9, kR10);
+  b.add(kR9, -64);
+  b.ldx(kR2, kR7, 26, MemSize::kU32);
+  b.be32(kR2);
+  b.stx(kR9, kCtParamSrc, kR2, MemSize::kU32);
+  b.ldx(kR2, kR7, 30, MemSize::kU32);
+  b.be32(kR2);
+  b.stx(kR9, kCtParamDst, kR2, MemSize::kU32);
+  b.ldx(kR2, kR7, 23, MemSize::kU8);
+  b.stx(kR9, kCtParamProto, kR2, MemSize::kU8);
+  b.ldx(kR2, kR7, 34, MemSize::kU16);
+  b.be16(kR2);
+  b.stx(kR9, kCtParamSport, kR2, MemSize::kU16);
+  b.ldx(kR2, kR7, 36, MemSize::kU16);
+  b.be16(kR2);
+  b.stx(kR9, kCtParamDport, kR2, MemSize::kU16);
+  b.mov_reg(kR1, kR6);
+  b.mov_reg(kR2, kR9);
+  b.call(kHelperCtLookup);
+  b.exit();
+  b.label("short");
+  b.ret(999);
+  Program prog = b.build().value();
+
+  net::Packet pkt = dut.packet_to_prefix(0, /*flow=*/5);
+  auto miss = run_on(dut.kernel, prog, pkt, dut.eth0_ifindex());
+  EXPECT_EQ(miss.ret, kCtLkupMiss);
+
+  // Create via the slow path (conntrack-enabled forward).
+  dut.add_prefixes(1);
+  kern::CycleTrace t;
+  dut.kernel.rx(dut.eth0_ifindex(), dut.packet_to_prefix(0, 5), t);
+  net::Packet pkt2 = dut.packet_to_prefix(0, 5);
+  auto hit = run_on(dut.kernel, prog, pkt2, dut.eth0_ifindex());
+  EXPECT_EQ(hit.ret, kCtLkupFound);
+}
+
+}  // namespace
+}  // namespace linuxfp::ebpf

@@ -1,0 +1,122 @@
+#include "ebpf/loader.h"
+
+#include <gtest/gtest.h>
+
+#include "ebpf/builder.h"
+#include "ebpf/kernel_helpers.h"
+
+namespace linuxfp::ebpf {
+namespace {
+
+class LoaderTest : public ::testing::Test {
+ protected:
+  LoaderTest() : kernel_("host") {
+    register_all_helpers(helpers_, kernel_.cost());
+    kernel_.add_phys_dev("eth0");
+    (void)kernel_.set_link_up("eth0", true);
+  }
+
+  Program action_prog(std::uint64_t action) {
+    ProgramBuilder b("act", HookType::kXdp);
+    b.ret(action);
+    return b.build().value();
+  }
+
+  kern::Kernel kernel_;
+  HelperRegistry helpers_;
+};
+
+TEST_F(LoaderTest, LoadRejectsUnverifiableProgram) {
+  Attachment att("t", HookType::kXdp, kernel_, helpers_);
+  Program bad;
+  bad.insns.push_back({Op::kExit, 0, 0, true, 0, 0, MemSize::kU64});
+  auto id = att.load(bad);
+  ASSERT_FALSE(id.ok());
+  EXPECT_EQ(id.error().code, "verifier.r0_uninit");
+}
+
+TEST_F(LoaderTest, DirectEntryRuns) {
+  Attachment att("t", HookType::kXdp, kernel_, helpers_);
+  auto id = att.load(action_prog(kActDrop));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(att.set_entry(id.value()).ok());
+  net::Packet pkt(64);
+  auto r = att.run(pkt, 1);
+  EXPECT_EQ(r.verdict, kern::PacketProgram::Verdict::kDrop);
+  EXPECT_EQ(att.stats().runs, 1u);
+  EXPECT_EQ(att.stats().drop, 1u);
+}
+
+TEST_F(LoaderTest, DispatcherBeforeFirstDeployPasses) {
+  Attachment att("t", HookType::kXdp, kernel_, helpers_);
+  att.enable_dispatcher();
+  net::Packet pkt(64);
+  auto r = att.run(pkt, 1);
+  EXPECT_EQ(r.verdict, kern::PacketProgram::Verdict::kPass);
+}
+
+TEST_F(LoaderTest, AtomicSwapNeverDropsPackets) {
+  Attachment att("t", HookType::kXdp, kernel_, helpers_);
+  att.enable_dispatcher();
+  auto drop_id = att.load(action_prog(kActDrop));
+  auto tx_id = att.load(action_prog(kActTx));
+  ASSERT_TRUE(drop_id.ok());
+  ASSERT_TRUE(tx_id.ok());
+
+  // Interleave packets with swaps: every packet must see exactly one of the
+  // two verdicts, never a missing program (aborted).
+  ASSERT_TRUE(att.swap(drop_id.value()).ok());
+  for (int i = 0; i < 100; ++i) {
+    net::Packet pkt(64);
+    auto r = att.run(pkt, 1);
+    ASSERT_NE(r.verdict, kern::PacketProgram::Verdict::kAborted);
+    ASSERT_NE(r.verdict, kern::PacketProgram::Verdict::kPass);
+    ASSERT_TRUE(att.swap(i % 2 ? drop_id.value() : tx_id.value()).ok());
+  }
+  EXPECT_EQ(att.stats().aborted, 0u);
+  EXPECT_EQ(att.stats().drop + att.stats().tx, 100u);
+}
+
+TEST_F(LoaderTest, SwapValidatesProgramId) {
+  Attachment att("t", HookType::kXdp, kernel_, helpers_);
+  att.enable_dispatcher();
+  EXPECT_FALSE(att.swap(123).ok());
+  Attachment no_dispatch("t2", HookType::kXdp, kernel_, helpers_);
+  EXPECT_FALSE(no_dispatch.swap(0).ok());
+}
+
+TEST_F(LoaderTest, AttachDetachDevice) {
+  Attachment att("t", HookType::kXdp, kernel_, helpers_);
+  ASSERT_TRUE(attach_to_device(kernel_, "eth0", HookType::kXdp, &att).ok());
+  EXPECT_EQ(kernel_.dev_by_name("eth0")->xdp_prog(), &att);
+  detach_from_device(kernel_, "eth0", HookType::kXdp);
+  EXPECT_EQ(kernel_.dev_by_name("eth0")->xdp_prog(), nullptr);
+  EXPECT_FALSE(
+      attach_to_device(kernel_, "nope", HookType::kXdp, &att).ok());
+
+  ASSERT_TRUE(
+      attach_to_device(kernel_, "eth0", HookType::kTcIngress, &att).ok());
+  EXPECT_EQ(kernel_.dev_by_name("eth0")->tc_ingress_prog(), &att);
+  ASSERT_TRUE(
+      attach_to_device(kernel_, "eth0", HookType::kTcEgress, &att).ok());
+  EXPECT_EQ(kernel_.dev_by_name("eth0")->tc_egress_prog(), &att);
+}
+
+TEST_F(LoaderTest, XdpDropCountsAsFastPath) {
+  Attachment att("t", HookType::kXdp, kernel_, helpers_);
+  auto id = att.load(action_prog(kActDrop));
+  ASSERT_TRUE(att.set_entry(id.value()).ok());
+  ASSERT_TRUE(attach_to_device(kernel_, "eth0", HookType::kXdp, &att).ok());
+
+  kern::CycleTrace trace;
+  auto summary =
+      kernel_.rx(kernel_.dev_by_name("eth0")->ifindex(), net::Packet(64),
+                 trace);
+  EXPECT_TRUE(summary.fast_path);
+  EXPECT_EQ(summary.drop, kern::Drop::kXdpDrop);
+  EXPECT_EQ(kernel_.counters().fast_path_packets, 1u);
+  EXPECT_EQ(kernel_.counters().slow_path_packets, 0u);
+}
+
+}  // namespace
+}  // namespace linuxfp::ebpf

@@ -1,0 +1,118 @@
+#include "ebpf/maps.h"
+#include "ebpf/program.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace linuxfp::ebpf {
+namespace {
+
+std::vector<std::uint8_t> key32(std::uint32_t k) {
+  std::vector<std::uint8_t> v(4);
+  std::memcpy(v.data(), &k, 4);
+  return v;
+}
+
+std::vector<std::uint8_t> val64(std::uint64_t x) {
+  std::vector<std::uint8_t> v(8);
+  std::memcpy(v.data(), &x, 8);
+  return v;
+}
+
+TEST(ArrayMap, UpdateLookupDelete) {
+  Map m("a", MapType::kArray, 4, 8, 16);
+  auto k = key32(3);
+  auto v = val64(0x1234);
+  ASSERT_TRUE(m.update(k.data(), v.data()).ok());
+  std::uint8_t* got = m.lookup(k.data());
+  ASSERT_NE(got, nullptr);
+  std::uint64_t out;
+  std::memcpy(&out, got, 8);
+  EXPECT_EQ(out, 0x1234u);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.erase(k.data()));
+  EXPECT_EQ(m.lookup(k.data()), nullptr);
+}
+
+TEST(ArrayMap, OutOfRangeIndexRejected) {
+  Map m("a", MapType::kArray, 4, 8, 4);
+  auto k = key32(4);
+  auto v = val64(1);
+  EXPECT_FALSE(m.update(k.data(), v.data()).ok());
+  EXPECT_EQ(m.lookup(k.data()), nullptr);
+}
+
+TEST(HashMap, BasicOps) {
+  Map m("h", MapType::kHash, 8, 8, 128);
+  std::uint64_t key = 0xAABBCCDD;
+  auto v = val64(42);
+  ASSERT_TRUE(
+      m.update(reinterpret_cast<std::uint8_t*>(&key), v.data()).ok());
+  EXPECT_NE(m.lookup(reinterpret_cast<std::uint8_t*>(&key)), nullptr);
+  std::uint64_t other = 0x11;
+  EXPECT_EQ(m.lookup(reinterpret_cast<std::uint8_t*>(&other)), nullptr);
+}
+
+TEST(HashMap, CapacityEnforced) {
+  Map m("h", MapType::kHash, 4, 8, 2);
+  auto v = val64(1);
+  ASSERT_TRUE(m.update(key32(1).data(), v.data()).ok());
+  ASSERT_TRUE(m.update(key32(2).data(), v.data()).ok());
+  EXPECT_FALSE(m.update(key32(3).data(), v.data()).ok());
+  // Updating an existing key is fine at capacity.
+  EXPECT_TRUE(m.update(key32(2).data(), v.data()).ok());
+}
+
+TEST(LpmMap, LongestPrefixMatch) {
+  Map m("lpm", MapType::kLpmTrie, 8, 8, 64);
+  auto add = [&](std::uint32_t plen, std::uint32_t addr, std::uint64_t val) {
+    std::uint8_t key[8];
+    std::memcpy(key, &plen, 4);
+    std::memcpy(key + 4, &addr, 4);
+    auto v = val64(val);
+    ASSERT_TRUE(m.update(key, v.data()).ok());
+  };
+  // 10.0.0.0/8 -> 1 ; 10.10.0.0/16 -> 2
+  add(8, 0x0A000000, 1);
+  add(16, 0x0A0A0000, 2);
+
+  auto probe = [&](std::uint32_t addr) -> std::int64_t {
+    std::uint32_t full = 32;
+    std::uint8_t key[8];
+    std::memcpy(key, &full, 4);
+    std::memcpy(key + 4, &addr, 4);
+    std::uint8_t* got = m.lookup(key);
+    if (!got) return -1;
+    std::uint64_t out;
+    std::memcpy(&out, got, 8);
+    return static_cast<std::int64_t>(out);
+  };
+  EXPECT_EQ(probe(0x0A0A0101), 2);  // 10.10.1.1 matches /16
+  EXPECT_EQ(probe(0x0A0B0101), 1);  // 10.11.1.1 matches /8
+  EXPECT_EQ(probe(0x0B000001), -1);
+}
+
+TEST(ProgArray, SetAndGet) {
+  Map m("pa", MapType::kProgArray, 4, 4, 8);
+  EXPECT_FALSE(m.prog_at(0).has_value());
+  ASSERT_TRUE(m.set_prog(0, 17).ok());
+  ASSERT_TRUE(m.prog_at(0).has_value());
+  EXPECT_EQ(*m.prog_at(0), 17u);
+  ASSERT_TRUE(m.set_prog(0, 23).ok());  // atomic swap
+  EXPECT_EQ(*m.prog_at(0), 23u);
+}
+
+TEST(MapSetTest, CreateAndFind) {
+  MapSet set;
+  auto a = set.create("one", MapType::kArray, 4, 4, 4);
+  auto b = set.create("two", MapType::kHash, 4, 4, 4);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(set.get(a)->name(), "one");
+  EXPECT_EQ(set.by_name("two")->type(), MapType::kHash);
+  EXPECT_EQ(set.get(99), nullptr);
+  EXPECT_EQ(set.by_name("three"), nullptr);
+}
+
+}  // namespace
+}  // namespace linuxfp::ebpf

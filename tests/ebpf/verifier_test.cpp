@@ -1,0 +1,295 @@
+#include "ebpf/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include "ebpf/builder.h"
+#include "ebpf/kernel_helpers.h"
+
+namespace linuxfp::ebpf {
+namespace {
+
+class VerifierTest : public ::testing::Test {
+ protected:
+  VerifierTest() {
+    register_all_helpers(helpers_, cost_);
+    opts_.helpers = &helpers_;
+    opts_.maps = &maps_;
+  }
+
+  util::Status verify_prog(const Program& p) { return verify(p, opts_); }
+
+  kern::CostModel cost_;
+  HelperRegistry helpers_;
+  MapSet maps_;
+  VerifyOptions opts_;
+};
+
+TEST_F(VerifierTest, AcceptsMinimalProgram) {
+  ProgramBuilder b("ok", HookType::kXdp);
+  b.ret(kActPass);
+  EXPECT_TRUE(verify_prog(b.build().value()).ok());
+}
+
+TEST_F(VerifierTest, RejectsEmptyProgram) {
+  Program p;
+  EXPECT_FALSE(verify_prog(p).ok());
+}
+
+TEST_F(VerifierTest, RejectsExitWithUninitializedR0) {
+  Program p;
+  p.insns.push_back({Op::kExit, 0, 0, true, 0, 0, MemSize::kU64});
+  auto st = verify_prog(p);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, "verifier.r0_uninit");
+}
+
+TEST_F(VerifierTest, RejectsUninitializedRegisterRead) {
+  ProgramBuilder b("uninit", HookType::kXdp);
+  b.mov_reg(kR0, kR5);  // r5 never written
+  b.exit();
+  auto st = verify_prog(b.build().value());
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, "verifier.uninit");
+}
+
+TEST_F(VerifierTest, RejectsPacketAccessWithoutBoundsCheck) {
+  ProgramBuilder b("nobounds", HookType::kXdp);
+  b.mov_reg(kR6, kR1);
+  b.ldx(kR7, kR6, kCtxData, MemSize::kU64);
+  b.ldx(kR0, kR7, 0, MemSize::kU16);  // no check against data_end
+  b.exit();
+  auto st = verify_prog(b.build().value());
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, "verifier.pkt_unverified");
+}
+
+TEST_F(VerifierTest, AcceptsPacketAccessAfterBoundsCheck) {
+  ProgramBuilder b("bounds", HookType::kXdp);
+  b.mov_reg(kR6, kR1);
+  b.ldx(kR7, kR6, kCtxData, MemSize::kU64);
+  b.ldx(kR8, kR6, kCtxDataEnd, MemSize::kU64);
+  b.mov_reg(kR2, kR7);
+  b.add(kR2, 14);
+  b.jgt_reg(kR2, kR8, "out");
+  b.ldx(kR0, kR7, 12, MemSize::kU16);
+  b.exit();
+  b.label("out");
+  b.ret(kActPass);
+  auto st = verify_prog(b.build().value());
+  EXPECT_TRUE(st.ok()) << (st.ok() ? "" : st.error().message);
+}
+
+TEST_F(VerifierTest, BoundsCheckDoesNotLeakToUncheckedOffsets) {
+  ProgramBuilder b("partial", HookType::kXdp);
+  b.mov_reg(kR6, kR1);
+  b.ldx(kR7, kR6, kCtxData, MemSize::kU64);
+  b.ldx(kR8, kR6, kCtxDataEnd, MemSize::kU64);
+  b.mov_reg(kR2, kR7);
+  b.add(kR2, 14);
+  b.jgt_reg(kR2, kR8, "out");
+  b.ldx(kR0, kR7, 20, MemSize::kU32);  // beyond the 14 verified bytes
+  b.exit();
+  b.label("out");
+  b.ret(kActPass);
+  auto st = verify_prog(b.build().value());
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, "verifier.pkt_unverified");
+}
+
+TEST_F(VerifierTest, RejectsBackwardJump) {
+  Program p;
+  p.insns.push_back({Op::kMov, kR0, 0, true, 0, 0, MemSize::kU64});
+  p.insns.push_back({Op::kJa, 0, 0, true, -2, 0, MemSize::kU64});
+  p.insns.push_back({Op::kExit, 0, 0, true, 0, 0, MemSize::kU64});
+  auto st = verify_prog(p);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, "verifier.back_edge");
+}
+
+TEST_F(VerifierTest, RejectsJumpOutOfRange) {
+  Program p;
+  p.insns.push_back({Op::kJa, 0, 0, true, 100, 0, MemSize::kU64});
+  auto st = verify_prog(p);
+  EXPECT_EQ(st.error().code, "verifier.jump_oob");
+}
+
+TEST_F(VerifierTest, RejectsFallOffEnd) {
+  Program p;
+  p.insns.push_back({Op::kMov, kR0, 0, true, 0, 0, MemSize::kU64});
+  auto st = verify_prog(p);
+  EXPECT_EQ(st.error().code, "verifier.fallthrough");
+}
+
+TEST_F(VerifierTest, RejectsStackOutOfBounds) {
+  ProgramBuilder b("stackoob", HookType::kXdp);
+  b.mov_reg(kR2, kR10);
+  b.add(kR2, -520);  // below the frame
+  b.st(kR2, 0, 1, MemSize::kU64);
+  b.ret(kActPass);
+  auto st = verify_prog(b.build().value());
+  EXPECT_EQ(st.error().code, "verifier.stack_oob");
+}
+
+TEST_F(VerifierTest, RejectsWriteToFramePointer) {
+  ProgramBuilder b("fp", HookType::kXdp);
+  b.mov(kR10, 0);
+  b.ret(kActPass);
+  EXPECT_EQ(verify_prog(b.build().value()).error().code,
+            "verifier.fp_write");
+}
+
+TEST_F(VerifierTest, RejectsUnknownHelper) {
+  ProgramBuilder b("badhelper", HookType::kXdp);
+  b.mov(kR1, 0);
+  b.call(9999);
+  b.ret(kActPass);
+  EXPECT_EQ(verify_prog(b.build().value()).error().code,
+            "verifier.helper_unknown");
+}
+
+TEST_F(VerifierTest, CapabilityPruningRejectsFdbHelperOnMainline) {
+  HelperRegistry mainline;
+  register_mainline_helpers(mainline, cost_);
+  VerifyOptions opts;
+  opts.helpers = &mainline;
+  ProgramBuilder b("fdb", HookType::kXdp);
+  b.mov_reg(kR6, kR1);
+  b.mov_reg(kR9, kR10);
+  b.add(kR9, -64);
+  b.mov_reg(kR1, kR6);
+  b.mov_reg(kR2, kR9);
+  b.call(kHelperFdbLookup);
+  b.ret(kActPass);
+  auto st = verify(b.build().value(), opts);
+  EXPECT_EQ(st.error().code, "verifier.helper_unknown");
+}
+
+TEST_F(VerifierTest, RejectsMapValueDerefWithoutNullCheck) {
+  std::uint32_t map_id = maps_.create("m", MapType::kHash, 4, 8, 4);
+  ProgramBuilder b("nonull", HookType::kXdp);
+  b.mov_reg(kR2, kR10);
+  b.add(kR2, -8);
+  b.st(kR2, 0, 1, MemSize::kU32);
+  b.mov(kR1, map_id);
+  b.call(kHelperMapLookup);
+  b.ldx(kR0, kR0, 0, MemSize::kU64);  // no null check
+  b.exit();
+  EXPECT_EQ(verify_prog(b.build().value()).error().code,
+            "verifier.maybe_null");
+}
+
+TEST_F(VerifierTest, AcceptsMapValueDerefAfterNullCheck) {
+  std::uint32_t map_id = maps_.create("m", MapType::kHash, 4, 8, 4);
+  ProgramBuilder b("null_ok", HookType::kXdp);
+  b.mov_reg(kR2, kR10);
+  b.add(kR2, -8);
+  b.st(kR2, 0, 1, MemSize::kU32);
+  b.mov(kR1, map_id);
+  b.call(kHelperMapLookup);
+  b.jeq(kR0, 0, "miss");
+  b.ldx(kR0, kR0, 0, MemSize::kU64);
+  b.exit();
+  b.label("miss");
+  b.ret(0);
+  auto st = verify_prog(b.build().value());
+  EXPECT_TRUE(st.ok()) << (st.ok() ? "" : st.error().message);
+}
+
+TEST_F(VerifierTest, RejectsMapValueOutOfBounds) {
+  std::uint32_t map_id = maps_.create("m", MapType::kHash, 4, 8, 4);
+  ProgramBuilder b("mv_oob", HookType::kXdp);
+  b.mov_reg(kR2, kR10);
+  b.add(kR2, -8);
+  b.st(kR2, 0, 1, MemSize::kU32);
+  b.mov(kR1, map_id);
+  b.call(kHelperMapLookup);
+  b.jeq(kR0, 0, "miss");
+  b.ldx(kR0, kR0, 4, MemSize::kU64);  // 4+8 > value_size 8
+  b.exit();
+  b.label("miss");
+  b.ret(0);
+  EXPECT_EQ(verify_prog(b.build().value()).error().code,
+            "verifier.mapvalue_oob");
+}
+
+TEST_F(VerifierTest, RejectsPointerLeakToPacket) {
+  ProgramBuilder b("leak", HookType::kXdp);
+  b.mov_reg(kR6, kR1);
+  b.ldx(kR7, kR6, kCtxData, MemSize::kU64);
+  b.ldx(kR8, kR6, kCtxDataEnd, MemSize::kU64);
+  b.mov_reg(kR2, kR7);
+  b.add(kR2, 16);
+  b.jgt_reg(kR2, kR8, "out");
+  b.stx(kR7, 0, kR10, MemSize::kU64);  // write stack ptr into the packet
+  b.label("out");
+  b.ret(kActPass);
+  EXPECT_EQ(verify_prog(b.build().value()).error().code,
+            "verifier.ptr_leak");
+}
+
+TEST_F(VerifierTest, RejectsCtxStoreToReadOnlyFields) {
+  ProgramBuilder b("ctxw", HookType::kXdp);
+  b.st(kR1, kCtxData, 0, MemSize::kU64);
+  b.ret(kActPass);
+  EXPECT_EQ(verify_prog(b.build().value()).error().code, "verifier.ctx_ro");
+}
+
+TEST_F(VerifierTest, RejectsVariablePointerArithmetic) {
+  ProgramBuilder b("varptr", HookType::kXdp);
+  b.mov_reg(kR6, kR1);
+  b.ldx(kR7, kR6, kCtxData, MemSize::kU64);
+  b.ldx(kR3, kR6, kCtxIfindex, MemSize::kU64);  // unknown scalar
+  b.add_reg(kR7, kR3);
+  b.ret(kActPass);
+  EXPECT_EQ(verify_prog(b.build().value()).error().code, "verifier.var_ptr");
+}
+
+TEST_F(VerifierTest, RejectsScalarDereference) {
+  ProgramBuilder b("scalarptr", HookType::kXdp);
+  b.mov(kR2, 1234);
+  b.ldx(kR0, kR2, 0, MemSize::kU64);
+  b.exit();
+  EXPECT_EQ(verify_prog(b.build().value()).error().code, "verifier.bad_ptr");
+}
+
+TEST_F(VerifierTest, RejectsOverlongProgram) {
+  Program p;
+  for (std::size_t i = 0; i < kMaxInsns + 1; ++i) {
+    p.insns.push_back({Op::kMov, kR0, 0, true, 0, 0, MemSize::kU64});
+  }
+  p.insns.push_back({Op::kExit, 0, 0, true, 0, 0, MemSize::kU64});
+  EXPECT_EQ(verify_prog(p).error().code, "verifier.too_long");
+}
+
+TEST_F(VerifierTest, BothBranchesAreExplored) {
+  // The taken branch is fine; the fall-through dereferences the packet
+  // without a check — must still be rejected.
+  ProgramBuilder b("paths", HookType::kXdp);
+  b.mov_reg(kR6, kR1);
+  b.ldx(kR7, kR6, kCtxData, MemSize::kU64);
+  b.ldx(kR3, kR6, kCtxIfindex, MemSize::kU64);
+  b.jeq(kR3, 7, "safe");
+  b.ldx(kR0, kR7, 0, MemSize::kU8);  // unchecked!
+  b.exit();
+  b.label("safe");
+  b.ret(kActPass);
+  EXPECT_EQ(verify_prog(b.build().value()).error().code,
+            "verifier.pkt_unverified");
+}
+
+TEST_F(VerifierTest, StatsReportExploration) {
+  ProgramBuilder b("stats", HookType::kXdp);
+  b.mov(kR3, 1);
+  b.jeq(kR3, 1, "a");
+  b.label("a");
+  b.jeq(kR3, 2, "b");
+  b.label("b");
+  b.ret(kActPass);
+  VerifyStats stats;
+  ASSERT_TRUE(verify(b.build().value(), opts_, &stats).ok());
+  EXPECT_GE(stats.paths_explored, 3u);
+  EXPECT_GT(stats.states_visited, 0u);
+}
+
+}  // namespace
+}  // namespace linuxfp::ebpf

@@ -1,0 +1,270 @@
+#include "ebpf/vm.h"
+
+#include <gtest/gtest.h>
+
+#include "ebpf/builder.h"
+#include "ebpf/kernel_helpers.h"
+#include "kernel/kernel.h"
+#include "net/headers.h"
+
+namespace linuxfp::ebpf {
+namespace {
+
+class VmTest : public ::testing::Test {
+ protected:
+  VmTest() { register_all_helpers(helpers_, cost_); }
+
+  VmResult run(Program prog, net::Packet& pkt) {
+    Vm vm(cost_, helpers_, maps_, &progs_);
+    return vm.run(prog, pkt, 1, nullptr);
+  }
+
+  kern::CostModel cost_;
+  HelperRegistry helpers_;
+  MapSet maps_;
+  std::vector<Program> progs_;
+};
+
+TEST_F(VmTest, ReturnsAction) {
+  ProgramBuilder b("ret", HookType::kXdp);
+  b.ret(kActDrop);
+  net::Packet pkt(64);
+  auto r = run(b.build().value(), pkt);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.ret, kActDrop);
+  EXPECT_EQ(r.insns_executed, 2u);
+}
+
+TEST_F(VmTest, AluOps) {
+  ProgramBuilder b("alu", HookType::kXdp);
+  b.mov(kR0, 10);
+  b.add(kR0, 5);       // 15
+  b.lsh(kR0, 2);       // 60
+  b.sub(kR0, 10);      // 50
+  b.mov(kR1, 7);
+  b.add_reg(kR0, kR1); // 57
+  b.and_(kR0, 0x3f);   // 57
+  b.or_(kR0, 0x40);    // 121
+  b.exit();
+  net::Packet pkt(64);
+  auto r = run(b.build().value(), pkt);
+  EXPECT_EQ(r.ret, 121u);
+}
+
+TEST_F(VmTest, ByteSwaps) {
+  ProgramBuilder b("bswap", HookType::kXdp);
+  b.mov(kR0, 0x1234);
+  b.be16(kR0);
+  b.exit();
+  net::Packet pkt(64);
+  EXPECT_EQ(run(b.build().value(), pkt).ret, 0x3412u);
+
+  ProgramBuilder b2("bswap32", HookType::kXdp);
+  b2.mov(kR0, 0x12345678);
+  b2.be32(kR0);
+  b2.exit();
+  EXPECT_EQ(run(b2.build().value(), pkt).ret, 0x78563412u);
+}
+
+TEST_F(VmTest, PacketLoadAfterBoundsCheck) {
+  ProgramBuilder b("pktload", HookType::kXdp);
+  b.mov_reg(kR6, kR1);
+  b.ldx(kR7, kR6, kCtxData, MemSize::kU64);
+  b.ldx(kR8, kR6, kCtxDataEnd, MemSize::kU64);
+  b.mov_reg(kR2, kR7);
+  b.add(kR2, 14);
+  b.jgt_reg(kR2, kR8, "short");
+  b.ldx(kR0, kR7, 12, MemSize::kU16);  // ethertype raw
+  b.be16(kR0);
+  b.exit();
+  b.label("short");
+  b.ret(kActAborted);
+
+  net::FlowKey f;
+  f.src_ip = net::Ipv4Addr::parse("1.1.1.1").value();
+  f.dst_ip = net::Ipv4Addr::parse("2.2.2.2").value();
+  net::Packet pkt = net::build_udp_packet(net::MacAddr::from_id(1),
+                                          net::MacAddr::from_id(2), f, 64);
+  auto r = run(b.build().value(), pkt);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.ret, 0x0800u);
+}
+
+TEST_F(VmTest, PacketStoreModifiesBytes) {
+  ProgramBuilder b("pktstore", HookType::kXdp);
+  b.mov_reg(kR6, kR1);
+  b.ldx(kR7, kR6, kCtxData, MemSize::kU64);
+  b.ldx(kR8, kR6, kCtxDataEnd, MemSize::kU64);
+  b.mov_reg(kR2, kR7);
+  b.add(kR2, 14);
+  b.jgt_reg(kR2, kR8, "out");
+  b.st(kR7, 0, 0xAB, MemSize::kU8);
+  b.label("out");
+  b.ret(kActPass);
+  net::Packet pkt(64);
+  run(b.build().value(), pkt);
+  EXPECT_EQ(pkt.data()[0], 0xAB);
+}
+
+TEST_F(VmTest, RuntimeOutOfBoundsAborts) {
+  // The VM itself enforces bounds even if a hostile program skips the check
+  // (defense in depth; the verifier would reject this program).
+  ProgramBuilder b("oob", HookType::kXdp);
+  b.mov_reg(kR6, kR1);
+  b.ldx(kR7, kR6, kCtxData, MemSize::kU64);
+  b.ldx(kR0, kR7, 1000, MemSize::kU32);
+  b.exit();
+  net::Packet pkt(64);
+  auto r = run(b.build().value(), pkt);
+  EXPECT_TRUE(r.aborted);
+  EXPECT_NE(r.error.find("out of bounds"), std::string::npos);
+}
+
+TEST_F(VmTest, StackReadWrite) {
+  ProgramBuilder b("stack", HookType::kXdp);
+  b.mov_reg(kR2, kR10);
+  b.add(kR2, -16);
+  b.st(kR2, 0, 0x1122, MemSize::kU32);
+  b.ldx(kR0, kR2, 0, MemSize::kU32);
+  b.exit();
+  net::Packet pkt(64);
+  EXPECT_EQ(run(b.build().value(), pkt).ret, 0x1122u);
+}
+
+TEST_F(VmTest, DivisionByZeroAborts) {
+  ProgramBuilder b("div0", HookType::kXdp);
+  b.mov(kR0, 5);
+  b.mov(kR1, 0);
+  Insn div{Op::kDiv, kR0, kR1, false, 0, 0, MemSize::kU64};
+  b.mov(kR0, 5);
+  // emit raw div via builder-internal path: use mov + manual insn
+  Program p = b.build().value();
+  p.insns.pop_back();  // nothing; construct manually instead
+  p.insns.clear();
+  p.insns.push_back({Op::kMov, kR0, 0, true, 0, 5, MemSize::kU64});
+  p.insns.push_back({Op::kMov, kR1, 0, true, 0, 0, MemSize::kU64});
+  p.insns.push_back(div);
+  p.insns.push_back({Op::kExit, 0, 0, true, 0, 0, MemSize::kU64});
+  net::Packet pkt(64);
+  auto r = run(p, pkt);
+  EXPECT_TRUE(r.aborted);
+}
+
+TEST_F(VmTest, TailCallSwitchesProgram) {
+  std::uint32_t pa = maps_.create("jmp", MapType::kProgArray, 4, 4, 8);
+
+  ProgramBuilder target("target", HookType::kXdp);
+  target.ret(kActTx);
+  progs_.push_back(target.build().value());
+  maps_.get(pa)->set_prog(3, 0);
+
+  ProgramBuilder entry("entry", HookType::kXdp);
+  entry.mov_reg(kR6, kR1);
+  entry.mov_reg(kR1, kR6);
+  entry.mov(kR2, pa);
+  entry.mov(kR3, 3);
+  entry.call(kHelperTailCall);
+  entry.ret(kActPass);  // only on miss
+
+  net::Packet pkt(64);
+  auto r = run(entry.build().value(), pkt);
+  EXPECT_EQ(r.ret, kActTx);
+  EXPECT_EQ(r.tail_calls, 1u);
+  EXPECT_GT(r.cycles, cost_.bpf_tail_call);
+}
+
+TEST_F(VmTest, TailCallMissFallsThrough) {
+  std::uint32_t pa = maps_.create("jmp", MapType::kProgArray, 4, 4, 8);
+  ProgramBuilder entry("entry", HookType::kXdp);
+  entry.mov_reg(kR6, kR1);
+  entry.mov_reg(kR1, kR6);
+  entry.mov(kR2, pa);
+  entry.mov(kR3, 5);  // empty slot
+  entry.call(kHelperTailCall);
+  entry.ret(kActPass);
+  net::Packet pkt(64);
+  auto r = run(entry.build().value(), pkt);
+  EXPECT_EQ(r.ret, kActPass);
+  EXPECT_EQ(r.tail_calls, 0u);
+}
+
+TEST_F(VmTest, TailCallDepthLimited) {
+  std::uint32_t pa = maps_.create("jmp", MapType::kProgArray, 4, 4, 8);
+  // A program that tail-calls itself forever.
+  ProgramBuilder loop("loop", HookType::kXdp);
+  loop.mov_reg(kR6, kR1);
+  loop.mov_reg(kR1, kR6);
+  loop.mov(kR2, pa);
+  loop.mov(kR3, 0);
+  loop.call(kHelperTailCall);
+  loop.ret(kActPass);
+  progs_.push_back(loop.build().value());
+  maps_.get(pa)->set_prog(0, 0);
+
+  net::Packet pkt(64);
+  auto r = run(progs_[0], pkt);
+  EXPECT_TRUE(r.aborted);
+  EXPECT_NE(r.error.find("tail call"), std::string::npos);
+}
+
+TEST_F(VmTest, RedirectHelperSetsTarget) {
+  ProgramBuilder b("redir", HookType::kXdp);
+  b.mov(kR1, 42);
+  b.call(kHelperRedirect);
+  b.exit();
+  net::Packet pkt(64);
+  auto r = run(b.build().value(), pkt);
+  EXPECT_EQ(r.ret, kActRedirect);
+  EXPECT_EQ(r.redirect_ifindex, 42);
+}
+
+TEST_F(VmTest, CyclesScaleWithInstructionCount) {
+  ProgramBuilder b10("p10", HookType::kXdp);
+  for (int i = 0; i < 10; ++i) b10.mov(kR0, i);
+  b10.exit();
+  ProgramBuilder b100("p100", HookType::kXdp);
+  for (int i = 0; i < 100; ++i) b100.mov(kR0, i);
+  b100.exit();
+  net::Packet pkt(64);
+  auto small = run(b10.build().value(), pkt);
+  auto big = run(b100.build().value(), pkt);
+  EXPECT_EQ(big.cycles - small.cycles, 90 * cost_.bpf_insn);
+}
+
+TEST_F(VmTest, MapLookupThroughHelper) {
+  std::uint32_t map_id = maps_.create("h", MapType::kHash, 4, 8, 16);
+  std::uint32_t key = 7;
+  std::uint64_t value = 0xdeadbeef;
+  maps_.get(map_id)->update(reinterpret_cast<std::uint8_t*>(&key),
+                            reinterpret_cast<std::uint8_t*>(&value));
+
+  ProgramBuilder b("lookup", HookType::kXdp);
+  b.mov_reg(kR2, kR10);
+  b.add(kR2, -8);
+  b.st(kR2, 0, 7, MemSize::kU32);
+  b.mov(kR1, map_id);
+  b.call(kHelperMapLookup);
+  b.jeq(kR0, 0, "miss");
+  b.ldx(kR0, kR0, 0, MemSize::kU64);
+  b.exit();
+  b.label("miss");
+  b.ret(0);
+  net::Packet pkt(64);
+  auto r = run(b.build().value(), pkt);
+  EXPECT_FALSE(r.aborted) << r.error;
+  EXPECT_EQ(r.ret, 0xdeadbeefu);
+}
+
+TEST_F(VmTest, InstructionBudgetGuard) {
+  // Without back-edge rejection at load time, a self-jump would spin; the
+  // VM's budget still catches it.
+  Program p;
+  p.name = "spin";
+  p.insns.push_back({Op::kJa, 0, 0, true, -1, 0, MemSize::kU64});
+  net::Packet pkt(64);
+  auto r = run(p, pkt);
+  EXPECT_TRUE(r.aborted);
+}
+
+}  // namespace
+}  // namespace linuxfp::ebpf

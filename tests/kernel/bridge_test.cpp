@@ -1,0 +1,169 @@
+#include "kernel/bridge.h"
+
+#include <gtest/gtest.h>
+
+namespace linuxfp::kern {
+namespace {
+
+constexpr std::uint64_t kSec = 1'000'000'000ull;
+
+TEST(BridgeFdb, LearnLookupAge) {
+  Bridge br(10, net::MacAddr::from_id(10));
+  br.add_port(1);
+  br.add_port(2);
+
+  auto mac = net::MacAddr::from_id(0xA);
+  br.fdb_learn(mac, 0, 1, 100 * kSec);
+  const FdbEntry* e = br.fdb_lookup(mac, 0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->port_ifindex, 1);
+
+  // Station moves to port 2.
+  br.fdb_learn(mac, 0, 2, 101 * kSec);
+  EXPECT_EQ(br.fdb_lookup(mac, 0)->port_ifindex, 2);
+
+  // Aging (default 300 s).
+  EXPECT_EQ(br.fdb_age(402 * kSec), 1u);
+  EXPECT_EQ(br.fdb_lookup(mac, 0), nullptr);
+}
+
+TEST(BridgeFdb, StaticEntriesNeverAgeNorMove) {
+  Bridge br(10, net::MacAddr::from_id(10));
+  br.add_port(1);
+  br.add_port(2);
+  auto mac = net::MacAddr::from_id(0xB);
+  br.fdb_add_static(mac, 0, 1);
+  br.fdb_learn(mac, 0, 2, 100 * kSec);  // learning must not override static
+  EXPECT_EQ(br.fdb_lookup(mac, 0)->port_ifindex, 1);
+  EXPECT_EQ(br.fdb_age(10000 * kSec), 0u);
+  ASSERT_NE(br.fdb_lookup(mac, 0), nullptr);
+  EXPECT_TRUE(br.fdb_delete(mac, 0));
+}
+
+TEST(BridgeFdb, VlanScopedEntries) {
+  Bridge br(10, net::MacAddr::from_id(10));
+  br.add_port(1);
+  br.add_port(2);
+  auto mac = net::MacAddr::from_id(0xC);
+  br.fdb_learn(mac, 100, 1, 0);
+  br.fdb_learn(mac, 200, 2, 0);
+  EXPECT_EQ(br.fdb_lookup(mac, 100)->port_ifindex, 1);
+  EXPECT_EQ(br.fdb_lookup(mac, 200)->port_ifindex, 2);
+  EXPECT_EQ(br.fdb_lookup(mac, 300), nullptr);
+}
+
+TEST(BridgeFdb, MulticastNeverLearned) {
+  Bridge br(10, net::MacAddr::from_id(10));
+  br.add_port(1);
+  br.fdb_learn(net::MacAddr::broadcast(), 0, 1, 0);
+  EXPECT_EQ(br.fdb_size(), 0u);
+}
+
+TEST(BridgeFdb, PortRemovalFlushesEntries) {
+  Bridge br(10, net::MacAddr::from_id(10));
+  br.add_port(1);
+  br.add_port(2);
+  br.fdb_learn(net::MacAddr::from_id(1), 0, 1, 0);
+  br.fdb_learn(net::MacAddr::from_id(2), 0, 2, 0);
+  br.del_port(1);
+  EXPECT_EQ(br.fdb_size(), 1u);
+  EXPECT_EQ(br.fdb_lookup(net::MacAddr::from_id(1), 0), nullptr);
+}
+
+TEST(BridgeStp, DisabledPortsForwardImmediately) {
+  Bridge br(10, net::MacAddr::from_id(10));
+  br.add_port(1);
+  EXPECT_EQ(br.port(1)->state, StpState::kForwarding);
+}
+
+TEST(BridgeStp, EnableMovesPortsToListening) {
+  Bridge br(10, net::MacAddr::from_id(10));
+  br.add_port(1);
+  br.set_stp_enabled(true);
+  EXPECT_EQ(br.port(1)->state, StpState::kListening);
+  EXPECT_TRUE(br.is_root());
+}
+
+TEST(BridgeStp, ForwardDelayTransitions) {
+  Bridge br(10, net::MacAddr::from_id(10));
+  br.set_stp_enabled(true);
+  br.add_port(1);
+  br.stp_tick(1 * kSec);   // records start
+  br.stp_tick(17 * kSec);  // listening -> learning (15 s delay)
+  EXPECT_EQ(br.port(1)->state, StpState::kLearning);
+  br.stp_tick(33 * kSec);  // learning -> forwarding
+  EXPECT_EQ(br.port(1)->state, StpState::kForwarding);
+}
+
+TEST(BridgeStp, SuperiorBpduTakesRootAndBlocksWorsePath) {
+  // Two bridges, ours has the higher (worse) bridge id.
+  Bridge br(10, net::MacAddr::from_id(0xFFFF));
+  br.set_stp_enabled(true);
+  br.add_port(1);
+  br.add_port(2);
+
+  BridgeId other;
+  other.priority = 0x1000;
+  other.mac = net::MacAddr::from_id(1);
+
+  Bpdu bpdu;
+  bpdu.root = other;
+  bpdu.root_path_cost = 0;
+  bpdu.sender = other;
+  bpdu.sender_port = 1;
+  EXPECT_TRUE(br.process_bpdu(1, bpdu));
+  EXPECT_FALSE(br.is_root());
+  EXPECT_EQ(br.root_port(), 1);
+
+  // The same root is also heard on port 2 with equal cost from a better
+  // sender: port 2 must not be designated (blocking).
+  Bpdu bpdu2 = bpdu;
+  bpdu2.sender_port = 2;
+  br.process_bpdu(2, bpdu2);
+  EXPECT_EQ(br.port(2)->state, StpState::kBlocking);
+  // Port 1 (root port) converges to forwarding through the delay states.
+  br.stp_tick(1 * kSec);
+  br.stp_tick(17 * kSec);
+  br.stp_tick(33 * kSec);
+  EXPECT_EQ(br.port(1)->state, StpState::kForwarding);
+}
+
+TEST(BridgeStp, InferiorBpduIgnored) {
+  Bridge br(10, net::MacAddr::from_id(1));  // we are a good root
+  br.set_stp_enabled(true);
+  br.add_port(1);
+  BridgeId worse;
+  worse.priority = 0xF000;
+  worse.mac = net::MacAddr::from_id(0xEEEE);
+  Bpdu bpdu;
+  bpdu.root = worse;
+  bpdu.sender = worse;
+  br.process_bpdu(1, bpdu);
+  EXPECT_TRUE(br.is_root());
+}
+
+TEST(BridgeStp, RootGeneratesBpdusOnDesignatedPorts) {
+  Bridge br(10, net::MacAddr::from_id(1));
+  br.set_stp_enabled(true);
+  br.add_port(1);
+  br.add_port(2);
+  auto bpdus = br.generate_bpdus();
+  EXPECT_EQ(bpdus.size(), 2u);
+  for (auto& [port, bpdu] : bpdus) {
+    EXPECT_EQ(bpdu.root.as_u64(), br.bridge_id().as_u64());
+  }
+}
+
+TEST(BridgeVlan, PortFiltering) {
+  Bridge br(10, net::MacAddr::from_id(10));
+  br.set_vlan_filtering(true);
+  br.add_port(1);
+  BridgePort* p = br.port(1);
+  p->allowed_vlans = {1, 100};
+  p->pvid = 1;
+  EXPECT_TRUE(p->allows_vlan(100));
+  EXPECT_FALSE(p->allows_vlan(200));
+}
+
+}  // namespace
+}  // namespace linuxfp::kern

@@ -1,0 +1,181 @@
+#include "kernel/commands.h"
+
+#include <gtest/gtest.h>
+
+namespace linuxfp::kern {
+namespace {
+
+class CommandsTest : public ::testing::Test {
+ protected:
+  Kernel k{"host"};
+
+  util::Status run(const std::string& cmd) { return run_command(k, cmd); }
+  void expect_ok(const std::string& cmd) {
+    auto st = run(cmd);
+    EXPECT_TRUE(st.ok()) << cmd << ": "
+                         << (st.ok() ? "" : st.error().message);
+  }
+};
+
+TEST_F(CommandsTest, IpLinkLifecycle) {
+  k.add_phys_dev("eth0");
+  expect_ok("ip link set dev eth0 up");
+  EXPECT_TRUE(k.dev_by_name("eth0")->is_up());
+  expect_ok("ip link set eth0 down");
+  EXPECT_FALSE(k.dev_by_name("eth0")->is_up());
+  expect_ok("ip link add br0 type bridge");
+  EXPECT_NE(k.bridge_by_name("br0"), nullptr);
+  expect_ok("ip link set eth0 master br0");
+  EXPECT_EQ(k.dev_by_name("eth0")->master(),
+            k.dev_by_name("br0")->ifindex());
+  expect_ok("ip link set eth0 nomaster");
+  EXPECT_EQ(k.dev_by_name("eth0")->master(), 0);
+  expect_ok("ip link del br0");
+  EXPECT_EQ(k.dev_by_name("br0"), nullptr);
+}
+
+TEST_F(CommandsTest, VethPair) {
+  expect_ok("ip link add veth0 type veth peer name veth1");
+  ASSERT_NE(k.dev_by_name("veth0"), nullptr);
+  ASSERT_NE(k.dev_by_name("veth1"), nullptr);
+  EXPECT_EQ(k.dev_by_name("veth0")->veth().ifindex,
+            k.dev_by_name("veth1")->ifindex());
+}
+
+TEST_F(CommandsTest, AddrInstallsConnectedRoute) {
+  k.add_phys_dev("eth0");
+  expect_ok("ip addr add 10.10.1.1/24 dev eth0");
+  auto hit = k.fib().lookup(net::Ipv4Addr::parse("10.10.1.200").value());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->route.scope, RouteScope::kLink);
+  EXPECT_EQ(hit->next_hop.to_string(), "10.10.1.200");
+
+  expect_ok("ip addr del 10.10.1.1/24 dev eth0");
+  EXPECT_FALSE(
+      k.fib().lookup(net::Ipv4Addr::parse("10.10.1.200").value()).has_value());
+}
+
+TEST_F(CommandsTest, RouteAddDel) {
+  k.add_phys_dev("eth0");
+  expect_ok("ip route add 10.2.0.0/16 via 10.10.1.2 dev eth0");
+  auto hit = k.fib().lookup(net::Ipv4Addr::parse("10.2.3.4").value());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->next_hop.to_string(), "10.10.1.2");
+  expect_ok("ip route del 10.2.0.0/16");
+  EXPECT_FALSE(
+      k.fib().lookup(net::Ipv4Addr::parse("10.2.3.4").value()).has_value());
+  expect_ok("ip route add default via 10.10.1.254 dev eth0");
+  EXPECT_TRUE(
+      k.fib().lookup(net::Ipv4Addr::parse("8.8.8.8").value()).has_value());
+}
+
+TEST_F(CommandsTest, NeighAdd) {
+  k.add_phys_dev("eth0");
+  expect_ok(
+      "ip neigh add 10.10.1.2 lladdr 02:00:00:00:00:05 dev eth0 "
+      "nud permanent");
+  auto* e = k.neigh().lookup(net::Ipv4Addr::parse("10.10.1.2").value());
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->state, NeighState::kPermanent);
+  expect_ok("ip neigh del 10.10.1.2");
+  EXPECT_EQ(k.neigh().lookup(net::Ipv4Addr::parse("10.10.1.2").value()),
+            nullptr);
+}
+
+TEST_F(CommandsTest, Sysctl) {
+  expect_ok("sysctl -w net.ipv4.ip_forward=1");
+  EXPECT_TRUE(k.ip_forward_enabled());
+  expect_ok("sysctl net.ipv4.ip_forward=0");
+  EXPECT_FALSE(k.ip_forward_enabled());
+}
+
+TEST_F(CommandsTest, BrctlSuite) {
+  k.add_phys_dev("eth0");
+  expect_ok("brctl addbr br0");
+  expect_ok("brctl addif br0 eth0");
+  EXPECT_TRUE(k.bridge_by_name("br0")->has_port(
+      k.dev_by_name("eth0")->ifindex()));
+  expect_ok("brctl stp br0 on");
+  EXPECT_TRUE(k.bridge_by_name("br0")->stp_enabled());
+  expect_ok("brctl setageing br0 60");
+  EXPECT_EQ(k.bridge_by_name("br0")->aging_time_ns(), 60'000'000'000ull);
+  expect_ok("brctl delif br0 eth0");
+  expect_ok("brctl delbr br0");
+  EXPECT_EQ(k.bridge_by_name("br0"), nullptr);
+}
+
+TEST_F(CommandsTest, IptablesSuite) {
+  expect_ok("iptables -A FORWARD -s 10.10.3.0/24 -j DROP");
+  expect_ok("iptables -A FORWARD -p tcp --dport 80 -j ACCEPT");
+  expect_ok("iptables -A FORWARD -i eth0 -o eth1 -j ACCEPT");
+  expect_ok("iptables -N mychain");
+  expect_ok("iptables -A FORWARD -j mychain");
+  EXPECT_EQ(k.netfilter().find_chain("FORWARD")->rules.size(), 4u);
+
+  const Rule& r0 = k.netfilter().find_chain("FORWARD")->rules[0];
+  EXPECT_EQ(r0.match.src->to_string(), "10.10.3.0/24");
+  EXPECT_EQ(r0.target, RuleTarget::kDrop);
+  const Rule& r1 = k.netfilter().find_chain("FORWARD")->rules[1];
+  EXPECT_EQ(*r1.match.proto, net::kIpProtoTcp);
+  EXPECT_EQ(*r1.match.dport, 80);
+
+  expect_ok("iptables -I FORWARD 1 -d 1.2.3.4 -j DROP");
+  EXPECT_EQ(k.netfilter().find_chain("FORWARD")->rules[0].match.dst
+                ->to_string(),
+            "1.2.3.4/32");
+  expect_ok("iptables -D FORWARD 1");
+  expect_ok("iptables -P FORWARD DROP");
+  EXPECT_EQ(k.netfilter().find_chain("FORWARD")->policy, NfVerdict::kDrop);
+  expect_ok("iptables -F FORWARD");
+  EXPECT_TRUE(k.netfilter().find_chain("FORWARD")->rules.empty());
+  expect_ok("iptables -X mychain");
+}
+
+TEST_F(CommandsTest, IptablesNegation) {
+  expect_ok("iptables -A FORWARD ! -s 10.0.0.0/8 -j DROP");
+  const Rule& r = k.netfilter().find_chain("FORWARD")->rules[0];
+  EXPECT_TRUE(r.match.src_negated);
+}
+
+TEST_F(CommandsTest, IpsetSuite) {
+  expect_ok("ipset create blacklist hash:ip");
+  expect_ok("ipset add blacklist 10.9.0.1");
+  expect_ok("ipset add blacklist 10.9.0.2");
+  expect_ok(
+      "iptables -A FORWARD -m set --match-set blacklist src -j DROP");
+  EXPECT_TRUE(k.ipsets().find("blacklist")->test(
+      net::Ipv4Addr::parse("10.9.0.1").value()));
+  expect_ok("ipset del blacklist 10.9.0.1");
+  EXPECT_FALSE(k.ipsets().find("blacklist")->test(
+      net::Ipv4Addr::parse("10.9.0.1").value()));
+
+  expect_ok("ipset create nets hash:net");
+  expect_ok("ipset add nets 10.20.0.0/16");
+  EXPECT_TRUE(k.ipsets().find("nets")->test(
+      net::Ipv4Addr::parse("10.20.55.1").value()));
+}
+
+TEST_F(CommandsTest, VxlanFdbViaBridgeCommand) {
+  k.add_phys_dev("eth0");
+  k.add_vxlan_dev("flannel.1", 1, net::Ipv4Addr::parse("192.168.0.1").value(),
+                  k.dev_by_name("eth0")->ifindex());
+  expect_ok(
+      "bridge fdb append 02:00:00:00:00:42 dev flannel.1 dst 192.168.0.2");
+  auto& fdb = k.dev_by_name("flannel.1")->vxlan().vtep_fdb;
+  auto it = fdb.find(net::MacAddr::parse("02:00:00:00:00:42").value());
+  ASSERT_NE(it, fdb.end());
+  EXPECT_EQ(it->second.to_string(), "192.168.0.2");
+}
+
+TEST_F(CommandsTest, ErrorsAreReported) {
+  EXPECT_FALSE(run("ip route add 10.0.0.0/8 via 1.1.1.1 dev nope").ok());
+  EXPECT_FALSE(run("ip addr add bogus dev eth0").ok());
+  EXPECT_FALSE(run("iptables -A FORWARD -s 10.0.0.0/8").ok());  // no -j
+  EXPECT_FALSE(run("iptables -A FORWARD -w x -j DROP").ok());
+  EXPECT_FALSE(run("frobnicate").ok());
+  EXPECT_FALSE(run("").ok());
+  EXPECT_FALSE(run("ipset add missing 1.2.3.4").ok());
+}
+
+}  // namespace
+}  // namespace linuxfp::kern

@@ -1,0 +1,68 @@
+#include "kernel/conntrack.h"
+
+#include <gtest/gtest.h>
+
+namespace linuxfp::kern {
+namespace {
+
+net::FlowKey flow(const std::string& src, const std::string& dst,
+                  std::uint16_t sport, std::uint16_t dport) {
+  net::FlowKey f;
+  f.src_ip = net::Ipv4Addr::parse(src).value();
+  f.dst_ip = net::Ipv4Addr::parse(dst).value();
+  f.proto = net::kIpProtoTcp;
+  f.src_port = sport;
+  f.dst_port = dport;
+  return f;
+}
+
+TEST(Conntrack, CreateThenEstablishOnReply) {
+  Conntrack ct;
+  auto f = flow("10.0.0.1", "10.0.0.2", 4000, 80);
+  auto r1 = ct.lookup_or_create(f, 1000);
+  ASSERT_NE(r1.entry, nullptr);
+  EXPECT_TRUE(r1.created);
+  EXPECT_EQ(r1.entry->state, CtState::kNew);
+
+  // Reply direction promotes to established.
+  auto reply = flow("10.0.0.2", "10.0.0.1", 80, 4000);
+  auto r2 = ct.lookup_or_create(reply, 2000);
+  EXPECT_FALSE(r2.created);
+  EXPECT_TRUE(r2.is_reply_direction);
+  EXPECT_EQ(r2.entry->state, CtState::kEstablished);
+  EXPECT_EQ(ct.size(), 1u);
+}
+
+TEST(Conntrack, PureLookupDoesNotCreate) {
+  Conntrack ct;
+  auto r = ct.lookup(flow("1.1.1.1", "2.2.2.2", 1, 2), 0);
+  EXPECT_EQ(r.entry, nullptr);
+  EXPECT_EQ(ct.size(), 0u);
+}
+
+TEST(Conntrack, DistinctFlowsDistinctEntries) {
+  Conntrack ct;
+  ct.lookup_or_create(flow("10.0.0.1", "10.0.0.2", 4000, 80), 0);
+  ct.lookup_or_create(flow("10.0.0.1", "10.0.0.2", 4001, 80), 0);
+  EXPECT_EQ(ct.size(), 2u);
+}
+
+TEST(Conntrack, IdleExpiry) {
+  Conntrack ct;
+  ct.lookup_or_create(flow("10.0.0.1", "10.0.0.2", 4000, 80), 1'000);
+  ct.lookup_or_create(flow("10.0.0.1", "10.0.0.2", 4001, 80), 50'000'000'000);
+  EXPECT_EQ(ct.expire_idle(121'000'000'000, 120'000'000'000), 1u);
+  EXPECT_EQ(ct.size(), 1u);
+}
+
+TEST(Conntrack, PacketCounting) {
+  Conntrack ct;
+  auto f = flow("10.0.0.1", "10.0.0.2", 4000, 80);
+  ct.lookup_or_create(f, 0);
+  ct.lookup(f, 1);
+  ct.lookup(f, 2);
+  EXPECT_EQ(ct.lookup(f, 3).entry->packets, 4u);
+}
+
+}  // namespace
+}  // namespace linuxfp::kern

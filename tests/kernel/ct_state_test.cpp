@@ -1,0 +1,157 @@
+// Conntrack state-match tests (-m state / -m conntrack): the stateful-
+// firewall idiom every Kubernetes node uses ("-m state --state
+// ESTABLISHED,RELATED -j ACCEPT"), on both the slow path and the synthesized
+// fast path with identical verdicts.
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+#include "tests/kernel/test_topo.h"
+
+namespace linuxfp::kern {
+namespace {
+
+using linuxfp::testing::RouterDut;
+
+NfPacketInfo info_with_state(int state) {
+  NfPacketInfo i;
+  i.src = net::Ipv4Addr::parse("1.1.1.1").value();
+  i.dst = net::Ipv4Addr::parse("2.2.2.2").value();
+  i.proto = net::kIpProtoTcp;
+  i.ct_state = state;
+  return i;
+}
+
+TEST(CtStateMatch, RuleSemantics) {
+  Netfilter nf;
+  IpSetManager sets;
+  Rule est;
+  est.match.ct_state = "ESTABLISHED";
+  est.target = RuleTarget::kAccept;
+  Rule drop_rest;
+  drop_rest.target = RuleTarget::kDrop;
+  ASSERT_TRUE(nf.append_rule("FORWARD", est).ok());
+  ASSERT_TRUE(nf.append_rule("FORWARD", drop_rest).ok());
+
+  EXPECT_EQ(nf.evaluate(NfHook::kForward, info_with_state(1), sets).verdict,
+            NfVerdict::kAccept);
+  EXPECT_EQ(nf.evaluate(NfHook::kForward, info_with_state(0), sets).verdict,
+            NfVerdict::kDrop);
+  // Untracked packets match no state rule.
+  EXPECT_EQ(nf.evaluate(NfHook::kForward, info_with_state(-1), sets).verdict,
+            NfVerdict::kDrop);
+}
+
+TEST(CtStateMatch, CommandParsing) {
+  Kernel k("host");
+  ASSERT_TRUE(run_command(
+                  k, "iptables -A FORWARD -m state --state "
+                     "ESTABLISHED,RELATED -j ACCEPT")
+                  .ok());
+  ASSERT_TRUE(run_command(
+                  k, "iptables -A FORWARD -m conntrack --ctstate NEW -j DROP")
+                  .ok());
+  const auto& rules = k.netfilter().find_chain("FORWARD")->rules;
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].match.ct_state, "ESTABLISHED");
+  EXPECT_EQ(rules[1].match.ct_state, "NEW");
+  EXPECT_FALSE(
+      run_command(k, "iptables -A FORWARD -m state --state BOGUS -j DROP")
+          .ok());
+}
+
+// Stateful gateway: allow outbound (eth0->eth1) NEW+ESTABLISHED, inbound
+// only ESTABLISHED — the classic stateful-firewall setup.
+struct StatefulRig {
+  RouterDut dut;
+  explicit StatefulRig(bool accelerated) {
+    dut.kernel.set_conntrack_enabled(true);
+    dut.add_prefixes(1);
+    dut.run("ip route add 10.10.1.0/24 via 10.10.1.2 dev eth0 metric 50");
+    dut.run(
+        "iptables -A FORWARD -m state --state ESTABLISHED,RELATED -j ACCEPT");
+    dut.run("iptables -A FORWARD -i eth0 -j ACCEPT");
+    dut.run("iptables -P FORWARD DROP");
+    if (accelerated) {
+      controller = std::make_unique<core::Controller>(dut.kernel);
+      controller->start();
+    }
+  }
+
+  net::Packet outbound(std::uint16_t sport) {
+    net::FlowKey f;
+    f.src_ip = net::Ipv4Addr::parse("10.10.1.2").value();
+    f.dst_ip = net::Ipv4Addr::parse("10.100.0.9").value();
+    f.proto = net::kIpProtoTcp;
+    f.src_port = sport;
+    f.dst_port = 80;
+    return net::build_tcp_packet(dut.src_host_mac, dut.eth0_mac(), f, 0x18,
+                                 64);
+  }
+  net::Packet inbound(std::uint16_t dport) {
+    net::FlowKey f;
+    f.src_ip = net::Ipv4Addr::parse("10.100.0.9").value();
+    f.dst_ip = net::Ipv4Addr::parse("10.10.1.2").value();
+    f.proto = net::kIpProtoTcp;
+    f.src_port = 80;
+    f.dst_port = dport;
+    return net::build_tcp_packet(dut.sink_gw_mac, dut.eth1_mac(), f, 0x18, 64);
+  }
+
+  std::unique_ptr<core::Controller> controller;
+};
+
+TEST(CtStateMatch, StatefulGatewaySlowPath) {
+  StatefulRig rig(false);
+  // Unsolicited inbound: dropped (no established flow).
+  kern::CycleTrace t0;
+  auto blocked = rig.dut.kernel.rx(rig.dut.eth1_ifindex(), rig.inbound(700),
+                                   t0);
+  EXPECT_EQ(blocked.drop, Drop::kPolicy);
+  EXPECT_TRUE(rig.dut.tx_eth0.empty());
+
+  // Outbound NEW: allowed by the -i eth0 rule; creates the flow.
+  kern::CycleTrace t1;
+  auto out = rig.dut.kernel.rx(rig.dut.eth0_ifindex(), rig.outbound(700), t1);
+  EXPECT_EQ(out.drop, Drop::kNone);
+  EXPECT_EQ(rig.dut.tx_eth1.size(), 1u);
+
+  // Replies to the established flow now pass.
+  kern::CycleTrace t2;
+  auto reply = rig.dut.kernel.rx(rig.dut.eth1_ifindex(), rig.inbound(700),
+                                 t2);
+  EXPECT_EQ(reply.drop, Drop::kNone);
+  EXPECT_EQ(rig.dut.tx_eth0.size(), 1u);
+}
+
+TEST(CtStateMatch, StatefulGatewayFastPathEquivalent) {
+  StatefulRig fast(true), slow(false);
+  struct Step {
+    bool inbound;
+    std::uint16_t port;
+  } steps[] = {
+      {true, 800},   // unsolicited: drop
+      {false, 800},  // open outbound
+      {true, 800},   // reply: accept
+      {true, 800},   // more replies: accept
+      {true, 801},   // different flow, unsolicited: drop
+      {false, 801},  // open it
+      {true, 801},   // now accepted
+  };
+  for (const Step& s : steps) {
+    kern::CycleTrace tf, ts;
+    if (s.inbound) {
+      fast.dut.kernel.rx(fast.dut.eth1_ifindex(), fast.inbound(s.port), tf);
+      slow.dut.kernel.rx(slow.dut.eth1_ifindex(), slow.inbound(s.port), ts);
+    } else {
+      fast.dut.kernel.rx(fast.dut.eth0_ifindex(), fast.outbound(s.port), tf);
+      slow.dut.kernel.rx(slow.dut.eth0_ifindex(), slow.outbound(s.port), ts);
+    }
+    ASSERT_EQ(fast.dut.tx_eth0.size(), slow.dut.tx_eth0.size());
+    ASSERT_EQ(fast.dut.tx_eth1.size(), slow.dut.tx_eth1.size());
+  }
+  // The accelerated DUT used the fast path for accepted traffic.
+  EXPECT_GT(fast.dut.kernel.counters().fast_path_packets, 2u);
+}
+
+}  // namespace
+}  // namespace linuxfp::kern

@@ -1,0 +1,142 @@
+#include "kernel/fib.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace linuxfp::kern {
+namespace {
+
+Route make_route(const std::string& prefix, const std::string& gw, int oif) {
+  Route r;
+  r.dst = net::Ipv4Prefix::parse(prefix).value();
+  if (!gw.empty()) r.gateway = net::Ipv4Addr::parse(gw).value();
+  r.oif = oif;
+  r.scope = gw.empty() ? RouteScope::kLink : RouteScope::kGlobal;
+  return r;
+}
+
+TEST(Fib, LongestPrefixWins) {
+  Fib fib;
+  fib.add_route(make_route("10.0.0.0/8", "1.1.1.1", 1));
+  fib.add_route(make_route("10.10.0.0/16", "2.2.2.2", 2));
+  fib.add_route(make_route("10.10.3.0/24", "3.3.3.3", 3));
+
+  auto r = fib.lookup(net::Ipv4Addr::parse("10.10.3.7").value());
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->route.oif, 3);
+
+  r = fib.lookup(net::Ipv4Addr::parse("10.10.9.1").value());
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->route.oif, 2);
+
+  r = fib.lookup(net::Ipv4Addr::parse("10.200.0.1").value());
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->route.oif, 1);
+
+  EXPECT_FALSE(fib.lookup(net::Ipv4Addr::parse("11.0.0.1").value()));
+}
+
+TEST(Fib, DefaultRoute) {
+  Fib fib;
+  fib.add_route(make_route("0.0.0.0/0", "9.9.9.9", 5));
+  auto r = fib.lookup(net::Ipv4Addr::parse("123.45.67.89").value());
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->route.oif, 5);
+  EXPECT_EQ(r->next_hop.to_string(), "9.9.9.9");
+}
+
+TEST(Fib, ConnectedRouteNextHopIsDestination) {
+  Fib fib;
+  fib.add_route(make_route("10.10.1.0/24", "", 2));
+  auto r = fib.lookup(net::Ipv4Addr::parse("10.10.1.77").value());
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->next_hop.to_string(), "10.10.1.77");
+  EXPECT_EQ(r->route.scope, RouteScope::kLink);
+}
+
+TEST(Fib, DeleteRoute) {
+  Fib fib;
+  fib.add_route(make_route("10.0.0.0/8", "1.1.1.1", 1));
+  fib.add_route(make_route("10.10.0.0/16", "2.2.2.2", 2));
+  EXPECT_EQ(fib.size(), 2u);
+  EXPECT_TRUE(fib.del_route(net::Ipv4Prefix::parse("10.10.0.0/16").value()));
+  EXPECT_EQ(fib.size(), 1u);
+  EXPECT_FALSE(fib.del_route(net::Ipv4Prefix::parse("10.10.0.0/16").value()));
+  auto r = fib.lookup(net::Ipv4Addr::parse("10.10.1.1").value());
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->route.oif, 1);  // falls back to the /8
+}
+
+TEST(Fib, ReplaceSamePrefix) {
+  Fib fib;
+  fib.add_route(make_route("10.0.0.0/8", "1.1.1.1", 1));
+  fib.add_route(make_route("10.0.0.0/8", "5.5.5.5", 5));
+  EXPECT_EQ(fib.size(), 1u);
+  auto r = fib.lookup(net::Ipv4Addr::parse("10.1.1.1").value());
+  EXPECT_EQ(r->route.oif, 5);
+}
+
+TEST(Fib, PurgeInterface) {
+  Fib fib;
+  fib.add_route(make_route("10.1.0.0/16", "1.1.1.1", 1));
+  fib.add_route(make_route("10.2.0.0/16", "2.2.2.2", 2));
+  fib.add_route(make_route("10.3.0.0/16", "2.2.2.3", 2));
+  auto removed = fib.purge_interface(2);
+  EXPECT_EQ(removed.size(), 2u);
+  EXPECT_EQ(fib.size(), 1u);
+  EXPECT_FALSE(fib.lookup(net::Ipv4Addr::parse("10.2.0.1").value()));
+}
+
+TEST(Fib, DumpRoundTrip) {
+  Fib fib;
+  for (int i = 0; i < 50; ++i) {
+    fib.add_route(make_route("10." + std::to_string(i) + ".0.0/24",
+                             "2.2.2.2", 2));
+  }
+  EXPECT_EQ(fib.dump().size(), 50u);
+  EXPECT_EQ(fib.size(), 50u);
+}
+
+TEST(Fib, RandomizedAgainstLinearScan) {
+  util::Rng rng(1234);
+  Fib fib;
+  std::vector<Route> routes;
+  for (int i = 0; i < 300; ++i) {
+    auto len = static_cast<std::uint8_t>(8 + rng.next_below(17));
+    net::Ipv4Addr base(rng.next_u32());
+    Route r;
+    r.dst = net::Ipv4Prefix(base, len);
+    r.gateway = net::Ipv4Addr(rng.next_u32() | 1);
+    r.oif = static_cast<int>(1 + rng.next_below(8));
+    // Avoid duplicate prefixes (replace semantics would diverge from the
+    // reference list).
+    bool dup = false;
+    for (const auto& existing : routes) {
+      if (existing.dst == r.dst) dup = true;
+    }
+    if (dup) continue;
+    routes.push_back(r);
+    fib.add_route(r);
+  }
+  for (int trial = 0; trial < 2000; ++trial) {
+    net::Ipv4Addr probe(rng.next_u32());
+    const Route* best = nullptr;
+    for (const auto& r : routes) {
+      if (r.dst.contains(probe) &&
+          (!best || r.dst.prefix_len() > best->dst.prefix_len())) {
+        best = &r;
+      }
+    }
+    auto got = fib.lookup(probe);
+    if (!best) {
+      EXPECT_FALSE(got.has_value());
+    } else {
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(got->route.dst.to_string(), best->dst.to_string());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace linuxfp::kern

@@ -1,0 +1,217 @@
+// ipvs subsystem tests: virtual services, schedulers, ipvsadm front-end,
+// slow-path DNAT + reply un-NAT through the director.
+#include "kernel/ipvs.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel/commands.h"
+#include "kernel/kernel.h"
+#include "tests/kernel/test_topo.h"
+
+namespace linuxfp::kern {
+namespace {
+
+net::Ipv4Addr ip(const std::string& s) {
+  return net::Ipv4Addr::parse(s).value();
+}
+
+TEST(Ipvs, ServiceLifecycle) {
+  Ipvs ipvs;
+  ASSERT_TRUE(ipvs.add_service(ip("10.0.0.100"), 80, 6,
+                               IpvsScheduler::kRoundRobin)
+                  .ok());
+  EXPECT_FALSE(ipvs.add_service(ip("10.0.0.100"), 80, 6,
+                                IpvsScheduler::kRoundRobin)
+                   .ok());  // duplicate
+  EXPECT_NE(ipvs.match(ip("10.0.0.100"), 6, 80), nullptr);
+  EXPECT_EQ(ipvs.match(ip("10.0.0.100"), 6, 81), nullptr);
+  EXPECT_EQ(ipvs.match(ip("10.0.0.100"), 17, 80), nullptr);
+  ASSERT_TRUE(ipvs.del_service(ip("10.0.0.100"), 80, 6).ok());
+  EXPECT_FALSE(ipvs.del_service(ip("10.0.0.100"), 80, 6).ok());
+}
+
+TEST(Ipvs, RoundRobinRespectsWeights) {
+  Ipvs ipvs;
+  ASSERT_TRUE(ipvs.add_service(ip("10.0.0.100"), 80, 6,
+                               IpvsScheduler::kRoundRobin)
+                  .ok());
+  ASSERT_TRUE(
+      ipvs.add_backend(ip("10.0.0.100"), 80, 6, ip("10.2.0.1"), 8080, 3).ok());
+  ASSERT_TRUE(
+      ipvs.add_backend(ip("10.0.0.100"), 80, 6, ip("10.2.0.2"), 8080, 1).ok());
+  const VirtualService* svc = ipvs.match(ip("10.0.0.100"), 6, 80);
+  ASSERT_NE(svc, nullptr);
+
+  int first = 0, second = 0;
+  for (int i = 0; i < 400; ++i) {
+    const RealServer* rs = ipvs.schedule(*svc, ip("1.2.3.4"));
+    ASSERT_NE(rs, nullptr);
+    (rs->addr == ip("10.2.0.1") ? first : second)++;
+  }
+  EXPECT_EQ(first, 300);  // 3:1 weight wheel
+  EXPECT_EQ(second, 100);
+}
+
+TEST(Ipvs, SourceHashIsStablePerClient) {
+  Ipvs ipvs;
+  ASSERT_TRUE(ipvs.add_service(ip("10.0.0.100"), 80, 6,
+                               IpvsScheduler::kSourceHash)
+                  .ok());
+  for (int i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(ipvs.add_backend(ip("10.0.0.100"), 80, 6,
+                                 ip("10.2.0." + std::to_string(i)), 8080, 1)
+                    .ok());
+  }
+  const VirtualService* svc = ipvs.match(ip("10.0.0.100"), 6, 80);
+  // Same client always lands on the same backend.
+  const RealServer* a = ipvs.schedule(*svc, ip("9.9.9.9"));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(ipvs.schedule(*svc, ip("9.9.9.9")), a);
+  }
+  // Different clients spread across backends.
+  std::set<const RealServer*> seen;
+  for (int i = 1; i < 64; ++i) {
+    seen.insert(ipvs.schedule(*svc, ip("9.9.9." + std::to_string(i))));
+  }
+  EXPECT_GE(seen.size(), 3u);
+}
+
+TEST(Ipvs, EmptyServiceSchedulesNothing) {
+  Ipvs ipvs;
+  ASSERT_TRUE(ipvs.add_service(ip("10.0.0.100"), 80, 6,
+                               IpvsScheduler::kRoundRobin)
+                  .ok());
+  const VirtualService* svc = ipvs.match(ip("10.0.0.100"), 6, 80);
+  EXPECT_EQ(ipvs.schedule(*svc, ip("1.1.1.1")), nullptr);
+}
+
+TEST(IpvsAdm, CommandFrontEnd) {
+  Kernel k("lb");
+  ASSERT_TRUE(run_command(k, "ipvsadm -A -t 10.0.0.100:80 -s rr").ok());
+  ASSERT_TRUE(
+      run_command(k, "ipvsadm -a -t 10.0.0.100:80 -r 10.2.0.5:8080 -w 2")
+          .ok());
+  ASSERT_TRUE(
+      run_command(k, "ipvsadm -a -t 10.0.0.100:80 -r 10.2.0.6:8080").ok());
+  EXPECT_EQ(k.ipvs().service_count(), 1u);
+  const VirtualService* svc = k.ipvs().match(ip("10.0.0.100"), 6, 80);
+  ASSERT_NE(svc, nullptr);
+  ASSERT_EQ(svc->backends.size(), 2u);
+  EXPECT_EQ(svc->backends[0].weight, 2u);
+
+  ASSERT_TRUE(run_command(k, "ipvsadm -A -u 10.0.0.101:53 -s sh").ok());
+  EXPECT_NE(k.ipvs().match(ip("10.0.0.101"), 17, 53), nullptr);
+
+  EXPECT_FALSE(run_command(k, "ipvsadm -A -t nonsense").ok());
+  EXPECT_FALSE(run_command(k, "ipvsadm -a -t 10.0.0.100:80").ok());
+  EXPECT_FALSE(
+      run_command(k, "ipvsadm -a -t 10.0.0.200:80 -r 10.2.0.5:80").ok());
+  ASSERT_TRUE(run_command(k, "ipvsadm -D -t 10.0.0.100:80").ok());
+}
+
+// Director rig: RouterDut + a VIP served by two backends in the 10.100.0/24
+// sink subnet.
+struct DirectorRig {
+  linuxfp::testing::RouterDut dut;
+
+  DirectorRig() {
+    dut.add_prefixes(1);  // 10.100.0.0/24 via 10.10.2.2
+    dut.run("ipvsadm -A -t 10.0.0.100:80 -s rr");
+    dut.run("ipvsadm -a -t 10.0.0.100:80 -r 10.100.0.5:8080");
+    dut.run("ipvsadm -a -t 10.0.0.100:80 -r 10.100.0.6:8080");
+  }
+
+  net::Packet client_packet(std::uint16_t sport) {
+    net::FlowKey f;
+    f.src_ip = ip_("10.10.1.2");
+    f.dst_ip = ip_("10.0.0.100");
+    f.proto = net::kIpProtoTcp;
+    f.src_port = sport;
+    f.dst_port = 80;
+    return net::build_tcp_packet(dut.src_host_mac, dut.eth0_mac(), f, 0x18,
+                                 64);
+  }
+
+  net::Packet backend_reply(const std::string& backend, std::uint16_t dport) {
+    net::FlowKey f;
+    f.src_ip = ip_(backend);
+    f.dst_ip = ip_("10.10.1.2");
+    f.proto = net::kIpProtoTcp;
+    f.src_port = 8080;
+    f.dst_port = dport;
+    return net::build_tcp_packet(dut.sink_gw_mac, dut.eth1_mac(), f, 0x18, 64);
+  }
+
+  static net::Ipv4Addr ip_(const std::string& s) {
+    return net::Ipv4Addr::parse(s).value();
+  }
+};
+
+TEST(IpvsDirector, DnatsNewFlowsRoundRobin) {
+  DirectorRig rig;
+  kern::CycleTrace t1, t2;
+  rig.dut.kernel.rx(rig.dut.eth0_ifindex(), rig.client_packet(4000), t1);
+  rig.dut.kernel.rx(rig.dut.eth0_ifindex(), rig.client_packet(4001), t2);
+
+  ASSERT_EQ(rig.dut.tx_eth1.size(), 2u);
+  std::set<std::string> backends;
+  for (const net::Packet& pkt : rig.dut.tx_eth1) {
+    auto parsed = net::parse_packet(pkt);
+    ASSERT_TRUE(parsed.has_value());
+    backends.insert(parsed->ip_dst.to_string());
+    EXPECT_EQ(parsed->dst_port, 8080);
+    net::Ipv4View iph(const_cast<std::uint8_t*>(pkt.data()) +
+                      parsed->l3_offset);
+    EXPECT_TRUE(iph.checksum_valid());
+  }
+  EXPECT_EQ(backends,
+            (std::set<std::string>{"10.100.0.5", "10.100.0.6"}));
+}
+
+TEST(IpvsDirector, FlowAffinityAcrossPackets) {
+  DirectorRig rig;
+  for (int i = 0; i < 4; ++i) {
+    kern::CycleTrace t;
+    rig.dut.kernel.rx(rig.dut.eth0_ifindex(), rig.client_packet(5000), t);
+  }
+  ASSERT_EQ(rig.dut.tx_eth1.size(), 4u);
+  std::set<std::string> backends;
+  for (const net::Packet& pkt : rig.dut.tx_eth1) {
+    backends.insert(net::parse_packet(pkt)->ip_dst.to_string());
+  }
+  EXPECT_EQ(backends.size(), 1u);  // one conntrack entry, one backend
+}
+
+TEST(IpvsDirector, RepliesUnNattedToVip) {
+  DirectorRig rig;
+  kern::CycleTrace t;
+  rig.dut.kernel.rx(rig.dut.eth0_ifindex(), rig.client_packet(6000), t);
+  ASSERT_EQ(rig.dut.tx_eth1.size(), 1u);
+  std::string backend =
+      net::parse_packet(rig.dut.tx_eth1[0])->ip_dst.to_string();
+
+  kern::CycleTrace t2;
+  rig.dut.kernel.rx(rig.dut.eth1_ifindex(), rig.backend_reply(backend, 6000),
+                    t2);
+  ASSERT_EQ(rig.dut.tx_eth0.size(), 1u);
+  auto parsed = net::parse_packet(rig.dut.tx_eth0[0]);
+  ASSERT_TRUE(parsed.has_value());
+  // The client sees the VIP, not the backend.
+  EXPECT_EQ(parsed->ip_src.to_string(), "10.0.0.100");
+  EXPECT_EQ(parsed->src_port, 80);
+  EXPECT_EQ(parsed->ip_dst.to_string(), "10.10.1.2");
+  net::Ipv4View iph(rig.dut.tx_eth0[0].data() + parsed->l3_offset);
+  EXPECT_TRUE(iph.checksum_valid());
+}
+
+TEST(IpvsDirector, NonVipTrafficUnaffected) {
+  DirectorRig rig;
+  kern::CycleTrace t;
+  rig.dut.kernel.rx(rig.dut.eth0_ifindex(), rig.dut.packet_to_prefix(0), t);
+  ASSERT_EQ(rig.dut.tx_eth1.size(), 1u);
+  EXPECT_EQ(net::parse_packet(rig.dut.tx_eth1[0])->ip_dst.to_string(),
+            "10.100.0.9");
+}
+
+}  // namespace
+}  // namespace linuxfp::kern

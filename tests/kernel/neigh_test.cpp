@@ -1,0 +1,74 @@
+#include "kernel/neigh.h"
+
+#include <gtest/gtest.h>
+
+namespace linuxfp::kern {
+namespace {
+
+net::Ipv4Addr ip(const std::string& s) {
+  return net::Ipv4Addr::parse(s).value();
+}
+
+TEST(Neigh, UpdateAndLookup) {
+  NeighborTable table;
+  table.update(ip("10.0.0.2"), net::MacAddr::from_id(2), 1,
+               NeighState::kReachable, 1000);
+  const NeighEntry* e = table.lookup(ip("10.0.0.2"));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->mac, net::MacAddr::from_id(2));
+  EXPECT_EQ(e->state, NeighState::kReachable);
+  EXPECT_EQ(table.lookup(ip("10.0.0.3")), nullptr);
+}
+
+TEST(Neigh, PermanentNotDowngraded) {
+  NeighborTable table;
+  table.update(ip("10.0.0.2"), net::MacAddr::from_id(2), 1,
+               NeighState::kPermanent, 1000);
+  table.update(ip("10.0.0.2"), net::MacAddr::from_id(3), 1,
+               NeighState::kReachable, 2000);
+  const NeighEntry* e = table.lookup(ip("10.0.0.2"));
+  EXPECT_EQ(e->state, NeighState::kPermanent);
+  EXPECT_EQ(e->mac, net::MacAddr::from_id(3));  // address still refreshes
+}
+
+TEST(Neigh, AgingMarksStale) {
+  NeighborTable table;
+  table.update(ip("10.0.0.2"), net::MacAddr::from_id(2), 1,
+               NeighState::kReachable, 1000);
+  table.update(ip("10.0.0.3"), net::MacAddr::from_id(3), 1,
+               NeighState::kPermanent, 1000);
+  EXPECT_EQ(table.age(2000 + 60'000'000'000ull, 60'000'000'000ull), 1u);
+  EXPECT_EQ(table.lookup(ip("10.0.0.2"))->state, NeighState::kStale);
+  EXPECT_EQ(table.lookup(ip("10.0.0.3"))->state, NeighState::kPermanent);
+}
+
+TEST(Neigh, IncompleteQueuesBounded) {
+  NeighborTable table;
+  NeighEntry& e = table.create_incomplete(ip("10.0.0.9"), 2, 500);
+  EXPECT_EQ(e.state, NeighState::kIncomplete);
+  for (int i = 0; i < 10; ++i) {
+    if (e.pending.size() < NeighborTable::kMaxPending) {
+      e.pending.push_back(net::Packet(64));
+    }
+  }
+  EXPECT_EQ(e.pending.size(), NeighborTable::kMaxPending);
+  // Resolution flips state, pending is flushed by the caller.
+  table.update(ip("10.0.0.9"), net::MacAddr::from_id(9), 2,
+               NeighState::kReachable, 600);
+  EXPECT_EQ(table.lookup(ip("10.0.0.9"))->state, NeighState::kReachable);
+}
+
+TEST(Neigh, EraseAndDump) {
+  NeighborTable table;
+  table.update(ip("10.0.0.2"), net::MacAddr::from_id(2), 1,
+               NeighState::kReachable, 0);
+  table.update(ip("10.0.0.3"), net::MacAddr::from_id(3), 1,
+               NeighState::kReachable, 0);
+  EXPECT_EQ(table.dump().size(), 2u);
+  EXPECT_TRUE(table.erase(ip("10.0.0.2")));
+  EXPECT_FALSE(table.erase(ip("10.0.0.2")));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+}  // namespace
+}  // namespace linuxfp::kern

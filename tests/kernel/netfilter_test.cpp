@@ -1,0 +1,254 @@
+#include "kernel/netfilter.h"
+
+#include <gtest/gtest.h>
+
+namespace linuxfp::kern {
+namespace {
+
+NfPacketInfo info(const std::string& src, const std::string& dst,
+                  std::uint8_t proto = 17, std::uint16_t dport = 0) {
+  NfPacketInfo i;
+  i.src = net::Ipv4Addr::parse(src).value();
+  i.dst = net::Ipv4Addr::parse(dst).value();
+  i.proto = proto;
+  i.dport = dport;
+  i.bytes = 64;
+  return i;
+}
+
+Rule drop_src(const std::string& prefix) {
+  Rule r;
+  r.match.src = net::Ipv4Prefix::parse(prefix).value();
+  r.target = RuleTarget::kDrop;
+  return r;
+}
+
+TEST(Netfilter, DefaultPolicyAccepts) {
+  Netfilter nf;
+  IpSetManager sets;
+  auto res = nf.evaluate(NfHook::kForward, info("1.1.1.1", "2.2.2.2"), sets);
+  EXPECT_EQ(res.verdict, NfVerdict::kAccept);
+  EXPECT_EQ(res.rules_examined, 0u);
+}
+
+TEST(Netfilter, DropRuleMatches) {
+  Netfilter nf;
+  IpSetManager sets;
+  ASSERT_TRUE(nf.append_rule("FORWARD", drop_src("10.9.0.0/24")).ok());
+  EXPECT_EQ(nf.evaluate(NfHook::kForward, info("10.9.0.5", "2.2.2.2"), sets)
+                .verdict,
+            NfVerdict::kDrop);
+  EXPECT_EQ(nf.evaluate(NfHook::kForward, info("10.8.0.5", "2.2.2.2"), sets)
+                .verdict,
+            NfVerdict::kAccept);
+}
+
+TEST(Netfilter, LinearScanCountsWork) {
+  Netfilter nf;
+  IpSetManager sets;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        nf.append_rule("FORWARD", drop_src("10.9." + std::to_string(i) +
+                                           ".0/24"))
+            .ok());
+  }
+  // Non-matching traffic examines every rule — the iptables scalability
+  // problem the paper measures in Fig 8.
+  auto res = nf.evaluate(NfHook::kForward, info("10.8.0.1", "2.2.2.2"), sets);
+  EXPECT_EQ(res.rules_examined, 100u);
+  // A packet matching rule 50 examines 51.
+  res = nf.evaluate(NfHook::kForward, info("10.9.50.1", "2.2.2.2"), sets);
+  EXPECT_EQ(res.rules_examined, 51u);
+  EXPECT_EQ(res.verdict, NfVerdict::kDrop);
+}
+
+TEST(Netfilter, FirstMatchWins) {
+  Netfilter nf;
+  IpSetManager sets;
+  Rule accept;
+  accept.match.src = net::Ipv4Prefix::parse("10.9.0.0/16").value();
+  accept.target = RuleTarget::kAccept;
+  ASSERT_TRUE(nf.append_rule("FORWARD", accept).ok());
+  ASSERT_TRUE(nf.append_rule("FORWARD", drop_src("10.9.1.0/24")).ok());
+  EXPECT_EQ(nf.evaluate(NfHook::kForward, info("10.9.1.1", "2.2.2.2"), sets)
+                .verdict,
+            NfVerdict::kAccept);
+}
+
+TEST(Netfilter, ProtoAndPortMatch) {
+  Netfilter nf;
+  IpSetManager sets;
+  Rule r;
+  r.match.proto = 6;
+  r.match.dport = 80;
+  r.target = RuleTarget::kDrop;
+  ASSERT_TRUE(nf.append_rule("FORWARD", r).ok());
+  EXPECT_EQ(nf.evaluate(NfHook::kForward, info("1.1.1.1", "2.2.2.2", 6, 80),
+                        sets)
+                .verdict,
+            NfVerdict::kDrop);
+  EXPECT_EQ(nf.evaluate(NfHook::kForward, info("1.1.1.1", "2.2.2.2", 6, 443),
+                        sets)
+                .verdict,
+            NfVerdict::kAccept);
+  EXPECT_EQ(nf.evaluate(NfHook::kForward, info("1.1.1.1", "2.2.2.2", 17, 80),
+                        sets)
+                .verdict,
+            NfVerdict::kAccept);
+}
+
+TEST(Netfilter, NegatedMatch) {
+  Netfilter nf;
+  IpSetManager sets;
+  Rule r;
+  r.match.src = net::Ipv4Prefix::parse("10.0.0.0/8").value();
+  r.match.src_negated = true;
+  r.target = RuleTarget::kDrop;  // drop everything NOT from 10/8
+  ASSERT_TRUE(nf.append_rule("FORWARD", r).ok());
+  EXPECT_EQ(nf.evaluate(NfHook::kForward, info("10.1.1.1", "2.2.2.2"), sets)
+                .verdict,
+            NfVerdict::kAccept);
+  EXPECT_EQ(nf.evaluate(NfHook::kForward, info("11.1.1.1", "2.2.2.2"), sets)
+                .verdict,
+            NfVerdict::kDrop);
+}
+
+TEST(Netfilter, InterfaceMatch) {
+  Netfilter nf;
+  IpSetManager sets;
+  Rule r;
+  r.match.in_if = "eth0";
+  r.target = RuleTarget::kDrop;
+  ASSERT_TRUE(nf.append_rule("FORWARD", r).ok());
+  NfPacketInfo i = info("1.1.1.1", "2.2.2.2");
+  i.in_if = "eth0";
+  EXPECT_EQ(nf.evaluate(NfHook::kForward, i, sets).verdict, NfVerdict::kDrop);
+  i.in_if = "eth1";
+  EXPECT_EQ(nf.evaluate(NfHook::kForward, i, sets).verdict,
+            NfVerdict::kAccept);
+}
+
+TEST(Netfilter, UserChainJumpAndReturn) {
+  Netfilter nf;
+  IpSetManager sets;
+  ASSERT_TRUE(nf.new_chain("BLOCKLIST").ok());
+  ASSERT_TRUE(nf.append_rule("BLOCKLIST", drop_src("10.9.0.0/24")).ok());
+  Rule ret;
+  ret.target = RuleTarget::kReturn;
+  ASSERT_TRUE(nf.append_rule("BLOCKLIST", ret).ok());
+
+  Rule jump;
+  jump.target = RuleTarget::kJump;
+  jump.jump_chain = "BLOCKLIST";
+  ASSERT_TRUE(nf.append_rule("FORWARD", jump).ok());
+  ASSERT_TRUE(nf.append_rule("FORWARD", drop_src("10.8.0.0/24")).ok());
+
+  // Dropped inside the user chain.
+  EXPECT_EQ(nf.evaluate(NfHook::kForward, info("10.9.0.1", "2.2.2.2"), sets)
+                .verdict,
+            NfVerdict::kDrop);
+  // RETURNs from user chain, then matches rule after the jump.
+  EXPECT_EQ(nf.evaluate(NfHook::kForward, info("10.8.0.1", "2.2.2.2"), sets)
+                .verdict,
+            NfVerdict::kDrop);
+  // Falls through everything.
+  EXPECT_EQ(nf.evaluate(NfHook::kForward, info("10.7.0.1", "2.2.2.2"), sets)
+                .verdict,
+            NfVerdict::kAccept);
+}
+
+TEST(Netfilter, PolicyDrop) {
+  Netfilter nf;
+  IpSetManager sets;
+  ASSERT_TRUE(nf.set_policy("FORWARD", NfVerdict::kDrop).ok());
+  Rule allow;
+  allow.match.dst = net::Ipv4Prefix::parse("10.0.1.0/24").value();
+  allow.target = RuleTarget::kAccept;
+  ASSERT_TRUE(nf.append_rule("FORWARD", allow).ok());
+  EXPECT_EQ(nf.evaluate(NfHook::kForward, info("1.1.1.1", "10.0.1.5"), sets)
+                .verdict,
+            NfVerdict::kAccept);
+  EXPECT_EQ(nf.evaluate(NfHook::kForward, info("1.1.1.1", "10.0.2.5"), sets)
+                .verdict,
+            NfVerdict::kDrop);
+}
+
+TEST(Netfilter, IpsetMatchAggregatesRules) {
+  Netfilter nf;
+  IpSetManager sets;
+  ASSERT_TRUE(sets.create("blacklist", IpSetType::kHashIp).ok());
+  IpSet* set = sets.find("blacklist");
+  for (int i = 1; i <= 100; ++i) {
+    ASSERT_TRUE(set->add(net::Ipv4Prefix::parse(
+                             "10.9.0." + std::to_string(i) + "/32")
+                             .value())
+                    .ok());
+  }
+  Rule r;
+  r.match.match_set = "blacklist";
+  r.match.set_match_src = true;
+  r.target = RuleTarget::kDrop;
+  ASSERT_TRUE(nf.append_rule("FORWARD", r).ok());
+
+  auto res = nf.evaluate(NfHook::kForward, info("10.9.0.50", "2.2.2.2"), sets);
+  EXPECT_EQ(res.verdict, NfVerdict::kDrop);
+  EXPECT_EQ(res.rules_examined, 1u);  // one rule instead of 100
+  EXPECT_EQ(res.ipset_probes, 1u);
+  res = nf.evaluate(NfHook::kForward, info("10.8.0.50", "2.2.2.2"), sets);
+  EXPECT_EQ(res.verdict, NfVerdict::kAccept);
+}
+
+TEST(Netfilter, RuleHitCounters) {
+  Netfilter nf;
+  IpSetManager sets;
+  ASSERT_TRUE(nf.append_rule("FORWARD", drop_src("10.9.0.0/24")).ok());
+  for (int i = 0; i < 5; ++i) {
+    nf.evaluate(NfHook::kForward, info("10.9.0.1", "2.2.2.2"), sets);
+  }
+  EXPECT_EQ(nf.find_chain("FORWARD")->rules[0].hits, 5u);
+  EXPECT_EQ(nf.find_chain("FORWARD")->rules[0].hit_bytes, 5u * 64);
+}
+
+TEST(Netfilter, ChainManagementErrors) {
+  Netfilter nf;
+  EXPECT_FALSE(nf.delete_chain("FORWARD").ok());  // builtin
+  EXPECT_FALSE(nf.new_chain("FORWARD").ok());     // exists
+  ASSERT_TRUE(nf.new_chain("X").ok());
+  ASSERT_TRUE(nf.append_rule("X", Rule{}).ok());
+  EXPECT_FALSE(nf.delete_chain("X").ok());  // non-empty
+  ASSERT_TRUE(nf.flush("X").ok());
+  EXPECT_TRUE(nf.delete_chain("X").ok());
+  EXPECT_FALSE(nf.append_rule("NOPE", Rule{}).ok());
+  Rule bad_jump;
+  bad_jump.target = RuleTarget::kJump;
+  bad_jump.jump_chain = "MISSING";
+  EXPECT_FALSE(nf.append_rule("FORWARD", bad_jump).ok());
+}
+
+TEST(Netfilter, GenerationBumpsOnMutation) {
+  Netfilter nf;
+  auto g0 = nf.generation();
+  ASSERT_TRUE(nf.append_rule("FORWARD", Rule{}).ok());
+  EXPECT_GT(nf.generation(), g0);
+}
+
+TEST(Netfilter, InsertAndDeleteByIndex) {
+  Netfilter nf;
+  IpSetManager sets;
+  ASSERT_TRUE(nf.append_rule("FORWARD", drop_src("10.1.0.0/24")).ok());
+  Rule accept;
+  accept.target = RuleTarget::kAccept;
+  ASSERT_TRUE(nf.insert_rule("FORWARD", 0, accept).ok());
+  // The accept now shadows the drop.
+  EXPECT_EQ(nf.evaluate(NfHook::kForward, info("10.1.0.1", "2.2.2.2"), sets)
+                .verdict,
+            NfVerdict::kAccept);
+  ASSERT_TRUE(nf.delete_rule("FORWARD", 0).ok());
+  EXPECT_EQ(nf.evaluate(NfHook::kForward, info("10.1.0.1", "2.2.2.2"), sets)
+                .verdict,
+            NfVerdict::kDrop);
+  EXPECT_FALSE(nf.delete_rule("FORWARD", 5).ok());
+}
+
+}  // namespace
+}  // namespace linuxfp::kern

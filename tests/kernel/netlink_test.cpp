@@ -1,0 +1,94 @@
+#include "netlink/netlink.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel/commands.h"
+#include "kernel/kernel.h"
+
+namespace linuxfp::kern {
+namespace {
+
+TEST(Netlink, SubscribersReceiveOnlyJoinedGroups) {
+  Kernel k("host");
+  nl::Socket* routes_only = k.netlink().open_socket();
+  routes_only->join(nl::Group::kRoute);
+
+  k.add_phys_dev("eth0");  // link event: not delivered
+  ASSERT_TRUE(run_command(k, "ip link set eth0 up").ok());
+  ASSERT_TRUE(run_command(k, "ip addr add 10.0.0.1/24 dev eth0").ok());
+
+  // The addr command publishes kNewAddr (not ours) and kNewRoute (ours).
+  ASSERT_TRUE(routes_only->has_pending());
+  nl::Message msg;
+  ASSERT_TRUE(routes_only->receive(msg));
+  EXPECT_EQ(msg.type, nl::MsgType::kNewRoute);
+  EXPECT_EQ(msg.attrs.at("dst").as_string(), "10.0.0.0/24");
+  EXPECT_EQ(msg.attrs.at("scope").as_string(), "link");
+  EXPECT_FALSE(routes_only->receive(msg));  // nothing else
+}
+
+TEST(Netlink, DumpProviderAnswersQueries) {
+  Kernel k("host");
+  k.add_phys_dev("eth0");
+  ASSERT_TRUE(run_command(k, "ip addr add 10.0.0.1/24 dev eth0").ok());
+  ASSERT_TRUE(run_command(k, "sysctl -w net.ipv4.ip_forward=1").ok());
+
+  auto links = k.netlink().dump(nl::DumpKind::kLinks);
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0].attrs.at("ifname").as_string(), "eth0");
+  EXPECT_EQ(links[0].attrs.at("addrs").at(0).as_string(), "10.0.0.1/24");
+
+  auto routes = k.netlink().dump(nl::DumpKind::kRoutes);
+  EXPECT_EQ(routes.size(), 1u);
+
+  auto sysctls = k.netlink().dump(nl::DumpKind::kSysctls);
+  ASSERT_EQ(sysctls.size(), 1u);
+  EXPECT_EQ(sysctls[0].attrs.at("key").as_string(), "net.ipv4.ip_forward");
+}
+
+TEST(Netlink, NetfilterEventsOnRuleChanges) {
+  Kernel k("host");
+  nl::Socket* sock = k.netlink().open_socket();
+  sock->join(nl::Group::kNetfilter);
+
+  ASSERT_TRUE(
+      run_command(k, "iptables -A FORWARD -s 10.1.0.0/16 -j DROP").ok());
+  nl::Message msg;
+  ASSERT_TRUE(sock->receive(msg));
+  EXPECT_EQ(msg.type, nl::MsgType::kNewRule);
+  EXPECT_EQ(msg.attrs.at("chain").as_string(), "FORWARD");
+
+  ASSERT_TRUE(run_command(k, "ipset create s hash:ip").ok());
+  ASSERT_TRUE(sock->receive(msg));
+  EXPECT_EQ(msg.type, nl::MsgType::kNewSet);
+
+  auto rules = k.netlink().dump(nl::DumpKind::kRules);
+  bool found = false;
+  for (auto& m : rules) {
+    if (m.attrs.at("chain").as_string() == "FORWARD") {
+      found = true;
+      EXPECT_EQ(m.attrs.at("rules").size(), 1u);
+      EXPECT_EQ(m.attrs.at("rules").at(0).at("target").as_string(), "DROP");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Netlink, LinkEventCarriesBridgeDetails) {
+  Kernel k("host");
+  nl::Socket* sock = k.netlink().open_socket();
+  sock->join(nl::Group::kLink);
+  ASSERT_TRUE(run_command(k, "brctl addbr br0").ok());
+  k.add_phys_dev("eth0");
+  ASSERT_TRUE(run_command(k, "brctl addif br0 eth0").ok());
+
+  // Last link event (enslavement) must carry the master.
+  nl::Message msg, last;
+  while (sock->receive(msg)) last = msg;
+  EXPECT_EQ(last.attrs.at("ifname").as_string(), "eth0");
+  EXPECT_EQ(last.attrs.at("master").as_int(),
+            k.dev_by_name("br0")->ifindex());
+}
+
+}  // namespace
+}  // namespace linuxfp::kern

@@ -1,0 +1,77 @@
+// Shared fixture helpers: a virtual-router DUT configured purely through the
+// tool front-ends, with capture of transmitted packets on both physical
+// interfaces (the two links of the paper's three-node line topology).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kernel/commands.h"
+#include "kernel/kernel.h"
+#include "net/headers.h"
+
+namespace linuxfp::testing {
+
+struct RouterDut {
+  kern::Kernel kernel{"dut"};
+  std::vector<net::Packet> tx_eth0;
+  std::vector<net::Packet> tx_eth1;
+  net::MacAddr src_host_mac = net::MacAddr::from_id(0x501);
+  net::MacAddr sink_gw_mac = net::MacAddr::from_id(0x502);
+
+  RouterDut() {
+    kernel.add_phys_dev("eth0").set_phys_tx(
+        [this](net::Packet&& p) { tx_eth0.push_back(std::move(p)); });
+    kernel.add_phys_dev("eth1").set_phys_tx(
+        [this](net::Packet&& p) { tx_eth1.push_back(std::move(p)); });
+    run("ip link set eth0 up");
+    run("ip link set eth1 up");
+    run("ip addr add 10.10.1.1/24 dev eth0");
+    run("ip addr add 10.10.2.1/24 dev eth1");
+    run("sysctl -w net.ipv4.ip_forward=1");
+    // Static neighbours, as a pktgen benchmark would configure them.
+    run("ip neigh add 10.10.1.2 lladdr " + src_host_mac.to_string() +
+        " dev eth0 nud permanent");
+    run("ip neigh add 10.10.2.2 lladdr " + sink_gw_mac.to_string() +
+        " dev eth1 nud permanent");
+  }
+
+  void run(const std::string& cmd) {
+    auto st = kern::run_command(kernel, cmd);
+    if (!st.ok()) {
+      ADD_FAILURE() << "command failed: " << cmd << " — "
+                    << st.error().message;
+    }
+  }
+
+  // Installs `n` /24 prefixes 10.<100+i>.0.0/24 via 10.10.2.2 (the paper's
+  // 50-prefix router config).
+  void add_prefixes(int n) {
+    for (int i = 0; i < n; ++i) {
+      run("ip route add 10." + std::to_string(100 + (i % 150)) + "." +
+          std::to_string(i / 150) + ".0/24 via 10.10.2.2 dev eth1");
+    }
+  }
+
+  net::MacAddr eth0_mac() { return kernel.dev_by_name("eth0")->mac(); }
+  net::MacAddr eth1_mac() { return kernel.dev_by_name("eth1")->mac(); }
+  int eth0_ifindex() { return kernel.dev_by_name("eth0")->ifindex(); }
+  int eth1_ifindex() { return kernel.dev_by_name("eth1")->ifindex(); }
+
+  // A 64-byte UDP packet from the source host toward prefix i.
+  net::Packet packet_to_prefix(int i, std::uint16_t flow = 0,
+                               std::size_t frame_len = 64) {
+    net::FlowKey f;
+    f.src_ip = net::Ipv4Addr::parse("10.10.1.2").value();
+    f.dst_ip = net::Ipv4Addr::from_octets(
+        10, static_cast<std::uint8_t>(100 + (i % 150)),
+        static_cast<std::uint8_t>(i / 150), 9);
+    f.proto = net::kIpProtoUdp;
+    f.src_port = static_cast<std::uint16_t>(1000 + flow);
+    f.dst_port = 7;
+    return net::build_udp_packet(src_host_mac, eth0_mac(), f, frame_len);
+  }
+};
+
+}  // namespace linuxfp::testing

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "net/ipaddr.h"
+#include "net/mac.h"
+
+namespace linuxfp::net {
+namespace {
+
+TEST(Ipv4Addr, ParseAndFormat) {
+  auto a = Ipv4Addr::parse("10.10.1.2");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->value(), 0x0A0A0102u);
+  EXPECT_EQ(a->to_string(), "10.10.1.2");
+}
+
+TEST(Ipv4Addr, ParseRejectsBadInput) {
+  EXPECT_FALSE(Ipv4Addr::parse("10.10.1").ok());
+  EXPECT_FALSE(Ipv4Addr::parse("256.0.0.1").ok());
+  EXPECT_FALSE(Ipv4Addr::parse("10.0.0.1x").ok());
+  EXPECT_FALSE(Ipv4Addr::parse("").ok());
+  EXPECT_FALSE(Ipv4Addr::parse("a.b.c.d").ok());
+}
+
+TEST(Ipv4Addr, Classification) {
+  EXPECT_TRUE(Ipv4Addr::parse("224.0.0.1")->is_multicast());
+  EXPECT_FALSE(Ipv4Addr::parse("223.0.0.1")->is_multicast());
+  EXPECT_TRUE(Ipv4Addr::parse("255.255.255.255")->is_broadcast());
+  EXPECT_TRUE(Ipv4Addr::parse("127.0.0.1")->is_loopback());
+  EXPECT_TRUE(Ipv4Addr().is_zero());
+}
+
+TEST(Ipv4Prefix, CanonicalizesHostBits) {
+  auto p = Ipv4Prefix::parse("10.10.1.77/24");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->to_string(), "10.10.1.0/24");
+  EXPECT_EQ(p->prefix_len(), 24);
+}
+
+TEST(Ipv4Prefix, Contains) {
+  auto p = Ipv4Prefix::parse("192.168.4.0/22").value();
+  EXPECT_TRUE(p.contains(Ipv4Addr::parse("192.168.7.255").value()));
+  EXPECT_FALSE(p.contains(Ipv4Addr::parse("192.168.8.0").value()));
+  auto sub = Ipv4Prefix::parse("192.168.5.0/24").value();
+  EXPECT_TRUE(p.contains(sub));
+  EXPECT_FALSE(sub.contains(p));
+}
+
+TEST(Ipv4Prefix, DefaultRouteContainsEverything) {
+  auto p = Ipv4Prefix::parse("0.0.0.0/0").value();
+  EXPECT_TRUE(p.contains(Ipv4Addr::parse("1.2.3.4").value()));
+  EXPECT_TRUE(p.contains(Ipv4Addr::parse("255.255.255.255").value()));
+}
+
+TEST(Ipv4Prefix, HostEnumeration) {
+  auto p = Ipv4Prefix::parse("10.0.2.0/24").value();
+  EXPECT_EQ(p.host(1).to_string(), "10.0.2.1");
+  EXPECT_EQ(p.host(254).to_string(), "10.0.2.254");
+}
+
+TEST(Ipv4Prefix, BareAddressIsSlash32) {
+  auto p = Ipv4Prefix::parse("10.9.0.1");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->prefix_len(), 32);
+}
+
+TEST(IfAddr, PreservesHostBits) {
+  auto a = IfAddr::parse("10.10.1.1/24");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->addr.to_string(), "10.10.1.1");
+  EXPECT_EQ(a->subnet().to_string(), "10.10.1.0/24");
+  EXPECT_EQ(a->to_string(), "10.10.1.1/24");
+}
+
+TEST(MacAddr, ParseFormatRoundTrip) {
+  auto m = MacAddr::parse("02:00:ab:cd:ef:01");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->to_string(), "02:00:ab:cd:ef:01");
+  EXPECT_FALSE(m->is_multicast());
+  EXPECT_FALSE(MacAddr::parse("02:00:gg:00:00:00").ok());
+  EXPECT_FALSE(MacAddr::parse("020000000000").ok());
+}
+
+TEST(MacAddr, Broadcast) {
+  EXPECT_TRUE(MacAddr::broadcast().is_broadcast());
+  EXPECT_TRUE(MacAddr::broadcast().is_multicast());
+  EXPECT_TRUE(MacAddr::zero().is_zero());
+}
+
+TEST(MacAddr, FromIdUniqueAndUnicast) {
+  auto a = MacAddr::from_id(1);
+  auto b = MacAddr::from_id(2);
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(a.is_multicast());
+  EXPECT_EQ(a.bytes()[0], 0x02);  // locally administered
+}
+
+}  // namespace
+}  // namespace linuxfp::net

@@ -1,0 +1,73 @@
+#include "net/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace linuxfp::net {
+namespace {
+
+TEST(Checksum, KnownVector) {
+  // Classic RFC 1071 example header.
+  std::vector<std::uint8_t> hdr = {0x45, 0x00, 0x00, 0x73, 0x00, 0x00,
+                                   0x40, 0x00, 0x40, 0x11, 0x00, 0x00,
+                                   0xc0, 0xa8, 0x00, 0x01, 0xc0, 0xa8,
+                                   0x00, 0xc7};
+  std::uint16_t csum = internet_checksum(hdr.data(), hdr.size());
+  EXPECT_EQ(csum, 0xb861);
+}
+
+TEST(Checksum, ValidatesToAllOnes) {
+  std::vector<std::uint8_t> hdr = {0x45, 0x00, 0x00, 0x73, 0x00, 0x00,
+                                   0x40, 0x00, 0x40, 0x11, 0xb8, 0x61,
+                                   0xc0, 0xa8, 0x00, 0x01, 0xc0, 0xa8,
+                                   0x00, 0xc7};
+  EXPECT_EQ(checksum_fold(hdr.data(), hdr.size()), 0xffff);
+}
+
+TEST(Checksum, OddLength) {
+  std::vector<std::uint8_t> data = {0x01, 0x02, 0x03};
+  // 0x0102 + 0x0300 = 0x0402
+  EXPECT_EQ(checksum_fold(data.data(), data.size()), 0x0402);
+}
+
+TEST(Checksum, IncrementalUpdateMatchesRecompute) {
+  std::vector<std::uint8_t> hdr = {0x45, 0x00, 0x00, 0x73, 0x00, 0x00,
+                                   0x40, 0x00, 0x40, 0x11, 0x00, 0x00,
+                                   0xc0, 0xa8, 0x00, 0x01, 0xc0, 0xa8,
+                                   0x00, 0xc7};
+  std::uint16_t before = internet_checksum(hdr.data(), hdr.size());
+  hdr[10] = before >> 8;
+  hdr[11] = before & 0xff;
+
+  // Change TTL 0x40 -> 0x3f (the ttl/proto 16-bit word changes).
+  std::uint16_t old_word = 0x4011;
+  std::uint16_t new_word = 0x3f11;
+  hdr[8] = 0x3f;
+  std::uint16_t incremental = checksum_update16(before, old_word, new_word);
+
+  hdr[10] = hdr[11] = 0;
+  std::uint16_t recomputed = internet_checksum(hdr.data(), hdr.size());
+  EXPECT_EQ(incremental, recomputed);
+}
+
+TEST(Checksum, IncrementalUpdateManySteps) {
+  std::vector<std::uint8_t> hdr(20, 0);
+  hdr[0] = 0x45;
+  hdr[8] = 200;  // ttl
+  hdr[9] = 6;
+  std::uint16_t csum = internet_checksum(hdr.data(), hdr.size());
+  for (int ttl = 200; ttl > 1; --ttl) {
+    std::uint16_t old_word =
+        static_cast<std::uint16_t>((ttl << 8) | hdr[9]);
+    std::uint16_t new_word =
+        static_cast<std::uint16_t>(((ttl - 1) << 8) | hdr[9]);
+    csum = checksum_update16(csum, old_word, new_word);
+    hdr[8] = static_cast<std::uint8_t>(ttl - 1);
+    std::uint16_t expect = internet_checksum(hdr.data(), hdr.size());
+    ASSERT_EQ(csum, expect) << "ttl=" << ttl;
+  }
+}
+
+}  // namespace
+}  // namespace linuxfp::net

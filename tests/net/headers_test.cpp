@@ -1,0 +1,181 @@
+#include "net/headers.h"
+
+#include <gtest/gtest.h>
+
+#include "net/checksum.h"
+
+namespace linuxfp::net {
+namespace {
+
+FlowKey test_flow() {
+  FlowKey f;
+  f.src_ip = Ipv4Addr::parse("10.1.0.2").value();
+  f.dst_ip = Ipv4Addr::parse("10.2.0.2").value();
+  f.proto = kIpProtoUdp;
+  f.src_port = 1234;
+  f.dst_port = 5678;
+  return f;
+}
+
+TEST(Builders, UdpPacketParsesBack) {
+  auto src = MacAddr::from_id(1);
+  auto dst = MacAddr::from_id(2);
+  Packet pkt = build_udp_packet(src, dst, test_flow(), 64);
+  EXPECT_EQ(pkt.size(), 64u);
+  auto parsed = parse_packet(pkt);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->eth_src, src);
+  EXPECT_EQ(parsed->eth_dst, dst);
+  EXPECT_EQ(parsed->ethertype, kEtherTypeIpv4);
+  EXPECT_TRUE(parsed->has_ipv4);
+  EXPECT_EQ(parsed->ip_src.to_string(), "10.1.0.2");
+  EXPECT_EQ(parsed->ip_dst.to_string(), "10.2.0.2");
+  EXPECT_EQ(parsed->ip_proto, kIpProtoUdp);
+  ASSERT_TRUE(parsed->has_ports);
+  EXPECT_EQ(parsed->src_port, 1234);
+  EXPECT_EQ(parsed->dst_port, 5678);
+}
+
+TEST(Builders, IpChecksumValid) {
+  Packet pkt = build_udp_packet(MacAddr::from_id(1), MacAddr::from_id(2),
+                                test_flow(), 128);
+  Ipv4View ip(pkt.data() + kEthHdrLen);
+  EXPECT_TRUE(ip.checksum_valid());
+}
+
+TEST(Builders, MinimumFrameSizeEnforced) {
+  Packet pkt = build_udp_packet(MacAddr::from_id(1), MacAddr::from_id(2),
+                                test_flow(), 10);
+  EXPECT_EQ(pkt.size(), 60u);
+}
+
+TEST(Ipv4View, DecrementTtlKeepsChecksumValid) {
+  Packet pkt = build_udp_packet(MacAddr::from_id(1), MacAddr::from_id(2),
+                                test_flow(), 64, /*ttl=*/64);
+  Ipv4View ip(pkt.data() + kEthHdrLen);
+  for (int i = 0; i < 63; ++i) {
+    ip.decrement_ttl();
+    ASSERT_TRUE(ip.checksum_valid()) << "ttl=" << int{ip.ttl()};
+  }
+  EXPECT_EQ(ip.ttl(), 1);
+}
+
+TEST(Arp, RequestReplyRoundTrip) {
+  auto smac = MacAddr::from_id(7);
+  auto sip = Ipv4Addr::parse("10.0.0.1").value();
+  auto tip = Ipv4Addr::parse("10.0.0.2").value();
+  Packet req = build_arp_request(smac, sip, tip);
+  auto parsed = parse_packet(req);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->eth_dst.is_broadcast());
+  EXPECT_EQ(parsed->ethertype, kEtherTypeArp);
+
+  ArpView arp(req.data() + kEthHdrLen);
+  ArpFields f = arp.read();
+  EXPECT_EQ(f.opcode, 1);
+  EXPECT_EQ(f.sender_mac, smac);
+  EXPECT_EQ(f.sender_ip, sip);
+  EXPECT_EQ(f.target_ip, tip);
+
+  auto tmac = MacAddr::from_id(8);
+  Packet reply = build_arp_reply(tmac, tip, smac, sip);
+  ArpView rarp(reply.data() + kEthHdrLen);
+  ArpFields rf = rarp.read();
+  EXPECT_EQ(rf.opcode, 2);
+  EXPECT_EQ(rf.sender_mac, tmac);
+  EXPECT_EQ(rf.sender_ip, tip);
+  EXPECT_EQ(rf.target_mac, smac);
+}
+
+TEST(Vlan, InsertAndStrip) {
+  Packet pkt = build_udp_packet(MacAddr::from_id(1), MacAddr::from_id(2),
+                                test_flow(), 64);
+  std::size_t before = pkt.size();
+  insert_vlan_tag(pkt, 100);
+  EXPECT_EQ(pkt.size(), before + 4);
+  auto parsed = parse_packet(pkt);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->has_vlan);
+  EXPECT_EQ(parsed->vlan_id, 100);
+  EXPECT_EQ(parsed->ethertype, kEtherTypeIpv4);  // inner type
+  EXPECT_TRUE(parsed->has_ipv4);
+  EXPECT_EQ(parsed->ip_dst.to_string(), "10.2.0.2");
+
+  strip_vlan_tag(pkt);
+  EXPECT_EQ(pkt.size(), before);
+  auto parsed2 = parse_packet(pkt);
+  ASSERT_TRUE(parsed2.has_value());
+  EXPECT_FALSE(parsed2->has_vlan);
+  EXPECT_EQ(parsed2->ip_dst.to_string(), "10.2.0.2");
+}
+
+TEST(Vxlan, EncapDecapRoundTrip) {
+  Packet inner = build_udp_packet(MacAddr::from_id(1), MacAddr::from_id(2),
+                                  test_flow(), 100);
+  Packet pkt = inner;
+  auto outer_src = Ipv4Addr::parse("192.168.0.1").value();
+  auto outer_dst = Ipv4Addr::parse("192.168.0.2").value();
+  vxlan_encap(pkt, 4096, MacAddr::from_id(3), MacAddr::from_id(4), outer_src,
+              outer_dst, 77);
+  EXPECT_EQ(pkt.size(), inner.size() + 50);
+
+  auto outer = parse_packet(pkt);
+  ASSERT_TRUE(outer.has_value());
+  EXPECT_EQ(outer->ip_src, outer_src);
+  EXPECT_EQ(outer->ip_dst, outer_dst);
+  EXPECT_EQ(outer->ip_proto, kIpProtoUdp);
+  EXPECT_EQ(outer->dst_port, kVxlanPort);
+
+  VxlanView vx(pkt.data() + outer->l4_offset + kUdpHdrLen);
+  EXPECT_EQ(vx.vni(), 4096u);
+
+  vxlan_decap(pkt);
+  ASSERT_EQ(pkt.size(), inner.size());
+  EXPECT_EQ(0, std::memcmp(pkt.data(), inner.data(), inner.size()));
+}
+
+TEST(Parse, RejectsTruncatedPackets) {
+  Packet tiny(8);
+  EXPECT_FALSE(parse_packet(tiny).has_value());
+
+  Packet pkt = build_udp_packet(MacAddr::from_id(1), MacAddr::from_id(2),
+                                test_flow(), 64);
+  pkt.resize_data(kEthHdrLen + 10);  // truncated IP header
+  EXPECT_FALSE(parse_packet(pkt).has_value());
+}
+
+TEST(Parse, FragmentHasNoPorts) {
+  Packet pkt = build_udp_packet(MacAddr::from_id(1), MacAddr::from_id(2),
+                                test_flow(), 64);
+  Ipv4View ip(pkt.data() + kEthHdrLen);
+  ip.set_frag_field(0x2000);  // MF set
+  ip.update_checksum();
+  auto parsed = parse_packet(pkt);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->ip_fragment);
+  EXPECT_FALSE(parsed->has_ports);
+}
+
+TEST(Tcp, FlagsAccessors) {
+  FlowKey f = test_flow();
+  f.proto = kIpProtoTcp;
+  Packet pkt = build_tcp_packet(MacAddr::from_id(1), MacAddr::from_id(2), f,
+                                /*flags=*/0x12 /* SYN|ACK */, 64);
+  auto parsed = parse_packet(pkt);
+  ASSERT_TRUE(parsed.has_value());
+  TcpView tcp(pkt.data() + parsed->l4_offset);
+  EXPECT_TRUE(tcp.syn());
+  EXPECT_TRUE(tcp.ack_flag());
+  EXPECT_FALSE(tcp.fin());
+  EXPECT_FALSE(tcp.rst());
+}
+
+TEST(Packet, WireSizeIncludesFraming) {
+  Packet min_pkt(60);
+  EXPECT_EQ(min_pkt.wire_size(), 84u);  // 64 frame + 20 preamble/IFG
+  Packet big(1500);
+  EXPECT_EQ(big.wire_size(), 1524u);
+}
+
+}  // namespace
+}  // namespace linuxfp::net

@@ -1,0 +1,53 @@
+#include "net/packet.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace linuxfp::net {
+namespace {
+
+TEST(Packet, HeadroomPushPull) {
+  Packet pkt(100);
+  EXPECT_EQ(pkt.size(), 100u);
+  EXPECT_EQ(pkt.headroom(), Packet::kDefaultHeadroom);
+
+  pkt.data()[0] = 0xAB;
+  std::uint8_t* front = pkt.push_front(20);
+  EXPECT_EQ(pkt.size(), 120u);
+  std::memset(front, 0x11, 20);
+  EXPECT_EQ(pkt.data()[20], 0xAB);
+
+  pkt.pull_front(20);
+  EXPECT_EQ(pkt.size(), 100u);
+  EXPECT_EQ(pkt.data()[0], 0xAB);
+}
+
+TEST(Packet, CopySemantics) {
+  Packet a(50);
+  a.data()[10] = 42;
+  a.ingress_ifindex = 3;
+  Packet b = a;
+  b.data()[10] = 7;
+  EXPECT_EQ(a.data()[10], 42);
+  EXPECT_EQ(b.data()[10], 7);
+  EXPECT_EQ(b.ingress_ifindex, 3u);
+}
+
+TEST(Packet, FromBytes) {
+  std::uint8_t raw[4] = {1, 2, 3, 4};
+  Packet pkt = Packet::from_bytes(raw, 4);
+  EXPECT_EQ(pkt.size(), 4u);
+  EXPECT_EQ(pkt.data()[3], 4);
+}
+
+TEST(Packet, ResizeData) {
+  Packet pkt(10);
+  pkt.resize_data(30);
+  EXPECT_EQ(pkt.size(), 30u);
+  pkt.resize_data(5);
+  EXPECT_EQ(pkt.size(), 5u);
+}
+
+}  // namespace
+}  // namespace linuxfp::net

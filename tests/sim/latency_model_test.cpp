@@ -1,0 +1,102 @@
+// Tests for the RR latency simulation's modeling knobs: closed-loop
+// queueing behaviour, contention charging, and the correlated-hiccup tail.
+#include <gtest/gtest.h>
+
+#include "sim/runners.h"
+#include "sim/testbed.h"
+
+namespace linuxfp::sim {
+namespace {
+
+struct FixedCostDut : DeviceUnderTest {
+  std::uint64_t cycles_per_pkt;
+  bool fast = false;
+
+  explicit FixedCostDut(std::uint64_t cycles) : cycles_per_pkt(cycles) {}
+  std::string name() const override { return "fixed"; }
+  ProcessOutcome process(net::Packet&&) override {
+    ProcessOutcome out;
+    out.cycles = cycles_per_pkt;
+    out.forwarded = true;
+    out.fast_path = fast;
+    return out;
+  }
+  double cpu_hz() const override { return 2.4e9; }
+};
+
+net::Packet dummy_packet(int) { return net::Packet(64); }
+
+TEST(RrLatencyModel, SaturatedRttScalesWithServiceTime) {
+  RrConfig cfg;
+  cfg.sessions = 64;
+  cfg.transactions = 4000;
+  cfg.jitter_sigma = 0.0;
+  cfg.hiccup_per_service = 0.0;
+  cfg.slowpath_contention_cycles = 0;
+
+  // Service times chosen so the server is the bottleneck by a wide margin
+  // (sessions * 2 * service >> base RTT): the closed-loop identity holds.
+  FixedCostDut cheap(12000), expensive(24000);
+  auto r1 = RrLatencyRunner(cfg).run(cheap, dummy_packet, dummy_packet);
+  auto r2 = RrLatencyRunner(cfg).run(expensive, dummy_packet, dummy_packet);
+  // Saturated closed loop: RTT ~ sessions * 2 * service (+ base).
+  double s1 = 12000 / 2.4e9 * 1e6, s2 = 24000 / 2.4e9 * 1e6;
+  EXPECT_NEAR(r1.rtt_us.mean(), cfg.sessions * 2 * s1 + cfg.base_rtt_us,
+              cfg.sessions * 2 * s1 * 0.15 + 5);
+  EXPECT_NEAR(r2.rtt_us.mean() / r1.rtt_us.mean(),
+              (cfg.sessions * 2 * s2 + cfg.base_rtt_us) /
+                  (cfg.sessions * 2 * s1 + cfg.base_rtt_us),
+              0.15);
+}
+
+TEST(RrLatencyModel, ContentionChargesSlowPathOnly) {
+  RrConfig cfg;
+  cfg.sessions = 32;
+  cfg.transactions = 2000;
+  cfg.jitter_sigma = 0.0;
+  cfg.hiccup_per_service = 0.0;
+  cfg.slowpath_contention_cycles = 1200;
+
+  FixedCostDut slow_dut(1200);
+  FixedCostDut fast_dut(1200);
+  fast_dut.fast = true;
+  auto slow_r = RrLatencyRunner(cfg).run(slow_dut, dummy_packet, dummy_packet);
+  auto fast_r = RrLatencyRunner(cfg).run(fast_dut, dummy_packet, dummy_packet);
+  // The slow-path DUT is charged contention on every packet -> ~2x service.
+  EXPECT_GT(slow_r.rtt_us.mean(), fast_r.rtt_us.mean() * 1.5);
+}
+
+TEST(RrLatencyModel, HiccupsProduceTailNotMeanShift) {
+  RrConfig base;
+  base.sessions = 64;
+  base.transactions = 8000;
+  base.hiccup_per_service = 0.0;
+  RrConfig hic = base;
+  hic.hiccup_per_service = 0.0004;
+  hic.hiccup_mean_us = 110;
+
+  FixedCostDut dut(1500);
+  auto clean = RrLatencyRunner(base).run(dut, dummy_packet, dummy_packet);
+  auto tailed = RrLatencyRunner(hic).run(dut, dummy_packet, dummy_packet);
+  // Mean moves a little; p99 and stddev move a lot.
+  EXPECT_LT(tailed.rtt_us.mean() / clean.rtt_us.mean(), 1.25);
+  EXPECT_GT(tailed.rtt_us.p99() / clean.rtt_us.p99(), 1.3);
+  EXPECT_GT(tailed.rtt_us.stddev(), clean.rtt_us.stddev() * 2);
+}
+
+TEST(RrLatencyModel, TransactionsPerSecondConsistentWithRtt) {
+  RrConfig cfg;
+  cfg.sessions = 16;
+  cfg.transactions = 3000;
+  cfg.jitter_sigma = 0.0;
+  cfg.hiccup_per_service = 0.0;
+  cfg.slowpath_contention_cycles = 0;
+  FixedCostDut dut(24000);
+  auto r = RrLatencyRunner(cfg).run(dut, dummy_packet, dummy_packet);
+  // Closed loop identity: tps ~= sessions / mean RTT.
+  double expected_tps = cfg.sessions / (r.rtt_us.mean() * 1e-6);
+  EXPECT_NEAR(r.transactions_per_second, expected_tps, expected_tps * 0.2);
+}
+
+}  // namespace
+}  // namespace linuxfp::sim

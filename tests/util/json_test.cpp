@@ -1,0 +1,100 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace linuxfp::util {
+namespace {
+
+TEST(Json, BuildsObjectsWithInsertionOrder) {
+  Json j = Json::object();
+  j["zeta"] = 1;
+  j["alpha"] = "two";
+  j["mid"] = true;
+  std::vector<std::string> keys;
+  for (const auto& [k, v] : j.object_items()) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<std::string>{"zeta", "alpha", "mid"}));
+}
+
+TEST(Json, DumpCompact) {
+  Json j = Json::object();
+  j["name"] = "router";
+  j["count"] = 50;
+  j["enabled"] = true;
+  j["gw"] = nullptr;
+  EXPECT_EQ(j.dump(),
+            "{\"name\": \"router\", \"count\": 50, \"enabled\": true, "
+            "\"gw\": null}");
+}
+
+TEST(Json, RoundTripsThroughParse) {
+  Json j = Json::object();
+  j["device"] = "ens1f0";
+  j["nodes"]["bridge"]["conf"]["STP_enabled"] = true;
+  j["nodes"]["bridge"]["next_nf"] = "router";
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  arr.push_back(false);
+  j["list"] = arr;
+
+  auto parsed = Json::parse(j.dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_TRUE(parsed.value() == j);
+}
+
+TEST(Json, ParsesNestedDocument) {
+  auto r = Json::parse(R"({"a": [1, 2.5, -3], "b": {"c": "x\ny"}, "d": null})");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->at("a").size(), 3u);
+  EXPECT_DOUBLE_EQ(r->at("a").at(1).as_number(), 2.5);
+  EXPECT_EQ(r->at("a").at(2).as_int(), -3);
+  EXPECT_EQ(r->at("b").at("c").as_string(), "x\ny");
+  EXPECT_TRUE(r->at("d").is_null());
+}
+
+TEST(Json, ParseRejectsGarbage) {
+  EXPECT_FALSE(Json::parse("{").ok());
+  EXPECT_FALSE(Json::parse("{\"a\": }").ok());
+  EXPECT_FALSE(Json::parse("[1,]").ok());
+  EXPECT_FALSE(Json::parse("{\"a\": 1} trailing").ok());
+  EXPECT_FALSE(Json::parse("nul").ok());
+  EXPECT_FALSE(Json::parse("").ok());
+}
+
+TEST(Json, ParsesUnicodeEscapes) {
+  auto r = Json::parse(R"("aAé")");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->as_string(), "aA\xc3\xa9");
+}
+
+TEST(Json, MissingKeyLookupsReturnNull) {
+  Json j = Json::object();
+  j["present"] = 5;
+  EXPECT_TRUE(j.at("absent").is_null());
+  EXPECT_EQ(j.at("absent").as_int(42), 42);
+  EXPECT_FALSE(j.contains("absent"));
+  EXPECT_TRUE(j.contains("present"));
+}
+
+TEST(Json, EqualityIsOrderSensitiveForObjects) {
+  Json a = Json::object();
+  a["x"] = 1;
+  a["y"] = 2;
+  Json b = Json::object();
+  b["y"] = 2;
+  b["x"] = 1;
+  EXPECT_FALSE(a == b);  // processing-graph keys are ordered FPM stages
+}
+
+TEST(Json, IndentedDumpParsesBack) {
+  Json j = Json::object();
+  j["a"]["b"] = 1;
+  j["c"] = Json::array();
+  j["c"].push_back("s");
+  auto round = Json::parse(j.dump(2));
+  ASSERT_TRUE(round.ok());
+  EXPECT_TRUE(round.value() == j);
+}
+
+}  // namespace
+}  // namespace linuxfp::util

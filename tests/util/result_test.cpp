@@ -1,0 +1,43 @@
+#include "util/result.h"
+
+#include <gtest/gtest.h>
+
+namespace linuxfp::util {
+namespace {
+
+Result<int> parse_positive(int v) {
+  if (v <= 0) return Error::make("neg", "not positive");
+  return v;
+}
+
+TEST(Result, OkPath) {
+  auto r = parse_positive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 5);
+  EXPECT_EQ(*r, 5);
+  EXPECT_EQ(r.value_or(-1), 5);
+}
+
+TEST(Result, ErrorPath) {
+  auto r = parse_positive(-2);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "neg");
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, MoveTake) {
+  Result<std::string> r(std::string("hello"));
+  std::string s = std::move(r).take();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(Status, DefaultOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  Status e = Error::make("x", "y");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.error().code, "x");
+}
+
+}  // namespace
+}  // namespace linuxfp::util

@@ -1,0 +1,89 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace linuxfp::util {
+namespace {
+
+TEST(OnlineStats, MeanAndStddev) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(SampleSet, ExactPercentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.percentile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(s.percentile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(s.p50(), 50.5, 1e-9);
+  EXPECT_NEAR(s.p99(), 99.01, 1e-9);
+}
+
+TEST(SampleSet, MeanMatchesOnline) {
+  Rng rng(7);
+  SampleSet set;
+  OnlineStats online;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.next_double() * 100;
+    set.add(v);
+    online.add(v);
+  }
+  EXPECT_NEAR(set.mean(), online.mean(), 1e-9);
+  EXPECT_NEAR(set.stddev(), online.stddev(), 1e-6);
+}
+
+TEST(SampleSet, AddAfterSortKeepsCorrectness) {
+  SampleSet s;
+  s.add(10);
+  EXPECT_DOUBLE_EQ(s.p50(), 10);
+  s.add(20);
+  s.add(0);
+  EXPECT_DOUBLE_EQ(s.p50(), 10);
+  EXPECT_DOUBLE_EQ(s.min(), 0);
+  EXPECT_DOUBLE_EQ(s.max(), 20);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformCoverage) {
+  Rng rng(3);
+  int buckets[10] = {0};
+  for (int i = 0; i < 100000; ++i) {
+    ++buckets[static_cast<int>(rng.next_double() * 10)];
+  }
+  for (int b : buckets) EXPECT_NEAR(b, 10000, 600);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(9);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.next_exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Format, SiRates) {
+  EXPECT_EQ(format_si_rate(1768221), "1.77M");
+  EXPECT_EQ(format_si_rate(25e9), "25.00G");
+  EXPECT_EQ(format_si_rate(950), "950.00");
+  EXPECT_EQ(format_si_rate(1200), "1.20k");
+}
+
+}  // namespace
+}  // namespace linuxfp::util

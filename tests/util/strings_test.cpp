@@ -1,0 +1,54 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace linuxfp::util {
+namespace {
+
+TEST(Strings, SplitWs) {
+  EXPECT_EQ(split_ws("ip  route   add"),
+            (std::vector<std::string>{"ip", "route", "add"}));
+  EXPECT_EQ(split_ws("  leading trailing  "),
+            (std::vector<std::string>{"leading", "trailing"}));
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws("   \t\n ").empty());
+}
+
+TEST(Strings, SplitDelim) {
+  EXPECT_EQ(split("10.0.0.1/24", '/'),
+            (std::vector<std::string>{"10.0.0.1", "24"}));
+  EXPECT_EQ(split("a::b", ':'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"one"}, ","), "one");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("net.ipv4.ip_forward", "net.ipv4"));
+  EXPECT_FALSE(starts_with("net", "net.ipv4"));
+}
+
+TEST(Strings, TrimAndLower) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(to_lower("FORWARD"), "forward");
+}
+
+TEST(Strings, ParseU64) {
+  unsigned long long v = 0;
+  EXPECT_TRUE(parse_u64("12345", v));
+  EXPECT_EQ(v, 12345u);
+  EXPECT_FALSE(parse_u64("", v));
+  EXPECT_FALSE(parse_u64("12a", v));
+  EXPECT_FALSE(parse_u64("-3", v));
+  EXPECT_TRUE(parse_u64("0", v));
+  EXPECT_EQ(v, 0u);
+}
+
+}  // namespace
+}  // namespace linuxfp::util
