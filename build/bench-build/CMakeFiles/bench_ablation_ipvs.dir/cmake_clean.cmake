@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_ipvs"
+  "../bench/bench_ablation_ipvs.pdb"
+  "CMakeFiles/bench_ablation_ipvs.dir/bench_ablation_ipvs.cpp.o"
+  "CMakeFiles/bench_ablation_ipvs.dir/bench_ablation_ipvs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ipvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_specialization"
+  "../bench/bench_ablation_specialization.pdb"
+  "CMakeFiles/bench_ablation_specialization.dir/bench_ablation_specialization.cpp.o"
+  "CMakeFiles/bench_ablation_specialization.dir/bench_ablation_specialization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_specialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

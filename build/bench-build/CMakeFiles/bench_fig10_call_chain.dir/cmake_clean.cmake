@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_call_chain"
+  "../bench/bench_fig10_call_chain.pdb"
+  "CMakeFiles/bench_fig10_call_chain.dir/bench_fig10_call_chain.cpp.o"
+  "CMakeFiles/bench_fig10_call_chain.dir/bench_fig10_call_chain.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_call_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_hotspots"
+  "../bench/bench_fig1_hotspots.pdb"
+  "CMakeFiles/bench_fig1_hotspots.dir/bench_fig1_hotspots.cpp.o"
+  "CMakeFiles/bench_fig1_hotspots.dir/bench_fig1_hotspots.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

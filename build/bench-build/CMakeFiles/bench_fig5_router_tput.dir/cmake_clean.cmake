@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_router_tput"
+  "../bench/bench_fig5_router_tput.pdb"
+  "CMakeFiles/bench_fig5_router_tput.dir/bench_fig5_router_tput.cpp.o"
+  "CMakeFiles/bench_fig5_router_tput.dir/bench_fig5_router_tput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_router_tput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

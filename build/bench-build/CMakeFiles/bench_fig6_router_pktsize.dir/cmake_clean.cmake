@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_router_pktsize"
+  "../bench/bench_fig6_router_pktsize.pdb"
+  "CMakeFiles/bench_fig6_router_pktsize.dir/bench_fig6_router_pktsize.cpp.o"
+  "CMakeFiles/bench_fig6_router_pktsize.dir/bench_fig6_router_pktsize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_router_pktsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

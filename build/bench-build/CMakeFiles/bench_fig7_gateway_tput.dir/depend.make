@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_gateway_tput.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_gateway_rules"
+  "../bench/bench_fig8_gateway_rules.pdb"
+  "CMakeFiles/bench_fig8_gateway_rules.dir/bench_fig8_gateway_rules.cpp.o"
+  "CMakeFiles/bench_fig8_gateway_rules.dir/bench_fig8_gateway_rules.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_gateway_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig9_pod_tput.cpp" "bench-build/CMakeFiles/bench_fig9_pod_tput.dir/bench_fig9_pod_tput.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fig9_pod_tput.dir/bench_fig9_pod_tput.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/lfp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lfp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/k8s/CMakeFiles/lfp_k8s.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lfp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/lfp_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/lfp_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlink/CMakeFiles/lfp_netlink.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lfp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lfp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

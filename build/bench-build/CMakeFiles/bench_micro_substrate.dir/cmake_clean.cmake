@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_substrate"
+  "../bench/bench_micro_substrate.pdb"
+  "CMakeFiles/bench_micro_substrate.dir/bench_micro_substrate.cpp.o"
+  "CMakeFiles/bench_micro_substrate.dir/bench_micro_substrate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_router_latency"
+  "../bench/bench_table3_router_latency.pdb"
+  "CMakeFiles/bench_table3_router_latency.dir/bench_table3_router_latency.cpp.o"
+  "CMakeFiles/bench_table3_router_latency.dir/bench_table3_router_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_router_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

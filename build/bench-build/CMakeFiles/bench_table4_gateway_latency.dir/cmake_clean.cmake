@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_gateway_latency"
+  "../bench/bench_table4_gateway_latency.pdb"
+  "CMakeFiles/bench_table4_gateway_latency.dir/bench_table4_gateway_latency.cpp.o"
+  "CMakeFiles/bench_table4_gateway_latency.dir/bench_table4_gateway_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_gateway_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

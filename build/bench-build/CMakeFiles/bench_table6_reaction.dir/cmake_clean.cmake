@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_reaction"
+  "../bench/bench_table6_reaction.pdb"
+  "CMakeFiles/bench_table6_reaction.dir/bench_table6_reaction.cpp.o"
+  "CMakeFiles/bench_table6_reaction.dir/bench_table6_reaction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_reaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

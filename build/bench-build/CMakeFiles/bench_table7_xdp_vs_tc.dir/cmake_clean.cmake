@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_xdp_vs_tc"
+  "../bench/bench_table7_xdp_vs_tc.pdb"
+  "CMakeFiles/bench_table7_xdp_vs_tc.dir/bench_table7_xdp_vs_tc.cpp.o"
+  "CMakeFiles/bench_table7_xdp_vs_tc.dir/bench_table7_xdp_vs_tc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_xdp_vs_tc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

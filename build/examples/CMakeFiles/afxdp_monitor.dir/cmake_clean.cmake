@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afxdp_monitor.dir/afxdp_monitor.cpp.o"
+  "CMakeFiles/afxdp_monitor.dir/afxdp_monitor.cpp.o.d"
+  "afxdp_monitor"
+  "afxdp_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afxdp_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

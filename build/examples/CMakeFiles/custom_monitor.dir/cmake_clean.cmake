@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_monitor.dir/custom_monitor.cpp.o"
+  "CMakeFiles/custom_monitor.dir/custom_monitor.cpp.o.d"
+  "custom_monitor"
+  "custom_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frr_routes.dir/frr_routes.cpp.o"
+  "CMakeFiles/frr_routes.dir/frr_routes.cpp.o.d"
+  "frr_routes"
+  "frr_routes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frr_routes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

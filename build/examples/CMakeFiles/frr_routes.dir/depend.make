@@ -1,0 +1,2 @@
+# Empty dependencies file for frr_routes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k8s_flannel.dir/k8s_flannel.cpp.o"
+  "CMakeFiles/k8s_flannel.dir/k8s_flannel.cpp.o.d"
+  "k8s_flannel"
+  "k8s_flannel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k8s_flannel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for k8s_flannel.
+# This may be replaced when dependencies are built.

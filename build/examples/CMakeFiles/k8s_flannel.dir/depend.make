@@ -1,0 +1,2 @@
+# Empty dependencies file for k8s_flannel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_gateway.dir/virtual_gateway.cpp.o"
+  "CMakeFiles/virtual_gateway.dir/virtual_gateway.cpp.o.d"
+  "virtual_gateway"
+  "virtual_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfp_baselines.dir/polycube/polycube.cpp.o"
+  "CMakeFiles/lfp_baselines.dir/polycube/polycube.cpp.o.d"
+  "CMakeFiles/lfp_baselines.dir/vpp/vpp.cpp.o"
+  "CMakeFiles/lfp_baselines.dir/vpp/vpp.cpp.o.d"
+  "liblfp_baselines.a"
+  "liblfp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/capability.cpp" "src/core/CMakeFiles/lfp_core.dir/capability.cpp.o" "gcc" "src/core/CMakeFiles/lfp_core.dir/capability.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/lfp_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/lfp_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/deployer.cpp" "src/core/CMakeFiles/lfp_core.dir/deployer.cpp.o" "gcc" "src/core/CMakeFiles/lfp_core.dir/deployer.cpp.o.d"
+  "/root/repo/src/core/fpm_library.cpp" "src/core/CMakeFiles/lfp_core.dir/fpm_library.cpp.o" "gcc" "src/core/CMakeFiles/lfp_core.dir/fpm_library.cpp.o.d"
+  "/root/repo/src/core/introspect.cpp" "src/core/CMakeFiles/lfp_core.dir/introspect.cpp.o" "gcc" "src/core/CMakeFiles/lfp_core.dir/introspect.cpp.o.d"
+  "/root/repo/src/core/status.cpp" "src/core/CMakeFiles/lfp_core.dir/status.cpp.o" "gcc" "src/core/CMakeFiles/lfp_core.dir/status.cpp.o.d"
+  "/root/repo/src/core/synthesizer.cpp" "src/core/CMakeFiles/lfp_core.dir/synthesizer.cpp.o" "gcc" "src/core/CMakeFiles/lfp_core.dir/synthesizer.cpp.o.d"
+  "/root/repo/src/core/topology.cpp" "src/core/CMakeFiles/lfp_core.dir/topology.cpp.o" "gcc" "src/core/CMakeFiles/lfp_core.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lfp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lfp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlink/CMakeFiles/lfp_netlink.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/lfp_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/lfp_ebpf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfp_core.dir/capability.cpp.o"
+  "CMakeFiles/lfp_core.dir/capability.cpp.o.d"
+  "CMakeFiles/lfp_core.dir/controller.cpp.o"
+  "CMakeFiles/lfp_core.dir/controller.cpp.o.d"
+  "CMakeFiles/lfp_core.dir/deployer.cpp.o"
+  "CMakeFiles/lfp_core.dir/deployer.cpp.o.d"
+  "CMakeFiles/lfp_core.dir/fpm_library.cpp.o"
+  "CMakeFiles/lfp_core.dir/fpm_library.cpp.o.d"
+  "CMakeFiles/lfp_core.dir/introspect.cpp.o"
+  "CMakeFiles/lfp_core.dir/introspect.cpp.o.d"
+  "CMakeFiles/lfp_core.dir/status.cpp.o"
+  "CMakeFiles/lfp_core.dir/status.cpp.o.d"
+  "CMakeFiles/lfp_core.dir/synthesizer.cpp.o"
+  "CMakeFiles/lfp_core.dir/synthesizer.cpp.o.d"
+  "CMakeFiles/lfp_core.dir/topology.cpp.o"
+  "CMakeFiles/lfp_core.dir/topology.cpp.o.d"
+  "liblfp_core.a"
+  "liblfp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ebpf/builder.cpp" "src/ebpf/CMakeFiles/lfp_ebpf.dir/builder.cpp.o" "gcc" "src/ebpf/CMakeFiles/lfp_ebpf.dir/builder.cpp.o.d"
+  "/root/repo/src/ebpf/insn.cpp" "src/ebpf/CMakeFiles/lfp_ebpf.dir/insn.cpp.o" "gcc" "src/ebpf/CMakeFiles/lfp_ebpf.dir/insn.cpp.o.d"
+  "/root/repo/src/ebpf/kernel_helpers.cpp" "src/ebpf/CMakeFiles/lfp_ebpf.dir/kernel_helpers.cpp.o" "gcc" "src/ebpf/CMakeFiles/lfp_ebpf.dir/kernel_helpers.cpp.o.d"
+  "/root/repo/src/ebpf/loader.cpp" "src/ebpf/CMakeFiles/lfp_ebpf.dir/loader.cpp.o" "gcc" "src/ebpf/CMakeFiles/lfp_ebpf.dir/loader.cpp.o.d"
+  "/root/repo/src/ebpf/maps.cpp" "src/ebpf/CMakeFiles/lfp_ebpf.dir/maps.cpp.o" "gcc" "src/ebpf/CMakeFiles/lfp_ebpf.dir/maps.cpp.o.d"
+  "/root/repo/src/ebpf/verifier.cpp" "src/ebpf/CMakeFiles/lfp_ebpf.dir/verifier.cpp.o" "gcc" "src/ebpf/CMakeFiles/lfp_ebpf.dir/verifier.cpp.o.d"
+  "/root/repo/src/ebpf/vm.cpp" "src/ebpf/CMakeFiles/lfp_ebpf.dir/vm.cpp.o" "gcc" "src/ebpf/CMakeFiles/lfp_ebpf.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lfp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lfp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/lfp_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlink/CMakeFiles/lfp_netlink.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfp_ebpf.dir/builder.cpp.o"
+  "CMakeFiles/lfp_ebpf.dir/builder.cpp.o.d"
+  "CMakeFiles/lfp_ebpf.dir/insn.cpp.o"
+  "CMakeFiles/lfp_ebpf.dir/insn.cpp.o.d"
+  "CMakeFiles/lfp_ebpf.dir/kernel_helpers.cpp.o"
+  "CMakeFiles/lfp_ebpf.dir/kernel_helpers.cpp.o.d"
+  "CMakeFiles/lfp_ebpf.dir/loader.cpp.o"
+  "CMakeFiles/lfp_ebpf.dir/loader.cpp.o.d"
+  "CMakeFiles/lfp_ebpf.dir/maps.cpp.o"
+  "CMakeFiles/lfp_ebpf.dir/maps.cpp.o.d"
+  "CMakeFiles/lfp_ebpf.dir/verifier.cpp.o"
+  "CMakeFiles/lfp_ebpf.dir/verifier.cpp.o.d"
+  "CMakeFiles/lfp_ebpf.dir/vm.cpp.o"
+  "CMakeFiles/lfp_ebpf.dir/vm.cpp.o.d"
+  "liblfp_ebpf.a"
+  "liblfp_ebpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfp_ebpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

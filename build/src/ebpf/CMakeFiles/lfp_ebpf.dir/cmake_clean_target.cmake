@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblfp_ebpf.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfp_k8s.dir/cluster.cpp.o"
+  "CMakeFiles/lfp_k8s.dir/cluster.cpp.o.d"
+  "liblfp_k8s.a"
+  "liblfp_k8s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfp_k8s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

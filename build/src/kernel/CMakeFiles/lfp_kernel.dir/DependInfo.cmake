@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/bridge.cpp" "src/kernel/CMakeFiles/lfp_kernel.dir/bridge.cpp.o" "gcc" "src/kernel/CMakeFiles/lfp_kernel.dir/bridge.cpp.o.d"
+  "/root/repo/src/kernel/commands.cpp" "src/kernel/CMakeFiles/lfp_kernel.dir/commands.cpp.o" "gcc" "src/kernel/CMakeFiles/lfp_kernel.dir/commands.cpp.o.d"
+  "/root/repo/src/kernel/conntrack.cpp" "src/kernel/CMakeFiles/lfp_kernel.dir/conntrack.cpp.o" "gcc" "src/kernel/CMakeFiles/lfp_kernel.dir/conntrack.cpp.o.d"
+  "/root/repo/src/kernel/fib.cpp" "src/kernel/CMakeFiles/lfp_kernel.dir/fib.cpp.o" "gcc" "src/kernel/CMakeFiles/lfp_kernel.dir/fib.cpp.o.d"
+  "/root/repo/src/kernel/ipset.cpp" "src/kernel/CMakeFiles/lfp_kernel.dir/ipset.cpp.o" "gcc" "src/kernel/CMakeFiles/lfp_kernel.dir/ipset.cpp.o.d"
+  "/root/repo/src/kernel/ipvs.cpp" "src/kernel/CMakeFiles/lfp_kernel.dir/ipvs.cpp.o" "gcc" "src/kernel/CMakeFiles/lfp_kernel.dir/ipvs.cpp.o.d"
+  "/root/repo/src/kernel/kernel.cpp" "src/kernel/CMakeFiles/lfp_kernel.dir/kernel.cpp.o" "gcc" "src/kernel/CMakeFiles/lfp_kernel.dir/kernel.cpp.o.d"
+  "/root/repo/src/kernel/neigh.cpp" "src/kernel/CMakeFiles/lfp_kernel.dir/neigh.cpp.o" "gcc" "src/kernel/CMakeFiles/lfp_kernel.dir/neigh.cpp.o.d"
+  "/root/repo/src/kernel/netdev.cpp" "src/kernel/CMakeFiles/lfp_kernel.dir/netdev.cpp.o" "gcc" "src/kernel/CMakeFiles/lfp_kernel.dir/netdev.cpp.o.d"
+  "/root/repo/src/kernel/netfilter.cpp" "src/kernel/CMakeFiles/lfp_kernel.dir/netfilter.cpp.o" "gcc" "src/kernel/CMakeFiles/lfp_kernel.dir/netfilter.cpp.o.d"
+  "/root/repo/src/kernel/slowpath.cpp" "src/kernel/CMakeFiles/lfp_kernel.dir/slowpath.cpp.o" "gcc" "src/kernel/CMakeFiles/lfp_kernel.dir/slowpath.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lfp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lfp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlink/CMakeFiles/lfp_netlink.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

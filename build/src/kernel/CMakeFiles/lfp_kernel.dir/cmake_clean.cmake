@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfp_kernel.dir/bridge.cpp.o"
+  "CMakeFiles/lfp_kernel.dir/bridge.cpp.o.d"
+  "CMakeFiles/lfp_kernel.dir/commands.cpp.o"
+  "CMakeFiles/lfp_kernel.dir/commands.cpp.o.d"
+  "CMakeFiles/lfp_kernel.dir/conntrack.cpp.o"
+  "CMakeFiles/lfp_kernel.dir/conntrack.cpp.o.d"
+  "CMakeFiles/lfp_kernel.dir/fib.cpp.o"
+  "CMakeFiles/lfp_kernel.dir/fib.cpp.o.d"
+  "CMakeFiles/lfp_kernel.dir/ipset.cpp.o"
+  "CMakeFiles/lfp_kernel.dir/ipset.cpp.o.d"
+  "CMakeFiles/lfp_kernel.dir/ipvs.cpp.o"
+  "CMakeFiles/lfp_kernel.dir/ipvs.cpp.o.d"
+  "CMakeFiles/lfp_kernel.dir/kernel.cpp.o"
+  "CMakeFiles/lfp_kernel.dir/kernel.cpp.o.d"
+  "CMakeFiles/lfp_kernel.dir/neigh.cpp.o"
+  "CMakeFiles/lfp_kernel.dir/neigh.cpp.o.d"
+  "CMakeFiles/lfp_kernel.dir/netdev.cpp.o"
+  "CMakeFiles/lfp_kernel.dir/netdev.cpp.o.d"
+  "CMakeFiles/lfp_kernel.dir/netfilter.cpp.o"
+  "CMakeFiles/lfp_kernel.dir/netfilter.cpp.o.d"
+  "CMakeFiles/lfp_kernel.dir/slowpath.cpp.o"
+  "CMakeFiles/lfp_kernel.dir/slowpath.cpp.o.d"
+  "liblfp_kernel.a"
+  "liblfp_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfp_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

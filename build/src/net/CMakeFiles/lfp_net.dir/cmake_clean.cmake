@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfp_net.dir/checksum.cpp.o"
+  "CMakeFiles/lfp_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/lfp_net.dir/headers.cpp.o"
+  "CMakeFiles/lfp_net.dir/headers.cpp.o.d"
+  "CMakeFiles/lfp_net.dir/ipaddr.cpp.o"
+  "CMakeFiles/lfp_net.dir/ipaddr.cpp.o.d"
+  "CMakeFiles/lfp_net.dir/mac.cpp.o"
+  "CMakeFiles/lfp_net.dir/mac.cpp.o.d"
+  "CMakeFiles/lfp_net.dir/packet.cpp.o"
+  "CMakeFiles/lfp_net.dir/packet.cpp.o.d"
+  "liblfp_net.a"
+  "liblfp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfp_netlink.dir/netlink.cpp.o"
+  "CMakeFiles/lfp_netlink.dir/netlink.cpp.o.d"
+  "liblfp_netlink.a"
+  "liblfp_netlink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfp_netlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

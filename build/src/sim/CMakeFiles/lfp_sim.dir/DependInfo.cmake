@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/runners.cpp" "src/sim/CMakeFiles/lfp_sim.dir/runners.cpp.o" "gcc" "src/sim/CMakeFiles/lfp_sim.dir/runners.cpp.o.d"
+  "/root/repo/src/sim/testbed.cpp" "src/sim/CMakeFiles/lfp_sim.dir/testbed.cpp.o" "gcc" "src/sim/CMakeFiles/lfp_sim.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lfp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/lfp_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/lfp_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlink/CMakeFiles/lfp_netlink.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lfp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lfp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

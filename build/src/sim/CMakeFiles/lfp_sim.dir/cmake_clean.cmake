@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfp_sim.dir/runners.cpp.o"
+  "CMakeFiles/lfp_sim.dir/runners.cpp.o.d"
+  "CMakeFiles/lfp_sim.dir/testbed.cpp.o"
+  "CMakeFiles/lfp_sim.dir/testbed.cpp.o.d"
+  "liblfp_sim.a"
+  "liblfp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

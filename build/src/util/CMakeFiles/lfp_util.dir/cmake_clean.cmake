@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfp_util.dir/json.cpp.o"
+  "CMakeFiles/lfp_util.dir/json.cpp.o.d"
+  "CMakeFiles/lfp_util.dir/logging.cpp.o"
+  "CMakeFiles/lfp_util.dir/logging.cpp.o.d"
+  "CMakeFiles/lfp_util.dir/stats.cpp.o"
+  "CMakeFiles/lfp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/lfp_util.dir/strings.cpp.o"
+  "CMakeFiles/lfp_util.dir/strings.cpp.o.d"
+  "liblfp_util.a"
+  "liblfp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

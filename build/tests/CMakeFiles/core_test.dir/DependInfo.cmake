@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/coherence_test.cpp" "tests/CMakeFiles/core_test.dir/core/coherence_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/coherence_test.cpp.o.d"
+  "/root/repo/tests/core/controller_test.cpp" "tests/CMakeFiles/core_test.dir/core/controller_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/controller_test.cpp.o.d"
+  "/root/repo/tests/core/deployer_test.cpp" "tests/CMakeFiles/core_test.dir/core/deployer_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/deployer_test.cpp.o.d"
+  "/root/repo/tests/core/equivalence_fuzz_test.cpp" "tests/CMakeFiles/core_test.dir/core/equivalence_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/equivalence_fuzz_test.cpp.o.d"
+  "/root/repo/tests/core/fpm_test.cpp" "tests/CMakeFiles/core_test.dir/core/fpm_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/fpm_test.cpp.o.d"
+  "/root/repo/tests/core/introspect_test.cpp" "tests/CMakeFiles/core_test.dir/core/introspect_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/introspect_test.cpp.o.d"
+  "/root/repo/tests/core/lb_fpm_test.cpp" "tests/CMakeFiles/core_test.dir/core/lb_fpm_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/lb_fpm_test.cpp.o.d"
+  "/root/repo/tests/core/synthesizer_test.cpp" "tests/CMakeFiles/core_test.dir/core/synthesizer_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/synthesizer_test.cpp.o.d"
+  "/root/repo/tests/core/topology_test.cpp" "tests/CMakeFiles/core_test.dir/core/topology_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lfp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/lfp_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/lfp_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlink/CMakeFiles/lfp_netlink.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lfp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lfp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

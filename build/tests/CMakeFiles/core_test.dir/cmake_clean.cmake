@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/coherence_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/coherence_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/controller_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/controller_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/deployer_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/deployer_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/equivalence_fuzz_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/equivalence_fuzz_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/fpm_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/fpm_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/introspect_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/introspect_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/lb_fpm_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/lb_fpm_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/synthesizer_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/synthesizer_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/topology_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/topology_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ebpf/afxdp_test.cpp" "tests/CMakeFiles/ebpf_test.dir/ebpf/afxdp_test.cpp.o" "gcc" "tests/CMakeFiles/ebpf_test.dir/ebpf/afxdp_test.cpp.o.d"
+  "/root/repo/tests/ebpf/builder_test.cpp" "tests/CMakeFiles/ebpf_test.dir/ebpf/builder_test.cpp.o" "gcc" "tests/CMakeFiles/ebpf_test.dir/ebpf/builder_test.cpp.o.d"
+  "/root/repo/tests/ebpf/fuzz_test.cpp" "tests/CMakeFiles/ebpf_test.dir/ebpf/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/ebpf_test.dir/ebpf/fuzz_test.cpp.o.d"
+  "/root/repo/tests/ebpf/helpers_test.cpp" "tests/CMakeFiles/ebpf_test.dir/ebpf/helpers_test.cpp.o" "gcc" "tests/CMakeFiles/ebpf_test.dir/ebpf/helpers_test.cpp.o.d"
+  "/root/repo/tests/ebpf/loader_test.cpp" "tests/CMakeFiles/ebpf_test.dir/ebpf/loader_test.cpp.o" "gcc" "tests/CMakeFiles/ebpf_test.dir/ebpf/loader_test.cpp.o.d"
+  "/root/repo/tests/ebpf/maps_test.cpp" "tests/CMakeFiles/ebpf_test.dir/ebpf/maps_test.cpp.o" "gcc" "tests/CMakeFiles/ebpf_test.dir/ebpf/maps_test.cpp.o.d"
+  "/root/repo/tests/ebpf/verifier_test.cpp" "tests/CMakeFiles/ebpf_test.dir/ebpf/verifier_test.cpp.o" "gcc" "tests/CMakeFiles/ebpf_test.dir/ebpf/verifier_test.cpp.o.d"
+  "/root/repo/tests/ebpf/vm_test.cpp" "tests/CMakeFiles/ebpf_test.dir/ebpf/vm_test.cpp.o" "gcc" "tests/CMakeFiles/ebpf_test.dir/ebpf/vm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lfp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/lfp_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/lfp_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlink/CMakeFiles/lfp_netlink.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lfp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lfp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

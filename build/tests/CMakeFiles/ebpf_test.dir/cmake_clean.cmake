@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebpf_test.dir/ebpf/afxdp_test.cpp.o"
+  "CMakeFiles/ebpf_test.dir/ebpf/afxdp_test.cpp.o.d"
+  "CMakeFiles/ebpf_test.dir/ebpf/builder_test.cpp.o"
+  "CMakeFiles/ebpf_test.dir/ebpf/builder_test.cpp.o.d"
+  "CMakeFiles/ebpf_test.dir/ebpf/fuzz_test.cpp.o"
+  "CMakeFiles/ebpf_test.dir/ebpf/fuzz_test.cpp.o.d"
+  "CMakeFiles/ebpf_test.dir/ebpf/helpers_test.cpp.o"
+  "CMakeFiles/ebpf_test.dir/ebpf/helpers_test.cpp.o.d"
+  "CMakeFiles/ebpf_test.dir/ebpf/loader_test.cpp.o"
+  "CMakeFiles/ebpf_test.dir/ebpf/loader_test.cpp.o.d"
+  "CMakeFiles/ebpf_test.dir/ebpf/maps_test.cpp.o"
+  "CMakeFiles/ebpf_test.dir/ebpf/maps_test.cpp.o.d"
+  "CMakeFiles/ebpf_test.dir/ebpf/verifier_test.cpp.o"
+  "CMakeFiles/ebpf_test.dir/ebpf/verifier_test.cpp.o.d"
+  "CMakeFiles/ebpf_test.dir/ebpf/vm_test.cpp.o"
+  "CMakeFiles/ebpf_test.dir/ebpf/vm_test.cpp.o.d"
+  "ebpf_test"
+  "ebpf_test.pdb"
+  "ebpf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebpf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k8s_test.dir/k8s/cluster_test.cpp.o"
+  "CMakeFiles/k8s_test.dir/k8s/cluster_test.cpp.o.d"
+  "k8s_test"
+  "k8s_test.pdb"
+  "k8s_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k8s_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kernel/bridge_test.cpp" "tests/CMakeFiles/kernel_test.dir/kernel/bridge_test.cpp.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/bridge_test.cpp.o.d"
+  "/root/repo/tests/kernel/commands_test.cpp" "tests/CMakeFiles/kernel_test.dir/kernel/commands_test.cpp.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/commands_test.cpp.o.d"
+  "/root/repo/tests/kernel/conntrack_test.cpp" "tests/CMakeFiles/kernel_test.dir/kernel/conntrack_test.cpp.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/conntrack_test.cpp.o.d"
+  "/root/repo/tests/kernel/ct_state_test.cpp" "tests/CMakeFiles/kernel_test.dir/kernel/ct_state_test.cpp.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/ct_state_test.cpp.o.d"
+  "/root/repo/tests/kernel/datapath_test.cpp" "tests/CMakeFiles/kernel_test.dir/kernel/datapath_test.cpp.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/datapath_test.cpp.o.d"
+  "/root/repo/tests/kernel/fib_test.cpp" "tests/CMakeFiles/kernel_test.dir/kernel/fib_test.cpp.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/fib_test.cpp.o.d"
+  "/root/repo/tests/kernel/ipvs_test.cpp" "tests/CMakeFiles/kernel_test.dir/kernel/ipvs_test.cpp.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/ipvs_test.cpp.o.d"
+  "/root/repo/tests/kernel/neigh_test.cpp" "tests/CMakeFiles/kernel_test.dir/kernel/neigh_test.cpp.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/neigh_test.cpp.o.d"
+  "/root/repo/tests/kernel/netfilter_test.cpp" "tests/CMakeFiles/kernel_test.dir/kernel/netfilter_test.cpp.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/netfilter_test.cpp.o.d"
+  "/root/repo/tests/kernel/netlink_test.cpp" "tests/CMakeFiles/kernel_test.dir/kernel/netlink_test.cpp.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/netlink_test.cpp.o.d"
+  "/root/repo/tests/kernel/stp_e2e_test.cpp" "tests/CMakeFiles/kernel_test.dir/kernel/stp_e2e_test.cpp.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/stp_e2e_test.cpp.o.d"
+  "/root/repo/tests/kernel/vxlan_test.cpp" "tests/CMakeFiles/kernel_test.dir/kernel/vxlan_test.cpp.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/vxlan_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lfp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebpf/CMakeFiles/lfp_ebpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/lfp_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlink/CMakeFiles/lfp_netlink.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lfp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lfp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_test.dir/kernel/bridge_test.cpp.o"
+  "CMakeFiles/kernel_test.dir/kernel/bridge_test.cpp.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/commands_test.cpp.o"
+  "CMakeFiles/kernel_test.dir/kernel/commands_test.cpp.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/conntrack_test.cpp.o"
+  "CMakeFiles/kernel_test.dir/kernel/conntrack_test.cpp.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/ct_state_test.cpp.o"
+  "CMakeFiles/kernel_test.dir/kernel/ct_state_test.cpp.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/datapath_test.cpp.o"
+  "CMakeFiles/kernel_test.dir/kernel/datapath_test.cpp.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/fib_test.cpp.o"
+  "CMakeFiles/kernel_test.dir/kernel/fib_test.cpp.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/ipvs_test.cpp.o"
+  "CMakeFiles/kernel_test.dir/kernel/ipvs_test.cpp.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/neigh_test.cpp.o"
+  "CMakeFiles/kernel_test.dir/kernel/neigh_test.cpp.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/netfilter_test.cpp.o"
+  "CMakeFiles/kernel_test.dir/kernel/netfilter_test.cpp.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/netlink_test.cpp.o"
+  "CMakeFiles/kernel_test.dir/kernel/netlink_test.cpp.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/stp_e2e_test.cpp.o"
+  "CMakeFiles/kernel_test.dir/kernel/stp_e2e_test.cpp.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/vxlan_test.cpp.o"
+  "CMakeFiles/kernel_test.dir/kernel/vxlan_test.cpp.o.d"
+  "kernel_test"
+  "kernel_test.pdb"
+  "kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

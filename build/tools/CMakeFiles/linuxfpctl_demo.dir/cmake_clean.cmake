@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linuxfpctl_demo.dir/linuxfpctl_demo.cpp.o"
+  "CMakeFiles/linuxfpctl_demo.dir/linuxfpctl_demo.cpp.o.d"
+  "linuxfpctl_demo"
+  "linuxfpctl_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linuxfpctl_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
