@@ -1,5 +1,7 @@
 #include "core/controller.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace linuxfp::core {
@@ -22,7 +24,8 @@ Controller::Controller(kern::Kernel& kernel, ControllerOptions options)
       topology_(topo_options(options_)),
       capability_(helpers_),
       synthesizer_(options_.chain),
-      deployer_(kernel_, helpers_) {
+      deployer_(kernel_, helpers_),
+      backoff_rng_(options_.backoff.jitter_seed) {
   if (options_.mainline_helpers_only) {
     ebpf::register_mainline_helpers(helpers_, kernel_.cost());
   } else {
@@ -38,14 +41,68 @@ Reaction Controller::start() {
 Reaction Controller::run_once() {
   bool force = force_resynth_;
   bool changed = introspection_.poll() || force;
-  if (!changed) return Reaction{};
+  bool retry_due = health_.next_retry_ns != 0 &&
+                   kernel_.now_ns() >= health_.next_retry_ns;
+  if (!changed && !retry_due) return Reaction{};
   force_resynth_ = false;
-  return rebuild_and_deploy(force);
+  return rebuild_and_deploy(force || retry_due);
 }
 
 void Controller::set_custom_snippet(Synthesizer::CustomSnippet snippet) {
   synthesizer_.set_custom_snippet(std::move(snippet));
   force_resynth_ = true;
+}
+
+HealthStatus Controller::health() const {
+  HealthStatus h = health_;
+  h.introspection_errors = introspection_.dump_failures();
+  return h;
+}
+
+std::uint64_t Controller::backoff_delay_ns() {
+  const BackoffPolicy& p = options_.backoff;
+  std::uint32_t exponent =
+      health_.consecutive_failures > 0 ? health_.consecutive_failures - 1 : 0;
+  exponent = std::min(exponent, 32u);
+  std::uint64_t delay = p.base_ns;
+  for (std::uint32_t i = 0; i < exponent && delay < p.max_ns; ++i) delay <<= 1;
+  delay = std::min(delay, p.max_ns);
+  // Seeded +/-jitter keeps retries deterministic per controller but
+  // de-phased across a fleet.
+  double factor = 1.0 + p.jitter * (2.0 * backoff_rng_.next_double() - 1.0);
+  if (factor < 0.0) factor = 0.0;
+  return static_cast<std::uint64_t>(static_cast<double>(delay) * factor);
+}
+
+void Controller::record_deploy_failure(const DeployReport& report) {
+  ++health_.deploy_failures;
+  ++health_.consecutive_failures;
+  health_.device_rollbacks += report.rollbacks;
+  for (const DeviceFailure& f : report.failures) {
+    ++health_.failures_by_code[f.error.code];
+    health_.last_error = f.error.code + ": " + f.error.message;
+  }
+  health_.degraded = true;
+  // The failed devices run the bare slow path and the installed signature no
+  // longer reflects reality; clear it so the retry resynthesizes.
+  last_signature_.clear();
+  health_.next_retry_ns = kernel_.now_ns() + backoff_delay_ns();
+  ++health_.retries_scheduled;
+  LFP_WARN("controller") << report.failures.size()
+                         << " device(s) degraded to slow path; retry at t+"
+                         << (health_.next_retry_ns - kernel_.now_ns()) / 1000000
+                         << "ms";
+}
+
+void Controller::record_deploy_success() {
+  if (health_.degraded) {
+    health_.degraded = false;
+    ++health_.recoveries;
+    LFP_INFO("controller") << "deploy recovered after "
+                           << health_.consecutive_failures << " failure(s)";
+  }
+  health_.consecutive_failures = 0;
+  health_.next_retry_ns = 0;
 }
 
 Reaction Controller::rebuild_and_deploy(bool force) {
@@ -70,6 +127,8 @@ Reaction Controller::rebuild_and_deploy(bool force) {
     reaction.modeled_seconds = reaction.wall_seconds + 0.48;
     return reaction;
   }
+  bool old_is_current = !deployed_signature_.empty() &&
+                        signature == deployed_signature_;
   last_signature_ = signature;
   ++resynth_count_;
 
@@ -92,20 +151,25 @@ Reaction Controller::rebuild_and_deploy(bool force) {
     results.push_back(std::move(result).take());
   }
 
-  auto report = deployer_.deploy(results);
-  if (!report.ok()) {
-    LFP_ERROR("controller") << "deploy failed: " << report.error().message;
-    return reaction;
-  }
+  ++health_.deploy_attempts;
+  DeployReport report = deployer_.deploy(results, old_is_current);
   reaction.graphs = graphs_.size();
-  reaction.programs = report->programs;
-  reaction.insns = report->total_insns;
+  reaction.programs = report.programs;
+  reaction.insns = report.total_insns;
+  if (!report.all_ok()) {
+    reaction.deploy_failed = true;
+    reaction.failed_devices = report.failures.size();
+    record_deploy_failure(report);
+  } else {
+    deployed_signature_ = signature;
+    record_deploy_success();
+  }
 
   auto t1 = std::chrono::steady_clock::now();
   reaction.wall_seconds =
       std::chrono::duration<double>(t1 - t0).count();
   reaction.modeled_seconds =
-      reaction.wall_seconds + report->modeled_compile_seconds;
+      reaction.wall_seconds + report.modeled_compile_seconds;
   return reaction;
 }
 

@@ -4,6 +4,11 @@
 //
 // In a real deployment run() loops forever; in the simulation the event loop
 // calls run_once() whenever simulated time advances or a tool command ran.
+//
+// Deploy failures (injected or real) never interrupt traffic: the deployer
+// rolls the failed device back and degrades it to the bare slow path, the
+// controller flips its HealthStatus to degraded and retries with bounded,
+// jittered exponential backoff until a deploy succeeds again.
 #pragma once
 
 #include <chrono>
@@ -14,12 +19,24 @@
 #include "core/capability.h"
 #include "core/deployer.h"
 #include "core/introspect.h"
+#include "core/status.h"
 #include "core/synthesizer.h"
 #include "core/topology.h"
 #include "ebpf/kernel_helpers.h"
 #include "kernel/kernel.h"
+#include "util/rng.h"
 
 namespace linuxfp::core {
+
+// Retry policy after a failed deploy reaction: exponential backoff from
+// base_ns doubling per consecutive failure up to max_ns, with +/-jitter
+// (seeded, deterministic) so a fleet of controllers never retries in phase.
+struct BackoffPolicy {
+  std::uint64_t base_ns = 10'000'000;    // 10 ms
+  std::uint64_t max_ns = 2'000'000'000;  // 2 s cap
+  double jitter = 0.2;                   // fraction of the delay, +/-
+  std::uint64_t jitter_seed = 0x5eedfa11u;
+};
 
 struct ControllerOptions {
   std::string hook = "xdp";  // "xdp" (driver mode) or "tc"
@@ -30,6 +47,7 @@ struct ControllerOptions {
   // Restrict to mainline helpers (no bpf_fdb_lookup/bpf_ipt_lookup): the
   // Capability Manager will prune bridge/filter FPMs.
   bool mainline_helpers_only = false;
+  BackoffPolicy backoff;
 };
 
 // One controller reaction (paper Table VI): from seeing a configuration
@@ -40,6 +58,10 @@ struct Reaction {
   std::size_t programs = 0;
   std::size_t insns = 0;
   std::vector<std::string> dropped_fpms;
+  // Deploy outcome: devices that failed were degraded to the slow path and
+  // a retry is scheduled (see Controller::health()).
+  bool deploy_failed = false;
+  std::size_t failed_devices = 0;
   double wall_seconds = 0;     // measured in this reproduction
   double modeled_seconds = 0;  // + modeled clang/libbpf stages (Table VI)
 };
@@ -51,7 +73,9 @@ class Controller {
   // Initial sync + first synthesis/deployment.
   Reaction start();
 
-  // Polls netlink; on relevant change re-synthesizes and redeploys.
+  // Polls netlink; on relevant change — or when a failed deploy's backoff
+  // deadline (simulated kernel time) has passed — re-synthesizes and
+  // redeploys.
   Reaction run_once();
 
   const WorldView& view() const { return introspection_.view(); }
@@ -61,12 +85,19 @@ class Controller {
   const ebpf::HelperRegistry& helpers() const { return helpers_; }
   std::uint64_t resynth_count() const { return resynth_count_; }
 
+  // Health record: degraded-mode state and failure counters (including the
+  // per-injection-point table when fault injection is armed).
+  HealthStatus health() const;
+
   // Injects a custom verified snippet ahead of every synthesized fast path
   // (monitoring extension); triggers a redeploy on the next run_once.
   void set_custom_snippet(Synthesizer::CustomSnippet snippet);
 
  private:
   Reaction rebuild_and_deploy(bool force = false);
+  void record_deploy_failure(const DeployReport& report);
+  void record_deploy_success();
+  std::uint64_t backoff_delay_ns();
 
   kern::Kernel& kernel_;
   ControllerOptions options_;
@@ -78,8 +109,14 @@ class Controller {
   Deployer deployer_;
   util::Json graphs_;
   std::string last_signature_;
+  // Signature of the fast path that actually serves traffic (last successful
+  // deploy); tells the deployer whether the old program is still current when
+  // a redeploy fails.
+  std::string deployed_signature_;
   std::uint64_t resynth_count_ = 0;
   bool force_resynth_ = false;
+  HealthStatus health_;
+  util::Rng backoff_rng_;
 };
 
 }  // namespace linuxfp::core

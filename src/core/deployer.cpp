@@ -3,6 +3,7 @@
 #include <set>
 
 #include "ebpf/builder.h"
+#include "util/fault.h"
 #include "util/logging.h"
 
 namespace linuxfp::core {
@@ -21,83 +22,152 @@ double modeled_compile_seconds(std::size_t programs, std::size_t insns,
 }
 }  // namespace
 
-Deployer::Slot& Deployer::slot_for(const std::string& device,
-                                   ebpf::HookType hook) {
+util::Result<Deployer::Slot*> Deployer::slot_for(const std::string& device,
+                                                 ebpf::HookType hook) {
   auto key = std::make_pair(device, static_cast<int>(hook));
   auto it = attachments_.find(key);
-  if (it != attachments_.end()) return it->second;
+  if (it != attachments_.end()) return &it->second;
+  // Creating the slot is the fallible part of attach: the dispatcher swap-in
+  // (XDP_FLAGS_REPLACE-style) can be rejected by the driver.
+  if (auto st = util::FaultInjector::global().check(util::kFaultDeployerAttach);
+      !st.ok()) {
+    return st.error();
+  }
   Slot slot;
   slot.attachment = std::make_unique<ebpf::Attachment>(
       "lfp@" + device, hook, kernel_, helpers_);
   slot.attachment->enable_dispatcher();
   auto st = ebpf::attach_to_device(kernel_, device, hook,
                                    slot.attachment.get());
-  LFP_CHECK_MSG(st.ok(), "attach failed");
-  return attachments_.emplace(key, std::move(slot)).first->second;
+  // On attach failure nothing was installed on the device; dropping the
+  // local Slot releases everything the attempt created.
+  if (!st.ok()) return st.error();
+  return &attachments_.emplace(key, std::move(slot)).first->second;
+}
+
+void Deployer::degrade_to_pass(Slot& slot) {
+  // Terminal fallback: park the dispatcher on a PASS program so every packet
+  // takes the slow path. Must be infallible — it is what every other failure
+  // degrades onto — hence the fault suppression (a prog-array update of a
+  // loaded program cannot transiently fail in the kernel either).
+  util::FaultSuppress suppress;
+  if (!slot.has_pass_prog) {
+    ebpf::ProgramBuilder b("lfp_pass", slot.attachment->hook());
+    b.ret(ebpf::kActPass);
+    auto prog = b.build();
+    LFP_CHECK(prog.ok());
+    auto id = slot.attachment->load(std::move(prog).take());
+    LFP_CHECK(id.ok());
+    slot.pass_prog = id.value();
+    slot.has_pass_prog = true;
+  }
+  if (slot.attachment->active_prog_id() != slot.pass_prog) {
+    auto st = slot.attachment->swap(slot.pass_prog);
+    LFP_CHECK_MSG(st.ok(), "degrade-to-pass swap failed");
+  }
 }
 
 util::Status Deployer::deploy_one(const SynthesisResult& result,
                                   DeployReport& report) {
-  Slot& slot = slot_for(result.device, result.hook);
+  auto slot_r = slot_for(result.device, result.hook);
+  if (!slot_r.ok()) return slot_r.error();
+  Slot& slot = **slot_r;
   ebpf::Attachment& att = *slot.attachment;
 
+  // Transaction step 1: load every program of the object; all-or-nothing
+  // (load_object frees everything it created on failure).
+  auto obj = att.load_object({}, result.programs);
+  if (!obj.ok()) {
+    ++report.rollbacks;
+    ++rollbacks_;
+    return obj.error();
+  }
+  const std::vector<std::uint32_t>& ids = obj->prog_ids;
+
+  // Transaction step 2: wire chain programs (index base+i for i >= 1).
   // Tail-call chains occupy fresh prog-array indices each deploy so the old
   // chain keeps working until the entry swap. The synthesizer already
   // encoded tail-call targets relative to result.tail_call_base.
   std::uint32_t base = result.tail_call_base;
-  std::vector<std::uint32_t> ids;
-  for (const ebpf::Program& prog : result.programs) {
-    auto id = att.load(prog);
-    if (!id.ok()) return id.error();
-    ids.push_back(id.value());
-    report.total_insns += prog.size();
-    ++report.programs;
-  }
-  // Wire chain programs (index base+i for i >= 1).
   ebpf::Map* prog_array = att.maps().get(0);
+  auto rollback = [&](std::size_t wired) {
+    // Un-wire what we wired (fresh indices, so erasing restores the exact
+    // pre-transaction map state), then unload the object. Fault-suppressed:
+    // rollback only removes state and cannot fail.
+    util::FaultSuppress suppress;
+    for (std::size_t i = 1; i <= wired; ++i) {
+      std::uint32_t index = base + static_cast<std::uint32_t>(i);
+      prog_array->erase(reinterpret_cast<const std::uint8_t*>(&index));
+    }
+    att.unload_object(*obj);
+    ++report.rollbacks;
+    ++rollbacks_;
+  };
   for (std::size_t i = 1; i < ids.size(); ++i) {
     auto st = prog_array->set_prog(base + static_cast<std::uint32_t>(i),
                                    ids[i]);
-    if (!st.ok()) return st;
+    if (!st.ok()) {
+      rollback(i - 1);
+      return st;
+    }
   }
+
+  // Transaction step 3: atomic activation. Until this single prog-array
+  // update commits, packets still run the previous program.
+  auto st = att.swap(ids[0]);
+  if (!st.ok()) {
+    rollback(ids.empty() ? 0 : ids.size() - 1);
+    return st;
+  }
+
   slot.next_chain_index = std::max(
       slot.next_chain_index,
       base + static_cast<std::uint32_t>(ids.size() ? ids.size() : 1));
-  // Atomic activation.
-  return att.swap(ids[0]);
+  slot.has_deployed = true;
+  for (const ebpf::Program& prog : result.programs) {
+    report.total_insns += prog.size();
+    ++report.programs;
+  }
+  return {};
 }
 
-util::Result<DeployReport> Deployer::deploy(
-    const std::vector<SynthesisResult>& results) {
+DeployReport Deployer::deploy(const std::vector<SynthesisResult>& results,
+                              bool old_is_current) {
   DeployReport report;
   bool has_filter = false;
-  std::set<std::pair<std::string, int>> deployed;
+  // Devices covered by a synthesis result — including ones whose deploy
+  // failed — must not be withdrawn below; withdrawal is only for devices no
+  // graph wants anymore.
+  std::set<std::pair<std::string, int>> covered;
   for (const SynthesisResult& r : results) {
+    covered.insert({r.device, static_cast<int>(r.hook)});
     auto st = deploy_one(r, report);
-    if (!st.ok()) return st.error();
+    if (!st.ok()) {
+      report.failures.push_back(DeviceFailure{r.device, st.error()});
+      auto it = attachments_.find({r.device, static_cast<int>(r.hook)});
+      bool keep_old =
+          old_is_current && it != attachments_.end() && it->second.has_deployed;
+      LFP_WARN("deployer") << "deploy failed for " << r.device << ": "
+                           << st.error().message
+                           << (keep_old ? " — keeping current program"
+                                        : " — degrading to slow path");
+      // When the structural signature changed, the previous program is stale
+      // (deploys only run on signature changes), so coherence demands the
+      // bare slow path until a retry succeeds. On a forced redeploy with an
+      // unchanged signature the old program still matches the configuration
+      // and keeps serving the fast path.
+      if (!keep_old && it != attachments_.end()) degrade_to_pass(it->second);
+      continue;
+    }
     ++report.devices;
-    deployed.insert({r.device, static_cast<int>(r.hook)});
     for (const std::string& fpm : r.fpms) {
       if (fpm == "filter") has_filter = true;
     }
   }
   // Withdraw acceleration from devices no longer covered by any graph.
   for (auto& [key, slot] : attachments_) {
-    if (deployed.count(key)) continue;
-    if (!slot.has_pass_prog) {
-      ebpf::ProgramBuilder b("lfp_pass", slot.attachment->hook());
-      b.ret(ebpf::kActPass);
-      auto prog = b.build();
-      LFP_CHECK(prog.ok());
-      auto id = slot.attachment->load(std::move(prog).take());
-      LFP_CHECK(id.ok());
-      slot.pass_prog = id.value();
-      slot.has_pass_prog = true;
-    }
-    if (slot.attachment->active_prog_id() != slot.pass_prog) {
-      auto st = slot.attachment->swap(slot.pass_prog);
-      if (!st.ok()) return st.error();
-    }
+    if (covered.count(key)) continue;
+    degrade_to_pass(slot);
   }
   ++deploys_;
   report.modeled_compile_seconds =

@@ -6,6 +6,12 @@
 // atomically retargets prog_array[0] (paper §IV-A2, Fig 4). The old programs
 // remain loaded (like kernel programs pinned by references) until the
 // attachment is torn down.
+//
+// Every per-device deploy is a transaction: if any step fails (program load,
+// verifier rejection, map create/update, attach), everything that step
+// created is rolled back and the device is atomically degraded to the bare
+// slow path (dispatcher PASS fallback) — the datapath never observes a torn
+// or structurally stale program. The controller then retries with backoff.
 #pragma once
 
 #include <map>
@@ -18,15 +24,24 @@
 
 namespace linuxfp::core {
 
+struct DeviceFailure {
+  std::string device;
+  util::Error error;
+};
+
 struct DeployReport {
-  std::size_t devices = 0;
+  std::size_t devices = 0;      // devices deployed successfully
   std::size_t programs = 0;
   std::size_t total_insns = 0;
+  std::size_t rollbacks = 0;    // device transactions rolled back
+  std::vector<DeviceFailure> failures;
   // Wall-clock estimate of what the real controller spends forking clang,
   // linking and libbpf-loading (this reproduction verifies+loads in-process
   // in microseconds; the model keeps Table VI comparable — see
   // EXPERIMENTS.md).
   double modeled_compile_seconds = 0;
+
+  bool all_ok() const { return failures.empty(); }
 };
 
 class Deployer {
@@ -37,8 +52,16 @@ class Deployer {
   // Deploys every synthesis result; devices with an existing attachment are
   // atomically swapped, new devices get a fresh attachment. Devices that had
   // a fast path but are absent from `results` are swapped to a PASS program
-  // (acceleration withdrawn, Linux handles everything).
-  util::Result<DeployReport> deploy(const std::vector<SynthesisResult>& results);
+  // (acceleration withdrawn, Linux handles everything). A device whose
+  // deploy fails is rolled back, recorded in report.failures, and does not
+  // abort the rest of the batch. The failure fallback depends on
+  // `old_is_current`: when true (forced redeploy with unchanged structural
+  // signature, e.g. snippet injection) the previously active program still
+  // matches the live configuration and keeps serving; when false (structure
+  // changed) the old program is stale, so the device degrades to the bare
+  // slow path (PASS) to preserve fast/slow coherence.
+  DeployReport deploy(const std::vector<SynthesisResult>& results,
+                      bool old_is_current = false);
 
   ebpf::Attachment* attachment(const std::string& device,
                                ebpf::HookType hook);
@@ -48,6 +71,7 @@ class Deployer {
                                  ebpf::HookType hook) const;
   std::size_t attachment_count() const { return attachments_.size(); }
   std::uint64_t deploys() const { return deploys_; }
+  std::uint64_t rollbacks() const { return rollbacks_; }
 
  private:
   struct Slot {
@@ -55,14 +79,19 @@ class Deployer {
     std::uint32_t next_chain_index = 1;
     std::uint32_t pass_prog = 0;
     bool has_pass_prog = false;
+    bool has_deployed = false;  // at least one successful deploy_one
   };
   util::Status deploy_one(const SynthesisResult& result, DeployReport& report);
-  Slot& slot_for(const std::string& device, ebpf::HookType hook);
+  util::Result<Slot*> slot_for(const std::string& device, ebpf::HookType hook);
+  // Atomically swaps the device to its PASS fallback (bare slow path).
+  // Fault-suppressed: degradation is the terminal fallback and must not fail.
+  void degrade_to_pass(Slot& slot);
 
   kern::Kernel& kernel_;
   const ebpf::HelperRegistry& helpers_;
   std::map<std::pair<std::string, int>, Slot> attachments_;
   std::uint64_t deploys_ = 0;
+  std::uint64_t rollbacks_ = 0;
 };
 
 }  // namespace linuxfp::core

@@ -1,5 +1,6 @@
 #include "core/introspect.h"
 
+#include "util/fault.h"
 #include "util/logging.h"
 
 namespace linuxfp::core {
@@ -46,19 +47,31 @@ ServiceIntrospection::ServiceIntrospection(nl::Bus& bus) : bus_(bus) {
   socket_->join(nl::Group::kIpvs);
 }
 
+bool ServiceIntrospection::dump_ok() {
+  if (util::FaultInjector::global().should_fail(util::kFaultNetlinkDump)) {
+    ++dump_failures_;
+    return false;
+  }
+  return true;
+}
+
 void ServiceIntrospection::initial_sync() {
   view_ = WorldView{};
-  for (const nl::Message& m : bus_.dump(nl::DumpKind::kLinks)) {
-    apply_link(m.attrs, false);
+  if (dump_ok()) {
+    for (const nl::Message& m : bus_.dump(nl::DumpKind::kLinks)) {
+      apply_link(m.attrs, false);
+    }
   }
   refresh_routes();
   refresh_rules();
   refresh_sets();
   refresh_neighbors();
   refresh_services();
-  for (const nl::Message& m : bus_.dump(nl::DumpKind::kSysctls)) {
-    view_.sysctls[m.attrs.at("key").as_string()] =
-        static_cast<int>(m.attrs.at("value").as_int());
+  if (dump_ok()) {
+    for (const nl::Message& m : bus_.dump(nl::DumpKind::kSysctls)) {
+      view_.sysctls[m.attrs.at("key").as_string()] =
+          static_cast<int>(m.attrs.at("value").as_int());
+    }
   }
 }
 
@@ -80,7 +93,7 @@ bool ServiceIntrospection::apply(const nl::Message& msg) {
       // full events carry an ifindex.
       if (msg.attrs.contains("ifindex")) {
         apply_link(msg.attrs, msg.type == nl::MsgType::kDelLink);
-      } else {
+      } else if (dump_ok()) {
         view_.links.clear();
         for (const nl::Message& m : bus_.dump(nl::DumpKind::kLinks)) {
           apply_link(m.attrs, false);
@@ -90,9 +103,11 @@ bool ServiceIntrospection::apply(const nl::Message& msg) {
     case nl::MsgType::kNewAddr:
     case nl::MsgType::kDelAddr: {
       // Addresses live inside link objects: refresh the owning link.
-      view_.links.clear();
-      for (const nl::Message& m : bus_.dump(nl::DumpKind::kLinks)) {
-        apply_link(m.attrs, false);
+      if (dump_ok()) {
+        view_.links.clear();
+        for (const nl::Message& m : bus_.dump(nl::DumpKind::kLinks)) {
+          apply_link(m.attrs, false);
+        }
       }
       return true;
     }
@@ -138,6 +153,7 @@ void ServiceIntrospection::apply_link(const util::Json& attrs, bool deleted) {
 }
 
 void ServiceIntrospection::refresh_routes() {
+  if (!dump_ok()) return;
   view_.routes.clear();
   for (const nl::Message& m : bus_.dump(nl::DumpKind::kRoutes)) {
     RouteObject r;
@@ -152,6 +168,7 @@ void ServiceIntrospection::refresh_routes() {
 }
 
 void ServiceIntrospection::refresh_rules() {
+  if (!dump_ok()) return;
   view_.chains.clear();
   for (const nl::Message& m : bus_.dump(nl::DumpKind::kRules)) {
     ChainObject c;
@@ -166,6 +183,7 @@ void ServiceIntrospection::refresh_rules() {
 }
 
 void ServiceIntrospection::refresh_sets() {
+  if (!dump_ok()) return;
   view_.sets.clear();
   for (const nl::Message& m : bus_.dump(nl::DumpKind::kSets)) {
     SetObject s;
@@ -177,6 +195,7 @@ void ServiceIntrospection::refresh_sets() {
 }
 
 void ServiceIntrospection::refresh_neighbors() {
+  if (!dump_ok()) return;
   view_.neighbors.clear();
   for (const nl::Message& m : bus_.dump(nl::DumpKind::kNeighbors)) {
     NeighObject n;
@@ -190,6 +209,7 @@ void ServiceIntrospection::refresh_neighbors() {
 }
 
 void ServiceIntrospection::refresh_services() {
+  if (!dump_ok()) return;
   view_.services.clear();
   for (const nl::Message& m : bus_.dump(nl::DumpKind::kServices)) {
     ServiceObject svc;

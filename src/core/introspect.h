@@ -23,9 +23,16 @@ class ServiceIntrospection {
   const WorldView& view() const { return view_; }
 
   std::uint64_t events_processed() const { return events_; }
+  // Netlink dump reads that failed (fault-injected); the affected table kept
+  // its stale-but-coherent contents and will be refreshed by the next event
+  // or retry.
+  std::uint64_t dump_failures() const { return dump_failures_; }
 
  private:
   bool apply(const nl::Message& msg);
+  // False when a fault-injected dump failure fired; callers keep the stale
+  // table instead of clearing it (a torn half-refresh would be worse).
+  bool dump_ok();
   void apply_link(const util::Json& attrs, bool deleted);
   // Rules/sets/routes are cheap to re-dump; on any change event we refresh
   // the affected table from a dump (what the real controller does with
@@ -40,6 +47,7 @@ class ServiceIntrospection {
   nl::Socket* socket_;
   WorldView view_;
   std::uint64_t events_ = 0;
+  std::uint64_t dump_failures_ = 0;
 };
 
 }  // namespace linuxfp::core

@@ -2,7 +2,9 @@
 
 #include <sstream>
 
+#include "core/controller.h"
 #include "ebpf/loader.h"
+#include "util/fault.h"
 
 namespace linuxfp::core {
 
@@ -12,6 +14,28 @@ ebpf::HookType hook_of(const util::Json& graph) {
                                               : ebpf::HookType::kXdp;
 }
 }  // namespace
+
+util::Json health_json(const HealthStatus& health) {
+  util::Json h = util::Json::object();
+  h["degraded"] = health.degraded;
+  h["consecutive_failures"] =
+      static_cast<std::int64_t>(health.consecutive_failures);
+  h["deploy_attempts"] = static_cast<std::int64_t>(health.deploy_attempts);
+  h["deploy_failures"] = static_cast<std::int64_t>(health.deploy_failures);
+  h["device_rollbacks"] = static_cast<std::int64_t>(health.device_rollbacks);
+  h["retries_scheduled"] = static_cast<std::int64_t>(health.retries_scheduled);
+  h["recoveries"] = static_cast<std::int64_t>(health.recoveries);
+  h["introspection_errors"] =
+      static_cast<std::int64_t>(health.introspection_errors);
+  h["next_retry_ns"] = static_cast<std::int64_t>(health.next_retry_ns);
+  h["last_error"] = health.last_error;
+  util::Json by_code = util::Json::object();
+  for (const auto& [code, count] : health.failures_by_code) {
+    by_code[code] = static_cast<std::int64_t>(count);
+  }
+  h["failures_by_code"] = by_code;
+  return h;
+}
 
 util::Json status_json(Controller& controller) {
   util::Json out = util::Json::object();
@@ -61,6 +85,20 @@ util::Json status_json(Controller& controller) {
     attachments.push_back(a);
   }
   out["attachments"] = attachments;
+
+  out["health"] = health_json(controller.health());
+  util::FaultInjector& fi = util::FaultInjector::global();
+  if (fi.armed()) {
+    util::Json faults = util::Json::array();
+    for (const util::FaultInjector::PointStats& p : fi.stats()) {
+      util::Json f = util::Json::object();
+      f["point"] = p.point;
+      f["hits"] = static_cast<std::int64_t>(p.hits);
+      f["fires"] = static_cast<std::int64_t>(p.fires);
+      faults.push_back(f);
+    }
+    out["fault_injection"] = faults;
+  }
   return out;
 }
 
@@ -106,6 +144,18 @@ std::string format_status(Controller& controller) {
         << s.at("pass").as_int() << " user=" << s.at("to_userspace").as_int()
         << " aborted=" << s.at("aborted").as_int() << "\n";
   }
+
+  const util::Json& h = j.at("health");
+  out << "\nhealth: "
+      << (h.at("degraded").as_bool() ? "DEGRADED (slow path)" : "ok")
+      << "  deploys=" << h.at("deploy_attempts").as_int()
+      << " failures=" << h.at("deploy_failures").as_int()
+      << " rollbacks=" << h.at("device_rollbacks").as_int()
+      << " recoveries=" << h.at("recoveries").as_int();
+  if (h.at("degraded").as_bool()) {
+    out << "  last_error='" << h.at("last_error").as_string() << "'";
+  }
+  out << "\n";
   return out.str();
 }
 

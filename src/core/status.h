@@ -1,13 +1,42 @@
 // Operator-facing status report (what a `linuxfpctl show` CLI prints):
-// the introspected world view, the current processing graphs, and per-
-// attachment fast-path statistics. Pure formatting over controller state.
+// the introspected world view, the current processing graphs, per-attachment
+// fast-path statistics, and the controller health record. Pure formatting
+// over controller state.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <string>
 
-#include "core/controller.h"
+#include "util/json.h"
 
 namespace linuxfp::core {
+
+class Controller;
+
+// Controller health record: degraded-mode state plus failure accounting for
+// the deploy pipeline. A deploy failure never leaves the datapath without a
+// working program — the affected device falls back to the bare slow path —
+// but it does flip `degraded` until a retry succeeds, so operators (and
+// tests) can observe that acceleration is withdrawn.
+struct HealthStatus {
+  bool degraded = false;
+  // Consecutive failed deploy reactions; drives exponential backoff.
+  std::uint32_t consecutive_failures = 0;
+  std::uint64_t deploy_attempts = 0;   // reactions that reached the deployer
+  std::uint64_t deploy_failures = 0;   // reactions with >= 1 failed device
+  std::uint64_t device_rollbacks = 0;  // per-device transactions rolled back
+  std::uint64_t retries_scheduled = 0;
+  std::uint64_t recoveries = 0;        // degraded -> healthy transitions
+  std::uint64_t introspection_errors = 0;  // failed netlink dump reads
+  std::uint64_t next_retry_ns = 0;     // 0 = no retry pending
+  std::string last_error;              // "code: message" of the newest failure
+  // Failure counts keyed by error code; injected faults use "fault.<point>",
+  // so this doubles as the per-injection-point failure counter table.
+  std::map<std::string, std::uint64_t> failures_by_code;
+};
+
+util::Json health_json(const HealthStatus& health);
 
 // Multi-line human-readable report.
 std::string format_status(Controller& controller);

@@ -1,6 +1,7 @@
 #include "ebpf/loader.h"
 
 #include "ebpf/builder.h"
+#include "util/fault.h"
 #include "util/logging.h"
 
 namespace linuxfp::ebpf {
@@ -12,6 +13,12 @@ Attachment::Attachment(std::string name, HookType hook, kern::Kernel& kernel,
 }
 
 util::Result<std::uint32_t> Attachment::load(Program prog) {
+  // Injected load failure: models bpf(BPF_PROG_LOAD) returning an error
+  // (memlock limits, JIT allocation failure) before verification even runs.
+  if (auto st = util::FaultInjector::global().check(util::kFaultLoaderLoad);
+      !st.ok()) {
+    return st.error();
+  }
   VerifyOptions opts;
   opts.helpers = &helpers_;
   opts.maps = &maps_;
@@ -21,8 +28,56 @@ util::Result<std::uint32_t> Attachment::load(Program prog) {
   return static_cast<std::uint32_t>(programs_.size() - 1);
 }
 
+util::Result<LoadedObject> Attachment::load_object(
+    const std::vector<MapSpec>& maps, std::vector<Program> progs) {
+  LoadedObject obj;
+  auto cleanup = [&] {
+    util::FaultSuppress suppress;
+    for (std::uint32_t id : obj.map_ids) maps_.destroy(id);
+    // Programs appended by this call form the table tail; ids were never
+    // handed out, so truncation is safe.
+    programs_.resize(programs_.size() - obj.prog_ids.size());
+  };
+  for (const MapSpec& spec : maps) {
+    if (auto st = util::FaultInjector::global().check(util::kFaultMapCreate);
+        !st.ok()) {
+      cleanup();
+      return st.error();
+    }
+    obj.map_ids.push_back(maps_.create(spec.name, spec.type, spec.key_size,
+                                       spec.value_size, spec.max_entries));
+  }
+  for (Program& prog : progs) {
+    auto id = load(std::move(prog));
+    if (!id.ok()) {
+      cleanup();
+      return id.error();
+    }
+    obj.prog_ids.push_back(id.value());
+  }
+  return obj;
+}
+
+void Attachment::unload_object(const LoadedObject& obj) {
+  util::FaultSuppress suppress;
+  for (std::uint32_t id : obj.map_ids) maps_.destroy(id);
+  if (!obj.prog_ids.empty()) {
+    LFP_CHECK_MSG(obj.prog_ids.back() + 1 == programs_.size(),
+                  "unload_object: object is not the program-table tail");
+    programs_.resize(programs_.size() - obj.prog_ids.size());
+    LFP_CHECK_MSG(!has_entry_ || (entry_prog_ < programs_.size() &&
+                                  active_prog_ < programs_.size()),
+                  "unload_object: active program was in the object");
+  }
+}
+
 void Attachment::enable_dispatcher() {
   if (dispatcher_enabled_) return;
+  // The dispatcher is the degradation anchor: its tail-call-or-PASS stub is
+  // what guarantees a missing fast path falls back to Linux. Creating it is
+  // modeled as infallible (fault-suppressed) — everything that CAN fail
+  // happens behind it and degrades onto it.
+  util::FaultSuppress suppress;
   prog_array_id_ = maps_.create("fp_dispatch", MapType::kProgArray, 4, 4, 256);
 
   ProgramBuilder b("dispatcher", hook_);
@@ -130,6 +185,12 @@ Attachment::RunResult Attachment::run(net::Packet& pkt, int ingress_ifindex) {
 
 util::Status attach_to_device(kern::Kernel& kernel, const std::string& dev,
                               HookType hook, Attachment* attachment) {
+  // Injected attach failure: models the netlink XDP/TC attach request being
+  // rejected (driver without XDP support, qdisc race).
+  if (auto st = util::FaultInjector::global().check(util::kFaultLoaderAttach);
+      !st.ok()) {
+    return st;
+  }
   kern::NetDevice* d = kernel.dev_by_name(dev);
   if (!d) return util::Error::make("dev.missing", "no such device: " + dev);
   switch (hook) {

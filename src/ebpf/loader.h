@@ -35,6 +35,22 @@ struct AttachmentStats {
   std::uint64_t total_insns = 0;
 };
 
+// Map requested by an object about to be loaded (the BTF map section
+// analogue): load_object creates these before verifying the programs.
+struct MapSpec {
+  std::string name;
+  MapType type = MapType::kArray;
+  std::uint32_t key_size = 4;
+  std::uint32_t value_size = 4;
+  std::uint32_t max_entries = 1;
+};
+
+// Everything one load_object call produced, for wiring and for unloading.
+struct LoadedObject {
+  std::vector<std::uint32_t> map_ids;
+  std::vector<std::uint32_t> prog_ids;
+};
+
 class Attachment : public kern::PacketProgram {
  public:
   // `helpers` defines the capability set available at this hook; the
@@ -45,6 +61,18 @@ class Attachment : public kern::PacketProgram {
   // --- program management ------------------------------------------------------
   // Verifies and loads; returns the program id.
   util::Result<std::uint32_t> load(Program prog);
+
+  // Transactional object load (the libbpf bpf_object__load analogue): creates
+  // the requested maps, then verifies and loads every program. On ANY
+  // failure, everything this call created is freed — maps are destroyed and
+  // the program table is restored — so a partial load never leaks map FDs or
+  // unreachable programs.
+  util::Result<LoadedObject> load_object(const std::vector<MapSpec>& maps,
+                                         std::vector<Program> progs);
+  // Reverts a load_object whose programs were never activated. Only the most
+  // recently loaded object can be unloaded (program ids are table indices and
+  // must stay stable for everything loaded before it).
+  void unload_object(const LoadedObject& obj);
 
   // Dispatcher mode: entry tail-calls prog_array[0]. swap() retargets it.
   void enable_dispatcher();

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "util/fault.h"
 #include "util/logging.h"
 
 namespace linuxfp::ebpf {
@@ -36,6 +37,12 @@ Map::Map(std::string name, MapType type, std::uint32_t key_size,
 }
 
 std::uint8_t* Map::lookup(const std::uint8_t* key) {
+  // A fired lookup fault is a transient miss, exactly what a real lookup
+  // failure looks like to eBPF code; the dispatcher then falls through to
+  // PASS and the slow path handles the packet.
+  if (util::FaultInjector::global().should_fail(util::kFaultMapLookup)) {
+    return nullptr;
+  }
   switch (type_) {
     case MapType::kArray:
     case MapType::kProgArray:
@@ -68,6 +75,10 @@ std::uint8_t* Map::lookup(const std::uint8_t* key) {
 }
 
 util::Status Map::update(const std::uint8_t* key, const std::uint8_t* value) {
+  if (auto st = util::FaultInjector::global().check(util::kFaultMapUpdate);
+      !st.ok()) {
+    return st;
+  }
   switch (type_) {
     case MapType::kArray:
     case MapType::kProgArray:
@@ -161,6 +172,11 @@ std::size_t Map::size() const {
 }
 
 std::optional<std::uint32_t> Map::prog_at(std::uint32_t index) const {
+  // Same transient-miss semantics as lookup(): a tail call that misses falls
+  // through, degrading the packet to the slow path.
+  if (util::FaultInjector::global().should_fail(util::kFaultMapLookup)) {
+    return std::nullopt;
+  }
   if (index >= max_entries_ || !array_present_[index]) return std::nullopt;
   std::uint32_t id;
   std::memcpy(&id, array_storage_.data() + std::size_t{index} * value_size_, 4);

@@ -113,10 +113,15 @@ class MapSet {
   // Returns the new map's id.
   std::uint32_t create(std::string name, MapType type, std::uint32_t key_size,
                        std::uint32_t value_size, std::uint32_t max_entries);
+  // Frees a map (close of its last FD). The id is never reused; get() on a
+  // destroyed id returns nullptr. Used by the loader to clean up a partially
+  // loaded object.
+  void destroy(std::uint32_t id);
   Map* get(std::uint32_t id);
   const Map* get(std::uint32_t id) const;
   Map* by_name(const std::string& name);
-  std::size_t count() const { return maps_.size(); }
+  // Number of live (not destroyed) maps — the VM's "map table" population.
+  std::size_t count() const;
 
  private:
   std::vector<std::unique_ptr<Map>> maps_;

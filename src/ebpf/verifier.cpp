@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/fault.h"
 #include "util/logging.h"
 
 namespace linuxfp::ebpf {
@@ -534,6 +535,12 @@ class Verifier {
 
 Status verify(const Program& prog, const VerifyOptions& options,
               VerifyStats* stats) {
+  // Injected rejection: models a kernel verifier that refuses a program the
+  // synthesizer believed to be valid (version skew, complexity limits).
+  if (auto st = util::FaultInjector::global().check(util::kFaultVerifier);
+      !st.ok()) {
+    return st;
+  }
   return Verifier(prog, options, stats).run();
 }
 

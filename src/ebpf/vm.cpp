@@ -50,11 +50,21 @@ const Map* MapSet::get(std::uint32_t id) const {
   return id < maps_.size() ? maps_[id].get() : nullptr;
 }
 
+void MapSet::destroy(std::uint32_t id) {
+  if (id < maps_.size()) maps_[id].reset();
+}
+
 Map* MapSet::by_name(const std::string& name) {
   for (auto& m : maps_) {
-    if (m->name() == name) return m.get();
+    if (m && m->name() == name) return m.get();
   }
   return nullptr;
+}
+
+std::size_t MapSet::count() const {
+  std::size_t n = 0;
+  for (const auto& m : maps_) n += m != nullptr;
+  return n;
 }
 
 // --- HelperContext ------------------------------------------------------------

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "util/fault.h"
 #include "util/strings.h"
 
 namespace linuxfp::kern {
@@ -412,12 +413,24 @@ Status cmd_ipset(Kernel& k, const Tokens& t) {
   if (t.size() < 3) return err_usage("ipset");
   const std::string& sub = t[1];
   if (sub == "create") {
-    if (t.size() < 4) return err_usage("ipset create <name> <type>");
+    if (t.size() < 4) {
+      return err_usage("ipset create <name> <type> [maxelem N]");
+    }
     IpSetType type;
     if (t[3] == "hash:ip") type = IpSetType::kHashIp;
     else if (t[3] == "hash:net") type = IpSetType::kHashNet;
     else return Error::make("ipset.type", "unsupported type: " + t[3]);
-    return k.ipset_create(t[2], type);
+    std::size_t maxelem = kIpSetDefaultMaxElem;
+    if (t.size() >= 6 && t[4] == "maxelem") {
+      unsigned long long n;
+      if (!util::parse_u64(t[5], n) || n == 0) {
+        return err_usage("ipset create: maxelem expects a positive integer");
+      }
+      maxelem = static_cast<std::size_t>(n);
+    } else if (t.size() > 4) {
+      return err_usage("ipset create <name> <type> [maxelem N]");
+    }
+    return k.ipset_create(t[2], type, maxelem);
   }
   if (sub == "destroy") return k.ipset_destroy(t[2]);
   if (sub == "add" || sub == "del") {
@@ -493,6 +506,12 @@ Status cmd_ipvsadm(Kernel& k, const Tokens& t) {
 }  // namespace
 
 Status run_command(Kernel& kernel, const std::string& command_line) {
+  // Injection point for the configuration plane: a fault here models the
+  // admin tool failing (ENOMEM, netlink EBUSY) before touching kernel state.
+  if (auto st = util::FaultInjector::global().check(util::kFaultKernelCommand);
+      !st.ok()) {
+    return st;
+  }
   Tokens t = util::split_ws(command_line);
   if (t.empty()) return err_usage("empty command");
   if (t[0] == "ip") return cmd_ip(kernel, t);

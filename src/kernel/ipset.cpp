@@ -8,8 +8,20 @@ util::Status IpSet::add(const net::Ipv4Prefix& member) {
       return util::Error::make("ipset.type",
                                "hash:ip set accepts only /32 members");
     }
+    // Re-adding an existing member is a no-op even at capacity (kernel
+    // behaviour: -exist only matters for the error, the entry stays).
+    if (!ips_.count(member.network()) && ips_.size() >= maxelem_) {
+      return util::Error::make("ipset.full",
+                               "set " + name_ + " is full (maxelem " +
+                                   std::to_string(maxelem_) + ")");
+    }
     ips_.insert(member.network());
   } else {
+    if (!nets_.count(member) && nets_.size() >= maxelem_) {
+      return util::Error::make("ipset.full",
+                               "set " + name_ + " is full (maxelem " +
+                                   std::to_string(maxelem_) + ")");
+    }
     nets_.insert(member);
     net_lens_.insert(member.prefix_len());
   }
@@ -48,11 +60,15 @@ std::vector<net::Ipv4Prefix> IpSet::dump() const {
   return out;
 }
 
-util::Status IpSetManager::create(const std::string& name, IpSetType type) {
+util::Status IpSetManager::create(const std::string& name, IpSetType type,
+                                  std::size_t maxelem) {
   if (sets_.count(name)) {
     return util::Error::make("ipset.exists", "set exists: " + name);
   }
-  sets_[name] = std::make_unique<IpSet>(name, type);
+  if (maxelem == 0) {
+    return util::Error::make("ipset.maxelem", "maxelem must be >= 1");
+  }
+  sets_[name] = std::make_unique<IpSet>(name, type, maxelem);
   return {};
 }
 

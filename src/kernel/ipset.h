@@ -19,13 +19,18 @@ namespace linuxfp::kern {
 
 enum class IpSetType { kHashIp, kHashNet };
 
+// Default hash size limit, as in the kernel (`ipset create ... maxelem N`).
+inline constexpr std::size_t kIpSetDefaultMaxElem = 65536;
+
 class IpSet {
  public:
-  IpSet(std::string name, IpSetType type)
-      : name_(std::move(name)), type_(type) {}
+  IpSet(std::string name, IpSetType type,
+        std::size_t maxelem = kIpSetDefaultMaxElem)
+      : name_(std::move(name)), type_(type), maxelem_(maxelem) {}
 
   const std::string& name() const { return name_; }
   IpSetType type() const { return type_; }
+  std::size_t maxelem() const { return maxelem_; }
 
   util::Status add(const net::Ipv4Prefix& member);
   bool del(const net::Ipv4Prefix& member);
@@ -37,6 +42,7 @@ class IpSet {
  private:
   std::string name_;
   IpSetType type_;
+  std::size_t maxelem_;
   std::set<net::Ipv4Addr> ips_;          // hash:ip
   std::set<net::Ipv4Prefix> nets_;       // hash:net (linear by /len buckets)
   std::set<std::uint8_t> net_lens_;      // which prefix lengths exist
@@ -44,7 +50,8 @@ class IpSet {
 
 class IpSetManager {
  public:
-  util::Status create(const std::string& name, IpSetType type);
+  util::Status create(const std::string& name, IpSetType type,
+                      std::size_t maxelem = kIpSetDefaultMaxElem);
   util::Status destroy(const std::string& name);
   IpSet* find(const std::string& name);
   const IpSet* find(const std::string& name) const;

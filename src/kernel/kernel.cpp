@@ -444,8 +444,9 @@ util::Status Kernel::ipt_set_policy(const std::string& chain,
   return st;
 }
 
-util::Status Kernel::ipset_create(const std::string& name, IpSetType type) {
-  auto st = ipsets_.create(name, type);
+util::Status Kernel::ipset_create(const std::string& name, IpSetType type,
+                                  std::size_t maxelem) {
+  auto st = ipsets_.create(name, type, maxelem);
   if (st.ok()) {
     util::Json j = util::Json::object();
     j["set"] = name;

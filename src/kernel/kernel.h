@@ -160,7 +160,8 @@ class Kernel : public nl::DumpProvider {
   util::Status ipt_flush(const std::string& chain);
   util::Status ipt_new_chain(const std::string& name);
   util::Status ipt_set_policy(const std::string& chain, NfVerdict policy);
-  util::Status ipset_create(const std::string& name, IpSetType type);
+  util::Status ipset_create(const std::string& name, IpSetType type,
+                            std::size_t maxelem = kIpSetDefaultMaxElem);
   util::Status ipset_add(const std::string& name,
                          const net::Ipv4Prefix& member);
   util::Status ipset_del(const std::string& name,

@@ -1,5 +1,6 @@
 #include "sim/testbed.h"
 
+#include "util/fault.h"
 #include "util/logging.h"
 
 namespace linuxfp::sim {
@@ -50,6 +51,17 @@ LinuxTestbed::LinuxTestbed(const ScenarioConfig& config)
   ingress_ifindex_ = kernel_.dev_by_name("eth0")->ifindex();
   eth0_mac_ = kernel_.dev_by_name("eth0")->mac();
 
+  // Arm the fault schedule before the controller's first deploy so startup
+  // itself is exposed to the faults; the scenario's own configuration
+  // commands above always ran cleanly.
+  if (!config_.fault_schedule.empty()) {
+    util::FaultInjector& fi = util::FaultInjector::global();
+    fi.arm(config_.fault_seed);
+    auto st = fi.install_schedule(config_.fault_schedule);
+    LFP_CHECK_MSG(st.ok(), "bad fault schedule: " + config_.fault_schedule);
+    faults_armed_ = true;
+  }
+
   if (config_.accel != Accel::kNone) {
     core::ControllerOptions opts;
     opts.hook = config_.accel == Accel::kLinuxFpTc ? "tc" : "xdp";
@@ -57,6 +69,10 @@ LinuxTestbed::LinuxTestbed(const ScenarioConfig& config)
     controller_ = std::make_unique<core::Controller>(kernel_, opts);
     controller_->start();
   }
+}
+
+LinuxTestbed::~LinuxTestbed() {
+  if (faults_armed_) util::FaultInjector::global().disarm();
 }
 
 std::string LinuxTestbed::name() const {
@@ -75,6 +91,18 @@ void LinuxTestbed::run(const std::string& command) {
   auto st = kern::run_command(kernel_, command);
   LFP_CHECK_MSG(st.ok(), "testbed command failed: " + command);
   if (controller_) controller_->run_once();
+}
+
+util::Status LinuxTestbed::try_run(const std::string& command) {
+  auto st = kern::run_command(kernel_, command);
+  if (controller_) controller_->run_once();
+  return st;
+}
+
+core::Reaction LinuxTestbed::step_time(std::uint64_t delta_ns) {
+  kernel_.set_now_ns(kernel_.now_ns() + delta_ns);
+  if (!controller_) return core::Reaction{};
+  return controller_->run_once();
 }
 
 ProcessOutcome LinuxTestbed::process(net::Packet&& pkt) {

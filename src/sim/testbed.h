@@ -31,6 +31,12 @@ struct ScenarioConfig {
   bool use_ipset = false;     // aggregate the blacklist into one ipset rule
   Accel accel = Accel::kNone;
   core::ChainMode chain = core::ChainMode::kInlineCalls;
+  // Fault schedule armed on the global injector for the testbed's lifetime
+  // (see util/fault.h grammar, e.g. "loader.load:p=0.2;maps.update:nth=3").
+  // Empty = faults disarmed. Applied after base scenario setup so the
+  // topology itself always configures cleanly.
+  std::string fault_schedule;
+  std::uint64_t fault_seed = 0x1fa017;
 };
 
 // Linux / LinuxFP testbed: a kern::Kernel DUT with two physical links,
@@ -38,6 +44,7 @@ struct ScenarioConfig {
 class LinuxTestbed : public DeviceUnderTest {
  public:
   explicit LinuxTestbed(const ScenarioConfig& config);
+  ~LinuxTestbed() override;
 
   std::string name() const override;
   ProcessOutcome process(net::Packet&& pkt) override;
@@ -46,6 +53,13 @@ class LinuxTestbed : public DeviceUnderTest {
   kern::Kernel& kernel() { return kernel_; }
   core::Controller* controller() { return controller_.get(); }
   void run(const std::string& command);
+  // Like run() but tolerates command failure (for fault-armed scripts);
+  // still gives the controller a reaction slot.
+  util::Status try_run(const std::string& command);
+  // Advances simulated kernel time and gives the controller a chance to act
+  // on due backoff retries. Returns the controller reaction (empty when no
+  // controller is attached).
+  core::Reaction step_time(std::uint64_t delta_ns);
 
   // Packet factories for the scenario's traffic matrix.
   net::Packet forward_packet(int prefix_index, std::uint16_t flow,
@@ -58,6 +72,7 @@ class LinuxTestbed : public DeviceUnderTest {
 
  private:
   ScenarioConfig config_;
+  bool faults_armed_ = false;
   kern::Kernel kernel_;
   std::unique_ptr<core::Controller> controller_;
   int ingress_ifindex_ = 0;

@@ -1,0 +1,166 @@
+#include "util/fault.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace linuxfp::util {
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector instance;
+  return instance;
+}
+
+void FaultInjector::arm(std::uint64_t seed) {
+  armed_ = true;
+  seed_ = seed;
+  suppressed_ = 0;
+  rng_ = Rng(seed);
+  points_.clear();
+}
+
+void FaultInjector::disarm() {
+  armed_ = false;
+  suppressed_ = 0;
+  points_.clear();
+}
+
+FaultInjector::Point& FaultInjector::point(std::string_view name) {
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    it = points_.emplace(std::string(name), Point{}).first;
+  }
+  return it->second;
+}
+
+void FaultInjector::fail_always(std::string_view p) {
+  point(p).rule = Rule{Rule::Kind::kAlways, 0, 0.0};
+}
+
+void FaultInjector::fail_nth(std::string_view p, std::uint64_t nth) {
+  point(p).rule = Rule{Rule::Kind::kNth, nth, 0.0};
+}
+
+void FaultInjector::fail_times(std::string_view p, std::uint64_t n) {
+  point(p).rule = Rule{Rule::Kind::kTimes, n, 0.0};
+}
+
+void FaultInjector::fail_probability(std::string_view p, double prob) {
+  point(p).rule = Rule{Rule::Kind::kProbability, 0, prob};
+}
+
+void FaultInjector::clear(std::string_view p) {
+  auto it = points_.find(p);
+  if (it != points_.end()) it->second.rule = Rule{};
+}
+
+void FaultInjector::clear_all() {
+  for (auto& [name, pt] : points_) pt.rule = Rule{};
+}
+
+Status FaultInjector::install_schedule(const std::string& spec) {
+  struct Parsed {
+    std::string point;
+    Rule rule;
+  };
+  std::vector<Parsed> parsed;
+  std::string normalized = spec;
+  std::replace(normalized.begin(), normalized.end(), ',', ';');
+  for (const std::string& entry : split(normalized, ';')) {
+    std::string e = trim(entry);
+    if (e.empty()) continue;
+    auto colon = e.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Error::make("fault.spec", "expected <point>:<rule> in '" + e + "'");
+    }
+    Parsed p;
+    p.point = e.substr(0, colon);
+    std::string rule = e.substr(colon + 1);
+    if (rule == "always") {
+      p.rule = Rule{Rule::Kind::kAlways, 0, 0.0};
+    } else if (rule.rfind("nth=", 0) == 0 || rule.rfind("times=", 0) == 0) {
+      bool nth = rule.rfind("nth=", 0) == 0;
+      unsigned long long n = 0;
+      if (!parse_u64(rule.substr(rule.find('=') + 1), n) || n == 0) {
+        return Error::make("fault.spec", "bad count in '" + e + "'");
+      }
+      p.rule = Rule{nth ? Rule::Kind::kNth : Rule::Kind::kTimes, n, 0.0};
+    } else if (rule.rfind("p=", 0) == 0) {
+      char* end = nullptr;
+      std::string num = rule.substr(2);
+      double prob = std::strtod(num.c_str(), &end);
+      if (end == num.c_str() || *end != '\0' || prob < 0.0 || prob > 1.0) {
+        return Error::make("fault.spec", "bad probability in '" + e + "'");
+      }
+      p.rule = Rule{Rule::Kind::kProbability, 0, prob};
+    } else {
+      return Error::make("fault.spec", "unknown rule '" + rule + "' in '" + e +
+                                           "' (want always|nth=N|times=N|p=X)");
+    }
+    parsed.push_back(std::move(p));
+  }
+  for (Parsed& p : parsed) point(p.point).rule = p.rule;
+  return {};
+}
+
+bool FaultInjector::should_fail(std::string_view p) {
+  if (!armed_) return false;
+  if (suppress_depth_ > 0) {
+    ++suppressed_;
+    return false;
+  }
+  Point& pt = point(p);
+  ++pt.hits;
+  bool fire = false;
+  switch (pt.rule.kind) {
+    case Rule::Kind::kNone:
+      break;
+    case Rule::Kind::kAlways:
+      fire = true;
+      break;
+    case Rule::Kind::kNth:
+      fire = pt.hits == pt.rule.n;
+      break;
+    case Rule::Kind::kTimes:
+      // Counts fires, not hits: the rule burns down on the next n hits after
+      // it was installed, regardless of how often the point was hit before.
+      fire = pt.fires < pt.rule.n;
+      break;
+    case Rule::Kind::kProbability:
+      fire = rng_.next_double() < pt.rule.p;
+      break;
+  }
+  if (fire) ++pt.fires;
+  return fire;
+}
+
+Status FaultInjector::check(std::string_view p) {
+  if (should_fail(p)) {
+    return Error::make("fault." + std::string(p),
+                       "injected fault at " + std::string(p) + " (seed " +
+                           std::to_string(seed_) + ")");
+  }
+  return {};
+}
+
+std::uint64_t FaultInjector::hits(std::string_view p) const {
+  auto it = points_.find(p);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FaultInjector::fires(std::string_view p) const {
+  auto it = points_.find(p);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+std::vector<FaultInjector::PointStats> FaultInjector::stats() const {
+  std::vector<PointStats> out;
+  out.reserve(points_.size());
+  for (const auto& [name, pt] : points_) {
+    out.push_back(PointStats{name, pt.hits, pt.fires});
+  }
+  return out;
+}
+
+}  // namespace linuxfp::util

@@ -1,0 +1,140 @@
+// Deterministic fault injection (the kernel's CONFIG_FAULT_INJECTION
+// analogue): named injection points registered at every fallible seam of the
+// deploy pipeline — program load, verifier acceptance, map update/lookup,
+// device attach, netlink dump reads, command application. Tests and the sim
+// testbed arm a seeded schedule; armed points fire deterministically, so any
+// failure reproduces from the seed alone.
+//
+// Disarmed (the default) every check is a single relaxed branch — production
+// paths pay nothing. Rollback and terminal-degradation paths run under a
+// FaultSuppress scope: the fallback that restores the bare slow path must
+// itself be infallible, mirroring how a real deployment's rollback is simply
+// "don't perform the final prog-array swap".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace linuxfp::util {
+
+// Registered injection point names (the fallible seams). Call sites pass
+// these constants so tests and schedules can't drift from the code.
+inline constexpr const char* kFaultLoaderLoad = "loader.load";
+inline constexpr const char* kFaultLoaderAttach = "loader.attach";
+inline constexpr const char* kFaultVerifier = "verifier.verify";
+inline constexpr const char* kFaultMapUpdate = "maps.update";
+inline constexpr const char* kFaultMapLookup = "maps.lookup";
+inline constexpr const char* kFaultMapCreate = "maps.create";
+inline constexpr const char* kFaultDeployerAttach = "deployer.attach";
+inline constexpr const char* kFaultNetlinkDump = "netlink.dump";
+inline constexpr const char* kFaultKernelCommand = "kernel.command";
+
+class FaultInjector {
+ public:
+  // How a point decides to fire. All rules are evaluated against the
+  // per-point hit counter and the armed seed only — no wall clock, no global
+  // state — so a schedule replays identically.
+  struct Rule {
+    enum class Kind { kNone, kAlways, kNth, kTimes, kProbability };
+    Kind kind = Kind::kNone;
+    std::uint64_t n = 0;  // kNth: fire on exactly the n-th hit (1-based);
+                          // kTimes: fire on the next n hits, then stop
+    double p = 0.0;       // kProbability: fire on each hit with probability p
+  };
+
+  struct PointStats {
+    std::string point;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+  };
+
+  // Process-wide instance, like the kernel's fault_attr debugfs knobs.
+  static FaultInjector& global();
+
+  // Arms with a deterministic seed; clears any previous rules and counters.
+  void arm(std::uint64_t seed);
+  // Disarms and clears all rules and counters.
+  void disarm();
+  bool armed() const { return armed_; }
+  std::uint64_t seed() const { return seed_; }
+
+  // --- rule installation -----------------------------------------------------
+  void fail_always(std::string_view point);
+  // Fire on exactly the nth hit (1-based) of the point.
+  void fail_nth(std::string_view point, std::uint64_t nth);
+  // Fire on the next n hits (after rule installation), then stop.
+  void fail_times(std::string_view point, std::uint64_t n);
+  // Fire each hit with probability p (seed-driven).
+  void fail_probability(std::string_view point, double p);
+  void clear(std::string_view point);
+  void clear_all();
+
+  // Parses a schedule spec and installs its rules, e.g.
+  //   "loader.load:p=0.3;maps.update:nth=2;verifier.verify:times=1;
+  //    deployer.attach:always"
+  // Entries are separated by ';' or ','. Returns an error on malformed specs
+  // without installing anything.
+  Status install_schedule(const std::string& spec);
+
+  // --- check points ----------------------------------------------------------
+  // True if the point should fail now. Counts a hit when armed.
+  bool should_fail(std::string_view point);
+  // Status-returning form: error code is "fault.<point>" so failure counters
+  // aggregate per injection point.
+  Status check(std::string_view point);
+
+  // --- observability ---------------------------------------------------------
+  std::uint64_t hits(std::string_view point) const;
+  std::uint64_t fires(std::string_view point) const;
+  // Hits absorbed by FaultSuppress scopes (rollback paths).
+  std::uint64_t suppressed() const { return suppressed_; }
+  std::vector<PointStats> stats() const;
+
+ private:
+  friend class FaultSuppress;
+
+  struct Point {
+    Rule rule;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+  };
+
+  Point& point(std::string_view name);
+
+  bool armed_ = false;
+  int suppress_depth_ = 0;
+  std::uint64_t seed_ = 0;
+  std::uint64_t suppressed_ = 0;
+  Rng rng_;
+  std::map<std::string, Point, std::less<>> points_;
+};
+
+// Arms the global injector for one scope (a test body); disarms on exit so
+// fault schedules can never leak between tests.
+class FaultScope {
+ public:
+  explicit FaultScope(std::uint64_t seed) { FaultInjector::global().arm(seed); }
+  ~FaultScope() { FaultInjector::global().disarm(); }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+  FaultInjector* operator->() { return &FaultInjector::global(); }
+};
+
+// Suppresses fault firing for one scope. Used by rollback / terminal
+// degradation paths, which must be infallible by design.
+class FaultSuppress {
+ public:
+  FaultSuppress() { ++FaultInjector::global().suppress_depth_; }
+  ~FaultSuppress() { --FaultInjector::global().suppress_depth_; }
+  FaultSuppress(const FaultSuppress&) = delete;
+  FaultSuppress& operator=(const FaultSuppress&) = delete;
+};
+
+}  // namespace linuxfp::util

@@ -1,0 +1,175 @@
+// Transactional object-load tests under fault injection: a load that fails
+// partway (after creating maps, or between programs) must free everything it
+// created — no leaked map FDs, no unreachable tail programs — exactly like
+// libbpf's bpf_object__load error path.
+#include "ebpf/loader.h"
+
+#include <gtest/gtest.h>
+
+#include "ebpf/builder.h"
+#include "ebpf/kernel_helpers.h"
+#include "util/fault.h"
+
+namespace linuxfp::ebpf {
+namespace {
+
+class LoaderFaultTest : public ::testing::Test {
+ protected:
+  LoaderFaultTest() : kernel_("host") {
+    register_all_helpers(helpers_, kernel_.cost());
+  }
+
+  Program action_prog(const std::string& name, std::uint64_t action) {
+    ProgramBuilder b(name, HookType::kXdp);
+    b.ret(action);
+    return b.build().value();
+  }
+
+  Program unverifiable_prog() {
+    Program bad;
+    bad.name = "bad";
+    bad.insns.push_back({Op::kExit, 0, 0, true, 0, 0, MemSize::kU64});
+    return bad;
+  }
+
+  std::vector<MapSpec> two_maps() {
+    return {MapSpec{"state_a", MapType::kHash, 4, 8, 64},
+            MapSpec{"state_b", MapType::kArray, 4, 4, 16}};
+  }
+
+  kern::Kernel kernel_;
+  HelperRegistry helpers_;
+};
+
+TEST_F(LoaderFaultTest, SuccessfulObjectLoadReturnsIds) {
+  Attachment att("t", HookType::kXdp, kernel_, helpers_);
+  std::size_t maps_before = att.maps().count();
+  std::vector<Program> progs;
+  progs.push_back(action_prog("p0", kActPass));
+  progs.push_back(action_prog("p1", kActDrop));
+  auto obj = att.load_object(two_maps(), std::move(progs));
+  ASSERT_TRUE(obj.ok()) << obj.error().message;
+  EXPECT_EQ(obj->map_ids.size(), 2u);
+  EXPECT_EQ(obj->prog_ids.size(), 2u);
+  EXPECT_EQ(att.maps().count(), maps_before + 2);
+  EXPECT_NE(att.maps().by_name("state_a"), nullptr);
+  EXPECT_EQ(att.programs().size(), 2u);
+}
+
+TEST_F(LoaderFaultTest, MapCreateFaultLoadsNothing) {
+  util::FaultScope faults(201);
+  faults->fail_nth(util::kFaultMapCreate, 2);  // second map creation fails
+  Attachment att("t", HookType::kXdp, kernel_, helpers_);
+  std::size_t maps_before = att.maps().count();
+  std::vector<Program> progs;
+  progs.push_back(action_prog("p0", kActPass));
+  auto obj = att.load_object(two_maps(), std::move(progs));
+  ASSERT_FALSE(obj.ok());
+  EXPECT_EQ(obj.error().code, "fault.maps.create");
+  // The first map was created before the fault; cleanup must have destroyed
+  // it again, and no program may have been loaded.
+  EXPECT_EQ(att.maps().count(), maps_before);
+  EXPECT_EQ(att.maps().by_name("state_a"), nullptr);
+  EXPECT_TRUE(att.programs().empty());
+}
+
+TEST_F(LoaderFaultTest, ProgramLoadFaultFreesCreatedMaps) {
+  util::FaultScope faults(202);
+  // Both maps create fine; the second program's load fails.
+  faults->fail_nth(util::kFaultLoaderLoad, 2);
+  Attachment att("t", HookType::kXdp, kernel_, helpers_);
+  std::size_t maps_before = att.maps().count();
+  std::vector<Program> progs;
+  progs.push_back(action_prog("p0", kActPass));
+  progs.push_back(action_prog("p1", kActDrop));
+  auto obj = att.load_object(two_maps(), std::move(progs));
+  ASSERT_FALSE(obj.ok());
+  EXPECT_EQ(obj.error().code, "fault.loader.load");
+  // No leaked map FDs: both maps destroyed, program table restored (the
+  // first program had loaded and must be truncated away again).
+  EXPECT_EQ(att.maps().count(), maps_before);
+  EXPECT_EQ(att.maps().by_name("state_a"), nullptr);
+  EXPECT_EQ(att.maps().by_name("state_b"), nullptr);
+  EXPECT_TRUE(att.programs().empty());
+}
+
+TEST_F(LoaderFaultTest, VerifierRejectionMidObjectFreesCreatedMaps) {
+  // Same shape without injected faults: a genuinely unverifiable program in
+  // the middle of an object triggers the identical cleanup path.
+  Attachment att("t", HookType::kXdp, kernel_, helpers_);
+  std::size_t maps_before = att.maps().count();
+  std::vector<Program> progs;
+  progs.push_back(action_prog("p0", kActPass));
+  progs.push_back(unverifiable_prog());
+  progs.push_back(action_prog("p2", kActDrop));
+  auto obj = att.load_object(two_maps(), std::move(progs));
+  ASSERT_FALSE(obj.ok());
+  EXPECT_EQ(att.maps().count(), maps_before);
+  EXPECT_TRUE(att.programs().empty());
+}
+
+TEST_F(LoaderFaultTest, FailedLoadDoesNotDisturbEarlierObjects) {
+  util::FaultScope faults(203);
+  Attachment att("t", HookType::kXdp, kernel_, helpers_);
+  att.enable_dispatcher();
+  std::vector<Program> first;
+  first.push_back(action_prog("gen1", kActDrop));
+  auto obj1 = att.load_object({MapSpec{"gen1_state", MapType::kHash, 4, 4, 8}},
+                              std::move(first));
+  ASSERT_TRUE(obj1.ok());
+  ASSERT_TRUE(att.swap(obj1->prog_ids[0]).ok());
+  std::size_t maps_before = att.maps().count();
+  std::size_t progs_before = att.programs().size();
+
+  faults->fail_always(util::kFaultLoaderLoad);
+  std::vector<Program> second;
+  second.push_back(action_prog("gen2", kActPass));
+  auto obj2 = att.load_object(
+      {MapSpec{"gen2_state", MapType::kHash, 4, 4, 8}}, std::move(second));
+  ASSERT_FALSE(obj2.ok());
+
+  // Generation 1 keeps running untouched: same table sizes, its map still
+  // resolvable, and the active program still executes.
+  EXPECT_EQ(att.maps().count(), maps_before);
+  EXPECT_EQ(att.programs().size(), progs_before);
+  EXPECT_NE(att.maps().by_name("gen1_state"), nullptr);
+  EXPECT_EQ(att.maps().by_name("gen2_state"), nullptr);
+  net::Packet pkt(64);
+  auto r = att.run(pkt, 1);
+  EXPECT_EQ(r.verdict, kern::PacketProgram::Verdict::kDrop);
+}
+
+TEST_F(LoaderFaultTest, UnloadObjectRestoresTables) {
+  Attachment att("t", HookType::kXdp, kernel_, helpers_);
+  att.enable_dispatcher();
+  std::size_t maps_before = att.maps().count();
+  std::size_t progs_before = att.programs().size();
+  std::vector<Program> progs;
+  progs.push_back(action_prog("p0", kActPass));
+  auto obj = att.load_object(two_maps(), std::move(progs));
+  ASSERT_TRUE(obj.ok());
+  att.unload_object(*obj);
+  EXPECT_EQ(att.maps().count(), maps_before);
+  EXPECT_EQ(att.programs().size(), progs_before);
+  // Destroyed map ids stay dead (never reused).
+  for (std::uint32_t id : obj->map_ids) {
+    EXPECT_EQ(att.maps().get(id), nullptr);
+  }
+}
+
+TEST_F(LoaderFaultTest, AttachFaultReportsError) {
+  util::FaultScope faults(204);
+  faults->fail_always(util::kFaultLoaderAttach);
+  kernel_.add_phys_dev("eth0");
+  (void)kernel_.set_link_up("eth0", true);
+  Attachment att("t", HookType::kXdp, kernel_, helpers_);
+  auto st = attach_to_device(kernel_, "eth0", HookType::kXdp, &att);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, "fault.loader.attach");
+  EXPECT_EQ(kernel_.dev_by_name("eth0")->xdp_prog(), nullptr);
+  faults->clear(util::kFaultLoaderAttach);
+  EXPECT_TRUE(attach_to_device(kernel_, "eth0", HookType::kXdp, &att).ok());
+}
+
+}  // namespace
+}  // namespace linuxfp::ebpf

@@ -55,6 +55,67 @@ TEST(Conntrack, IdleExpiry) {
   EXPECT_EQ(ct.size(), 1u);
 }
 
+TEST(Conntrack, TrafficRefreshesIdleTimer) {
+  Conntrack ct;
+  auto f = flow("10.0.0.1", "10.0.0.2", 4000, 80);
+  ct.lookup_or_create(f, 0);
+  // Keep the flow alive with a packet every 60s; a 120s idle sweep at each
+  // step must never expire it.
+  for (std::uint64_t t = 60; t <= 600; t += 60) {
+    ct.lookup(f, t * 1'000'000'000);
+    EXPECT_EQ(ct.expire_idle(t * 1'000'000'000 + 1, 120'000'000'000), 0u);
+  }
+  EXPECT_EQ(ct.size(), 1u);
+  // Once traffic stops, the next sweep past the idle window removes it.
+  EXPECT_EQ(ct.expire_idle(721'000'000'000, 120'000'000'000), 1u);
+  EXPECT_EQ(ct.size(), 0u);
+}
+
+TEST(Conntrack, ExpiryAtExactIdleBoundaryKeepsEntry) {
+  Conntrack ct;
+  ct.lookup_or_create(flow("10.0.0.1", "10.0.0.2", 4000, 80), 1'000);
+  // idle == threshold is not "greater than": the entry survives.
+  EXPECT_EQ(ct.expire_idle(1'000 + 120'000'000'000, 120'000'000'000), 0u);
+  EXPECT_EQ(ct.size(), 1u);
+  EXPECT_EQ(ct.expire_idle(1'001 + 120'000'000'000, 120'000'000'000), 1u);
+}
+
+TEST(Conntrack, ExpiryOfDnatEntryDropsNatIndex) {
+  Conntrack ct;
+  auto f = flow("10.0.0.1", "10.96.0.1", 4000, 80);  // client -> VIP
+  auto r = ct.lookup_or_create(f, 1'000);
+  ASSERT_TRUE(r.created);
+  ct.set_dnat(*r.entry, net::Ipv4Addr::parse("10.0.1.5").value(), 8080);
+
+  // Reply from the backend resolves through the NAT index.
+  auto reply = flow("10.0.1.5", "10.0.0.1", 8080, 4000);
+  auto rr = ct.lookup(reply, 2'000);
+  ASSERT_NE(rr.entry, nullptr);
+  EXPECT_TRUE(rr.is_reply_direction);
+  EXPECT_EQ(rr.entry->state, CtState::kEstablished);
+
+  // After idle expiry, the reply tuple must no longer resolve: a stale NAT
+  // index entry would steer a new connection's reply into a dead mapping.
+  EXPECT_EQ(ct.expire_idle(300'000'000'000, 120'000'000'000), 1u);
+  EXPECT_EQ(ct.size(), 0u);
+  auto stale = ct.lookup(reply, 300'000'000'001);
+  EXPECT_EQ(stale.entry, nullptr);
+}
+
+TEST(Conntrack, ExpirySweepIsSelective) {
+  Conntrack ct;
+  // Three flows with staggered last activity; only the two oldest expire.
+  ct.lookup_or_create(flow("10.0.0.1", "10.0.0.2", 4000, 80), 1'000'000'000);
+  ct.lookup_or_create(flow("10.0.0.1", "10.0.0.2", 4001, 80), 5'000'000'000);
+  ct.lookup_or_create(flow("10.0.0.1", "10.0.0.2", 4002, 80), 100'000'000'000);
+  EXPECT_EQ(ct.expire_idle(130'000'000'000, 120'000'000'000), 2u);
+  EXPECT_EQ(ct.size(), 1u);
+  // The survivor is still usable.
+  auto r = ct.lookup(flow("10.0.0.1", "10.0.0.2", 4002, 80), 131'000'000'000);
+  ASSERT_NE(r.entry, nullptr);
+  EXPECT_EQ(r.entry->packets, 2u);
+}
+
 TEST(Conntrack, PacketCounting) {
   Conntrack ct;
   auto f = flow("10.0.0.1", "10.0.0.2", 4000, 80);

@@ -1,0 +1,97 @@
+// ipset capacity behavior: sets created with `maxelem N` reject new members
+// once full (the kernel's "Hash is full, cannot add more elements" error),
+// while re-adds of existing members and del-then-add churn keep working.
+#include "kernel/ipset.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel/commands.h"
+#include "kernel/kernel.h"
+
+namespace linuxfp::kern {
+namespace {
+
+net::Ipv4Prefix host(int i) {
+  return net::Ipv4Prefix(
+      net::Ipv4Addr::from_octets(10, 0, static_cast<std::uint8_t>(i / 250),
+                                 static_cast<std::uint8_t>(1 + i % 250)),
+      32);
+}
+
+TEST(IpSet, AddBeyondMaxElemFails) {
+  IpSet set("bl", IpSetType::kHashIp, 3);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(set.add(host(i)).ok());
+  }
+  auto st = set.add(host(3));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, "ipset.full");
+  EXPECT_EQ(set.size(), 3u);
+  // The rejected member must not match.
+  EXPECT_FALSE(set.test(host(3).network()));
+  EXPECT_TRUE(set.test(host(0).network()));
+}
+
+TEST(IpSet, ReAddingExistingMemberAtCapacityIsOk) {
+  IpSet set("bl", IpSetType::kHashIp, 2);
+  ASSERT_TRUE(set.add(host(0)).ok());
+  ASSERT_TRUE(set.add(host(1)).ok());
+  // Kernel semantics: adding a member that is already present succeeds even
+  // when the set is full.
+  EXPECT_TRUE(set.add(host(0)).ok());
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(IpSet, DelThenAddReclaimsCapacity) {
+  IpSet set("bl", IpSetType::kHashIp, 2);
+  ASSERT_TRUE(set.add(host(0)).ok());
+  ASSERT_TRUE(set.add(host(1)).ok());
+  ASSERT_FALSE(set.add(host(2)).ok());
+  EXPECT_TRUE(set.del(host(0)));
+  EXPECT_TRUE(set.add(host(2)).ok());
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_FALSE(set.test(host(0).network()));
+  EXPECT_TRUE(set.test(host(2).network()));
+}
+
+TEST(IpSet, HashNetRespectsMaxElem) {
+  IpSet set("nets", IpSetType::kHashNet, 2);
+  ASSERT_TRUE(
+      set.add(net::Ipv4Prefix(net::Ipv4Addr::parse("10.1.0.0").value(), 16))
+          .ok());
+  ASSERT_TRUE(
+      set.add(net::Ipv4Prefix(net::Ipv4Addr::parse("10.2.0.0").value(), 24))
+          .ok());
+  auto st =
+      set.add(net::Ipv4Prefix(net::Ipv4Addr::parse("10.3.0.0").value(), 24));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, "ipset.full");
+  // Existing prefixes still match across lengths.
+  EXPECT_TRUE(set.test(net::Ipv4Addr::parse("10.1.200.7").value()));
+  EXPECT_FALSE(set.test(net::Ipv4Addr::parse("10.3.0.7").value()));
+}
+
+TEST(IpSet, CommandFrontEndParsesMaxElem) {
+  Kernel kernel("dut");
+  ASSERT_TRUE(
+      run_command(kernel, "ipset create small hash:ip maxelem 2").ok());
+  ASSERT_TRUE(run_command(kernel, "ipset add small 10.0.0.1").ok());
+  ASSERT_TRUE(run_command(kernel, "ipset add small 10.0.0.2").ok());
+  auto st = run_command(kernel, "ipset add small 10.0.0.3");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, "ipset.full");
+  // Default-capacity sets are unaffected.
+  ASSERT_TRUE(run_command(kernel, "ipset create big hash:ip").ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        run_command(kernel, "ipset add big 10.0.1." + std::to_string(1 + i))
+            .ok());
+  }
+  // Malformed maxelem is rejected at parse time.
+  EXPECT_FALSE(run_command(kernel, "ipset create bad hash:ip maxelem x").ok());
+  EXPECT_FALSE(run_command(kernel, "ipset create bad hash:ip maxelem 0").ok());
+  EXPECT_FALSE(run_command(kernel, "ipset create bad hash:ip bogus 3").ok());
+}
+
+}  // namespace
+}  // namespace linuxfp::kern

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification, twice: a plain RelWithDebInfo build and an ASan+UBSan
+# build (-DLINUXFP_SANITIZE=ON). The sanitized pass exists mainly for the
+# fault-injection suites: rollback/cleanup paths are where use-after-free and
+# leaked-map bugs hide, and they only execute under injected failures.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_pass() {
+  local build_dir="$1"; shift
+  echo "=== ${build_dir}: configure ($*) ==="
+  cmake -B "${build_dir}" -S . "$@"
+  echo "=== ${build_dir}: build ==="
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "=== ${build_dir}: ctest ==="
+  (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}")
+}
+
+run_pass build
+run_pass build-asan -DLINUXFP_SANITIZE=ON
+
+echo "=== tier-1 OK (plain + sanitized) ==="
