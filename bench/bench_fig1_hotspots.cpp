@@ -2,6 +2,9 @@
 // configured to forward with `ip route`, the overwhelming majority of
 // packets walk the same sequence of kernel functions. We reconstruct the
 // flame-graph view from the slow path's stage traces.
+//
+// Emits BENCH_fig1_hotspots.json (see bench::Reporter); --smoke trims the
+// packet count for CI.
 #include <algorithm>
 #include <cstdio>
 #include <map>
@@ -11,7 +14,9 @@
 using namespace linuxfp;
 using namespace linuxfp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Reporter reporter("fig1_hotspots", argc, argv);
+
   print_header("Fig 1 — hot spots in Linux forwarding (stage profile)",
                "paper Fig 1: one dominant call path for forwarding traffic");
 
@@ -22,7 +27,7 @@ int main() {
   std::map<std::string, std::uint64_t> stage_cycles;
   std::map<std::string, std::uint64_t> path_counts;
   std::uint64_t total_cycles = 0;
-  const int kPackets = 2000;
+  const int kPackets = reporter.smoke() ? 200 : 2000;
 
   for (int i = 0; i < kPackets; ++i) {
     kern::CycleTrace trace(/*record_stages=*/true);
@@ -50,6 +55,11 @@ int main() {
                  static_cast<double>(total_cycles);
     std::printf("  %-18s %5.1f%%  %s\n", stage.c_str(), pct,
                 std::string(static_cast<std::size_t>(pct), '#').c_str());
+    util::Json row = util::Json::object();
+    row["stage"] = stage;
+    row["cycles"] = static_cast<std::uint64_t>(cycles);
+    row["pct"] = pct;
+    reporter.add_row(row);
   }
 
   std::printf("\ndistinct call paths observed: %zu\n", path_counts.size());
@@ -57,6 +67,26 @@ int main() {
     std::printf("  %5.1f%% of packets: %s\n", 100.0 * count / kPackets,
                 path.c_str());
   }
+
+  // The per-bench aggregation above should match the always-on metrics
+  // registry (slowpath.<stage>.cycles) — operators get the same profile
+  // from `linuxfpctl show` without instrumenting a bench.
+  const kern::Kernel& k = dut.kernel();
+  bool coherent = true;
+  for (const auto& [stage, cycles] : stage_cycles) {
+    if (k.metrics().value("slowpath." + stage + ".cycles") != cycles) {
+      coherent = false;
+    }
+  }
+  std::printf("\nmetrics registry coherence (slowpath.*.cycles == trace "
+              "aggregation): %s\n",
+              coherent ? "yes" : "NO");
+
+  util::Json shape = util::Json::object();
+  shape["distinct_paths"] = static_cast<std::int64_t>(path_counts.size());
+  shape["metrics_coherent"] = coherent;
+  reporter.set("shape_checks", shape);
+
   std::printf("\nshape check: a single call path dominates — the premise of "
               "rule-based hot-spot acceleration (paper §II-C).\n");
   return 0;

@@ -2,12 +2,17 @@
 // Setup (paper §VI-A1): 50 prefixes via iproute2, 64 B packets, XDP driver
 // mode for LinuxFP and Polycube; Polycube/VPP configured with equivalent
 // commands through their own CLIs.
+//
+// Emits BENCH_fig5_router_tput.json (see bench::Reporter); --smoke runs a
+// single-core, short batch for CI.
 #include "bench/bench_util.h"
 
 using namespace linuxfp;
 using namespace linuxfp::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Reporter reporter("fig5_router_tput", argc, argv);
+
   print_header("Fig 5 — virtual router throughput vs cores (64B, 50 prefixes)",
                "paper Fig 5: LinuxFP ~1.77x Linux; ~1.19x Polycube; VPP ahead "
                "(vector processing, dedicated busy-poll cores)");
@@ -23,8 +28,9 @@ int main() {
   PolycubeScenario pcn(50);
   VppScenario vpp(50);
 
-  sim::ThroughputRunner runner(25e9, 6000);
+  sim::ThroughputRunner runner(25e9, reporter.smoke() ? 600 : 6000);
   const int flows = 512;
+  const int max_cores = reporter.smoke() ? 1 : 6;
 
   std::vector<int> widths{8, 12, 12, 12, 12};
   print_row({"cores", "Linux", "Polycube", "VPP", "LinuxFP"}, widths);
@@ -39,7 +45,7 @@ int main() {
                                     static_cast<std::uint16_t>(i % flows));
   };
 
-  for (int cores = 1; cores <= 6; ++cores) {
+  for (int cores = 1; cores <= max_cores; ++cores) {
     auto linux_r =
         runner.run(linux_dut, forward_factory(linux_dut, 50, flows), cores, 64);
     auto lfp_r =
@@ -50,6 +56,13 @@ int main() {
                fmt_mpps(pcn_r.total_pps), fmt_mpps(vpp_r.total_pps),
                fmt_mpps(lfp_r.total_pps)},
               widths);
+    util::Json row = util::Json::object();
+    row["cores"] = cores;
+    row["linux_pps"] = linux_r.total_pps;
+    row["polycube_pps"] = pcn_r.total_pps;
+    row["vpp_pps"] = vpp_r.total_pps;
+    row["linuxfp_pps"] = lfp_r.total_pps;
+    reporter.add_row(row);
   }
 
   auto l1 = runner.run(linux_dut, forward_factory(linux_dut, 50, flows), 1, 64);
@@ -62,5 +75,11 @@ int main() {
               f1.total_pps / p1.total_pps);
   std::printf("  note: VPP cores run at 100%% utilization (busy polling); "
               "Linux/LinuxFP/Polycube are interrupt-driven.\n");
+  util::Json shape = util::Json::object();
+  shape["linuxfp_over_linux"] = f1.total_pps / l1.total_pps;
+  shape["linuxfp_over_polycube"] = f1.total_pps / p1.total_pps;
+  shape["paper_linuxfp_over_linux"] = 1.77;
+  shape["paper_linuxfp_over_polycube"] = 1.19;
+  reporter.set("shape_checks", shape);
   return 0;
 }

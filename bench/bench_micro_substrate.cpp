@@ -35,6 +35,7 @@ sim::LinuxTestbed& router_dut(sim::Accel accel) {
 
 void BM_SlowPathForward(benchmark::State& state) {
   auto& dut = router_dut(sim::Accel::kNone);
+  dut.kernel().set_metrics_enabled(true);
   int i = 0;
   for (auto _ : state) {
     auto out =
@@ -45,8 +46,27 @@ void BM_SlowPathForward(benchmark::State& state) {
 }
 BENCHMARK(BM_SlowPathForward);
 
+// Bare = observability counters disabled; the delta against the metered
+// variant above is the real host-time cost of the metrics layer. tools/ci.sh
+// guards this ratio (DESIGN.md overhead budget: < 2% modeled, < ~35% host
+// time under the microbench's tight loop).
+void BM_SlowPathForwardBare(benchmark::State& state) {
+  auto& dut = router_dut(sim::Accel::kNone);
+  dut.kernel().set_metrics_enabled(false);
+  int i = 0;
+  for (auto _ : state) {
+    auto out =
+        dut.process(dut.forward_packet(i % 50, static_cast<std::uint16_t>(i)));
+    benchmark::DoNotOptimize(out.cycles);
+    ++i;
+  }
+  dut.kernel().set_metrics_enabled(true);
+}
+BENCHMARK(BM_SlowPathForwardBare);
+
 void BM_FastPathForward(benchmark::State& state) {
   auto& dut = router_dut(sim::Accel::kLinuxFpXdp);
+  dut.kernel().set_metrics_enabled(true);
   int i = 0;
   for (auto _ : state) {
     auto out =
@@ -56,6 +76,20 @@ void BM_FastPathForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FastPathForward);
+
+void BM_FastPathForwardBare(benchmark::State& state) {
+  auto& dut = router_dut(sim::Accel::kLinuxFpXdp);
+  dut.kernel().set_metrics_enabled(false);
+  int i = 0;
+  for (auto _ : state) {
+    auto out =
+        dut.process(dut.forward_packet(i % 50, static_cast<std::uint16_t>(i)));
+    benchmark::DoNotOptimize(out.cycles);
+    ++i;
+  }
+  dut.kernel().set_metrics_enabled(true);
+}
+BENCHMARK(BM_FastPathForwardBare);
 
 void BM_FibLookup(benchmark::State& state) {
   kern::Fib fib;

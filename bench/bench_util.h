@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,8 +17,48 @@
 #include "baselines/vpp/vpp.h"
 #include "sim/runners.h"
 #include "sim/testbed.h"
+#include "util/json.h"
 
 namespace linuxfp::bench {
+
+// Machine-readable result emission: each bench builds rows as it prints its
+// table, and the destructor writes BENCH_<name>.json next to the binary so
+// the perf trajectory is diffable across commits (EXPERIMENTS.md §BENCH).
+// Passing --smoke on the bench command line trims iteration counts to a CI
+// smoke run; the JSON records which mode produced it.
+class Reporter {
+ public:
+  Reporter(std::string name, int argc, char** argv)
+      : name_(std::move(name)), rows_(util::Json::array()) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--smoke") smoke_ = true;
+    }
+    doc_ = util::Json::object();
+    doc_["bench"] = name_;
+    doc_["smoke"] = smoke_;
+  }
+
+  bool smoke() const { return smoke_; }
+
+  void add_row(util::Json row) { rows_.push_back(std::move(row)); }
+  void set(const std::string& key, util::Json value) {
+    doc_[key] = std::move(value);
+  }
+
+  ~Reporter() {
+    doc_["rows"] = rows_;
+    std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    out << doc_.dump(2) << "\n";
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  bool smoke_ = false;
+  util::Json doc_;
+  util::Json rows_;
+};
 
 inline void print_header(const std::string& title, const std::string& paper) {
   std::printf("\n================================================================\n");

@@ -31,6 +31,9 @@ Controller::Controller(kern::Kernel& kernel, ControllerOptions options)
   } else {
     ebpf::register_all_helpers(helpers_, kernel_.cost());
   }
+  // One registry covers both paths: the deployer routes fastpath.*/ebpf.*
+  // counters into the kernel's registry, next to the slowpath.* stages.
+  deployer_.set_metrics(&kernel_.metrics());
 }
 
 Reaction Controller::start() {

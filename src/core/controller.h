@@ -78,6 +78,7 @@ class Controller {
   // redeploys.
   Reaction run_once();
 
+  kern::Kernel& kernel() { return kernel_; }
   const WorldView& view() const { return introspection_.view(); }
   const util::Json& current_graphs() const { return graphs_; }
   Deployer& deployer() { return deployer_; }

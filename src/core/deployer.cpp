@@ -22,6 +22,13 @@ double modeled_compile_seconds(std::size_t programs, std::size_t insns,
 }
 }  // namespace
 
+void Deployer::set_metrics(util::MetricsRegistry* registry) {
+  metrics_ = registry;
+  for (auto& [key, slot] : attachments_) {
+    if (slot.attachment) slot.attachment->set_metrics(registry);
+  }
+}
+
 util::Result<Deployer::Slot*> Deployer::slot_for(const std::string& device,
                                                  ebpf::HookType hook) {
   auto key = std::make_pair(device, static_cast<int>(hook));
@@ -36,6 +43,7 @@ util::Result<Deployer::Slot*> Deployer::slot_for(const std::string& device,
   Slot slot;
   slot.attachment = std::make_unique<ebpf::Attachment>(
       "lfp@" + device, hook, kernel_, helpers_);
+  if (metrics_) slot.attachment->set_metrics(metrics_);
   slot.attachment->enable_dispatcher();
   auto st = ebpf::attach_to_device(kernel_, device, hook,
                                    slot.attachment.get());
@@ -162,6 +170,7 @@ DeployReport Deployer::deploy(const std::vector<SynthesisResult>& results,
     ++report.devices;
     for (const std::string& fpm : r.fpms) {
       if (fpm == "filter") has_filter = true;
+      if (metrics_) ++*metrics_->counter("fpm." + fpm + ".deployed");
     }
   }
   // Withdraw acceleration from devices no longer covered by any graph.

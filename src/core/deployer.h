@@ -73,6 +73,12 @@ class Deployer {
   std::uint64_t deploys() const { return deploys_; }
   std::uint64_t rollbacks() const { return rollbacks_; }
 
+  // Binds every attachment (present and future) to `registry` for the
+  // fastpath.* / ebpf.* counters, and records per-FPM deploy counts
+  // ("fpm.<name>.deployed"). The controller points this at its kernel's
+  // registry so one registry covers both paths.
+  void set_metrics(util::MetricsRegistry* registry);
+
  private:
   struct Slot {
     std::unique_ptr<ebpf::Attachment> attachment;
@@ -92,6 +98,7 @@ class Deployer {
   std::map<std::pair<std::string, int>, Slot> attachments_;
   std::uint64_t deploys_ = 0;
   std::uint64_t rollbacks_ = 0;
+  util::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace linuxfp::core

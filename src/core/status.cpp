@@ -86,6 +86,24 @@ util::Json status_json(Controller& controller) {
   }
   out["attachments"] = attachments;
 
+  const kern::Kernel& kernel = controller.kernel();
+  const kern::KernelCounters& kc = kernel.counters();
+  util::Json datapath = util::Json::object();
+  datapath["slow_path_packets"] = kc.slow_path_packets;
+  datapath["fast_path_packets"] = kc.fast_path_packets;
+  datapath["forwarded"] = kc.forwarded;
+  datapath["bridged"] = kc.bridged;
+  datapath["locally_delivered"] = kc.locally_delivered;
+  datapath["total_drops"] = kc.total_drops();
+  util::Json drops = util::Json::object();
+  for (const auto& [reason, count] : kc.drops) {
+    drops[kern::drop_name(reason)] = count;
+  }
+  datapath["drops"] = drops;
+  out["datapath"] = datapath;
+
+  out["metrics"] = kernel.metrics().to_json();
+
   out["health"] = health_json(controller.health());
   util::FaultInjector& fi = util::FaultInjector::global();
   if (fi.armed()) {
@@ -100,6 +118,24 @@ util::Json status_json(Controller& controller) {
     out["fault_injection"] = faults;
   }
   return out;
+}
+
+std::string prometheus_status(Controller& controller) {
+  std::ostringstream out;
+  out << controller.kernel().metrics().prometheus_text("linuxfp");
+  const HealthStatus h = controller.health();
+  out << "# TYPE linuxfp_controller_degraded gauge\n";
+  out << "linuxfp_controller_degraded " << (h.degraded ? 1 : 0) << "\n";
+  out << "# TYPE linuxfp_controller_deploy_attempts counter\n";
+  out << "linuxfp_controller_deploy_attempts " << h.deploy_attempts << "\n";
+  out << "# TYPE linuxfp_controller_deploy_failures counter\n";
+  out << "linuxfp_controller_deploy_failures " << h.deploy_failures << "\n";
+  out << "# TYPE linuxfp_controller_recoveries counter\n";
+  out << "linuxfp_controller_recoveries " << h.recoveries << "\n";
+  out << "# TYPE linuxfp_controller_resyntheses counter\n";
+  out << "linuxfp_controller_resyntheses " << controller.resynth_count()
+      << "\n";
+  return out.str();
 }
 
 std::string format_status(Controller& controller) {

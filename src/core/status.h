@@ -41,7 +41,14 @@ util::Json health_json(const HealthStatus& health);
 // Multi-line human-readable report.
 std::string format_status(Controller& controller);
 
-// Machine-readable variant (JSON) for tooling.
+// Machine-readable variant (JSON) for tooling. Includes a "datapath"
+// section (kernel packet/drop counters) and a "metrics" section (the full
+// observability registry: per-stage slow-path counters, per-FPM fast-path
+// counters, helper calls, map hits/misses, FIB depth, histograms).
 util::Json status_json(Controller& controller);
+
+// Prometheus-style text exposition of the same state: every registry
+// counter/histogram plus the health gauges, suitable for a scrape endpoint.
+std::string prometheus_status(Controller& controller);
 
 }  // namespace linuxfp::core

@@ -126,20 +126,46 @@ std::uint32_t Attachment::register_xsk(AfXdpSocket* socket) {
   return static_cast<std::uint32_t>(xsk_sockets_.size() - 1);
 }
 
+void Attachment::set_metrics(util::MetricsRegistry* registry) {
+  metrics_registry_ = registry;
+  vm_->set_metrics(registry);
+  if (!registry) {
+    m_runs_ = m_cycles_ = nullptr;
+    for (auto& v : m_verdicts_) v = nullptr;
+    return;
+  }
+  std::string prefix = "fastpath." + name_ + "." + hook_type_name(hook_) + ".";
+  m_runs_ = registry->counter(prefix + "runs");
+  m_cycles_ = registry->counter(prefix + "cycles");
+  const char* verdict_names[6] = {"pass",      "drop",    "tx",
+                                  "redirect",  "to_userspace", "aborted"};
+  for (int i = 0; i < 6; ++i) {
+    m_verdicts_[i] = registry->counter(prefix + verdict_names[i]);
+  }
+}
+
 Attachment::RunResult Attachment::run(net::Packet& pkt, int ingress_ifindex) {
   RunResult out;
   if (!has_entry_) {
     out.verdict = Verdict::kPass;
     return out;
   }
+  if (auto* t = util::active_packet_trace()) {
+    t->add("ebpf", "prog_entry", 0, programs_[entry_prog_].name);
+  }
   VmResult r = vm_->run(programs_[entry_prog_], pkt, ingress_ifindex,
                         &kernel_);
   ++stats_.runs;
   stats_.total_cycles += r.cycles;
   stats_.total_insns += r.insns_executed;
+  if (metrics_on()) {
+    ++*m_runs_;
+    *m_cycles_ += r.cycles;
+  }
   out.cycles = r.cycles;
   if (r.aborted) {
     ++stats_.aborted;
+    if (metrics_on()) ++*m_verdicts_[static_cast<int>(Verdict::kAborted)];
     out.verdict = Verdict::kAborted;
     LFP_WARN("ebpf") << name_ << " aborted: " << r.error;
     return out;
@@ -180,6 +206,7 @@ Attachment::RunResult Attachment::run(net::Packet& pkt, int ingress_ifindex) {
       out.verdict = Verdict::kAborted;
       break;
   }
+  if (metrics_on()) ++*m_verdicts_[static_cast<int>(out.verdict)];
   return out;
 }
 

@@ -96,7 +96,16 @@ class Attachment : public kern::PacketProgram {
   const AttachmentStats& stats() const { return stats_; }
   HookType hook() const { return hook_; }
 
+  // Mirrors per-run verdict/cycle counts into `registry` under
+  // "fastpath.<name>.<hook>.*" and binds the VM's helper/map counters.
+  // Null unbinds. AttachmentStats stays authoritative either way.
+  void set_metrics(util::MetricsRegistry* registry);
+
  private:
+  bool metrics_on() const {
+    return metrics_registry_ != nullptr && metrics_registry_->enabled();
+  }
+
   std::string name_;
   HookType hook_;
   kern::Kernel& kernel_;
@@ -111,6 +120,11 @@ class Attachment : public kern::PacketProgram {
   bool has_entry_ = false;
   std::vector<AfXdpSocket*> xsk_sockets_;
   AttachmentStats stats_;
+
+  util::MetricsRegistry* metrics_registry_ = nullptr;
+  std::uint64_t* m_runs_ = nullptr;
+  std::uint64_t* m_cycles_ = nullptr;
+  std::uint64_t* m_verdicts_[6] = {};  // indexed by Verdict
 };
 
 // Attach/detach convenience wrappers (libbpf-style API).

@@ -23,6 +23,12 @@ enum class HookType { kXdp, kTcIngress, kTcEgress };
 
 const char* hook_type_name(HookType type);
 
+// Stable names for well-known helper ids and XDP action codes; used by the
+// observability layer for counter names and trace events (string literals,
+// so they are safe to keep in cached structures).
+const char* helper_name(std::uint32_t id);
+const char* action_name(std::uint64_t ret);
+
 struct Program {
   std::string name;
   HookType hook = HookType::kXdp;

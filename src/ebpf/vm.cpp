@@ -15,6 +15,59 @@ const char* hook_type_name(HookType type) {
   return "?";
 }
 
+const char* helper_name(std::uint32_t id) {
+  switch (id) {
+    case kHelperMapLookup: return "map_lookup";
+    case kHelperMapUpdate: return "map_update";
+    case kHelperMapDelete: return "map_delete";
+    case kHelperKtimeGetNs: return "ktime_get_ns";
+    case kHelperTailCall: return "tail_call";
+    case kHelperCsumDiff: return "csum_diff";
+    case kHelperRedirect: return "redirect";
+    case kHelperRedirectMap: return "redirect_map";
+    case kHelperFibLookup: return "fib_lookup";
+    case kHelperFdbLookup: return "fdb_lookup";
+    case kHelperIptLookup: return "ipt_lookup";
+    case kHelperCtLookup: return "ct_lookup";
+  }
+  return "unknown";
+}
+
+const char* action_name(std::uint64_t ret) {
+  switch (ret) {
+    case kActAborted: return "aborted";
+    case kActDrop: return "drop";
+    case kActPass: return "pass";
+    case kActTx: return "tx";
+    case kActRedirect: return "redirect";
+  }
+  return "invalid";
+}
+
+void Vm::set_metrics(util::MetricsRegistry* registry) {
+  metrics_ = registry;
+  helper_counters_.clear();
+  if (!registry) {
+    map_hits_ = map_misses_ = tail_call_counter_ = nullptr;
+    return;
+  }
+  map_hits_ = registry->counter("ebpf.map.hits");
+  map_misses_ = registry->counter("ebpf.map.misses");
+  tail_call_counter_ = registry->counter("ebpf.tail_calls");
+}
+
+std::uint64_t* Vm::helper_counter(std::uint32_t helper_id) {
+  if (helper_counters_.size() <= helper_id) {
+    helper_counters_.resize(helper_id + 1, nullptr);
+  }
+  std::uint64_t*& slot = helper_counters_[helper_id];
+  if (!slot) {
+    slot = metrics_->counter(std::string("ebpf.helper.") +
+                             helper_name(helper_id) + ".calls");
+  }
+  return slot;
+}
+
 // --- HelperRegistry / MapSet --------------------------------------------------
 
 void HelperRegistry::register_helper(std::uint32_t id, std::string name,
@@ -399,6 +452,11 @@ VmResult Vm::run(const Program& entry_prog, net::Packet& pkt,
           }
           ++result.tail_calls;
           state.extra_cycles += cost_.bpf_tail_call;
+          if (metrics_ && metrics_->enabled()) ++*tail_call_counter_;
+          if (auto* t = util::active_packet_trace()) {
+            t->add("ebpf", "tail_call", cost_.bpf_tail_call,
+                   (*prog_table_)[*target].name);
+          }
           prog = &(*prog_table_)[*target];
           pc = 0;
           // Tail call preserves only the context pointer convention: r1 is
@@ -408,9 +466,21 @@ VmResult Vm::run(const Program& entry_prog, net::Packet& pkt,
         }
         const Helper* helper = helpers_.find(helper_id);
         if (!helper) return fail("unknown helper " + std::to_string(helper_id));
+        std::uint64_t cycles_before = state.extra_cycles;
         state.extra_cycles += cost_.bpf_helper_base;
         regs[kR0] = helper->fn(hctx, regs[kR1], regs[kR2], regs[kR3],
                                regs[kR4], regs[kR5]);
+        if (metrics_ && metrics_->enabled()) {
+          ++*helper_counter(helper_id);
+          if (helper_id == kHelperMapLookup) {
+            ++*(regs[kR0] != 0 ? map_hits_ : map_misses_);
+          }
+        }
+        if (auto* t = util::active_packet_trace()) {
+          // Helper base cost plus whatever the helper charged itself.
+          t->add("ebpf", helper_name(helper_id),
+                 state.extra_cycles - cycles_before);
+        }
         // r1-r5 are clobbered by calls.
         for (int r = kR1; r <= kR5; ++r) regs[r] = 0;
         ++pc;
@@ -422,6 +492,9 @@ VmResult Vm::run(const Program& entry_prog, net::Packet& pkt,
         result.redirect_xsk = state.redirect_xsk;
         result.insns_executed = executed;
         result.cycles = executed * cost_.bpf_insn + state.extra_cycles;
+        if (auto* t = util::active_packet_trace()) {
+          t->add("ebpf", "exit", result.cycles, action_name(result.ret));
+        }
         return result;
       }
     }

@@ -38,6 +38,12 @@ class Vm {
   VmResult run(const Program& prog, net::Packet& pkt, int ingress_ifindex,
                kern::Kernel* kernel);
 
+  // Binds per-helper-call counters ("ebpf.helper.<name>.calls"), map
+  // hit/miss counters and the tail-call counter to `registry` (null
+  // unbinds). Counter pointers are cached per helper id, so the per-call
+  // cost is one indexed increment.
+  void set_metrics(util::MetricsRegistry* registry);
+
  private:
   friend class HelperContext;
 
@@ -58,12 +64,19 @@ class Vm {
   };
 
   util::Result<std::uint8_t*> translate(std::uint64_t tagged, std::size_t len);
+  std::uint64_t* helper_counter(std::uint32_t helper_id);
 
   const kern::CostModel& cost_;
   const HelperRegistry& helpers_;
   MapSet& maps_;
   const std::vector<Program>* prog_table_;
   RunState* state_ = nullptr;  // valid during run()
+
+  util::MetricsRegistry* metrics_ = nullptr;
+  std::vector<std::uint64_t*> helper_counters_;  // indexed by helper id
+  std::uint64_t* map_hits_ = nullptr;
+  std::uint64_t* map_misses_ = nullptr;
+  std::uint64_t* tail_call_counter_ = nullptr;
 };
 
 }  // namespace linuxfp::ebpf

@@ -76,13 +76,20 @@ Status ip_addr(Kernel& k, const Tokens& t) {
 
 Status ip_route(Kernel& k, const Tokens& t) {
   // ip route add|replace <prefix>|default [via <gw>] dev <dev> [metric N]
-  // ip route del <prefix>
+  // ip route del <prefix> [metric N]
   if (t.size() >= 4 && t[2] == "del") {
     auto prefix = t[3] == "default"
                       ? util::Result<net::Ipv4Prefix>(net::Ipv4Prefix{})
                       : net::Ipv4Prefix::parse(t[3]);
     if (!prefix.ok()) return prefix.error();
-    return k.del_route(prefix.value());
+    auto opts = scan_options(t, 4);
+    std::optional<std::uint32_t> metric;
+    if (opts.count("metric")) {
+      unsigned long long m;
+      if (!util::parse_u64(opts["metric"], m)) return err_usage("metric");
+      metric = static_cast<std::uint32_t>(m);
+    }
+    return k.del_route(prefix.value(), metric);
   }
   if (t.size() >= 4 && (t[2] == "add" || t[2] == "replace")) {
     auto prefix = t[3] == "default"

@@ -22,6 +22,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/metrics.h"
+
 namespace linuxfp::kern {
 
 struct CostModel {
@@ -112,6 +114,10 @@ struct CostModel {
 // A per-packet cycle accumulator with an optional stage trace. The stage
 // trace is what bench_fig1_hotspots uses to reconstruct the paper's flame
 // graph observation (most packets traverse the same stage sequence).
+//
+// Each charge() is also the observability layer's emission site: when a
+// kernel binds its StageSink the charge feeds the per-stage counters, and
+// when a packet trace is active the charge appends an ordered trace event.
 class CycleTrace {
  public:
   explicit CycleTrace(bool record_stages = false)
@@ -120,6 +126,8 @@ class CycleTrace {
   void charge(const char* stage, std::uint64_t cycles) {
     total_ += cycles;
     if (record_) stages_.emplace_back(stage, cycles);
+    if (sink_) sink_->charge(stage, cycles);
+    if (ptrace_) ptrace_->add("slow", stage, cycles);
   }
   void charge_bytes(const char* stage, double per_byte, std::size_t bytes) {
     charge(stage, static_cast<std::uint64_t>(per_byte * static_cast<double>(bytes)));
@@ -131,9 +139,18 @@ class CycleTrace {
   }
   bool recording() const { return record_; }
 
+  // Kernel::rx binds/restores these around a packet; a veth hop into another
+  // kernel re-binds so each stage is attributed to the kernel that ran it.
+  void bind_sink(util::StageSink* sink) { sink_ = sink; }
+  util::StageSink* sink() const { return sink_; }
+  void bind_packet_trace(util::PacketTrace* trace) { ptrace_ = trace; }
+  util::PacketTrace* packet_trace() const { return ptrace_; }
+
  private:
   bool record_;
   std::uint64_t total_ = 0;
+  util::StageSink* sink_ = nullptr;
+  util::PacketTrace* ptrace_ = nullptr;
   std::vector<std::pair<const char*, std::uint64_t>> stages_;
 };
 

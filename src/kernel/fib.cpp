@@ -1,12 +1,15 @@
 #include "kernel/fib.h"
 
+#include <algorithm>
 #include <functional>
 
 namespace linuxfp::kern {
 
 struct Fib::Node {
   std::unique_ptr<Node> child[2];
-  std::optional<Route> route;  // set when a prefix terminates here
+  // Routes terminating at this prefix, ascending by metric: front() is the
+  // active route, the rest are backups (kernel fib_alias list semantics).
+  std::vector<Route> routes;
 };
 
 Fib::Fib() : root_(std::make_unique<Node>()) {}
@@ -19,6 +22,17 @@ inline int addr_bit(std::uint32_t addr, std::uint8_t i) {
 }
 }  // namespace
 
+Fib::Node* Fib::walk_to(const net::Ipv4Prefix& prefix) const {
+  Node* node = root_.get();
+  std::uint32_t addr = prefix.network().value();
+  for (std::uint8_t i = 0; i < prefix.prefix_len(); ++i) {
+    int b = addr_bit(addr, i);
+    if (!node->child[b]) return nullptr;
+    node = node->child[b].get();
+  }
+  return node;
+}
+
 void Fib::add_route(const Route& route) {
   Node* node = root_.get();
   std::uint32_t addr = route.dst.network().value();
@@ -27,36 +41,64 @@ void Fib::add_route(const Route& route) {
     if (!node->child[b]) node->child[b] = std::make_unique<Node>();
     node = node->child[b].get();
   }
-  if (!node->route) ++size_;
-  // Replace semantics: a new route for the same prefix wins if its metric is
-  // lower or equal (mirrors `ip route replace`; our tools use replace).
-  if (!node->route || route.metric <= node->route->metric) {
-    node->route = route;
+  // Replace an existing (prefix, metric) entry; otherwise insert keeping the
+  // list sorted so a same-prefix backup route with a higher metric coexists
+  // instead of being dropped.
+  auto it = std::find_if(
+      node->routes.begin(), node->routes.end(),
+      [&](const Route& r) { return r.metric == route.metric; });
+  if (it != node->routes.end()) {
+    *it = route;
+    return;
   }
+  it = std::upper_bound(
+      node->routes.begin(), node->routes.end(), route,
+      [](const Route& a, const Route& b) { return a.metric < b.metric; });
+  node->routes.insert(it, route);
+  ++size_;
 }
 
-bool Fib::del_route(const net::Ipv4Prefix& prefix) {
-  Node* node = root_.get();
-  std::uint32_t addr = prefix.network().value();
-  for (std::uint8_t i = 0; i < prefix.prefix_len(); ++i) {
-    int b = addr_bit(addr, i);
-    if (!node->child[b]) return false;
-    node = node->child[b].get();
+bool Fib::del_route(const net::Ipv4Prefix& prefix,
+                    std::optional<std::uint32_t> metric) {
+  Node* node = walk_to(prefix);
+  if (!node || node->routes.empty()) return false;
+  if (metric) {
+    auto it = std::find_if(
+        node->routes.begin(), node->routes.end(),
+        [&](const Route& r) { return r.metric == *metric; });
+    if (it == node->routes.end()) return false;
+    node->routes.erase(it);
+  } else {
+    node->routes.erase(node->routes.begin());
   }
-  if (!node->route) return false;
-  node->route.reset();
   --size_;
   return true;
+}
+
+std::optional<Route> Fib::get_route(const net::Ipv4Prefix& prefix,
+                                    std::optional<std::uint32_t> metric) const {
+  const Node* node = walk_to(prefix);
+  if (!node || node->routes.empty()) return std::nullopt;
+  if (!metric) return node->routes.front();
+  for (const Route& r : node->routes) {
+    if (r.metric == *metric) return r;
+  }
+  return std::nullopt;
 }
 
 std::vector<Route> Fib::purge_interface(int ifindex) {
   std::vector<Route> removed;
   std::function<void(Node*)> walk = [&](Node* node) {
     if (!node) return;
-    if (node->route && node->route->oif == ifindex) {
-      removed.push_back(*node->route);
-      node->route.reset();
-      --size_;
+    auto it = node->routes.begin();
+    while (it != node->routes.end()) {
+      if (it->oif == ifindex) {
+        removed.push_back(*it);
+        it = node->routes.erase(it);
+        --size_;
+      } else {
+        ++it;
+      }
     }
     walk(node->child[0].get());
     walk(node->child[1].get());
@@ -67,20 +109,20 @@ std::vector<Route> Fib::purge_interface(int ifindex) {
 
 std::optional<FibResult> Fib::lookup(net::Ipv4Addr dst) const {
   const Node* node = root_.get();
-  const Route* best = node->route ? &*node->route : nullptr;
+  const Route* best = node->routes.empty() ? nullptr : &node->routes.front();
   std::size_t depth = 0;
   std::uint32_t addr = dst.value();
   for (std::uint8_t i = 0; i < 32 && node; ++i) {
     node = node->child[addr_bit(addr, i)].get();
     if (!node) break;
     ++depth;
-    if (node->route) best = &*node->route;
+    if (!node->routes.empty()) best = &node->routes.front();
   }
-  last_depth_ = depth;
   if (!best) return std::nullopt;
   FibResult res;
   res.route = *best;
   res.next_hop = best->gateway.is_zero() ? dst : best->gateway;
+  res.depth = depth;
   return res;
 }
 
@@ -88,7 +130,7 @@ std::vector<Route> Fib::dump() const {
   std::vector<Route> out;
   std::function<void(const Node*)> walk = [&](const Node* node) {
     if (!node) return;
-    if (node->route) out.push_back(*node->route);
+    for (const Route& r : node->routes) out.push_back(r);
     walk(node->child[0].get());
     walk(node->child[1].get());
   };

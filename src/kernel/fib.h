@@ -34,6 +34,10 @@ struct FibResult {
   // The address to resolve at L2: the gateway, or the destination itself for
   // directly connected routes.
   net::Ipv4Addr next_hop;
+  // Number of trie nodes visited by this lookup (the cost model / metrics
+  // layer scales lookup cost with trie depth). Returned per-result rather
+  // than stored on the Fib so concurrent readers never race.
+  std::size_t depth = 0;
 };
 
 class Fib {
@@ -43,28 +47,34 @@ class Fib {
   Fib(const Fib&) = delete;
   Fib& operator=(const Fib&) = delete;
 
-  // Inserts or replaces the route for (prefix, metric).
+  // Inserts or replaces the route for (prefix, metric): same-prefix routes
+  // with distinct metrics coexist (a backup route survives), and re-adding
+  // an existing (prefix, metric) replaces it, mirroring `ip route replace`.
   void add_route(const Route& route);
-  // Removes the route with exactly this prefix; returns false if absent.
-  bool del_route(const net::Ipv4Prefix& prefix);
+  // Removes a route for this prefix. With a metric, removes exactly
+  // (prefix, metric); without, removes the active (lowest-metric) route.
+  // Returns false if no matching route exists.
+  bool del_route(const net::Ipv4Prefix& prefix,
+                 std::optional<std::uint32_t> metric = std::nullopt);
+  // The route del_route would remove, without removing it.
+  std::optional<Route> get_route(
+      const net::Ipv4Prefix& prefix,
+      std::optional<std::uint32_t> metric = std::nullopt) const;
   // Removes all routes whose egress is this interface (link-down semantics).
   std::vector<Route> purge_interface(int ifindex);
 
-  // Longest-prefix-match lookup.
+  // Longest-prefix-match lookup; among same-prefix routes the lowest metric
+  // wins.
   std::optional<FibResult> lookup(net::Ipv4Addr dst) const;
 
   std::vector<Route> dump() const;
   std::size_t size() const { return size_; }
 
-  // Number of trie nodes visited by the last lookup (exposed so the cost
-  // model can scale lookup cost with trie depth if desired).
-  std::size_t last_lookup_depth() const { return last_depth_; }
-
  private:
   struct Node;
+  Node* walk_to(const net::Ipv4Prefix& prefix) const;
   std::unique_ptr<Node> root_;
   std::size_t size_ = 0;
-  mutable std::size_t last_depth_ = 0;
 };
 
 }  // namespace linuxfp::kern

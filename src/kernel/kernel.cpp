@@ -19,9 +19,35 @@ util::Json route_attrs(const Route& r, const std::string& dev_name) {
 }
 }  // namespace
 
+const char* drop_name(Drop reason) {
+  switch (reason) {
+    case Drop::kNone: return "none";
+    case Drop::kLinkDown: return "link_down";
+    case Drop::kStpBlocked: return "stp_blocked";
+    case Drop::kVlanFiltered: return "vlan_filtered";
+    case Drop::kPolicy: return "policy";
+    case Drop::kNoRoute: return "no_route";
+    case Drop::kTtlExceeded: return "ttl_exceeded";
+    case Drop::kNeighPending: return "neigh_pending";
+    case Drop::kMalformed: return "malformed";
+    case Drop::kNotForUs: return "not_for_us";
+    case Drop::kXdpDrop: return "xdp_drop";
+    case Drop::kTcDrop: return "tc_drop";
+    case Drop::kNoHandler: return "no_handler";
+  }
+  return "unknown";
+}
+
 Kernel::Kernel(std::string hostname, CostModel cost)
     : hostname_(std::move(hostname)), cost_(cost) {
   netlink_.set_dump_provider(this);
+  stage_sink_.bind(&metrics_, "slowpath.");
+  for (int i = 0; i <= static_cast<int>(Drop::kNoHandler); ++i) {
+    drop_counters_[i] = metrics_.counter(
+        std::string("drop.") + drop_name(static_cast<Drop>(i)));
+  }
+  fib_lookups_ = metrics_.counter("fib.lookups");
+  fib_depth_total_ = metrics_.counter("fib.depth_total");
 }
 
 Kernel::~Kernel() = default;
@@ -315,16 +341,17 @@ util::Status Kernel::add_route(const net::Ipv4Prefix& dst, net::Ipv4Addr via,
   return {};
 }
 
-util::Status Kernel::del_route(const net::Ipv4Prefix& dst) {
-  auto found = fib_.lookup(dst.network());
-  if (!fib_.del_route(dst)) {
+util::Status Kernel::del_route(const net::Ipv4Prefix& dst,
+                               std::optional<std::uint32_t> metric) {
+  auto found = fib_.get_route(dst, metric);
+  if (!fib_.del_route(dst, metric)) {
     return util::Error::make("route.missing", "no such route");
   }
   Route r;
   r.dst = dst;
   std::string dev_name;
-  if (found && found->route.dst == dst) {
-    r = found->route;
+  if (found) {
+    r = *found;
     const NetDevice* d = dev(r.oif);
     if (d) dev_name = d->name();
   }

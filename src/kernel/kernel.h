@@ -30,6 +30,7 @@
 #include "net/headers.h"
 #include "net/packet.h"
 #include "netlink/netlink.h"
+#include "util/metrics.h"
 #include "util/result.h"
 
 namespace linuxfp::kern {
@@ -50,6 +51,10 @@ enum class Drop {
   kTcDrop,
   kNoHandler,
 };
+
+// Stable lower-case name for a drop reason ("policy", "no_route", ...);
+// keys the registry's drop.* counters and the trace verdict strings.
+const char* drop_name(Drop reason);
 
 struct KernelCounters {
   std::uint64_t slow_path_packets = 0;
@@ -126,7 +131,10 @@ class Kernel : public nl::DumpProvider {
   util::Status del_addr(const std::string& dev, const net::IfAddr& addr);
   util::Status add_route(const net::Ipv4Prefix& dst, net::Ipv4Addr via,
                          const std::string& dev, std::uint32_t metric = 0);
-  util::Status del_route(const net::Ipv4Prefix& dst);
+  // Without a metric, deletes the active (lowest-metric) route for the
+  // prefix; with one, deletes exactly (prefix, metric).
+  util::Status del_route(const net::Ipv4Prefix& dst,
+                         std::optional<std::uint32_t> metric = std::nullopt);
   util::Status add_neigh(net::Ipv4Addr ip, const net::MacAddr& mac,
                          const std::string& dev, bool permanent);
   util::Status del_neigh(net::Ipv4Addr ip);
@@ -204,6 +212,29 @@ class Kernel : public nl::DumpProvider {
   const KernelCounters& counters() const { return counters_; }
   KernelCounters& mutable_counters() { return counters_; }
 
+  // --- observability --------------------------------------------------------
+  // One registry per kernel holds slow-path stage counters, per-reason drop
+  // counters and — once a controller wires them up — fast-path program,
+  // helper and FPM counters (see util/metrics.h for the naming scheme).
+  util::MetricsRegistry& metrics() { return metrics_; }
+  const util::MetricsRegistry& metrics() const { return metrics_; }
+  // Master switch for metric emission on the datapath (counters keep their
+  // values; bench overhead guard uses this).
+  void set_metrics_enabled(bool on) { metrics_.set_enabled(on); }
+  // Attach a trace ring: every top-level rx() then records its ordered
+  // stage-by-stage journey through slow path and eBPF VM. Null detaches.
+  void set_trace_ring(util::TraceRing* ring) { trace_ring_ = ring; }
+  util::TraceRing* trace_ring() { return trace_ring_; }
+  // FIB activity for the metrics layer; depth comes back in the FibResult
+  // (see fib.h) so the const lookup stays free of shared mutable state.
+  // Public because the bpf_fib_lookup helper reads fib() directly and must
+  // report through the same counters as the slow path.
+  void note_fib_lookup(const std::optional<FibResult>& hit) {
+    if (!metrics_.enabled()) return;
+    ++*fib_lookups_;
+    if (hit) *fib_depth_total_ += hit->depth;
+  }
+
   // Enables conntrack consultation on forwarded/delivered packets (off by
   // default; the Kubernetes scenario turns it on, like kube-proxy does).
   void set_conntrack_enabled(bool enabled) { conntrack_enabled_ = enabled; }
@@ -211,6 +242,7 @@ class Kernel : public nl::DumpProvider {
 
  private:
   // Slow-path stages (slowpath.cpp).
+  RxSummary rx_inner(int ifindex, net::Packet&& pkt, CycleTrace& trace);
   RxSummary stack_rx(NetDevice& dev, net::Packet&& pkt, CycleTrace& trace);
   RxSummary bridge_rx(Bridge& br, NetDevice& port_dev, net::Packet&& pkt,
                       CycleTrace& trace);
@@ -239,8 +271,19 @@ class Kernel : public nl::DumpProvider {
   // Is `addr` assigned to any local device?
   NetDevice* local_addr_owner(net::Ipv4Addr addr);
 
-  RxSummary drop(Drop reason) {
+  // Single bump point for every dropped/terminated packet: KernelCounters
+  // stays authoritative, the registry mirror is what status_json and the
+  // Prometheus exporter read (and what the equivalence fuzz diffs).
+  void count_drop(Drop reason) {
     ++counters_.drops[reason];
+    if (metrics_.enabled()) ++*drop_counters_[static_cast<int>(reason)];
+    if (auto* t = util::active_packet_trace()) {
+      t->add("verdict", drop_name(reason), 0);
+    }
+  }
+
+  RxSummary drop(Drop reason) {
+    count_drop(reason);
     return RxSummary{false, reason};
   }
 
@@ -267,6 +310,15 @@ class Kernel : public nl::DumpProvider {
 
   nl::Bus netlink_;
   KernelCounters counters_;
+
+  util::MetricsRegistry metrics_;
+  util::StageSink stage_sink_;
+  util::TraceRing* trace_ring_ = nullptr;
+  // Cached registry counters, bound once in the constructor so datapath
+  // emission never does a name lookup.
+  std::uint64_t* drop_counters_[16] = {};
+  std::uint64_t* fib_lookups_ = nullptr;
+  std::uint64_t* fib_depth_total_ = nullptr;
 
   std::map<std::pair<std::uint8_t, std::uint16_t>, L4Handler> l4_handlers_;
 

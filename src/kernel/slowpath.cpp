@@ -24,6 +24,40 @@ net::FlowKey flow_key_of(const net::ParsedPacket& info) {
 }  // namespace
 
 RxSummary Kernel::rx(int ifindex, net::Packet&& pkt, CycleTrace& trace) {
+  // Attribute stage charges to this kernel while the packet is here; a veth
+  // hop into a peer kernel re-binds on entry and restores on the way out.
+  util::StageSink* prev_sink = trace.sink();
+  trace.bind_sink(metrics_.enabled() ? &stage_sink_ : nullptr);
+
+  // The outermost rx() of a traced packet opens the trace record; nested
+  // hops (veth, vxlan, XDP_TX bounces) keep appending to the same record so
+  // the dump shows the full journey in order.
+  util::PacketTrace* started = nullptr;
+  if (trace_ring_ && !trace.packet_trace()) {
+    const NetDevice* in_dev = dev(ifindex);
+    started = trace_ring_->begin_packet(ifindex, in_dev ? in_dev->name() : "?");
+    trace.bind_packet_trace(started);
+    util::set_active_packet_trace(started);
+  }
+
+  RxSummary summary = rx_inner(ifindex, std::move(pkt), trace);
+
+  if (started) {
+    started->fast_path = summary.fast_path;
+    started->verdict =
+        summary.drop == Drop::kNone ? "ok" : drop_name(summary.drop);
+    started->total_cycles = trace.total();
+    // Dropped packets got their verdict event at the count_drop site (in
+    // path order); close out the delivered/forwarded case the same way.
+    if (summary.drop == Drop::kNone) started->add("verdict", "ok", 0);
+    trace.bind_packet_trace(nullptr);
+    util::set_active_packet_trace(nullptr);
+  }
+  trace.bind_sink(prev_sink);
+  return summary;
+}
+
+RxSummary Kernel::rx_inner(int ifindex, net::Packet&& pkt, CycleTrace& trace) {
   NetDevice* d = dev(ifindex);
   if (!d || !d->is_up()) return drop(Drop::kLinkDown);
   LFP_CHECK_MSG(rx_depth_ < kMaxRxDepth, "rx recursion loop");
@@ -49,7 +83,7 @@ RxSummary Kernel::rx(int ifindex, net::Packet&& pkt, CycleTrace& trace) {
     switch (result.verdict) {
       case PacketProgram::Verdict::kDrop:
         ++counters_.fast_path_packets;
-        ++counters_.drops[Drop::kXdpDrop];
+        count_drop(Drop::kXdpDrop);
         return RxSummary{true, Drop::kXdpDrop};
       case PacketProgram::Verdict::kTx:
         ++counters_.fast_path_packets;
@@ -101,7 +135,7 @@ RxSummary Kernel::stack_rx(NetDevice& d, net::Packet&& pkt,
     switch (result.verdict) {
       case PacketProgram::Verdict::kDrop:
         ++counters_.fast_path_packets;
-        ++counters_.drops[Drop::kTcDrop];
+        count_drop(Drop::kTcDrop);
         return RxSummary{true, Drop::kTcDrop};
       case PacketProgram::Verdict::kTx:
       case PacketProgram::Verdict::kRedirect:
@@ -345,6 +379,7 @@ RxSummary Kernel::ipvs_in(NetDevice& in_dev, net::Packet&& pkt,
   // Route toward the backend.
   trace.charge("fib_lookup", cost_.fib_lookup);
   auto hit = fib_.lookup(*ct.entry->dnat_addr);
+  note_fib_lookup(hit);
   if (!hit) return drop(Drop::kNoRoute);
   net::Ipv4View ttl_view(pkt.data() + info.l3_offset);
   if (ttl_view.ttl() <= 1) return drop(Drop::kTtlExceeded);
@@ -380,6 +415,7 @@ RxSummary Kernel::ip_forward(NetDevice& in_dev, net::Packet&& pkt,
   // Routing decision.
   trace.charge("fib_lookup", cost_.fib_lookup);
   auto hit = fib_.lookup(info.ip_dst);
+  note_fib_lookup(hit);
   if (!hit) return drop(Drop::kNoRoute);
 
   // Conntrack runs at PREROUTING, before the filter table sees the packet,
@@ -538,7 +574,7 @@ void Kernel::icmp_echo_reply(NetDevice& in_dev, const net::Packet& request,
 void Kernel::send_ip_packet(net::Packet&& pkt, CycleTrace& trace) {
   auto parsed = net::parse_packet(pkt);
   if (!parsed || !parsed->has_ipv4) {
-    ++counters_.drops[Drop::kMalformed];
+    count_drop(Drop::kMalformed);
     return;
   }
   // netfilter OUTPUT hook.
@@ -555,14 +591,15 @@ void Kernel::send_ip_packet(net::Packet&& pkt, CycleTrace& trace) {
                  cost_.nf_hook_base + cost_.ipt_per_rule * result.rules_examined +
                      cost_.ipset_lookup * result.ipset_probes);
     if (result.verdict == NfVerdict::kDrop) {
-      ++counters_.drops[Drop::kPolicy];
+      count_drop(Drop::kPolicy);
       return;
     }
   }
   trace.charge("fib_lookup", cost_.fib_lookup);
   auto hit = fib_.lookup(parsed->ip_dst);
+  note_fib_lookup(hit);
   if (!hit) {
-    ++counters_.drops[Drop::kNoRoute];
+    count_drop(Drop::kNoRoute);
     return;
   }
   NetDevice* out = dev(hit->route.oif);
@@ -577,7 +614,7 @@ Drop Kernel::resolve_and_xmit(net::Packet&& pkt, net::Ipv4Addr next_hop,
                               int oif, CycleTrace& trace) {
   NetDevice* out = dev(oif);
   if (!out || !out->is_up()) {
-    ++counters_.drops[Drop::kLinkDown];
+    count_drop(Drop::kLinkDown);
     return Drop::kLinkDown;
   }
   trace.charge("neigh_lookup", cost_.neigh_lookup);
@@ -587,7 +624,7 @@ Drop Kernel::resolve_and_xmit(net::Packet&& pkt, net::Ipv4Addr next_hop,
     if (pending.pending.size() < NeighborTable::kMaxPending) {
       pending.pending.push_back(std::move(pkt));
     }
-    ++counters_.drops[Drop::kNeighPending];
+    count_drop(Drop::kNeighPending);
     emit_arp_request(next_hop, oif, trace);
     return Drop::kNeighPending;
   }
@@ -629,7 +666,7 @@ NetDevice* Kernel::local_addr_owner(net::Ipv4Addr addr) {
 void Kernel::dev_xmit(int ifindex, net::Packet&& pkt, CycleTrace& trace) {
   NetDevice* d = dev(ifindex);
   if (!d || !d->is_up()) {
-    ++counters_.drops[Drop::kLinkDown];
+    count_drop(Drop::kLinkDown);
     return;
   }
 
@@ -639,7 +676,7 @@ void Kernel::dev_xmit(int ifindex, net::Packet&& pkt, CycleTrace& trace) {
     trace.charge("tc_egress_prog", result.cycles + cost_.tc_hook_overhead);
     if (result.verdict == PacketProgram::Verdict::kDrop ||
         result.verdict == PacketProgram::Verdict::kUserspace) {
-      ++counters_.drops[Drop::kTcDrop];
+      count_drop(Drop::kTcDrop);
       return;
     }
     if (result.verdict == PacketProgram::Verdict::kRedirect) {
@@ -688,7 +725,7 @@ void Kernel::bridge_dev_xmit(Bridge& br, NetDevice& br_dev, net::Packet&& pkt,
   // Host-originated frame onto the bridge: FDB lookup, else flood.
   (void)br_dev;
   if (pkt.size() < net::kEthHdrLen) {
-    ++counters_.drops[Drop::kMalformed];
+    count_drop(Drop::kMalformed);
     return;
   }
   net::EthernetView eth(pkt.data());
@@ -716,7 +753,7 @@ void Kernel::bridge_dev_xmit(Bridge& br, NetDevice& br_dev, net::Packet&& pkt,
 void Kernel::vxlan_xmit(NetDevice& vxlan_dev, net::Packet&& pkt,
                         CycleTrace& trace) {
   if (pkt.size() < net::kEthHdrLen) {
-    ++counters_.drops[Drop::kMalformed];
+    count_drop(Drop::kMalformed);
     return;
   }
   VxlanConfig& cfg = vxlan_dev.vxlan();
@@ -725,7 +762,7 @@ void Kernel::vxlan_xmit(NetDevice& vxlan_dev, net::Packet&& pkt,
 
   auto it = cfg.vtep_fdb.find(eth.dst());
   if (it == cfg.vtep_fdb.end()) {
-    ++counters_.drops[Drop::kNoRoute];
+    count_drop(Drop::kNoRoute);
     return;
   }
   net::Ipv4Addr remote = it->second;
@@ -733,7 +770,7 @@ void Kernel::vxlan_xmit(NetDevice& vxlan_dev, net::Packet&& pkt,
   trace.charge("vxlan_encap", cost_.vxlan_encap);
   NetDevice* underlay = dev(cfg.underlay_ifindex);
   if (!underlay || !underlay->is_up()) {
-    ++counters_.drops[Drop::kLinkDown];
+    count_drop(Drop::kLinkDown);
     return;
   }
   net::vxlan_encap(pkt, cfg.vni, underlay->mac(), net::MacAddr::zero(),
@@ -743,8 +780,9 @@ void Kernel::vxlan_xmit(NetDevice& vxlan_dev, net::Packet&& pkt,
   // Route the outer packet toward the remote VTEP.
   trace.charge("fib_lookup", cost_.fib_lookup);
   auto hit = fib_.lookup(remote);
+  note_fib_lookup(hit);
   if (!hit) {
-    ++counters_.drops[Drop::kNoRoute];
+    count_drop(Drop::kNoRoute);
     return;
   }
   resolve_and_xmit(std::move(pkt), hit->next_hop, hit->route.oif, trace);

@@ -73,6 +73,22 @@ LinuxTestbed::LinuxTestbed(const ScenarioConfig& config)
 
 LinuxTestbed::~LinuxTestbed() {
   if (faults_armed_) util::FaultInjector::global().disarm();
+  kernel_.set_trace_ring(nullptr);
+}
+
+void LinuxTestbed::enable_tracing(std::size_t capacity) {
+  trace_ring_ = std::make_unique<util::TraceRing>(capacity);
+  kernel_.set_trace_ring(trace_ring_.get());
+}
+
+void LinuxTestbed::disable_tracing() {
+  kernel_.set_trace_ring(nullptr);
+  trace_ring_.reset();
+}
+
+util::Json LinuxTestbed::latest_trace_json() const {
+  if (!trace_ring_ || trace_ring_->empty()) return util::Json(nullptr);
+  return trace_ring_->latest().to_json();
 }
 
 std::string LinuxTestbed::name() const {

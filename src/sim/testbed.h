@@ -70,11 +70,21 @@ class LinuxTestbed : public DeviceUnderTest {
   int ingress_ifindex() const { return ingress_ifindex_; }
   std::uint64_t forwarded_count() const { return forwarded_; }
 
+  // Per-packet tracing (pwru-style): after enable_tracing, every process()
+  // call records its ordered stage/helper/verdict journey into a ring of the
+  // given capacity, retrievable via trace_ring() / latest_trace_json().
+  void enable_tracing(std::size_t capacity = 64);
+  void disable_tracing();
+  util::TraceRing* trace_ring() { return trace_ring_.get(); }
+  // JSON of the most recent packet's trace (null JSON when none recorded).
+  util::Json latest_trace_json() const;
+
  private:
   ScenarioConfig config_;
   bool faults_armed_ = false;
   kern::Kernel kernel_;
   std::unique_ptr<core::Controller> controller_;
+  std::unique_ptr<util::TraceRing> trace_ring_;
   int ingress_ifindex_ = 0;
   net::MacAddr eth0_mac_;
   net::MacAddr src_mac_;

@@ -1,0 +1,212 @@
+// Datapath observability layer: a process-wide-free, registry-based metric
+// store plus a pwru-style per-packet trace ring.
+//
+// The paper motivates LinuxFP with a per-stage hotspot profile of the kernel
+// datapath (Fig 1) and evaluates coherence and reaction time — both need the
+// simulated datapath to be observable. Three pieces live here:
+//
+//  * MetricsRegistry — named monotonic counters (always on, ~one increment
+//    per event) and opt-in latency Histograms (OnlineStats + SampleSet).
+//    Counter storage is deque-backed so &counter is stable forever; hot
+//    paths resolve a name once and bump through the cached pointer.
+//  * StageSink — a fixed-size open-addressing cache keyed on the *address*
+//    of a stage-name string literal, so CycleTrace::charge() costs two
+//    pointer-indexed increments instead of a string lookup.
+//  * PacketTrace / TraceRing — when tracing is enabled on a testbed, each
+//    packet records the ordered (layer, stage, cycles) events it hit in the
+//    slow path and in the eBPF VM, dumpable as JSON (tools/linuxfptrace).
+//
+// Counter naming scheme (see DESIGN.md):
+//   slowpath.<stage>.calls / .cycles      one pair per CycleTrace stage
+//   drop.<reason>                         per-reason drop counts
+//   fib.lookups / fib.depth_total         FIB activity (depth via FibResult)
+//   fastpath.<attachment>.<hook>.*        per-attachment verdicts/cycles
+//   ebpf.helper.<name>.calls              per-helper-call counts
+//   ebpf.map.{hits,misses}                map lookup outcomes
+//   fpm.<name>.deployed                   per-FPM deploy counts
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/stats.h"
+
+namespace linuxfp::util {
+
+// Opt-in latency histogram: Welford summary plus retained samples for exact
+// percentiles. record() is a no-op until the owning registry enables
+// histograms, so always-on call sites stay cheap.
+class Histogram {
+ public:
+  explicit Histogram(const bool* enabled) : enabled_(enabled) {}
+
+  void record(double v) {
+    if (!*enabled_) return;
+    stats_.add(v);
+    if (samples_.count() < kMaxSamples) samples_.add(v);
+  }
+
+  const OnlineStats& stats() const { return stats_; }
+  const SampleSet& samples() const { return samples_; }
+  std::size_t count() const { return stats_.count(); }
+
+  Json to_json() const;
+
+ private:
+  static constexpr std::size_t kMaxSamples = 1 << 16;
+  const bool* enabled_;
+  OnlineStats stats_;
+  SampleSet samples_;
+};
+
+// Named metric store. Not thread-safe — the simulation is single-threaded;
+// the contract for a future multi-threaded substrate is per-CPU registries
+// merged at export time, exactly like per-CPU BPF maps.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create. The returned pointer is stable for the registry's
+  // lifetime — hot paths cache it and bump without any lookup.
+  std::uint64_t* counter(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  // Value of a counter, 0 if it was never created.
+  std::uint64_t value(const std::string& name) const;
+
+  void set_histograms_enabled(bool on) { histograms_enabled_ = on; }
+  bool histograms_enabled() const { return histograms_enabled_; }
+
+  // When false, StageSink/Vm/Attachment emission sites skip their updates.
+  // Counters themselves keep their values (no reset).
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  // Zeroes every counter and drops every histogram's samples. Cached
+  // counter pointers stay valid.
+  void reset();
+
+  std::size_t counter_count() const { return counters_.size(); }
+
+  // {"counters": {name: value, ...}, "histograms": {name: {...}, ...}}
+  // Names are sorted so output is deterministic.
+  Json to_json() const;
+
+  // Prometheus-style text exposition: one "<prefix>_<name> <value>" line per
+  // counter ('.' and '-' become '_'), plus _count/_sum/quantile lines per
+  // histogram.
+  std::string prometheus_text(const std::string& prefix = "linuxfp") const;
+
+ private:
+  bool enabled_ = true;
+  bool histograms_enabled_ = false;
+  std::deque<std::uint64_t> counter_values_;   // stable addresses
+  std::map<std::string, std::uint64_t*> counters_;
+  std::deque<Histogram> histogram_values_;     // stable addresses
+  std::map<std::string, Histogram*> histograms_;
+};
+
+// Per-stage counter cache for the cycle-charge hot path. Stage names are
+// string literals, so identity-hashing the pointer is both correct per
+// charge site and far cheaper than hashing the string. Distinct literals
+// with equal text simply resolve to the same registry counters.
+class StageSink {
+ public:
+  // Counters are created as "<prefix><stage>.calls|cycles" (+ a
+  // "<prefix><stage>.cycles_hist" histogram, recorded only when the
+  // registry has histograms enabled).
+  void bind(MetricsRegistry* registry, std::string prefix);
+  void unbind() { registry_ = nullptr; }
+  bool bound() const { return registry_ != nullptr; }
+
+  void charge(const char* stage, std::uint64_t cycles) {
+    if (!registry_ || !registry_->enabled()) return;
+    Slot& slot = slot_for(stage);
+    ++*slot.calls;
+    *slot.cycles += cycles;
+    slot.hist->record(static_cast<double>(cycles));
+  }
+
+ private:
+  struct Slot {
+    const char* stage = nullptr;
+    std::uint64_t* calls = nullptr;
+    std::uint64_t* cycles = nullptr;
+    Histogram* hist = nullptr;
+  };
+
+  Slot& slot_for(const char* stage);
+  Slot& overflow_slot_for(const char* stage);
+
+  static constexpr std::size_t kSlots = 128;  // power of two; ~30 stages live
+  MetricsRegistry* registry_ = nullptr;
+  std::string prefix_;
+  std::vector<Slot> slots_;
+  std::map<const char*, Slot> overflow_;  // cold fallback if the table fills
+};
+
+// One event in a packet's journey. layer/stage point at string literals;
+// detail is only populated for verdict-ish events (allocates, but tracing is
+// opt-in).
+struct TraceEvent {
+  const char* layer;  // "slow" | "ebpf" | "verdict"
+  const char* stage;  // stage, helper, or verdict name
+  std::string detail;
+  std::uint64_t cycles = 0;
+};
+
+// The ordered trace of a single packet through the datapath.
+struct PacketTrace {
+  std::uint64_t id = 0;
+  int ifindex = 0;
+  std::string device;
+  bool fast_path = false;
+  std::string verdict;
+  std::uint64_t total_cycles = 0;
+  std::vector<TraceEvent> events;
+
+  void add(const char* layer, const char* stage, std::uint64_t cycles,
+           std::string detail = {}) {
+    events.push_back(TraceEvent{layer, stage, std::move(detail), cycles});
+  }
+
+  Json to_json() const;
+};
+
+// Fixed-capacity ring of recent packet traces (pwru-style). begin_packet()
+// evicts the oldest record if full, so the returned pointer stays valid
+// until the next begin_packet().
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 64) : capacity_(capacity) {}
+
+  PacketTrace* begin_packet(int ifindex, std::string device);
+  std::size_t size() const { return ring_.size(); }
+  bool empty() const { return ring_.empty(); }
+  const PacketTrace& at(std::size_t i) const { return ring_[i]; }
+  const PacketTrace& latest() const { return ring_.back(); }
+  std::uint64_t packets_traced() const { return next_id_; }
+  void clear() { ring_.clear(); }
+
+  Json to_json() const;
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t next_id_ = 0;
+  std::deque<PacketTrace> ring_;
+};
+
+// The packet currently being traced, if any. The simulation is
+// single-threaded, so a process global is the cheapest way to let the eBPF
+// VM append events without widening every interface between the kernel and
+// the loader. Null means tracing is off — emission sites must check.
+PacketTrace* active_packet_trace();
+void set_active_packet_trace(PacketTrace* trace);
+
+}  // namespace linuxfp::util

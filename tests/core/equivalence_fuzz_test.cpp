@@ -102,6 +102,38 @@ TEST(EquivalenceFuzz, RandomFirewallsIdenticalVerdicts) {
       EXPECT_GT(fast.kernel.counters().fast_path_packets, 0u)
           << "seed " << seed;
     }
+
+    // Counter coherence (observability contract): the accelerated DUT's
+    // per-reason drop totals must agree with the pure-Linux twin's once
+    // fast-path verdicts are mapped back to their slow-path reason —
+    // a policy drop executed in XDP/TC counts as xdp_drop/tc_drop on the
+    // fast DUT but policy on the twin.
+    auto drop_of = [](const kern::Kernel& k, kern::Drop r) {
+      auto it = k.counters().drops.find(r);
+      return it == k.counters().drops.end() ? 0ull : it->second;
+    };
+    std::uint64_t fast_policy = drop_of(fast.kernel, kern::Drop::kPolicy) +
+                                drop_of(fast.kernel, kern::Drop::kXdpDrop) +
+                                drop_of(fast.kernel, kern::Drop::kTcDrop);
+    EXPECT_EQ(fast_policy, drop_of(slow.kernel, kern::Drop::kPolicy))
+        << "seed " << seed;
+    for (kern::Drop r :
+         {kern::Drop::kNoRoute, kern::Drop::kMalformed, kern::Drop::kLinkDown,
+          kern::Drop::kTtlExceeded, kern::Drop::kNotForUs}) {
+      EXPECT_EQ(drop_of(fast.kernel, r), drop_of(slow.kernel, r))
+          << "seed " << seed << " reason " << kern::drop_name(r);
+    }
+
+    // And the metrics registry's drop.* counters mirror KernelCounters
+    // exactly on both DUTs — one event, two coherent views.
+    for (const kern::Kernel* k : {&fast.kernel, &slow.kernel}) {
+      for (const auto& [reason, count] : k->counters().drops) {
+        EXPECT_EQ(k->metrics().value(std::string("drop.") +
+                                     kern::drop_name(reason)),
+                  count)
+            << "seed " << seed << " reason " << kern::drop_name(reason);
+      }
+    }
   }
 }
 

@@ -69,6 +69,32 @@ TEST_F(CommandsTest, RouteAddDel) {
       k.fib().lookup(net::Ipv4Addr::parse("8.8.8.8").value()).has_value());
 }
 
+TEST_F(CommandsTest, RouteMetricAwareDelete) {
+  // Regression: `ip route del <prefix> metric N` used to ignore the metric
+  // and remove whichever route was stored for the prefix; with per-metric
+  // entries it must remove exactly the (prefix, metric) route.
+  k.add_phys_dev("eth0");
+  expect_ok("ip route add 10.3.0.0/16 via 10.10.1.2 dev eth0");
+  expect_ok("ip route add 10.3.0.0/16 via 10.10.1.9 dev eth0 metric 200");
+  EXPECT_EQ(k.fib().size(), 2u);
+
+  auto hit = k.fib().lookup(net::Ipv4Addr::parse("10.3.1.1").value());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->next_hop.to_string(), "10.10.1.2");
+
+  expect_ok("ip route del 10.3.0.0/16 metric 200");
+  hit = k.fib().lookup(net::Ipv4Addr::parse("10.3.1.1").value());
+  ASSERT_TRUE(hit.has_value()) << "primary must survive the backup delete";
+  EXPECT_EQ(hit->next_hop.to_string(), "10.10.1.2");
+
+  // Deleting the same metric again fails; deleting without a metric removes
+  // the remaining (active) route.
+  EXPECT_FALSE(run("ip route del 10.3.0.0/16 metric 200").ok());
+  expect_ok("ip route del 10.3.0.0/16");
+  EXPECT_FALSE(
+      k.fib().lookup(net::Ipv4Addr::parse("10.3.1.1").value()).has_value());
+}
+
 TEST_F(CommandsTest, NeighAdd) {
   k.add_phys_dev("eth0");
   expect_ok(

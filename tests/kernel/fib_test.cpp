@@ -77,6 +77,90 @@ TEST(Fib, ReplaceSamePrefix) {
   EXPECT_EQ(r->route.oif, 5);
 }
 
+TEST(Fib, SamePrefixDistinctMetricsCoexist) {
+  // Regression: the FIB used to key routes by prefix alone, so
+  // `ip route add ... metric 200` silently replaced the metric-0 route and
+  // deleting it took the primary down with it. Same-prefix routes with
+  // distinct metrics are separate entries; the lowest metric is active.
+  Fib fib;
+  Route primary = make_route("10.50.0.0/16", "1.1.1.1", 1);
+  primary.metric = 0;
+  Route backup = make_route("10.50.0.0/16", "2.2.2.2", 2);
+  backup.metric = 200;
+  fib.add_route(primary);
+  fib.add_route(backup);
+  EXPECT_EQ(fib.size(), 2u);
+
+  auto r = fib.lookup(net::Ipv4Addr::parse("10.50.3.3").value());
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->route.oif, 1) << "lowest metric must win";
+
+  // Deleting the backup by metric leaves the primary serving traffic.
+  EXPECT_TRUE(
+      fib.del_route(net::Ipv4Prefix::parse("10.50.0.0/16").value(), 200));
+  EXPECT_EQ(fib.size(), 1u);
+  r = fib.lookup(net::Ipv4Addr::parse("10.50.3.3").value());
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->route.oif, 1);
+
+  // Re-add the backup, then drop the primary: traffic fails over.
+  fib.add_route(backup);
+  EXPECT_TRUE(fib.del_route(net::Ipv4Prefix::parse("10.50.0.0/16").value(), 0));
+  r = fib.lookup(net::Ipv4Addr::parse("10.50.3.3").value());
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->route.oif, 2);
+
+  // Deleting a metric that does not exist is a miss, not a wildcard.
+  EXPECT_FALSE(
+      fib.del_route(net::Ipv4Prefix::parse("10.50.0.0/16").value(), 5));
+}
+
+TEST(Fib, ReplaceIsPerMetricAndDumpListsAll) {
+  Fib fib;
+  Route primary = make_route("10.60.0.0/16", "1.1.1.1", 1);
+  primary.metric = 10;
+  Route backup = make_route("10.60.0.0/16", "2.2.2.2", 2);
+  backup.metric = 20;
+  fib.add_route(primary);
+  fib.add_route(backup);
+
+  // Re-adding (prefix, metric=10) with a new gateway replaces only that
+  // entry — `ip route replace` semantics.
+  Route replacement = make_route("10.60.0.0/16", "3.3.3.3", 3);
+  replacement.metric = 10;
+  fib.add_route(replacement);
+  EXPECT_EQ(fib.size(), 2u);
+
+  auto r = fib.lookup(net::Ipv4Addr::parse("10.60.1.1").value());
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->route.oif, 3);
+
+  auto got = fib.get_route(net::Ipv4Prefix::parse("10.60.0.0/16").value(), 20);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->oif, 2) << "backup untouched by the metric-10 replace";
+
+  // Metric-less delete removes the active (lowest-metric) route.
+  EXPECT_TRUE(fib.del_route(net::Ipv4Prefix::parse("10.60.0.0/16").value()));
+  r = fib.lookup(net::Ipv4Addr::parse("10.60.1.1").value());
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->route.oif, 2);
+
+  EXPECT_EQ(fib.dump().size(), 1u);
+}
+
+TEST(Fib, LookupReportsTrieDepth) {
+  Fib fib;
+  fib.add_route(make_route("10.0.0.0/8", "1.1.1.1", 1));
+  fib.add_route(make_route("10.10.0.0/16", "2.2.2.2", 2));
+  auto shallow = fib.lookup(net::Ipv4Addr::parse("10.200.0.1").value());
+  auto deep = fib.lookup(net::Ipv4Addr::parse("10.10.0.1").value());
+  ASSERT_TRUE(shallow.has_value());
+  ASSERT_TRUE(deep.has_value());
+  EXPECT_GT(shallow->depth, 0u);
+  EXPECT_GT(deep->depth, shallow->depth)
+      << "/16 match must walk deeper than the /8";
+}
+
 TEST(Fib, PurgeInterface) {
   Fib fib;
   fib.add_route(make_route("10.1.0.0/16", "1.1.1.1", 1));

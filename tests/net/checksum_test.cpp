@@ -4,8 +4,23 @@
 
 #include <vector>
 
+#include "net/headers.h"
+#include "util/rng.h"
+
 namespace linuxfp::net {
 namespace {
+
+// Byte-at-a-time reference: accumulate each byte at its big-endian weight
+// with end-around carry. Deliberately structured nothing like the
+// word-at-a-time production code.
+std::uint16_t reference_fold(const std::vector<std::uint8_t>& data) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    sum += static_cast<std::uint64_t>(data[i]) << ((i % 2 == 0) ? 8 : 0);
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(sum);
+}
 
 TEST(Checksum, KnownVector) {
   // Classic RFC 1071 example header.
@@ -66,6 +81,113 @@ TEST(Checksum, IncrementalUpdateManySteps) {
     hdr[8] = static_cast<std::uint8_t>(ttl - 1);
     std::uint16_t expect = internet_checksum(hdr.data(), hdr.size());
     ASSERT_EQ(csum, expect) << "ttl=" << ttl;
+  }
+}
+
+TEST(Checksum, DifferentialRandomBuffersOddAndEven) {
+  util::Rng rng(0xc5c5);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::size_t len = 1 + rng.next_below(97);  // odd and even, incl. tiny
+    std::vector<std::uint8_t> data(len);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_below(256));
+    std::uint16_t expect = reference_fold(data);
+    ASSERT_EQ(checksum_fold(data.data(), data.size()), expect)
+        << "trial " << trial << " len " << len;
+    ASSERT_EQ(internet_checksum(data.data(), data.size()),
+              static_cast<std::uint16_t>(~expect))
+        << "trial " << trial << " len " << len;
+  }
+}
+
+TEST(Checksum, DifferentialIncrementalUpdateRandomWords) {
+  // For random (old_csum, old_val, new_val) the RFC 1624 update must agree
+  // with recomputing the checksum of a buffer that embodies the change.
+  util::Rng rng(0x1624);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> data(20);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_below(256));
+    // Checksum field (word 5, bytes 10-11) is zero while computing.
+    data[10] = data[11] = 0;
+    std::uint16_t before = internet_checksum(data.data(), data.size());
+
+    std::size_t word = 2 * rng.next_below(10);
+    if (word == 10) word = 12;  // never mutate the checksum field itself
+    std::uint16_t old_val =
+        static_cast<std::uint16_t>((data[word] << 8) | data[word + 1]);
+    std::uint16_t new_val = static_cast<std::uint16_t>(rng.next_below(65536));
+    data[word] = static_cast<std::uint8_t>(new_val >> 8);
+    data[word + 1] = static_cast<std::uint8_t>(new_val & 0xff);
+
+    std::uint16_t incremental = checksum_update16(before, old_val, new_val);
+    std::uint16_t recomputed = internet_checksum(data.data(), data.size());
+    // ~sum folds can differ only in the 0x0000/0xffff (-0/+0) encoding; both
+    // validate identically, so accept either representation.
+    bool equal = incremental == recomputed ||
+                 (incremental == 0xffff && recomputed == 0) ||
+                 (incremental == 0 && recomputed == 0xffff);
+    ASSERT_TRUE(equal) << "trial " << trial << " incremental=" << incremental
+                       << " recomputed=" << recomputed;
+  }
+}
+
+TEST(Checksum, UpdateEdgeOldChecksumAllOnes) {
+  // RFC 1624 edge: a stored checksum of 0xffff (an all-zero header sums to
+  // zero, so its inverted checksum is all ones). The buggy RFC 1071-style
+  // update ~(~HC + c) mishandles this; eqn. 3 must survive it.
+  std::vector<std::uint8_t> hdr(20, 0);
+  std::uint16_t before = internet_checksum(hdr.data(), hdr.size());
+  ASSERT_EQ(before, 0xffff);
+  hdr[10] = before >> 8;
+  hdr[11] = before & 0xff;
+
+  // Set TTL=7 (word at bytes 8-9: 0x0000 -> 0x0700).
+  std::uint16_t incremental = checksum_update16(before, 0x0000, 0x0700);
+  hdr[8] = 7;
+  hdr[10] = hdr[11] = 0;
+  std::uint16_t recomputed = internet_checksum(hdr.data(), hdr.size());
+  EXPECT_EQ(incremental, recomputed);
+}
+
+TEST(Checksum, UpdateEdgeUnchangedValueKeepsHeaderValid) {
+  // old_val == new_val: the update must be a no-op as far as receivers are
+  // concerned — after writing the result back, the header still validates
+  // and a fresh decrement_ttl from it matches full recomputation.
+  std::vector<std::uint8_t> hdr = {0x45, 0x00, 0x00, 0x73, 0x00, 0x00,
+                                   0x40, 0x00, 0x40, 0x11, 0x00, 0x00,
+                                   0xc0, 0xa8, 0x00, 0x01, 0xc0, 0xa8,
+                                   0x00, 0xc7};
+  std::uint16_t csum = internet_checksum(hdr.data(), hdr.size());
+  std::uint16_t same = checksum_update16(csum, 0x4011, 0x4011);
+  hdr[10] = same >> 8;
+  hdr[11] = same & 0xff;
+  Ipv4View ip(hdr.data());
+  EXPECT_TRUE(ip.checksum_valid());
+
+  // decrement_ttl's incremental path on top of the identity-updated header
+  // equals recomputation from scratch.
+  ip.decrement_ttl();
+  std::uint16_t after_incr = ip.checksum();
+  ip.update_checksum();
+  EXPECT_EQ(after_incr, ip.checksum());
+  EXPECT_EQ(ip.ttl(), 0x3f);
+}
+
+TEST(Checksum, DecrementTtlDifferentialAcrossRandomHeaders) {
+  util::Rng rng(0x7713);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> hdr(20);
+    for (auto& b : hdr) b = static_cast<std::uint8_t>(rng.next_below(256));
+    hdr[0] = 0x45;  // valid IHL so header_len() is 20
+    hdr[8] = static_cast<std::uint8_t>(2 + rng.next_below(250));  // ttl >= 2
+    Ipv4View ip(hdr.data());
+    ip.update_checksum();
+    ASSERT_TRUE(ip.checksum_valid());
+
+    ip.decrement_ttl();
+    EXPECT_TRUE(ip.checksum_valid()) << "trial " << trial;
+    std::uint16_t incremental = ip.checksum();
+    ip.update_checksum();
+    EXPECT_EQ(incremental, ip.checksum()) << "trial " << trial;
   }
 }
 

@@ -22,3 +22,39 @@ run_pass build
 run_pass build-asan -DLINUXFP_SANITIZE=ON
 
 echo "=== tier-1 OK (plain + sanitized) ==="
+
+# --- bench smoke: every Reporter-wired bench must emit its BENCH_*.json ---
+echo "=== bench smoke: BENCH_*.json emission ==="
+(cd build/bench &&
+ ./bench_fig5_router_tput --smoke >/dev/null &&
+ test -s BENCH_fig5_router_tput.json &&
+ ./bench_fig1_hotspots --smoke >/dev/null &&
+ test -s BENCH_fig1_hotspots.json)
+echo "bench smoke OK"
+
+# --- observability overhead guard -----------------------------------------
+# The always-on counters must stay cheap: compare the metered forward-path
+# microbenchmarks against their Bare (metrics-disabled) twins and fail if
+# the metered run is more than 35% slower in host time. (The modeled-cycle
+# budget is <2% — counters charge no simulated cycles at all; this guards
+# the wall-clock cost of the substrate.)
+echo "=== observability overhead guard ==="
+build/bench/bench_micro_substrate \
+  --benchmark_filter='BM_(Slow|Fast)PathForward(Bare)?$' \
+  --benchmark_format=json > /tmp/overhead.json
+python3 - <<'EOF'
+import json
+results = {b["name"]: b["cpu_time"]
+           for b in json.load(open("/tmp/overhead.json"))["benchmarks"]}
+budget = 1.35
+ok = True
+for base in ("BM_SlowPathForward", "BM_FastPathForward"):
+    metered, bare = results[base], results[base + "Bare"]
+    ratio = metered / bare
+    print(f"{base}: metered={metered:.0f}ns bare={bare:.0f}ns "
+          f"ratio={ratio:.3f} (budget {budget})")
+    if ratio > budget:
+        ok = False
+raise SystemExit(0 if ok else "observability overhead exceeds budget")
+EOF
+echo "overhead guard OK"
