@@ -170,7 +170,7 @@ DeployReport Deployer::deploy(const std::vector<SynthesisResult>& results,
     ++report.devices;
     for (const std::string& fpm : r.fpms) {
       if (fpm == "filter") has_filter = true;
-      if (metrics_) ++*metrics_->counter("fpm." + fpm + ".deployed");
+      if (metrics_) util::bump(metrics_->counter("fpm." + fpm + ".deployed"));
     }
   }
   // Withdraw acceleration from devices no longer covered by any graph.

@@ -102,7 +102,32 @@ util::Json status_json(Controller& controller) {
   datapath["drops"] = drops;
   out["datapath"] = datapath;
 
-  out["metrics"] = kernel.metrics().to_json();
+  // Parallel engine observability: per-queue counters reconciled at
+  // Engine::stop() (engine.queue<i>.polls/bursts/drops/occupancy/processed
+  // plus the slow-path funnel totals). Grouped here for operators; the raw
+  // counters also flow through "metrics" and prometheus_status.
+  util::Json metrics = kernel.metrics().to_json();
+  util::Json engine = util::Json::object();
+  util::Json queues = util::Json::array();
+  for (int q = 0;; ++q) {
+    const std::string prefix = "engine.queue" + std::to_string(q) + ".";
+    const util::Json& counters = metrics.at("counters");
+    if (!counters.object_items().contains(prefix + "processed")) break;
+    util::Json qj = util::Json::object();
+    qj["queue"] = static_cast<std::int64_t>(q);
+    for (const char* name : {"polls", "bursts", "drops", "occupancy",
+                             "processed"}) {
+      qj[name] = counters.at(prefix + name);
+    }
+    queues.push_back(qj);
+  }
+  if (queues.size() > 0) {
+    engine["queues"] = queues;
+    engine["slow_processed"] = kernel.metrics().value("engine.slow.processed");
+    engine["slow_cycles"] = kernel.metrics().value("engine.slow.cycles");
+    out["engine"] = engine;
+  }
+  out["metrics"] = metrics;
 
   out["health"] = health_json(controller.health());
   util::FaultInjector& fi = util::FaultInjector::global();

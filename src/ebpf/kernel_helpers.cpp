@@ -43,7 +43,9 @@ void register_generic(HelperRegistry& registry, const kern::CostModel& cost) {
                        ? c.bpf_map_array
                        : (map->type() == MapType::kLpmTrie ? c.bpf_map_lpm
                                                            : c.bpf_map_hash));
-        std::uint8_t* value = map->lookup(key.value());
+        // On a per-CPU map this yields the running CPU's slot, so concurrent
+        // workers each write private bytes (this_cpu_ptr semantics).
+        std::uint8_t* value = map->lookup(key.value(), ctx.cpu());
         if (!value) return 0;
         return ctx.make_map_value_ptr(value, map->value_size());
       });
@@ -59,7 +61,9 @@ void register_generic(HelperRegistry& registry, const kern::CostModel& cost) {
         if (!key.ok() || !value.ok()) return static_cast<std::uint64_t>(-1);
         const kern::CostModel& c = cost_of(ctx, cost);
         ctx.charge(map->is_array_like() ? c.bpf_map_array : c.bpf_map_hash);
-        return map->update(key.value(), value.value()).ok()
+        // Program-side per-CPU update touches only this CPU's slot (and, for
+        // per-CPU hashes, fails on a missing key rather than inserting).
+        return map->update_cpu(key.value(), value.value(), ctx.cpu()).ok()
                    ? 0
                    : static_cast<std::uint64_t>(-1);
       });
@@ -91,6 +95,13 @@ void register_generic(HelperRegistry& registry, const kern::CostModel& cost) {
       [](HelperContext& ctx, std::uint64_t, std::uint64_t, std::uint64_t,
          std::uint64_t, std::uint64_t) -> std::uint64_t {
         return ctx.kernel() ? ctx.kernel()->now_ns() : 0;
+      });
+
+  registry.register_helper(
+      kHelperGetSmpProcessorId, "bpf_get_smp_processor_id",
+      [](HelperContext& ctx, std::uint64_t, std::uint64_t, std::uint64_t,
+         std::uint64_t, std::uint64_t) -> std::uint64_t {
+        return ctx.cpu();
       });
 
   registry.register_helper(

@@ -9,7 +9,37 @@ namespace linuxfp::ebpf {
 Attachment::Attachment(std::string name, HookType hook, kern::Kernel& kernel,
                        const HelperRegistry& helpers)
     : name_(std::move(name)), hook_(hook), kernel_(kernel), helpers_(helpers) {
-  vm_ = std::make_unique<Vm>(kernel_.cost(), helpers_, maps_, &programs_);
+  vms_.push_back(
+      std::make_unique<Vm>(kernel_.cost(), helpers_, maps_, &programs_));
+  cpu_stats_.resize(1);
+}
+
+void Attachment::prepare_cpus(unsigned n) {
+  while (vms_.size() < n) {
+    auto vm = std::make_unique<Vm>(kernel_.cost(), helpers_, maps_,
+                                   &programs_);
+    vm->set_cpu(static_cast<unsigned>(vms_.size()));
+    vm->set_metrics(metrics_registry_);
+    vms_.push_back(std::move(vm));
+  }
+  if (cpu_stats_.size() < vms_.size()) cpu_stats_.resize(vms_.size());
+}
+
+AttachmentStats Attachment::stats() const {
+  AttachmentStats total;
+  for (const CpuStats& shard : cpu_stats_) {
+    const AttachmentStats& s = shard.s;
+    total.runs += s.runs;
+    total.pass += s.pass;
+    total.drop += s.drop;
+    total.tx += s.tx;
+    total.redirect += s.redirect;
+    total.to_userspace += s.to_userspace;
+    total.aborted += s.aborted;
+    total.total_cycles += s.total_cycles;
+    total.total_insns += s.total_insns;
+  }
+  return total;
 }
 
 util::Result<std::uint32_t> Attachment::load(Program prog) {
@@ -128,7 +158,7 @@ std::uint32_t Attachment::register_xsk(AfXdpSocket* socket) {
 
 void Attachment::set_metrics(util::MetricsRegistry* registry) {
   metrics_registry_ = registry;
-  vm_->set_metrics(registry);
+  for (auto& vm : vms_) vm->set_metrics(registry);
   if (!registry) {
     m_runs_ = m_cycles_ = nullptr;
     for (auto& v : m_verdicts_) v = nullptr;
@@ -145,6 +175,14 @@ void Attachment::set_metrics(util::MetricsRegistry* registry) {
 }
 
 Attachment::RunResult Attachment::run(net::Packet& pkt, int ingress_ifindex) {
+  return run_on_cpu(pkt, ingress_ifindex, 0);
+}
+
+Attachment::RunResult Attachment::run_on_cpu(net::Packet& pkt,
+                                             int ingress_ifindex,
+                                             unsigned cpu) {
+  LFP_CHECK_MSG(cpu < vms_.size(), "run_on_cpu without prepare_cpus");
+  AttachmentStats& sh = cpu_stats_[cpu].s;
   RunResult out;
   if (!has_entry_) {
     out.verdict = Verdict::kPass;
@@ -153,30 +191,30 @@ Attachment::RunResult Attachment::run(net::Packet& pkt, int ingress_ifindex) {
   if (auto* t = util::active_packet_trace()) {
     t->add("ebpf", "prog_entry", 0, programs_[entry_prog_].name);
   }
-  VmResult r = vm_->run(programs_[entry_prog_], pkt, ingress_ifindex,
-                        &kernel_);
-  ++stats_.runs;
-  stats_.total_cycles += r.cycles;
-  stats_.total_insns += r.insns_executed;
+  VmResult r = vms_[cpu]->run(programs_[entry_prog_], pkt, ingress_ifindex,
+                              &kernel_);
+  ++sh.runs;
+  sh.total_cycles += r.cycles;
+  sh.total_insns += r.insns_executed;
   if (metrics_on()) {
-    ++*m_runs_;
-    *m_cycles_ += r.cycles;
+    util::bump(m_runs_);
+    util::bump(m_cycles_, r.cycles);
   }
   out.cycles = r.cycles;
   if (r.aborted) {
-    ++stats_.aborted;
-    if (metrics_on()) ++*m_verdicts_[static_cast<int>(Verdict::kAborted)];
+    ++sh.aborted;
+    if (metrics_on()) util::bump(m_verdicts_[static_cast<int>(Verdict::kAborted)]);
     out.verdict = Verdict::kAborted;
     LFP_WARN("ebpf") << name_ << " aborted: " << r.error;
     return out;
   }
   switch (r.ret) {
     case kActDrop:
-      ++stats_.drop;
+      ++sh.drop;
       out.verdict = Verdict::kDrop;
       break;
     case kActTx:
-      ++stats_.tx;
+      ++sh.tx;
       out.verdict = Verdict::kTx;
       break;
     case kActRedirect:
@@ -185,28 +223,28 @@ Attachment::RunResult Attachment::run(net::Packet& pkt, int ingress_ifindex) {
         if (static_cast<std::size_t>(r.redirect_xsk) < xsk_sockets_.size()) {
           xsk_sockets_[static_cast<std::size_t>(r.redirect_xsk)]->push_rx(
               net::Packet(pkt));
-          ++stats_.to_userspace;
+          ++sh.to_userspace;
           out.verdict = Verdict::kUserspace;
         } else {
-          ++stats_.aborted;
+          ++sh.aborted;
           out.verdict = Verdict::kAborted;
         }
         break;
       }
-      ++stats_.redirect;
+      ++sh.redirect;
       out.verdict = Verdict::kRedirect;
       out.redirect_ifindex = r.redirect_ifindex;
       break;
     case kActPass:
-      ++stats_.pass;
+      ++sh.pass;
       out.verdict = Verdict::kPass;
       break;
     default:
-      ++stats_.aborted;
+      ++sh.aborted;
       out.verdict = Verdict::kAborted;
       break;
   }
-  if (metrics_on()) ++*m_verdicts_[static_cast<int>(out.verdict)];
+  if (metrics_on()) util::bump(m_verdicts_[static_cast<int>(out.verdict)]);
   return out;
 }
 

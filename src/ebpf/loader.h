@@ -91,10 +91,22 @@ class Attachment : public kern::PacketProgram {
 
   // --- kern::PacketProgram -----------------------------------------------------
   RunResult run(net::Packet& pkt, int ingress_ifindex) override;
+  // Engine entry point: runs on `cpu`'s private VM against the shared map
+  // set and charges `cpu`'s stats shard; safe concurrently across distinct
+  // cpus after prepare_cpus. AF_XDP delivery is not per-CPU sharded — XSK
+  // redirect programs must be driven single-queue.
+  RunResult run_on_cpu(net::Packet& pkt, int ingress_ifindex,
+                       unsigned cpu) override;
+  // Grows the per-CPU VM/stat shards to `n` (control plane, no workers
+  // running). Idempotent; cpu 0 always exists.
+  void prepare_cpus(unsigned n) override;
   std::string name() const override { return name_; }
 
-  const AttachmentStats& stats() const { return stats_; }
+  // Aggregated over the per-CPU shards. Only exact after the worker pool
+  // quiesces (shard writes are unsynchronized plain fields).
+  AttachmentStats stats() const;
   HookType hook() const { return hook_; }
+  unsigned ncpus() const { return static_cast<unsigned>(vms_.size()); }
 
   // Mirrors per-run verdict/cycle counts into `registry` under
   // "fastpath.<name>.<hook>.*" and binds the VM's helper/map counters.
@@ -106,25 +118,34 @@ class Attachment : public kern::PacketProgram {
     return metrics_registry_ != nullptr && metrics_registry_->enabled();
   }
 
+  // One stats shard per CPU, cache-line padded so concurrent workers never
+  // false-share; stats() sums the shards.
+  struct alignas(64) CpuStats {
+    AttachmentStats s;
+  };
+
   std::string name_;
   HookType hook_;
   kern::Kernel& kernel_;
   const HelperRegistry& helpers_;
   MapSet maps_;
   std::vector<Program> programs_;
-  std::unique_ptr<Vm> vm_;
+  // vms_[cpu] is that CPU's interpreter: same cost model, helper registry,
+  // map set and program table, private run state. Index 0 is the slow-path /
+  // single-queue VM.
+  std::vector<std::unique_ptr<Vm>> vms_;
+  std::vector<CpuStats> cpu_stats_;
   bool dispatcher_enabled_ = false;
   std::uint32_t prog_array_id_ = 0;
   std::uint32_t entry_prog_ = 0;
   std::uint32_t active_prog_ = 0;
   bool has_entry_ = false;
   std::vector<AfXdpSocket*> xsk_sockets_;
-  AttachmentStats stats_;
 
   util::MetricsRegistry* metrics_registry_ = nullptr;
-  std::uint64_t* m_runs_ = nullptr;
-  std::uint64_t* m_cycles_ = nullptr;
-  std::uint64_t* m_verdicts_[6] = {};  // indexed by Verdict
+  util::Counter* m_runs_ = nullptr;
+  util::Counter* m_cycles_ = nullptr;
+  util::Counter* m_verdicts_[6] = {};  // indexed by Verdict
 };
 
 // Attach/detach convenience wrappers (libbpf-style API).

@@ -15,6 +15,8 @@ const char* map_type_name(MapType type) {
     case MapType::kProgArray: return "prog_array";
     case MapType::kDevMap: return "devmap";
     case MapType::kXskMap: return "xskmap";
+    case MapType::kPercpuArray: return "percpu_array";
+    case MapType::kPercpuHash: return "percpu_hash";
   }
   return "?";
 }
@@ -28,32 +30,31 @@ Map::Map(std::string name, MapType type, std::uint32_t key_size,
       max_entries_(max_entries) {
   if (is_array_like()) {
     LFP_CHECK_MSG(key_size_ == 4, "array-like maps require u32 keys");
-    array_storage_.resize(std::size_t{max_entries_} * value_size_, 0);
-    array_present_.resize(max_entries_, false);
+    array_storage_.resize(std::size_t{max_entries_} * entry_stride(), 0);
+    // A per-CPU array is fully allocated up front (the kernel pre-populates
+    // every index with zeroed per-CPU storage), so lookups never miss and
+    // worker-side updates never allocate.
+    array_present_.resize(max_entries_, type_ == MapType::kPercpuArray);
   }
   if (type_ == MapType::kLpmTrie) {
     LFP_CHECK_MSG(key_size_ == 8, "LPM key is {u32 prefixlen, u32 addr}");
   }
 }
 
-std::uint8_t* Map::lookup(const std::uint8_t* key) {
-  // A fired lookup fault is a transient miss, exactly what a real lookup
-  // failure looks like to eBPF code; the dispatcher then falls through to
-  // PASS and the slow path handles the packet.
-  if (util::FaultInjector::global().should_fail(util::kFaultMapLookup)) {
-    return nullptr;
-  }
+std::uint8_t* Map::entry_base(const std::uint8_t* key) {
   switch (type_) {
     case MapType::kArray:
     case MapType::kProgArray:
     case MapType::kDevMap:
-    case MapType::kXskMap: {
+    case MapType::kXskMap:
+    case MapType::kPercpuArray: {
       std::uint32_t index;
       std::memcpy(&index, key, 4);
       if (index >= max_entries_ || !array_present_[index]) return nullptr;
-      return array_storage_.data() + std::size_t{index} * value_size_;
+      return array_storage_.data() + std::size_t{index} * entry_stride();
     }
-    case MapType::kHash: {
+    case MapType::kHash:
+    case MapType::kPercpuHash: {
       auto it = hash_storage_.find(key_str(key));
       return it == hash_storage_.end() ? nullptr : it->second.data();
     }
@@ -63,8 +64,7 @@ std::uint8_t* Map::lookup(const std::uint8_t* key) {
       std::memcpy(&addr, key + 4, 4);
       for (auto& [plen, bucket] : lpm_storage_) {
         if (plen > max_len) continue;
-        std::uint32_t mask =
-            plen == 0 ? 0 : (0xffffffffu << (32 - plen));
+        std::uint32_t mask = plen == 0 ? 0 : (0xffffffffu << (32 - plen));
         auto it = bucket.find(addr & mask);
         if (it != bucket.end()) return it->second.data();
       }
@@ -72,6 +72,23 @@ std::uint8_t* Map::lookup(const std::uint8_t* key) {
     }
   }
   return nullptr;
+}
+
+std::uint8_t* Map::lookup(const std::uint8_t* key, unsigned cpu) {
+  // A fired lookup fault is a transient miss, exactly what a real lookup
+  // failure looks like to eBPF code; the dispatcher then falls through to
+  // PASS and the slow path handles the packet.
+  if (util::FaultInjector::global().should_fail(util::kFaultMapLookup)) {
+    return nullptr;
+  }
+  if (!is_percpu()) {
+    cpu = 0;
+  } else if (cpu >= kMaxCpus) {
+    return nullptr;
+  }
+  std::uint8_t* base = entry_base(key);
+  if (!base) return nullptr;
+  return base + std::size_t{cpu} * value_size_;
 }
 
 util::Status Map::update(const std::uint8_t* key, const std::uint8_t* value) {
@@ -83,24 +100,33 @@ util::Status Map::update(const std::uint8_t* key, const std::uint8_t* value) {
     case MapType::kArray:
     case MapType::kProgArray:
     case MapType::kDevMap:
-    case MapType::kXskMap: {
+    case MapType::kXskMap:
+    case MapType::kPercpuArray: {
       std::uint32_t index;
       std::memcpy(&index, key, 4);
       if (index >= max_entries_) {
         return util::Error::make("map.bounds", "index out of range");
       }
-      std::memcpy(array_storage_.data() + std::size_t{index} * value_size_,
-                  value, value_size_);
+      std::uint8_t* base =
+          array_storage_.data() + std::size_t{index} * entry_stride();
+      for (unsigned cpu = 0; cpu < (is_percpu() ? kMaxCpus : 1); ++cpu) {
+        std::memcpy(base + std::size_t{cpu} * value_size_, value, value_size_);
+      }
       array_present_[index] = true;
       return {};
     }
-    case MapType::kHash: {
+    case MapType::kHash:
+    case MapType::kPercpuHash: {
       if (hash_storage_.size() >= max_entries_ &&
           !hash_storage_.count(key_str(key))) {
         return util::Error::make("map.full", "hash map full");
       }
-      hash_storage_[key_str(key)] =
-          std::vector<std::uint8_t>(value, value + value_size_);
+      std::vector<std::uint8_t> entry(entry_stride());
+      for (unsigned cpu = 0; cpu < (is_percpu() ? kMaxCpus : 1); ++cpu) {
+        std::memcpy(entry.data() + std::size_t{cpu} * value_size_, value,
+                    value_size_);
+      }
+      hash_storage_[key_str(key)] = std::move(entry);
       return {};
     }
     case MapType::kLpmTrie: {
@@ -117,8 +143,47 @@ util::Status Map::update(const std::uint8_t* key, const std::uint8_t* value) {
   return util::Error::make("map.type", "unsupported");
 }
 
+util::Status Map::update_cpu(const std::uint8_t* key,
+                             const std::uint8_t* value, unsigned cpu) {
+  if (!is_percpu()) return update(key, value);
+  if (auto st = util::FaultInjector::global().check(util::kFaultMapUpdate);
+      !st.ok()) {
+    return st;
+  }
+  if (cpu >= kMaxCpus) {
+    return util::Error::make("map.cpu", "cpu id out of range");
+  }
+  std::uint8_t* base = entry_base(key);
+  if (!base) {
+    // Never insert from program context: an insert would mutate the hash
+    // table under concurrent workers. Pre-create keys from the control plane.
+    return util::Error::make("map.percpu_key",
+                             "per-CPU hash update requires an existing key");
+  }
+  std::memcpy(base + std::size_t{cpu} * value_size_, value, value_size_);
+  return {};
+}
+
+std::uint64_t Map::percpu_sum(const std::uint8_t* key) {
+  std::uint8_t* base = entry_base(key);
+  if (!base) return 0;
+  const std::size_t width = value_size_ < 8 ? value_size_ : 8;
+  const unsigned slots = is_percpu() ? kMaxCpus : 1;
+  std::uint64_t sum = 0;
+  for (unsigned cpu = 0; cpu < slots; ++cpu) {
+    std::uint64_t v = 0;
+    std::memcpy(&v, base + std::size_t{cpu} * value_size_, width);
+    sum += v;
+  }
+  return sum;
+}
+
 bool Map::erase(const std::uint8_t* key) {
   switch (type_) {
+    case MapType::kPercpuArray:
+      // Arrays do not support delete (the kernel returns -EINVAL); presence
+      // is what makes worker-side slot writes allocation-free.
+      return false;
     case MapType::kArray:
     case MapType::kProgArray:
     case MapType::kDevMap:
@@ -130,6 +195,7 @@ bool Map::erase(const std::uint8_t* key) {
       return true;
     }
     case MapType::kHash:
+    case MapType::kPercpuHash:
       return hash_storage_.erase(key_str(key)) > 0;
     case MapType::kLpmTrie: {
       std::uint32_t plen, addr;
@@ -145,7 +211,12 @@ bool Map::erase(const std::uint8_t* key) {
 }
 
 void Map::clear() {
-  std::fill(array_present_.begin(), array_present_.end(), false);
+  if (type_ == MapType::kPercpuArray) {
+    // Stays fully present; clearing zeroes every slot.
+    std::fill(array_storage_.begin(), array_storage_.end(), 0);
+  } else {
+    std::fill(array_present_.begin(), array_present_.end(), false);
+  }
   hash_storage_.clear();
   lpm_storage_.clear();
 }
@@ -155,12 +226,14 @@ std::size_t Map::size() const {
     case MapType::kArray:
     case MapType::kProgArray:
     case MapType::kDevMap:
-    case MapType::kXskMap: {
+    case MapType::kXskMap:
+    case MapType::kPercpuArray: {
       std::size_t n = 0;
       for (bool p : array_present_) n += p;
       return n;
     }
     case MapType::kHash:
+    case MapType::kPercpuHash:
       return hash_storage_.size();
     case MapType::kLpmTrie: {
       std::size_t n = 0;

@@ -22,9 +22,23 @@
 
 namespace linuxfp::ebpf {
 
-enum class MapType { kArray, kHash, kLpmTrie, kProgArray, kDevMap, kXskMap };
+enum class MapType {
+  kArray,
+  kHash,
+  kLpmTrie,
+  kProgArray,
+  kDevMap,
+  kXskMap,
+  kPercpuArray,
+  kPercpuHash,
+};
 
 const char* map_type_name(MapType type);
+
+// NR_CPUS analogue: per-CPU maps allocate this many value slots per entry,
+// regardless of how many engine workers actually run (the kernel sizes
+// per-CPU map storage by nr_cpu_ids, not by the online mask).
+inline constexpr unsigned kMaxCpus = 16;
 
 class Map {
  public:
@@ -38,9 +52,33 @@ class Map {
   std::uint32_t max_entries() const { return max_entries_; }
 
   // Returns a pointer to the stored value bytes (stable until the entry is
-  // deleted), or nullptr on miss.
-  std::uint8_t* lookup(const std::uint8_t* key);
+  // deleted), or nullptr on miss. On a per-CPU map this is CPU 0's slot;
+  // program-side lookups go through the cpu overload below.
+  std::uint8_t* lookup(const std::uint8_t* key) { return lookup(key, 0); }
+  // Per-CPU-aware lookup: on a per-CPU map returns `cpu`'s slot of the entry
+  // (the kernel's this_cpu_ptr semantics); on ordinary maps `cpu` is ignored.
+  // Slots of one entry are distinct bytes, so concurrent workers touching
+  // their own slots never race.
+  std::uint8_t* lookup(const std::uint8_t* key, unsigned cpu);
+
+  // Control-plane update. On a per-CPU map the value is replicated into every
+  // CPU slot (like bpf_map_update_elem from syscall context with a single
+  // value). Creates hash entries — single-threaded control plane only.
   util::Status update(const std::uint8_t* key, const std::uint8_t* value);
+  // Program-side update: writes only `cpu`'s slot of a per-CPU entry. To stay
+  // lock-free under the worker pool, a per-CPU *hash* entry must already
+  // exist (pre-created from the control plane) — a missing key is an error,
+  // never an insert. Per-CPU array slots always exist. Ordinary maps forward
+  // to update().
+  util::Status update_cpu(const std::uint8_t* key, const std::uint8_t* value,
+                          unsigned cpu);
+
+  // Aggregate-on-read for per-CPU maps: sums the first min(value_size, 8)
+  // little-endian bytes of every CPU slot (the pattern of reading a per-CPU
+  // counter map from user space). 0 on miss; on ordinary maps, reads the
+  // single value the same way.
+  std::uint64_t percpu_sum(const std::uint8_t* key);
+
   bool erase(const std::uint8_t* key);
   void clear();
   std::size_t size() const;
@@ -55,13 +93,26 @@ class Map {
   // Cost class used by the VM to charge map operations.
   bool is_array_like() const {
     return type_ == MapType::kArray || type_ == MapType::kProgArray ||
-           type_ == MapType::kDevMap || type_ == MapType::kXskMap;
+           type_ == MapType::kDevMap || type_ == MapType::kXskMap ||
+           type_ == MapType::kPercpuArray;
+  }
+  bool is_percpu() const {
+    return type_ == MapType::kPercpuArray || type_ == MapType::kPercpuHash;
   }
 
  private:
   std::string key_str(const std::uint8_t* key) const {
     return std::string(reinterpret_cast<const char*>(key), key_size_);
   }
+
+  // Bytes one entry occupies: per-CPU maps hold kMaxCpus slots per entry.
+  std::size_t entry_stride() const {
+    return std::size_t{value_size_} * (is_percpu() ? kMaxCpus : 1);
+  }
+
+  // Locates the entry's storage (slot 0 for per-CPU maps) without fault
+  // injection; nullptr on miss.
+  std::uint8_t* entry_base(const std::uint8_t* key);
 
   std::string name_;
   MapType type_;

@@ -42,6 +42,7 @@ inline constexpr std::uint32_t kHelperMapLookup = 1;
 inline constexpr std::uint32_t kHelperMapUpdate = 2;
 inline constexpr std::uint32_t kHelperMapDelete = 3;
 inline constexpr std::uint32_t kHelperKtimeGetNs = 5;
+inline constexpr std::uint32_t kHelperGetSmpProcessorId = 8;
 inline constexpr std::uint32_t kHelperTailCall = 12;
 inline constexpr std::uint32_t kHelperCsumDiff = 28;
 inline constexpr std::uint32_t kHelperRedirect = 23;
@@ -65,6 +66,10 @@ class HelperContext {
   net::Packet* packet() { return pkt_; }
   kern::Kernel* kernel() { return kernel_; }
   int ingress_ifindex() const { return ingress_ifindex_; }
+
+  // The CPU the executing VM models: bpf_get_smp_processor_id's return value
+  // and the slot per-CPU map helpers address.
+  unsigned cpu() const;
 
   // Translates a tagged pointer to host memory with bounds checking.
   util::Result<std::uint8_t*> mem(std::uint64_t tagged, std::size_t len);

@@ -21,6 +21,7 @@ const char* helper_name(std::uint32_t id) {
     case kHelperMapUpdate: return "map_update";
     case kHelperMapDelete: return "map_delete";
     case kHelperKtimeGetNs: return "ktime_get_ns";
+    case kHelperGetSmpProcessorId: return "get_smp_processor_id";
     case kHelperTailCall: return "tail_call";
     case kHelperCsumDiff: return "csum_diff";
     case kHelperRedirect: return "redirect";
@@ -54,13 +55,17 @@ void Vm::set_metrics(util::MetricsRegistry* registry) {
   map_hits_ = registry->counter("ebpf.map.hits");
   map_misses_ = registry->counter("ebpf.map.misses");
   tail_call_counter_ = registry->counter("ebpf.tail_calls");
+  // Resolve every registered helper's counter now: counter creation mutates
+  // the registry and is only safe on the control plane, while run() may
+  // execute on an engine worker thread.
+  for (std::uint32_t id : helpers_.ids()) helper_counter(id);
 }
 
-std::uint64_t* Vm::helper_counter(std::uint32_t helper_id) {
+util::Counter* Vm::helper_counter(std::uint32_t helper_id) {
   if (helper_counters_.size() <= helper_id) {
     helper_counters_.resize(helper_id + 1, nullptr);
   }
-  std::uint64_t*& slot = helper_counters_[helper_id];
+  util::Counter*& slot = helper_counters_[helper_id];
   if (!slot) {
     slot = metrics_->counter(std::string("ebpf.helper.") +
                              helper_name(helper_id) + ".calls");
@@ -140,6 +145,8 @@ void HelperContext::set_redirect_xsk(int slot) {
 }
 
 Map* HelperContext::map(std::uint32_t map_id) { return vm_.maps_.get(map_id); }
+
+unsigned HelperContext::cpu() const { return vm_.cpu(); }
 
 std::uint64_t HelperContext::make_map_value_ptr(std::uint8_t* base,
                                                 std::size_t size) {
@@ -452,7 +459,7 @@ VmResult Vm::run(const Program& entry_prog, net::Packet& pkt,
           }
           ++result.tail_calls;
           state.extra_cycles += cost_.bpf_tail_call;
-          if (metrics_ && metrics_->enabled()) ++*tail_call_counter_;
+          if (metrics_ && metrics_->enabled()) util::bump(tail_call_counter_);
           if (auto* t = util::active_packet_trace()) {
             t->add("ebpf", "tail_call", cost_.bpf_tail_call,
                    (*prog_table_)[*target].name);
@@ -471,9 +478,9 @@ VmResult Vm::run(const Program& entry_prog, net::Packet& pkt,
         regs[kR0] = helper->fn(hctx, regs[kR1], regs[kR2], regs[kR3],
                                regs[kR4], regs[kR5]);
         if (metrics_ && metrics_->enabled()) {
-          ++*helper_counter(helper_id);
+          util::bump(helper_counter(helper_id));
           if (helper_id == kHelperMapLookup) {
-            ++*(regs[kR0] != 0 ? map_hits_ : map_misses_);
+            util::bump(regs[kR0] != 0 ? map_hits_ : map_misses_);
           }
         }
         if (auto* t = util::active_packet_trace()) {

@@ -38,10 +38,18 @@ class Vm {
   VmResult run(const Program& prog, net::Packet& pkt, int ingress_ifindex,
                kern::Kernel* kernel);
 
+  // The CPU this VM models (one engine worker per CPU). Selects the slot of
+  // per-CPU maps and the return value of bpf_get_smp_processor_id. A Vm is
+  // single-threaded; parallelism comes from one Vm per CPU over shared maps.
+  void set_cpu(unsigned cpu) { cpu_ = cpu; }
+  unsigned cpu() const { return cpu_; }
+
   // Binds per-helper-call counters ("ebpf.helper.<name>.calls"), map
   // hit/miss counters and the tail-call counter to `registry` (null
-  // unbinds). Counter pointers are cached per helper id, so the per-call
-  // cost is one indexed increment.
+  // unbinds). Counter pointers for every registered helper are resolved
+  // eagerly here (creation is control-plane-only; worker threads must never
+  // insert into the registry), so the per-call cost is one indexed relaxed
+  // increment.
   void set_metrics(util::MetricsRegistry* registry);
 
  private:
@@ -64,19 +72,20 @@ class Vm {
   };
 
   util::Result<std::uint8_t*> translate(std::uint64_t tagged, std::size_t len);
-  std::uint64_t* helper_counter(std::uint32_t helper_id);
+  util::Counter* helper_counter(std::uint32_t helper_id);
 
   const kern::CostModel& cost_;
   const HelperRegistry& helpers_;
   MapSet& maps_;
   const std::vector<Program>* prog_table_;
+  unsigned cpu_ = 0;
   RunState* state_ = nullptr;  // valid during run()
 
   util::MetricsRegistry* metrics_ = nullptr;
-  std::vector<std::uint64_t*> helper_counters_;  // indexed by helper id
-  std::uint64_t* map_hits_ = nullptr;
-  std::uint64_t* map_misses_ = nullptr;
-  std::uint64_t* tail_call_counter_ = nullptr;
+  std::vector<util::Counter*> helper_counters_;  // indexed by helper id
+  util::Counter* map_hits_ = nullptr;
+  util::Counter* map_misses_ = nullptr;
+  util::Counter* tail_call_counter_ = nullptr;
 };
 
 }  // namespace linuxfp::ebpf

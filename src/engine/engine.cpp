@@ -1,0 +1,239 @@
+#include "engine/engine.h"
+
+#include <string>
+
+#include "util/logging.h"
+
+namespace linuxfp::engine {
+
+Engine::Engine(kern::Kernel& kernel, int ifindex, EngineConfig cfg)
+    : kernel_(kernel), ifindex_(ifindex), cfg_(cfg), rss_(cfg.queues) {
+  LFP_CHECK_MSG(cfg_.queues >= 1, "engine needs at least one queue");
+  LFP_CHECK_MSG(cfg_.napi_budget >= 1, "napi budget must be positive");
+  queues_.reserve(cfg_.queues);
+  for (unsigned q = 0; q < cfg_.queues; ++q) {
+    queues_.push_back(std::make_unique<QueueState>(cfg_.queue_depth));
+  }
+  slow_ring_ = std::make_unique<BoundedRing<net::Packet>>(cfg_.slow_ring_depth);
+}
+
+Engine::~Engine() { stop(); }
+
+void Engine::start() {
+  LFP_CHECK_MSG(!started_, "engine started twice");
+  started_ = true;
+  kern::NetDevice* d = kernel_.dev(ifindex_);
+  LFP_CHECK_MSG(d != nullptr, "engine: unknown ingress ifindex");
+  prog_ = d->xdp_prog();
+  // Per-CPU execution state (VMs, stat shards) is allocated before any
+  // worker exists, so the hot loops never allocate or lock.
+  if (prog_) prog_->prepare_cpus(cfg_.queues);
+  live_workers_.store(cfg_.queues, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_release);
+  workers_.reserve(cfg_.queues);
+  for (unsigned q = 0; q < cfg_.queues; ++q) {
+    workers_.emplace_back([this, q] { worker_main(q); });
+  }
+  slow_thread_ = std::thread([this] { slow_main(); });
+}
+
+void Engine::inject(net::Packet&& pkt) {
+  QueueState& qs = *queues_[rss_.queue_for(pkt)];
+  std::size_t occ = qs.ring.occupancy();
+  if (occ > qs.stats.max_occupancy) qs.stats.max_occupancy = occ;
+  for (;;) {
+    if (qs.ring.try_push(std::move(pkt))) {
+      ++qs.stats.enqueued;
+      return;
+    }
+    if (!cfg_.backpressure) {
+      // NIC tail-drop: the wire does not wait for a stalled ring.
+      ++qs.stats.tail_drops;
+      return;
+    }
+    std::this_thread::yield();
+  }
+}
+
+void Engine::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  running_.store(false, std::memory_order_release);
+  for (std::thread& t : workers_) t.join();
+  slow_thread_.join();
+  reconcile();
+}
+
+void Engine::worker_main(unsigned q) {
+  QueueState& qs = *queues_[q];
+  net::Packet pkt;
+  for (;;) {
+    unsigned n = 0;
+    while (n < cfg_.napi_budget && qs.ring.try_pop(pkt)) {
+      process_packet(q, std::move(pkt));
+      ++n;
+    }
+    if (n > 0) {
+      ++qs.stats.polls;
+      if (n == cfg_.napi_budget) ++qs.stats.bursts;
+      continue;
+    }
+    if (!running_.load(std::memory_order_acquire)) {
+      // The producer is done; everything it pushed is visible now. Drain the
+      // stragglers and exit.
+      while (qs.ring.try_pop(pkt)) {
+        process_packet(q, std::move(pkt));
+      }
+      break;
+    }
+    std::this_thread::yield();
+  }
+  live_workers_.fetch_sub(1, std::memory_order_release);
+}
+
+void Engine::process_packet(unsigned q, net::Packet&& pkt) {
+  QueueStats& st = queues_[q]->stats;
+  const kern::CostModel& cost = kernel_.cost();
+  const std::size_t size = pkt.size();
+  ++st.processed;
+  st.rx_bytes += size;
+  pkt.rx_queue = q;
+  pkt.ingress_ifindex = static_cast<std::uint32_t>(ifindex_);
+
+  // The driver poll and the XDP run both happen on the RSS-steered CPU,
+  // exactly as in Linux; their cycles are this queue's fast-path budget.
+  std::uint64_t cycles =
+      cost.driver_rx +
+      static_cast<std::uint64_t>(cost.per_byte_rx * static_cast<double>(size));
+  kern::PacketProgram::RunResult r;  // defaults to kPass when no program
+  if (prog_) {
+    r = prog_->run_on_cpu(pkt, ifindex_, q);
+    cycles += r.cycles + cost.xdp_hook_overhead;
+  }
+  st.fast_cycles += cycles;
+
+  switch (r.verdict) {
+    case kern::PacketProgram::Verdict::kDrop:
+      ++st.xdp_drop;
+      return;
+    case kern::PacketProgram::Verdict::kTx: {
+      ++st.xdp_tx;
+      auto& tx = st.tx_by_ifindex[ifindex_];
+      ++tx.first;
+      tx.second += size;
+      return;
+    }
+    case kern::PacketProgram::Verdict::kRedirect: {
+      ++st.xdp_redirect;
+      auto& tx = st.tx_by_ifindex[r.redirect_ifindex];
+      ++tx.first;
+      tx.second += size;
+      return;
+    }
+    case kern::PacketProgram::Verdict::kUserspace:
+      ++st.to_userspace;
+      return;
+    case kern::PacketProgram::Verdict::kAborted:
+      ++st.aborted;
+      break;  // aborted packets continue to the stack, like the kernel
+    case kern::PacketProgram::Verdict::kPass:
+      ++st.xdp_pass;
+      break;
+  }
+
+  // kPass / kAborted: hand over to the slow-path thread. The kernel's
+  // single-writer state is never touched from this worker.
+  for (;;) {
+    if (slow_ring_->try_push(std::move(pkt))) return;
+    if (!cfg_.backpressure) {
+      ++st.slow_handoff_drops;  // backlog overflow, netif_rx-style
+      return;
+    }
+    std::this_thread::yield();
+  }
+}
+
+void Engine::slow_main() {
+  net::Packet pkt;
+  auto handle = [this](net::Packet&& p) {
+    kern::CycleTrace trace;
+    (void)kernel_.rx_from_engine(ifindex_, std::move(p), trace);
+    ++slow_stats_.processed;
+    slow_stats_.cycles += trace.total();
+  };
+  for (;;) {
+    if (slow_ring_->try_pop(pkt)) {
+      handle(std::move(pkt));
+      continue;
+    }
+    if (live_workers_.load(std::memory_order_acquire) == 0) {
+      // Workers have exited; everything they pushed is visible. Drain and go.
+      while (slow_ring_->try_pop(pkt)) handle(std::move(pkt));
+      break;
+    }
+    std::this_thread::yield();
+  }
+}
+
+void Engine::reconcile() {
+  util::MetricsRegistry& reg = kernel_.metrics();
+  kern::KernelCounters& kc = kernel_.mutable_counters();
+  kern::NetDevice* in_dev = kernel_.dev(ifindex_);
+  util::Counter* xdp_drop_counter = reg.counter("drop.xdp_drop");
+
+  for (unsigned q = 0; q < cfg_.queues; ++q) {
+    const QueueStats& st = queues_[q]->stats;
+    const std::string prefix = "engine.queue" + std::to_string(q) + ".";
+    util::bump(reg.counter(prefix + "polls"), st.polls);
+    util::bump(reg.counter(prefix + "bursts"), st.bursts);
+    util::bump(reg.counter(prefix + "drops"),
+               st.tail_drops + st.slow_handoff_drops);
+    util::bump(reg.counter(prefix + "occupancy"), st.max_occupancy);
+    util::bump(reg.counter(prefix + "processed"), st.processed);
+
+    kc.fast_path_packets +=
+        st.xdp_drop + st.xdp_tx + st.xdp_redirect + st.to_userspace;
+    if (st.xdp_drop > 0) {
+      kc.drops[kern::Drop::kXdpDrop] += st.xdp_drop;
+      util::bump(xdp_drop_counter, st.xdp_drop);
+    }
+    if (in_dev) {
+      in_dev->stats().rx_packets += st.processed;
+      in_dev->stats().rx_bytes += st.rx_bytes;
+      in_dev->stats().rx_dropped += st.tail_drops + st.slow_handoff_drops;
+    }
+    for (const auto& [oif, tx] : st.tx_by_ifindex) {
+      if (kern::NetDevice* out = kernel_.dev(oif)) {
+        out->stats().tx_packets += tx.first;
+        out->stats().tx_bytes += tx.second;
+      }
+    }
+  }
+  util::bump(reg.counter("engine.slow.processed"), slow_stats_.processed);
+  util::bump(reg.counter("engine.slow.cycles"), slow_stats_.cycles);
+}
+
+std::uint64_t Engine::total_processed() const {
+  std::uint64_t n = 0;
+  for (const auto& q : queues_) n += q->stats.processed;
+  return n;
+}
+
+std::uint64_t Engine::total_tail_drops() const {
+  std::uint64_t n = 0;
+  for (const auto& q : queues_) {
+    n += q->stats.tail_drops + q->stats.slow_handoff_drops;
+  }
+  return n;
+}
+
+std::uint64_t Engine::total_fast_verdicts() const {
+  std::uint64_t n = 0;
+  for (const auto& q : queues_) {
+    const QueueStats& st = q->stats;
+    n += st.xdp_drop + st.xdp_tx + st.xdp_redirect + st.to_userspace;
+  }
+  return n;
+}
+
+}  // namespace linuxfp::engine

@@ -1,0 +1,148 @@
+// The parallel datapath engine: a software model of the Linux
+// RSS -> per-queue NAPI -> backlog pipeline that the paper's multi-core
+// throughput results assume (§VI "Pktgen varies source ports so RSS spreads
+// flows over cores").
+//
+// Topology of one engine run:
+//
+//   inject() ──RSS──> rx ring 0 ──> worker 0 ┐  XDP verdicts counted locally
+//             (reta)  rx ring 1 ──> worker 1 ├──MPSC──> slow-path thread
+//                     ...                    ┘  (kPass/kAborted funnel)
+//
+// Threading discipline (DESIGN.md §11):
+//  * Each worker owns one rx ring and one per-CPU VM (PacketProgram::
+//    run_on_cpu); it only reads kernel tables through helpers and only
+//    writes its own cache-line-padded stat shard and per-CPU map slots.
+//  * ALL kernel-state mutation — the stack, ARP, conntrack, dev_xmit — runs
+//    on the single slow-path thread, preserving the kernel's single-writer
+//    discipline; workers hand kPass packets over the bounded MPSC ring.
+//  * The producer (inject caller) classifies and enqueues; on a full ring it
+//    tail-drops (counted, like netif_rx backlog drops) or, in backpressure
+//    mode, waits — which makes N-queue runs exactly packet-preserving for
+//    the equivalence test.
+//  * Shared counters (MetricsRegistry, per-CPU maps) are relaxed atomics or
+//    per-CPU slots; everything else is reconciled into KernelCounters /
+//    DevStats / the registry at stop(), after every thread has joined.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "engine/ring.h"
+#include "engine/rss.h"
+#include "kernel/kernel.h"
+
+namespace linuxfp::engine {
+
+struct EngineConfig {
+  unsigned queues = 1;
+  std::size_t queue_depth = 512;   // per rx ring
+  unsigned napi_budget = 64;       // packets per worker poll
+  std::size_t slow_ring_depth = 1024;
+  // true: inject() waits for ring space instead of tail-dropping, making
+  // runs deterministic in their counters (equivalence tests). false models
+  // real NIC tail-drop under overload.
+  bool backpressure = false;
+};
+
+// Per-queue statistics, split by writer so no field is written from two
+// threads: the producer fills the enqueue side, the worker the poll side.
+struct QueueStats {
+  // producer-written
+  std::uint64_t enqueued = 0;
+  std::uint64_t tail_drops = 0;
+  std::uint64_t max_occupancy = 0;
+  // worker-written
+  std::uint64_t polls = 0;       // poll rounds that moved >= 1 packet
+  std::uint64_t bursts = 0;      // polls that used the full NAPI budget
+  std::uint64_t processed = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t xdp_drop = 0;
+  std::uint64_t xdp_tx = 0;
+  std::uint64_t xdp_redirect = 0;
+  std::uint64_t xdp_pass = 0;
+  std::uint64_t to_userspace = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t slow_handoff_drops = 0;  // slow ring full (throughput mode)
+  std::uint64_t fast_cycles = 0;  // driver + XDP cycles charged on this CPU
+  // fast-path tx accounting per egress ifindex: {packets, bytes}
+  std::map<int, std::pair<std::uint64_t, std::uint64_t>> tx_by_ifindex;
+};
+
+struct SlowPathStats {
+  std::uint64_t processed = 0;
+  std::uint64_t cycles = 0;  // slow-path stage cycles (post-handoff)
+};
+
+// One engine drives one ingress device of one kernel. Lifecycle:
+//   Engine e(kernel, ifindex, cfg);
+//   e.start();               // spawns workers + slow-path thread
+//   e.inject(pkt); ...       // single producer thread
+//   e.stop();                // drains, joins, reconciles counters
+// After stop(), per-queue stats are final and mirrored into the kernel's
+// registry as engine.queue<i>.{polls,bursts,drops,occupancy} (satellite of
+// status_json / prometheus_status).
+class Engine {
+ public:
+  Engine(kern::Kernel& kernel, int ifindex, EngineConfig cfg);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  void start();
+  // Producer-side: classify by RSS and enqueue. Only valid between start()
+  // and stop(), from one thread.
+  void inject(net::Packet&& pkt);
+  // Signals end of traffic, drains every ring, joins all threads and
+  // reconciles per-queue shards into KernelCounters, DevStats and the
+  // metrics registry. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  const EngineConfig& config() const { return cfg_; }
+  const RssClassifier& rss() const { return rss_; }
+
+  // Final after stop().
+  const QueueStats& queue_stats(unsigned q) const { return queues_[q]->stats; }
+  const SlowPathStats& slow_stats() const { return slow_stats_; }
+
+  // Totals over queues (final after stop()).
+  std::uint64_t total_processed() const;
+  std::uint64_t total_tail_drops() const;
+  std::uint64_t total_fast_verdicts() const;  // drop+tx+redirect+userspace
+
+ private:
+  struct QueueState {
+    explicit QueueState(std::size_t depth) : ring(depth) {}
+    BoundedRing<net::Packet> ring;
+    // Padded so adjacent queues' stats never share a cache line.
+    alignas(64) QueueStats stats;
+  };
+
+  void worker_main(unsigned q);
+  void slow_main();
+  void process_packet(unsigned q, net::Packet&& pkt);
+  void reconcile();
+
+  kern::Kernel& kernel_;
+  int ifindex_;
+  EngineConfig cfg_;
+  RssClassifier rss_;
+  kern::PacketProgram* prog_ = nullptr;  // XDP program at start(), may be null
+
+  std::vector<std::unique_ptr<QueueState>> queues_;
+  std::unique_ptr<BoundedRing<net::Packet>> slow_ring_;
+  SlowPathStats slow_stats_;
+
+  std::vector<std::thread> workers_;
+  std::thread slow_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<unsigned> live_workers_{0};
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace linuxfp::engine

@@ -1,0 +1,83 @@
+#include "engine/rss.h"
+
+#include <cstring>
+
+#include "net/headers.h"
+#include "util/logging.h"
+
+namespace linuxfp::engine {
+
+namespace {
+
+// The 40-byte symmetric RSS key: 0x6d5a repeated. With a periodic 2-byte key
+// the Toeplitz hash of (a, b) equals the hash of (b, a) for the 4-byte
+// aligned src/dst fields below, giving bidirectional flow affinity.
+constexpr std::uint8_t kKeyByteHi = 0x6d;
+constexpr std::uint8_t kKeyByteLo = 0x5a;
+constexpr std::size_t kKeyLen = 40;
+
+std::uint8_t key_byte(std::size_t i) {
+  return (i & 1) ? kKeyByteLo : kKeyByteHi;
+}
+
+}  // namespace
+
+std::uint32_t toeplitz_hash(const std::uint8_t* data, std::size_t len) {
+  LFP_CHECK_MSG(len + 4 <= kKeyLen, "toeplitz input exceeds key window");
+  // Standard bit-serial formulation: for each set input bit i, XOR in the
+  // 32-bit key window starting at bit i.
+  std::uint32_t result = 0;
+  // 32-bit window of the key starting at the current input bit.
+  std::uint32_t window = (std::uint32_t{key_byte(0)} << 24) |
+                         (std::uint32_t{key_byte(1)} << 16) |
+                         (std::uint32_t{key_byte(2)} << 8) |
+                         std::uint32_t{key_byte(3)};
+  for (std::size_t i = 0; i < len; ++i) {
+    std::uint8_t byte = data[i];
+    for (int bit = 7; bit >= 0; --bit) {
+      if (byte & (1u << bit)) result ^= window;
+      // Slide the window one bit: shift in the next key bit.
+      std::size_t next_bit_index = (i + 4) * 8 + (7 - bit);
+      std::uint8_t next_byte = key_byte(next_bit_index / 8);
+      std::uint32_t next_bit = (next_byte >> (7 - next_bit_index % 8)) & 1u;
+      window = (window << 1) | next_bit;
+    }
+  }
+  return result;
+}
+
+RssClassifier::RssClassifier(unsigned queues) : queues_(queues) {
+  LFP_CHECK_MSG(queues_ >= 1, "RSS needs at least one queue");
+  for (std::size_t i = 0; i < kRetaSize; ++i) {
+    reta_[i] = static_cast<unsigned>(i % queues_);
+  }
+}
+
+std::uint32_t RssClassifier::hash(const net::Packet& pkt) const {
+  auto parsed = net::parse_packet(pkt);
+  if (!parsed || !parsed->has_ipv4) return 0;
+  // Hash input layout follows the Microsoft RSS spec: src ip, dst ip,
+  // src port, dst port (big-endian), ports only for TCP/UDP.
+  std::uint8_t input[12];
+  std::size_t len = 8;
+  std::uint32_t src = parsed->ip_src.value();
+  std::uint32_t dst = parsed->ip_dst.value();
+  input[0] = static_cast<std::uint8_t>(src >> 24);
+  input[1] = static_cast<std::uint8_t>(src >> 16);
+  input[2] = static_cast<std::uint8_t>(src >> 8);
+  input[3] = static_cast<std::uint8_t>(src);
+  input[4] = static_cast<std::uint8_t>(dst >> 24);
+  input[5] = static_cast<std::uint8_t>(dst >> 16);
+  input[6] = static_cast<std::uint8_t>(dst >> 8);
+  input[7] = static_cast<std::uint8_t>(dst);
+  if (parsed->has_ports && !parsed->ip_fragment) {
+    input[8] = static_cast<std::uint8_t>(parsed->src_port >> 8);
+    input[9] = static_cast<std::uint8_t>(parsed->src_port);
+    input[10] = static_cast<std::uint8_t>(parsed->dst_port >> 8);
+    input[11] = static_cast<std::uint8_t>(parsed->dst_port);
+    len = 12;
+  }
+  return toeplitz_hash(input, len);
+}
+
+}  // namespace linuxfp::engine

@@ -1,0 +1,49 @@
+// Receive Side Scaling: the NIC-side flow classifier that picks an rx queue
+// for each ingress packet, mirroring the Linux/mlx5 pipeline the paper's
+// multi-core experiments rely on (Pktgen varies source ports precisely so
+// this hash spreads load over cores).
+//
+// The hash is a Toeplitz hash over the IPv4 5-tuple with the "symmetric"
+// key convention (0x6d5a repeated, as recommended for e.g. Suricata): the
+// repeated 2-byte pattern makes hash(src,dst) == hash(dst,src), so both
+// directions of a flow land on the same queue. Non-IP frames (ARP) hash to
+// queue 0, like a NIC that cannot parse the header.
+//
+// Queue selection goes through a 128-entry indirection table (the ethtool -x
+// "RETA"), initialized round-robin over the configured queue count.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "net/packet.h"
+
+namespace linuxfp::engine {
+
+inline constexpr std::size_t kRetaSize = 128;
+
+// Toeplitz hash of `len` bytes of input under the repeated 0x6d5a key.
+std::uint32_t toeplitz_hash(const std::uint8_t* data, std::size_t len);
+
+class RssClassifier {
+ public:
+  explicit RssClassifier(unsigned queues);
+
+  unsigned queues() const { return queues_; }
+
+  // Flow hash of the packet (0 when the frame has no IPv4 header).
+  std::uint32_t hash(const net::Packet& pkt) const;
+
+  // rx queue for the packet: reta[hash & (kRetaSize-1)].
+  unsigned queue_for(const net::Packet& pkt) const {
+    return reta_[hash(pkt) & (kRetaSize - 1)];
+  }
+
+  const std::array<unsigned, kRetaSize>& reta() const { return reta_; }
+
+ private:
+  unsigned queues_;
+  std::array<unsigned, kRetaSize> reta_;
+};
+
+}  // namespace linuxfp::engine

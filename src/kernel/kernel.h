@@ -194,6 +194,13 @@ class Kernel : public nl::DumpProvider {
   // Packet arrives on a device (from a NIC, a veth peer, or XDP_TX bounce).
   RxSummary rx(int ifindex, net::Packet&& pkt, CycleTrace& trace);
 
+  // Engine handoff: a packet whose driver poll and XDP run already happened
+  // on an engine worker enters the stack here — no driver_rx charge, no
+  // device rx accounting (the engine reconciles those per queue) and no XDP
+  // hook re-run. Must only be called from the engine's single slow-path
+  // thread; it touches the same single-writer kernel state as rx().
+  RxSummary rx_from_engine(int ifindex, net::Packet&& pkt, CycleTrace& trace);
+
   // Transmit out of a device from the stack / fast path.
   void dev_xmit(int ifindex, net::Packet&& pkt, CycleTrace& trace);
 
@@ -231,8 +238,8 @@ class Kernel : public nl::DumpProvider {
   // report through the same counters as the slow path.
   void note_fib_lookup(const std::optional<FibResult>& hit) {
     if (!metrics_.enabled()) return;
-    ++*fib_lookups_;
-    if (hit) *fib_depth_total_ += hit->depth;
+    util::bump(fib_lookups_);
+    if (hit) util::bump(fib_depth_total_, hit->depth);
   }
 
   // Enables conntrack consultation on forwarded/delivered packets (off by
@@ -276,7 +283,7 @@ class Kernel : public nl::DumpProvider {
   // Prometheus exporter read (and what the equivalence fuzz diffs).
   void count_drop(Drop reason) {
     ++counters_.drops[reason];
-    if (metrics_.enabled()) ++*drop_counters_[static_cast<int>(reason)];
+    if (metrics_.enabled()) util::bump(drop_counters_[static_cast<int>(reason)]);
     if (auto* t = util::active_packet_trace()) {
       t->add("verdict", drop_name(reason), 0);
     }
@@ -316,9 +323,9 @@ class Kernel : public nl::DumpProvider {
   util::TraceRing* trace_ring_ = nullptr;
   // Cached registry counters, bound once in the constructor so datapath
   // emission never does a name lookup.
-  std::uint64_t* drop_counters_[16] = {};
-  std::uint64_t* fib_lookups_ = nullptr;
-  std::uint64_t* fib_depth_total_ = nullptr;
+  util::Counter* drop_counters_[16] = {};
+  util::Counter* fib_lookups_ = nullptr;
+  util::Counter* fib_depth_total_ = nullptr;
 
   std::map<std::pair<std::uint8_t, std::uint16_t>, L4Handler> l4_handlers_;
 

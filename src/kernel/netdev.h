@@ -43,6 +43,21 @@ class PacketProgram {
   virtual ~PacketProgram() = default;
   virtual RunResult run(net::Packet& pkt, int ingress_ifindex) = 0;
   virtual std::string name() const = 0;
+
+  // Multi-queue entry point: the engine's worker for `cpu` runs the program
+  // here, concurrently with other workers. Implementations that keep per-run
+  // state must shard it per CPU (the eBPF loader keeps one VM per CPU);
+  // single-threaded implementations inherit this fallback and may only be
+  // driven with one queue.
+  virtual RunResult run_on_cpu(net::Packet& pkt, int ingress_ifindex,
+                               unsigned cpu) {
+    (void)cpu;
+    return run(pkt, ingress_ifindex);
+  }
+  // Called once, single-threaded, before workers for cpus [0, n) start —
+  // the implementation allocates per-CPU execution state here so run_on_cpu
+  // never allocates or locks.
+  virtual void prepare_cpus(unsigned n) { (void)n; }
 };
 
 enum class DevKind { kPhysical, kVeth, kBridge, kVxlan, kLoopback };

@@ -57,6 +57,22 @@ RxSummary Kernel::rx(int ifindex, net::Packet&& pkt, CycleTrace& trace) {
   return summary;
 }
 
+RxSummary Kernel::rx_from_engine(int ifindex, net::Packet&& pkt,
+                                 CycleTrace& trace) {
+  util::StageSink* prev_sink = trace.sink();
+  trace.bind_sink(metrics_.enabled() ? &stage_sink_ : nullptr);
+  NetDevice* d = dev(ifindex);
+  RxSummary summary;
+  if (!d || !d->is_up()) {
+    summary = drop(Drop::kLinkDown);
+  } else {
+    pkt.ingress_ifindex = static_cast<std::uint32_t>(ifindex);
+    summary = stack_rx(*d, std::move(pkt), trace);
+  }
+  trace.bind_sink(prev_sink);
+  return summary;
+}
+
 RxSummary Kernel::rx_inner(int ifindex, net::Packet&& pkt, CycleTrace& trace) {
   NetDevice* d = dev(ifindex);
   if (!d || !d->is_up()) return drop(Drop::kLinkDown);

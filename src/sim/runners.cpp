@@ -65,6 +65,87 @@ ThroughputResult ThroughputRunner::run(DeviceUnderTest& dut,
   return result;
 }
 
+QueueScalingResult QueueScalingRunner::run(kern::Kernel& kernel,
+                                           int ingress_ifindex,
+                                           const PacketFactory& factory,
+                                           unsigned queues) const {
+  LFP_CHECK(queues >= 1);
+  engine::EngineConfig cfg;
+  cfg.queues = queues;
+  cfg.backpressure = true;  // exact cycle means: no sample may tail-drop
+  engine::Engine eng(kernel, ingress_ifindex, cfg);
+  eng.start();
+  for (std::uint64_t i = 0; i < samples_; ++i) eng.inject(factory(i));
+  eng.stop();
+
+  QueueScalingResult result;
+  result.queues = queues;
+  const double cpu_hz = kernel.cost().cpu_hz;
+  std::uint64_t fast_cycles_total = 0;
+  for (unsigned q = 0; q < queues; ++q) {
+    result.processed += eng.queue_stats(q).processed;
+    fast_cycles_total += eng.queue_stats(q).fast_cycles;
+  }
+  // Bottleneck model: RSS pins each flow to one queue, so spare workers
+  // cannot steal from a hot sibling. At offered rate R, queue q absorbs
+  // R * share_q; the first queue to hit its capacity throttles the system.
+  double fast_pps = 0;
+  bool any_queue = false;
+  for (unsigned q = 0; q < queues; ++q) {
+    const engine::QueueStats& st = eng.queue_stats(q);
+    if (st.processed == 0) {
+      result.per_queue_pps.push_back(0);
+      result.per_queue_share.push_back(0);
+      continue;
+    }
+    double capacity = cpu_hz * static_cast<double>(st.processed) /
+                      static_cast<double>(st.fast_cycles);
+    double share = static_cast<double>(st.processed) /
+                   static_cast<double>(result.processed);
+    result.per_queue_pps.push_back(capacity);
+    result.per_queue_share.push_back(share);
+    double sustainable = capacity / share;
+    if (!any_queue || sustainable < fast_pps) fast_pps = sustainable;
+    any_queue = true;
+  }
+  if (!any_queue) fast_pps = 0;
+  result.slow_processed = eng.slow_stats().processed;
+  if (result.processed > 0) {
+    result.mean_fast_cycles = static_cast<double>(fast_cycles_total) /
+                              static_cast<double>(result.processed);
+    result.fast_path_fraction =
+        static_cast<double>(eng.total_fast_verdicts()) /
+        static_cast<double>(result.processed);
+  }
+
+  double total_pps = fast_pps;
+  if (result.slow_processed > 0 && eng.slow_stats().cycles > 0) {
+    result.mean_slow_cycles = static_cast<double>(eng.slow_stats().cycles) /
+                              static_cast<double>(result.slow_processed);
+    double slow_fraction = static_cast<double>(result.slow_processed) /
+                           static_cast<double>(result.processed);
+    // The single slow-path thread serializes its share of the traffic: at
+    // sustained rate R, it must absorb R * slow_fraction packets/s.
+    double slow_cap_pps = cpu_hz / result.mean_slow_cycles / slow_fraction;
+    if (total_pps >= slow_cap_pps) {
+      total_pps = slow_cap_pps;
+      result.slow_path_limited = true;
+    }
+  }
+
+  net::Packet probe = factory(0);
+  double wire_bits = static_cast<double>(probe.wire_size()) * 8.0;
+  double wire_pps_cap = nic_bps_ / wire_bits;
+  if (total_pps >= wire_pps_cap) {
+    total_pps = wire_pps_cap;
+    result.line_rate_limited = true;
+  }
+
+  result.total_pps = total_pps;
+  result.total_bps = total_pps * wire_bits;
+  return result;
+}
+
 RrResult RrLatencyRunner::run(
     DeviceUnderTest& dut,
     const std::function<net::Packet(int session)>& request,

@@ -10,12 +10,19 @@
 // discrete-event simulation with S concurrent sessions, a single FIFO
 // service core on the DUT (per the paper's single-core latency setup), and
 // measured per-direction service times with multiplicative jitter.
+//
+// QueueScalingRunner drives the real parallel engine (engine/engine.h):
+// packets flow through RSS -> per-queue workers -> slow-path funnel on actual
+// threads; aggregate throughput is then modeled from each queue's measured
+// fast-path cycle cost, capped by the single slow-path thread's capacity and
+// by line rate.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "engine/engine.h"
 #include "sim/dut.h"
 #include "sim/testbed.h"
 #include "util/rng.h"
@@ -41,6 +48,48 @@ class ThroughputRunner {
 
   ThroughputResult run(DeviceUnderTest& dut, const PacketFactory& factory,
                        int cores, std::size_t frame_len) const;
+
+ private:
+  double nic_bps_;
+  std::uint64_t samples_;
+};
+
+struct QueueScalingResult {
+  unsigned queues = 0;
+  double total_pps = 0;
+  double total_bps = 0;            // wire bits/s including framing
+  bool line_rate_limited = false;
+  bool slow_path_limited = false;  // single slow thread was the bottleneck
+  std::vector<double> per_queue_pps;    // each queue's standalone capacity
+  std::vector<double> per_queue_share;  // fraction of traffic RSS steered to it
+  double mean_fast_cycles = 0;     // driver + XDP, averaged over all queues
+  double mean_slow_cycles = 0;     // stack cycles per slow-path packet
+  double fast_path_fraction = 0;   // verdict settled without the stack
+  std::uint64_t processed = 0;
+  std::uint64_t slow_processed = 0;
+};
+
+// Runs the engine's worker pool for real (threads, rings, per-CPU VMs) over
+// `samples` generated packets, then models sustained throughput from the
+// measured per-queue costs. RSS pins each flow to one queue, so at offered
+// rate R queue q absorbs R * share_q and saturates at capacity_q; the
+// system sustains
+//   R = min over queues of (capacity_q / share_q)
+// further capped by the single slow-path thread ((cpu_hz / mean slow
+// cycles) / slow fraction) and by line rate. Under uniform traffic this is
+// N x single-queue capacity (near-linear scaling); under Zipf skew the
+// elephant queue's share throttles R no matter how many workers idle.
+// Backpressure mode is used so every sample is processed and the cycle means
+// are exact — the drop regime is the tail-drop engine tests' concern.
+class QueueScalingRunner {
+ public:
+  using PacketFactory = std::function<net::Packet(std::uint64_t index)>;
+
+  QueueScalingRunner(double nic_bps = 25e9, std::uint64_t samples = 4000)
+      : nic_bps_(nic_bps), samples_(samples) {}
+
+  QueueScalingResult run(kern::Kernel& kernel, int ingress_ifindex,
+                         const PacketFactory& factory, unsigned queues) const;
 
  private:
   double nic_bps_;

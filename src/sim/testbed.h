@@ -5,6 +5,8 @@
 // LinuxFP acceleration transparent.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 #include <optional>
 #include <string>
@@ -92,27 +94,60 @@ class LinuxTestbed : public DeviceUnderTest {
   std::uint64_t forwarded_ = 0;
 };
 
-// Flow generator: cycles destinations across the installed prefixes and
-// varies source ports so RSS spreads flows over cores (Pktgen-style).
+// Flow generator (Pktgen-style): cycles destinations across the installed
+// prefixes and varies source ports per flow, which the engine's Toeplitz RSS
+// classifier (engine/rss.h) then spreads across rx queues and workers.
+//
+// With zipf_s == 0 flows round-robin uniformly. With zipf_s > 0 flow ranks
+// follow a Zipf(s) popularity law, so an elephant flow dominates — and since
+// RSS steers a flow to exactly one queue, that reproduces the classic
+// queue-imbalance regime (one hot worker, idle siblings).
 class FlowPattern {
  public:
-  FlowPattern(int prefixes, int flows, std::size_t frame_len)
-      : prefixes_(prefixes), flows_(flows), frame_len_(frame_len) {}
+  FlowPattern(int prefixes, int flows, std::size_t frame_len,
+              double zipf_s = 0.0)
+      : prefixes_(prefixes), flows_(flows), frame_len_(frame_len) {
+    if (zipf_s > 0.0 && flows_ > 1) {
+      cdf_.reserve(static_cast<std::size_t>(flows_));
+      double acc = 0.0;
+      for (int rank = 1; rank <= flows_; ++rank) {
+        acc += 1.0 / std::pow(static_cast<double>(rank), zipf_s);
+        cdf_.push_back(acc);
+      }
+      for (double& c : cdf_) c /= acc;
+    }
+  }
 
   int prefixes() const { return prefixes_; }
   int flows() const { return flows_; }
   std::size_t frame_len() const { return frame_len_; }
+  bool skewed() const { return !cdf_.empty(); }
 
-  // Deterministic (prefix, flow) pair for the i-th packet.
+  // Deterministic (prefix, flow) pair for the i-th packet. Skewed draws use
+  // a stateless hash of i (splitmix64) inverted through the Zipf CDF, so
+  // at() stays pure: the same i always yields the same flow.
   std::pair<int, std::uint16_t> at(std::uint64_t i) const {
-    return {static_cast<int>(i % static_cast<std::uint64_t>(prefixes_)),
-            static_cast<std::uint16_t>(i % static_cast<std::uint64_t>(flows_))};
+    int prefix = static_cast<int>(i % static_cast<std::uint64_t>(prefixes_));
+    if (cdf_.empty()) {
+      return {prefix,
+              static_cast<std::uint16_t>(i % static_cast<std::uint64_t>(flows_))};
+    }
+    std::uint64_t x = i + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    double u = static_cast<double>(x >> 11) * (1.0 / 9007199254740992.0);
+    std::size_t rank = static_cast<std::size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+    if (rank >= cdf_.size()) rank = cdf_.size() - 1;
+    return {prefix, static_cast<std::uint16_t>(rank)};
   }
 
  private:
   int prefixes_;
   int flows_;
   std::size_t frame_len_;
+  std::vector<double> cdf_;  // empty = uniform
 };
 
 }  // namespace linuxfp::sim

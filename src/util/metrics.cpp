@@ -7,7 +7,7 @@ namespace linuxfp::util {
 
 namespace {
 
-PacketTrace* g_active_trace = nullptr;
+thread_local PacketTrace* g_active_trace = nullptr;
 
 std::string sanitize(const std::string& name) {
   std::string out = name;
@@ -44,11 +44,11 @@ Json Histogram::to_json() const {
   return h;
 }
 
-std::uint64_t* MetricsRegistry::counter(const std::string& name) {
+Counter* MetricsRegistry::counter(const std::string& name) {
   auto it = counters_.find(name);
   if (it != counters_.end()) return it->second;
-  counter_values_.push_back(0);
-  std::uint64_t* slot = &counter_values_.back();
+  counter_values_.emplace_back(0);
+  Counter* slot = &counter_values_.back();
   counters_.emplace(name, slot);
   return slot;
 }
@@ -64,18 +64,20 @@ Histogram* MetricsRegistry::histogram(const std::string& name) {
 
 std::uint64_t MetricsRegistry::value(const std::string& name) const {
   auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : *it->second;
+  return it == counters_.end() ? 0 : counter_value(it->second);
 }
 
 void MetricsRegistry::reset() {
-  for (std::uint64_t& v : counter_values_) v = 0;
+  for (Counter& v : counter_values_) v.store(0, std::memory_order_relaxed);
   for (auto& [name, hist] : histograms_) *hist = Histogram(&histograms_enabled_);
 }
 
 Json MetricsRegistry::to_json() const {
   Json out = Json::object();
   Json counters = Json::object();
-  for (const auto& [name, value] : counters_) counters[name] = *value;
+  for (const auto& [name, value] : counters_) {
+    counters[name] = counter_value(value);
+  }
   out["counters"] = counters;
   Json hists = Json::object();
   for (const auto& [name, hist] : histograms_) {
@@ -90,7 +92,7 @@ std::string MetricsRegistry::prometheus_text(const std::string& prefix) const {
   for (const auto& [name, value] : counters_) {
     std::string metric = prefix + "_" + sanitize(name);
     out << "# TYPE " << metric << " counter\n";
-    out << metric << " " << *value << "\n";
+    out << metric << " " << counter_value(value) << "\n";
   }
   for (const auto& [name, hist] : histograms_) {
     if (hist->count() == 0) continue;

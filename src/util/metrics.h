@@ -26,6 +26,7 @@
 //   fpm.<name>.deployed                   per-FPM deploy counts
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -36,6 +37,21 @@
 #include "util/stats.h"
 
 namespace linuxfp::util {
+
+// Counter storage. Increments happen on every datapath packet — from the
+// engine's worker pool concurrently — so counters are atomics bumped with
+// relaxed ordering (a plain `lock add`; no fences, no ordering guarantees
+// between counters, which monitoring never needs).
+using Counter = std::atomic<std::uint64_t>;
+
+// Relaxed increment: the only way hot paths should touch a Counter.
+inline void bump(Counter* c, std::uint64_t n = 1) {
+  c->fetch_add(n, std::memory_order_relaxed);
+}
+
+inline std::uint64_t counter_value(const Counter* c) {
+  return c->load(std::memory_order_relaxed);
+}
 
 // Opt-in latency histogram: Welford summary plus retained samples for exact
 // percentiles. record() is a no-op until the owning registry enables
@@ -63,9 +79,12 @@ class Histogram {
   SampleSet samples_;
 };
 
-// Named metric store. Not thread-safe — the simulation is single-threaded;
-// the contract for a future multi-threaded substrate is per-CPU registries
-// merged at export time, exactly like per-CPU BPF maps.
+// Named metric store. Threading contract: counter *creation* (counter(),
+// histogram(), bind/set_metrics calls) is control-plane work and must be
+// single-threaded; *increments* through previously obtained Counter pointers
+// are safe from any number of threads (relaxed atomics). The engine pre-binds
+// every counter before spawning its worker pool, and merges per-worker shards
+// here at stop() — exactly the per-CPU-map aggregation discipline.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -74,11 +93,14 @@ class MetricsRegistry {
 
   // Find-or-create. The returned pointer is stable for the registry's
   // lifetime — hot paths cache it and bump without any lookup.
-  std::uint64_t* counter(const std::string& name);
+  Counter* counter(const std::string& name);
   Histogram* histogram(const std::string& name);
 
   // Value of a counter, 0 if it was never created.
   std::uint64_t value(const std::string& name) const;
+  bool has_counter(const std::string& name) const {
+    return counters_.count(name) > 0;
+  }
 
   void set_histograms_enabled(bool on) { histograms_enabled_ = on; }
   bool histograms_enabled() const { return histograms_enabled_; }
@@ -106,8 +128,8 @@ class MetricsRegistry {
  private:
   bool enabled_ = true;
   bool histograms_enabled_ = false;
-  std::deque<std::uint64_t> counter_values_;   // stable addresses
-  std::map<std::string, std::uint64_t*> counters_;
+  std::deque<Counter> counter_values_;         // stable addresses
+  std::map<std::string, Counter*> counters_;
   std::deque<Histogram> histogram_values_;     // stable addresses
   std::map<std::string, Histogram*> histograms_;
 };
@@ -128,16 +150,16 @@ class StageSink {
   void charge(const char* stage, std::uint64_t cycles) {
     if (!registry_ || !registry_->enabled()) return;
     Slot& slot = slot_for(stage);
-    ++*slot.calls;
-    *slot.cycles += cycles;
+    bump(slot.calls);
+    bump(slot.cycles, cycles);
     slot.hist->record(static_cast<double>(cycles));
   }
 
  private:
   struct Slot {
     const char* stage = nullptr;
-    std::uint64_t* calls = nullptr;
-    std::uint64_t* cycles = nullptr;
+    Counter* calls = nullptr;
+    Counter* cycles = nullptr;
     Histogram* hist = nullptr;
   };
 
@@ -202,10 +224,11 @@ class TraceRing {
   std::deque<PacketTrace> ring_;
 };
 
-// The packet currently being traced, if any. The simulation is
-// single-threaded, so a process global is the cheapest way to let the eBPF
-// VM append events without widening every interface between the kernel and
-// the loader. Null means tracing is off — emission sites must check.
+// The packet currently being traced by *this thread*, if any. Thread-local:
+// the slow-path thread can trace its packets while engine workers (which
+// never enable tracing) always observe null, so the eBPF VM can append
+// events without widening every interface between the kernel and the
+// loader. Null means tracing is off — emission sites must check.
 PacketTrace* active_packet_trace();
 void set_active_packet_trace(PacketTrace* trace);
 

@@ -332,5 +332,72 @@ TEST_F(HelpersTest, CtLookupMissThenHit) {
   EXPECT_EQ(hit.ret, kCtLkupFound);
 }
 
+TEST_F(HelpersTest, GetSmpProcessorIdReturnsVmCpu) {
+  RouterDut dut;
+  ProgramBuilder b("smp_id", HookType::kXdp);
+  b.call(kHelperGetSmpProcessorId);
+  b.exit();
+  Program prog = b.build().value();
+  VerifyOptions opts;
+  opts.helpers = &helpers_;
+  opts.maps = &maps_;
+  ASSERT_TRUE(verify(prog, opts).ok());
+
+  for (unsigned cpu : {0u, 3u, 11u}) {
+    Vm vm(cost_, helpers_, maps_, nullptr);
+    vm.set_cpu(cpu);
+    net::Packet pkt = dut.packet_to_prefix(0);
+    auto r = vm.run(prog, pkt, dut.eth0_ifindex(), &dut.kernel);
+    ASSERT_FALSE(r.aborted) << r.error;
+    EXPECT_EQ(r.ret, cpu);
+  }
+}
+
+TEST_F(HelpersTest, MapHelpersAreCpuAware) {
+  // bpf_map_lookup_elem must hand a program ITS cpu's slot of a per-CPU
+  // entry (this_cpu_ptr semantics), and writes through that pointer must
+  // land only there.
+  RouterDut dut;
+  std::uint32_t map_id = maps_.create("pc", MapType::kPercpuArray, 4, 8, 4);
+
+  // key 0: load slot value, add 10, store back, return the new value.
+  ProgramBuilder b("pc_bump", HookType::kXdp);
+  b.mov_reg(kR2, kR10);
+  b.add(kR2, -8);
+  b.st(kR2, 0, 0, MemSize::kU32);
+  b.mov(kR1, map_id);
+  b.call(kHelperMapLookup);
+  b.jeq(kR0, 0, "miss");
+  b.mov_reg(kR6, kR0);
+  b.ldx(kR1, kR6, 0, MemSize::kU64);
+  b.add(kR1, 10);
+  b.stx(kR6, 0, kR1, MemSize::kU64);
+  b.mov_reg(kR0, kR1);
+  b.exit();
+  b.label("miss");
+  b.ret(0);
+  Program prog = b.build().value();
+  VerifyOptions opts;
+  opts.helpers = &helpers_;
+  opts.maps = &maps_;
+  ASSERT_TRUE(verify(prog, opts).ok());
+
+  auto bump_on = [&](unsigned cpu) {
+    Vm vm(cost_, helpers_, maps_, nullptr);
+    vm.set_cpu(cpu);
+    net::Packet pkt = dut.packet_to_prefix(0);
+    auto r = vm.run(prog, pkt, dut.eth0_ifindex(), &dut.kernel);
+    EXPECT_FALSE(r.aborted) << r.error;
+    return r.ret;
+  };
+  EXPECT_EQ(bump_on(1), 10u);
+  EXPECT_EQ(bump_on(1), 20u);
+  EXPECT_EQ(bump_on(4), 10u);  // its own slot, untouched by cpu 1
+
+  std::uint32_t key = 0;
+  Map* m = maps_.get(map_id);
+  EXPECT_EQ(m->percpu_sum(reinterpret_cast<std::uint8_t*>(&key)), 30u);
+}
+
 }  // namespace
 }  // namespace linuxfp::ebpf

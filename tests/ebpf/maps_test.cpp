@@ -103,6 +103,78 @@ TEST(ProgArray, SetAndGet) {
   EXPECT_EQ(*m.prog_at(0), 23u);
 }
 
+TEST(PercpuArray, SlotsAreIndependentAndAlwaysPresent) {
+  Map m("pca", MapType::kPercpuArray, 4, 8, 4);
+  auto k = key32(2);
+  // Per-CPU arrays are fully pre-allocated, like the kernel's.
+  EXPECT_EQ(m.size(), 4u);
+  ASSERT_NE(m.lookup(k.data(), 0), nullptr);
+
+  auto v3 = val64(3);
+  auto v5 = val64(5);
+  ASSERT_TRUE(m.update_cpu(k.data(), v3.data(), 0).ok());
+  ASSERT_TRUE(m.update_cpu(k.data(), v5.data(), 7).ok());
+  std::uint64_t out = 0;
+  std::memcpy(&out, m.lookup(k.data(), 0), 8);
+  EXPECT_EQ(out, 3u);
+  std::memcpy(&out, m.lookup(k.data(), 7), 8);
+  EXPECT_EQ(out, 5u);
+  std::memcpy(&out, m.lookup(k.data(), 1), 8);
+  EXPECT_EQ(out, 0u);  // untouched slot
+  EXPECT_EQ(m.percpu_sum(k.data()), 8u);
+
+  // Slots of one entry are distinct storage: concurrent per-CPU writers
+  // never alias.
+  EXPECT_NE(m.lookup(k.data(), 0), m.lookup(k.data(), 1));
+  // CPU beyond NR_CPUS is a miss, not UB.
+  EXPECT_EQ(m.lookup(k.data(), kMaxCpus), nullptr);
+  // bpf_map_delete_elem on a per-CPU array is -EINVAL in the kernel.
+  EXPECT_FALSE(m.erase(k.data()));
+}
+
+TEST(PercpuArray, ControlPlaneUpdateReplicatesAllSlots) {
+  Map m("pca", MapType::kPercpuArray, 4, 8, 2);
+  auto k = key32(0);
+  auto v = val64(11);
+  ASSERT_TRUE(m.update(k.data(), v.data()).ok());
+  for (unsigned cpu = 0; cpu < kMaxCpus; ++cpu) {
+    std::uint64_t out = 0;
+    std::memcpy(&out, m.lookup(k.data(), cpu), 8);
+    EXPECT_EQ(out, 11u) << "cpu " << cpu;
+  }
+  EXPECT_EQ(m.percpu_sum(k.data()), 11u * kMaxCpus);
+  m.clear();
+  EXPECT_EQ(m.percpu_sum(k.data()), 0u);
+  EXPECT_NE(m.lookup(k.data(), 3), nullptr);  // still present after clear
+}
+
+TEST(PercpuHash, UpdateCpuRequiresPreCreatedKey) {
+  Map m("pch", MapType::kPercpuHash, 4, 8, 8);
+  auto k = key32(9);
+  auto v = val64(1);
+  // Program-side single-slot update must not insert: insertion would need a
+  // lock the worker pool doesn't take. The control plane creates the entry.
+  auto st = m.update_cpu(k.data(), v.data(), 2);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, "map.percpu_key");
+
+  ASSERT_TRUE(m.update(k.data(), v.data()).ok());  // replicates 1 everywhere
+  auto v7 = val64(7);
+  ASSERT_TRUE(m.update_cpu(k.data(), v7.data(), 2).ok());
+  EXPECT_EQ(m.percpu_sum(k.data()), 1u * (kMaxCpus - 1) + 7u);
+  EXPECT_TRUE(m.erase(k.data()));
+  EXPECT_EQ(m.lookup(k.data(), 2), nullptr);
+  EXPECT_EQ(m.percpu_sum(k.data()), 0u);
+}
+
+TEST(PercpuSum, OrdinaryMapReadsSingleValue) {
+  Map m("h", MapType::kHash, 4, 8, 8);
+  auto k = key32(1);
+  auto v = val64(42);
+  ASSERT_TRUE(m.update(k.data(), v.data()).ok());
+  EXPECT_EQ(m.percpu_sum(k.data()), 42u);
+}
+
 TEST(MapSetTest, CreateAndFind) {
   MapSet set;
   auto a = set.create("one", MapType::kArray, 4, 4, 4);

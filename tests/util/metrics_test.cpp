@@ -7,11 +7,11 @@ namespace {
 
 TEST(MetricsRegistry, CounterFindOrCreateStablePointer) {
   MetricsRegistry reg;
-  std::uint64_t* a = reg.counter("drop.no_route");
-  std::uint64_t* b = reg.counter("drop.no_route");
+  Counter* a = reg.counter("drop.no_route");
+  Counter* b = reg.counter("drop.no_route");
   EXPECT_EQ(a, b);
   EXPECT_EQ(reg.value("drop.no_route"), 0u);
-  *a += 3;
+  bump(a, 3);
   EXPECT_EQ(reg.value("drop.no_route"), 3u);
   EXPECT_EQ(reg.value("never.created"), 0u);
   EXPECT_EQ(reg.counter_count(), 1u);
@@ -21,13 +21,13 @@ TEST(MetricsRegistry, CounterFindOrCreateStablePointer) {
     reg.counter("c" + std::to_string(i));
   }
   EXPECT_EQ(reg.value("drop.no_route"), 3u);
-  *a += 1;
+  bump(a);
   EXPECT_EQ(reg.value("drop.no_route"), 4u);
 }
 
 TEST(MetricsRegistry, ResetZeroesButKeepsPointers) {
   MetricsRegistry reg;
-  std::uint64_t* a = reg.counter("x");
+  Counter* a = reg.counter("x");
   *a = 42;
   Histogram* h = reg.histogram("lat");
   reg.set_histograms_enabled(true);

@@ -23,13 +23,28 @@ run_pass build-asan -DLINUXFP_SANITIZE=ON
 
 echo "=== tier-1 OK (plain + sanitized) ==="
 
+# --- TSan pass: the parallel engine's threads for real ---------------------
+# The engine runs a worker pool + slow-path thread; its tests and the atomic
+# metrics regression push real concurrency through the rings, the per-CPU
+# VMs and the counter registry. ThreadSanitizer proves the lock-free
+# structures' memory ordering, which ASan cannot see.
+echo "=== TSan: engine + metrics concurrency tests ==="
+cmake -B build-tsan -S . -DLINUXFP_SANITIZE=thread
+cmake --build build-tsan -j "${jobs}" --target engine_test util_test
+(cd build-tsan &&
+ ctest --output-on-failure -j "${jobs}" \
+   -R 'Engine|BoundedRing|Rss|MetricsConcurrency')
+echo "TSan pass OK"
+
 # --- bench smoke: every Reporter-wired bench must emit its BENCH_*.json ---
 echo "=== bench smoke: BENCH_*.json emission ==="
 (cd build/bench &&
  ./bench_fig5_router_tput --smoke >/dev/null &&
  test -s BENCH_fig5_router_tput.json &&
  ./bench_fig1_hotspots --smoke >/dev/null &&
- test -s BENCH_fig1_hotspots.json)
+ test -s BENCH_fig1_hotspots.json &&
+ ./bench_scaling_queues --smoke >/dev/null &&
+ test -s BENCH_scaling_queues.json)
 echo "bench smoke OK"
 
 # --- observability overhead guard -----------------------------------------
