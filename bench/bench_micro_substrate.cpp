@@ -151,6 +151,37 @@ void BM_VmInterpretation(benchmark::State& state) {
 }
 BENCHMARK(BM_VmInterpretation);
 
+// Twin of BM_VmInterpretation that reports per-instruction interpreter cost
+// (items = executed insns, so google-benchmark prints items_per_second).
+// The hot loop runs over the pre-decoded DecodedInsn array — operand
+// selection (use_imm) and jump targets resolved at load time — and
+// tools/ci.sh asserts ns/insn stays under budget so the decode stage can
+// never silently regress back into the dispatch loop.
+void BM_VmNsPerInsn(benchmark::State& state) {
+  kern::CostModel cost;
+  ebpf::HelperRegistry helpers;
+  ebpf::register_all_helpers(helpers, cost);
+  ebpf::MapSet maps;
+  ebpf::ProgramBuilder b("alu_per_insn", ebpf::HookType::kXdp);
+  b.mov(ebpf::kR0, 0);
+  for (int i = 0; i < 64; ++i) {
+    b.add(ebpf::kR0, i);
+    b.and_(ebpf::kR0, 0xffff);
+  }
+  b.exit();
+  ebpf::Program prog = b.build().value();
+  const std::size_t insns_per_run = prog.insns.size();  // mov + 128 ALU + exit
+  ebpf::Vm vm(cost, helpers, maps, nullptr);
+  net::Packet pkt(64);
+  for (auto _ : state) {
+    auto r = vm.run(prog, pkt, 1, nullptr);
+    benchmark::DoNotOptimize(r.ret);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(insns_per_run));
+}
+BENCHMARK(BM_VmNsPerInsn);
+
 void BM_VerifierRouterProgram(benchmark::State& state) {
   sim::ScenarioConfig cfg;
   cfg.prefixes = 10;

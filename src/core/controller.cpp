@@ -34,6 +34,7 @@ Controller::Controller(kern::Kernel& kernel, ControllerOptions options)
   // One registry covers both paths: the deployer routes fastpath.*/ebpf.*
   // counters into the kernel's registry, next to the slowpath.* stages.
   deployer_.set_metrics(&kernel_.metrics());
+  if (options_.flow_cache) deployer_.set_flow_cache(true);
 }
 
 Reaction Controller::start() {

@@ -47,6 +47,8 @@ struct ControllerOptions {
   // Restrict to mainline helpers (no bpf_fdb_lookup/bpf_ipt_lookup): the
   // Capability Manager will prune bridge/filter FPMs.
   bool mainline_helpers_only = false;
+  // Microflow verdict cache (DESIGN.md §12) on every deployed attachment.
+  bool flow_cache = false;
   BackoffPolicy backoff;
 };
 

@@ -29,6 +29,21 @@ void Deployer::set_metrics(util::MetricsRegistry* registry) {
   }
 }
 
+void Deployer::set_flow_cache(bool on) {
+  flow_cache_ = on;
+  for (auto& [key, slot] : attachments_) {
+    if (slot.attachment) slot.attachment->set_flow_cache(on);
+  }
+}
+
+engine::FlowCacheStats Deployer::flow_cache_stats() const {
+  engine::FlowCacheStats total;
+  for (const auto& [key, slot] : attachments_) {
+    if (slot.attachment) total += slot.attachment->flow_cache_stats();
+  }
+  return total;
+}
+
 util::Result<Deployer::Slot*> Deployer::slot_for(const std::string& device,
                                                  ebpf::HookType hook) {
   auto key = std::make_pair(device, static_cast<int>(hook));
@@ -44,6 +59,7 @@ util::Result<Deployer::Slot*> Deployer::slot_for(const std::string& device,
   slot.attachment = std::make_unique<ebpf::Attachment>(
       "lfp@" + device, hook, kernel_, helpers_);
   if (metrics_) slot.attachment->set_metrics(metrics_);
+  if (flow_cache_) slot.attachment->set_flow_cache(true);
   slot.attachment->enable_dispatcher();
   auto st = ebpf::attach_to_device(kernel_, device, hook,
                                    slot.attachment.get());

@@ -79,6 +79,13 @@ class Deployer {
   // registry so one registry covers both paths.
   void set_metrics(util::MetricsRegistry* registry);
 
+  // Enables the microflow verdict cache (DESIGN.md §12) on every attachment,
+  // present and future. Control-plane call.
+  void set_flow_cache(bool on);
+  bool flow_cache_enabled() const { return flow_cache_; }
+  // Summed over all attachments' per-CPU caches.
+  engine::FlowCacheStats flow_cache_stats() const;
+
  private:
   struct Slot {
     std::unique_ptr<ebpf::Attachment> attachment;
@@ -99,6 +106,7 @@ class Deployer {
   std::uint64_t deploys_ = 0;
   std::uint64_t rollbacks_ = 0;
   util::MetricsRegistry* metrics_ = nullptr;
+  bool flow_cache_ = false;
 };
 
 }  // namespace linuxfp::core

@@ -129,6 +129,26 @@ util::Json status_json(Controller& controller) {
   }
   out["metrics"] = metrics;
 
+  // Microflow verdict cache (DESIGN.md §12): summed over every attachment's
+  // per-CPU caches. Only present when at least one attachment has the cache
+  // enabled; the raw flowcache.* counters also flow through "metrics".
+  if (controller.deployer().flow_cache_enabled()) {
+    const engine::FlowCacheStats fs = controller.deployer().flow_cache_stats();
+    util::Json fc = util::Json::object();
+    fc["hits"] = static_cast<std::int64_t>(fs.hits);
+    fc["misses"] = static_cast<std::int64_t>(fs.misses);
+    fc["invalidations"] = static_cast<std::int64_t>(fs.invalidations);
+    fc["evictions"] = static_cast<std::int64_t>(fs.evictions);
+    fc["uncacheable"] = static_cast<std::int64_t>(fs.uncacheable);
+    fc["replay_mismatch"] = static_cast<std::int64_t>(fs.replay_mismatch);
+    std::uint64_t lookups = fs.hits + fs.misses;
+    fc["hit_rate"] = lookups == 0
+                         ? 0.0
+                         : static_cast<double>(fs.hits) /
+                               static_cast<double>(lookups);
+    out["flowcache"] = fc;
+  }
+
   out["health"] = health_json(controller.health());
   util::FaultInjector& fi = util::FaultInjector::global();
   if (fi.armed()) {

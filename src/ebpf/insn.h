@@ -68,6 +68,28 @@ struct Insn {
   MemSize size = MemSize::kU64;
 };
 
+// Register-file slot that mirrors the current instruction's immediate; the
+// interpreter's register array is sized kNumRegs + 1 so the second-operand
+// fetch is a single unconditional indexed load (regs[src_sel]) instead of a
+// per-instruction use_imm branch.
+inline constexpr int kImmSlot = kNumRegs;
+
+// Load-time decoded form of an Insn: the operand selector is resolved into
+// a register-file index and jump targets are absolute, so the hot loop does
+// no per-instruction re-derivation.
+struct DecodedInsn {
+  Op op = Op::kExit;
+  std::uint8_t dst = 0;
+  std::uint8_t src = 0;       // raw source register (pointer special cases)
+  std::uint8_t src_sel = 0;   // regs[] index of the second operand (kImmSlot
+                              // when use_imm)
+  bool use_imm = true;
+  MemSize size = MemSize::kU64;
+  std::int32_t off = 0;
+  std::int64_t imm = 0;
+  std::size_t jump_target = 0;  // absolute pc for kJa / taken kJ*
+};
+
 // Pointer tagging: region in bits [56,64), payload in the low 48 bits.
 enum class Region : std::uint8_t {
   kNone = 0,      // scalar

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "engine/flowcache.h"
 #include "kernel/kernel.h"
 #include "net/checksum.h"
 #include "util/logging.h"
@@ -173,6 +174,12 @@ void register_fib(HelperRegistry& registry, const kern::CostModel& cost) {
         std::uint8_t* p = params.value();
         ctx.charge(cost_of(ctx, cost).bpf_fib_lookup_helper);
 
+        if (auto* rec = ctx.recorder()) {
+          // The lookup outcome depends on the FIB, the neighbour table and
+          // device state (oif up, MAC, MTU).
+          rec->add_dep(engine::kDepFib | engine::kDepNeigh |
+                       engine::kDepDevice);
+        }
         net::Ipv4Addr dst(load_u32(p + kFibParamDst));
         auto hit = kernel->fib().lookup(dst);
         kernel->note_fib_lookup(hit);
@@ -207,6 +214,10 @@ void register_fdb(HelperRegistry& registry, const kern::CostModel& cost) {
         std::uint8_t* p = params.value();
         ctx.charge(cost_of(ctx, cost).bpf_fdb_lookup_helper);
 
+        if (auto* rec = ctx.recorder()) {
+          // Bridge membership/STP/VLAN config and the FDB itself.
+          rec->add_dep(engine::kDepBridge | engine::kDepDevice);
+        }
         int in_ifindex = static_cast<int>(load_u32(p + kFdbParamIfindex));
         std::uint16_t vlan = load_u16(p + kFdbParamVlan);
         kern::NetDevice* in_dev = kernel->dev(in_ifindex);
@@ -234,6 +245,12 @@ void register_fdb(HelperRegistry& registry, const kern::CostModel& cost) {
         // Refresh so the entry does not age out under fast-path traffic
         // (the helper "supports FDB entry aging", paper §V).
         br->fdb_learn(smac, vlan, in_ifindex, kernel->now_ns());
+        if (auto* rec = ctx.recorder()) {
+          // Replay the refresh on every cache hit so cached forwarding
+          // keeps the FDB entry alive exactly like interpreted runs do.
+          rec->add_fdb_refresh(engine::FdbReplayOp{
+              in_dev->master(), smac, vlan, in_ifindex});
+        }
 
         std::memcpy(mac_bytes.data(), p + kFdbParamDmac, 6);
         net::MacAddr dmac(mac_bytes);
@@ -265,6 +282,11 @@ void register_ipt(HelperRegistry& registry, const kern::CostModel& cost) {
         if (!params.ok()) return kIptVerdictPunt;
         std::uint8_t* p = params.value();
 
+        if (auto* rec = ctx.recorder()) {
+          // Rule table, ipset membership and device names (-i/-o matches).
+          rec->add_dep(engine::kDepNetfilter | engine::kDepIpSet |
+                       engine::kDepDevice);
+        }
         kern::NfPacketInfo info;
         info.src = net::Ipv4Addr(load_u32(p + kIptParamSrc));
         info.dst = net::Ipv4Addr(load_u32(p + kIptParamDst));
@@ -286,6 +308,29 @@ void register_ipt(HelperRegistry& registry, const kern::CostModel& cost) {
                                 : cost_of(ctx, cost).conntrack_lookup);
           info.ct_state =
               ct.entry->state == kern::CtState::kEstablished ? 1 : 0;
+          if (auto* rec = ctx.recorder()) {
+            // Cache hits re-perform this lookup_or_create (identical side
+            // effects: refresh, promotion) and compare the state the rules
+            // saw; a change falls back to a full run.
+            rec->add_dep(engine::kDepConntrack);
+            engine::CtReplayOp op;
+            op.key = key;
+            op.lookup_or_create = true;
+            op.expect_found = true;
+            op.expect_ct_state = info.ct_state;
+            op.expect_reply_dir = ct.is_reply_direction;
+            op.expect_rewrite = ct.entry->dnat_addr.has_value();
+            if (op.expect_rewrite) {
+              if (ct.is_reply_direction) {
+                op.expect_rewrite_addr = ct.entry->original.dst_ip.value();
+                op.expect_rewrite_port = ct.entry->original.dst_port;
+              } else {
+                op.expect_rewrite_addr = ct.entry->dnat_addr->value();
+                op.expect_rewrite_port = ct.entry->dnat_port;
+              }
+            }
+            rec->add_ct_replay(op);
+          }
         }
         const kern::NetDevice* in_dev =
             kernel->dev(static_cast<int>(load_u32(p + kIptParamInIf)));
@@ -335,6 +380,28 @@ void register_ct(HelperRegistry& registry, const kern::CostModel& cost) {
         key.dst_port = load_u16(p + kCtParamDport);
 
         auto result = kernel->conntrack().lookup(key, kernel->now_ns());
+        if (auto* rec = ctx.recorder()) {
+          rec->add_dep(engine::kDepConntrack);
+          engine::CtReplayOp op;
+          op.key = key;
+          op.expect_found = result.entry != nullptr;
+          if (result.entry) {
+            op.expect_ct_state =
+                result.entry->state == kern::CtState::kEstablished ? 1 : 0;
+            op.expect_reply_dir = result.is_reply_direction;
+            op.expect_rewrite = result.entry->dnat_addr.has_value();
+            if (op.expect_rewrite) {
+              if (result.is_reply_direction) {
+                op.expect_rewrite_addr = result.entry->original.dst_ip.value();
+                op.expect_rewrite_port = result.entry->original.dst_port;
+              } else {
+                op.expect_rewrite_addr = result.entry->dnat_addr->value();
+                op.expect_rewrite_port = result.entry->dnat_port;
+              }
+            }
+          }
+          rec->add_ct_replay(op);
+        }
         if (!result.entry) return kCtLkupMiss;  // slow path creates
         store_u32(p + kCtParamState,
                   result.entry->state == kern::CtState::kEstablished ? 1 : 0);

@@ -23,6 +23,32 @@ void Attachment::prepare_cpus(unsigned n) {
     vms_.push_back(std::move(vm));
   }
   if (cpu_stats_.size() < vms_.size()) cpu_stats_.resize(vms_.size());
+  if (flow_cache_on_) {
+    while (flow_caches_.size() < vms_.size()) {
+      auto fc = std::make_unique<engine::FlowCache>();
+      fc->set_metrics(fc_metrics_);
+      flow_caches_.push_back(std::move(fc));
+    }
+  }
+}
+
+void Attachment::set_flow_cache(bool on) {
+  flow_cache_on_ = on;
+  if (!on) {
+    flow_caches_.clear();
+    return;
+  }
+  while (flow_caches_.size() < vms_.size()) {
+    auto fc = std::make_unique<engine::FlowCache>();
+    fc->set_metrics(fc_metrics_);
+    flow_caches_.push_back(std::move(fc));
+  }
+}
+
+engine::FlowCacheStats Attachment::flow_cache_stats() const {
+  engine::FlowCacheStats total;
+  for (const auto& fc : flow_caches_) total += fc->stats();
+  return total;
 }
 
 AttachmentStats Attachment::stats() const {
@@ -55,6 +81,9 @@ util::Result<std::uint32_t> Attachment::load(Program prog) {
   auto status = verify(prog, opts);
   if (!status.ok()) return status.error();
   programs_.push_back(std::move(prog));
+  // Decode eagerly: per-CPU VMs run this program concurrently and must only
+  // ever read the decoded stream, never build it.
+  programs_.back().decode();
   return static_cast<std::uint32_t>(programs_.size() - 1);
 }
 
@@ -85,6 +114,7 @@ util::Result<LoadedObject> Attachment::load_object(
     }
     obj.prog_ids.push_back(id.value());
   }
+  bump_flow_epoch();  // the reachable program set changed
   return obj;
 }
 
@@ -99,6 +129,7 @@ void Attachment::unload_object(const LoadedObject& obj) {
                                   active_prog_ < programs_.size()),
                   "unload_object: active program was in the object");
   }
+  bump_flow_epoch();
 }
 
 void Attachment::enable_dispatcher() {
@@ -138,6 +169,9 @@ util::Status Attachment::swap(std::uint32_t prog_id) {
   Map* prog_array = maps_.get(prog_array_id_);
   auto st = prog_array->set_prog(0, prog_id);
   if (st.ok()) active_prog_ = prog_id;
+  // Any deploy — including a rollback after fault injection — flushes every
+  // cached verdict: entries carry the epoch they were recorded under.
+  bump_flow_epoch();
   return st;
 }
 
@@ -148,6 +182,7 @@ util::Status Attachment::set_entry(std::uint32_t prog_id) {
   entry_prog_ = prog_id;
   active_prog_ = prog_id;
   has_entry_ = true;
+  bump_flow_epoch();
   return {};
 }
 
@@ -162,6 +197,8 @@ void Attachment::set_metrics(util::MetricsRegistry* registry) {
   if (!registry) {
     m_runs_ = m_cycles_ = nullptr;
     for (auto& v : m_verdicts_) v = nullptr;
+    fc_metrics_ = engine::FlowCacheMetrics{};
+    for (auto& fc : flow_caches_) fc->set_metrics(fc_metrics_);
     return;
   }
   std::string prefix = "fastpath." + name_ + "." + hook_type_name(hook_) + ".";
@@ -172,10 +209,55 @@ void Attachment::set_metrics(util::MetricsRegistry* registry) {
   for (int i = 0; i < 6; ++i) {
     m_verdicts_[i] = registry->counter(prefix + verdict_names[i]);
   }
+  fc_metrics_.registry = registry;
+  fc_metrics_.hits = registry->counter("flowcache.hits");
+  fc_metrics_.misses = registry->counter("flowcache.misses");
+  fc_metrics_.invalidations = registry->counter("flowcache.invalidations");
+  fc_metrics_.evictions = registry->counter("flowcache.evictions");
+  fc_metrics_.uncacheable = registry->counter("flowcache.uncacheable");
+  fc_metrics_.replay_mismatch = registry->counter("flowcache.replay_mismatch");
+  for (auto& fc : flow_caches_) fc->set_metrics(fc_metrics_);
 }
 
 Attachment::RunResult Attachment::run(net::Packet& pkt, int ingress_ifindex) {
   return run_on_cpu(pkt, ingress_ifindex, 0);
+}
+
+Attachment::RunResult Attachment::finish_cache_hit(
+    const engine::FlowCache::Hit& hit, AttachmentStats& sh) {
+  RunResult out;
+  std::uint64_t cycles = kernel_.cost().flowcache_hit;
+  ++sh.runs;
+  sh.total_cycles += cycles;
+  out.cycles = cycles;
+  switch (hit.act) {
+    case kActDrop:
+      ++sh.drop;
+      out.verdict = Verdict::kDrop;
+      break;
+    case kActTx:
+      ++sh.tx;
+      out.verdict = Verdict::kTx;
+      break;
+    case kActRedirect:
+      ++sh.redirect;
+      out.verdict = Verdict::kRedirect;
+      out.redirect_ifindex = hit.redirect_ifindex;
+      break;
+    default:
+      ++sh.pass;
+      out.verdict = Verdict::kPass;
+      break;
+  }
+  if (metrics_on()) {
+    util::bump(m_runs_);
+    util::bump(m_cycles_, cycles);
+    util::bump(m_verdicts_[static_cast<int>(out.verdict)]);
+  }
+  if (auto* t = util::active_packet_trace()) {
+    t->add("ebpf", "flowcache_hit", cycles, action_name(hit.act));
+  }
+  return out;
 }
 
 Attachment::RunResult Attachment::run_on_cpu(net::Packet& pkt,
@@ -188,11 +270,35 @@ Attachment::RunResult Attachment::run_on_cpu(net::Packet& pkt,
     out.verdict = Verdict::kPass;
     return out;
   }
+  engine::FlowCache* fc = flow_cache_on_ && cpu < flow_caches_.size()
+                              ? flow_caches_[cpu].get()
+                              : nullptr;
+  if (fc) {
+    engine::FlowCache::Hit hit;
+    if (fc->try_hit(pkt, ingress_ifindex, flow_epoch(), kernel_, &hit)) {
+      return finish_cache_hit(hit, sh);
+    }
+  }
   if (auto* t = util::active_packet_trace()) {
     t->add("ebpf", "prog_entry", 0, programs_[entry_prog_].name);
   }
+  engine::FlowCacheRecorder* rec = nullptr;
+  if (fc) {
+    rec = &fc->recorder();
+    rec->begin(pkt);
+  }
   VmResult r = vms_[cpu]->run(programs_[entry_prog_], pkt, ingress_ifindex,
-                              &kernel_);
+                              &kernel_, rec);
+  if (fc) {
+    // AF_XDP delivery and aborts escape the replayable model; everything
+    // else the recorder judged is insertable.
+    bool cacheable =
+        !r.aborted && r.redirect_xsk < 0 &&
+        (r.ret == kActDrop || r.ret == kActPass || r.ret == kActTx ||
+         r.ret == kActRedirect);
+    fc->insert(pkt, ingress_ifindex, flow_epoch(), kernel_, *rec, r.ret,
+               r.redirect_ifindex, cacheable);
+  }
   ++sh.runs;
   sh.total_cycles += r.cycles;
   sh.total_insns += r.insns_executed;

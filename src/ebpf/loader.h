@@ -10,6 +10,7 @@
 // program.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -19,6 +20,7 @@
 #include "ebpf/program.h"
 #include "ebpf/verifier.h"
 #include "ebpf/vm.h"
+#include "engine/flowcache.h"
 #include "kernel/kernel.h"
 
 namespace linuxfp::ebpf {
@@ -113,6 +115,24 @@ class Attachment : public kern::PacketProgram {
   // Null unbinds. AttachmentStats stays authoritative either way.
   void set_metrics(util::MetricsRegistry* registry);
 
+  // --- microflow verdict cache (DESIGN.md §12) -------------------------------
+  // Opt-in per-CPU exact-match verdict cache probed before the interpreter.
+  // Control-plane call (no workers running). Off by default.
+  void set_flow_cache(bool on);
+  bool flow_cache_enabled() const { return flow_cache_on_; }
+  // Deploy epoch: bumped whenever the reachable program set can change
+  // (swap, set_entry, load/unload). Cached verdicts from an older epoch are
+  // invalid, so every redeploy — including a fault-injection rollback —
+  // flushes the cache.
+  std::uint64_t flow_epoch() const {
+    return flow_epoch_.load(std::memory_order_relaxed);
+  }
+  // Aggregated over the per-CPU caches; exact once workers quiesce.
+  engine::FlowCacheStats flow_cache_stats() const;
+  const engine::FlowCache* flow_cache(unsigned cpu) const {
+    return cpu < flow_caches_.size() ? flow_caches_[cpu].get() : nullptr;
+  }
+
  private:
   bool metrics_on() const {
     return metrics_registry_ != nullptr && metrics_registry_->enabled();
@@ -135,12 +155,25 @@ class Attachment : public kern::PacketProgram {
   // single-queue VM.
   std::vector<std::unique_ptr<Vm>> vms_;
   std::vector<CpuStats> cpu_stats_;
+  void bump_flow_epoch() {
+    flow_epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Serves a probe-hit: verdict mapping, stats, metrics, trace event.
+  RunResult finish_cache_hit(const engine::FlowCache::Hit& hit,
+                             AttachmentStats& sh);
+
   bool dispatcher_enabled_ = false;
   std::uint32_t prog_array_id_ = 0;
   std::uint32_t entry_prog_ = 0;
   std::uint32_t active_prog_ = 0;
   bool has_entry_ = false;
   std::vector<AfXdpSocket*> xsk_sockets_;
+
+  // flow_caches_[cpu] parallels vms_[cpu]; populated only when enabled.
+  bool flow_cache_on_ = false;
+  std::vector<std::unique_ptr<engine::FlowCache>> flow_caches_;
+  std::atomic<std::uint64_t> flow_epoch_{0};
+  engine::FlowCacheMetrics fc_metrics_;
 
   util::MetricsRegistry* metrics_registry_ = nullptr;
   util::Counter* m_runs_ = nullptr;

@@ -17,6 +17,10 @@ namespace linuxfp::kern {
 class Kernel;
 }
 
+namespace linuxfp::engine {
+class FlowCacheRecorder;
+}
+
 namespace linuxfp::ebpf {
 
 enum class HookType { kXdp, kTcIngress, kTcEgress };
@@ -35,6 +39,17 @@ struct Program {
   std::vector<Insn> insns;
 
   std::size_t size() const { return insns.size(); }
+
+  // Decoded twin of insns for the interpreter hot loop. The loader builds it
+  // eagerly at load time (so concurrent per-CPU VMs only ever read it); the
+  // lazy path in code() exists for directly-constructed test programs, which
+  // are single-threaded. Mutating insns after a run requires decoded.clear().
+  const std::vector<DecodedInsn>& code() const {
+    if (decoded.size() != insns.size()) decode();
+    return decoded;
+  }
+  void decode() const;
+  mutable std::vector<DecodedInsn> decoded;
 };
 
 // Well-known helper ids (kernel-numbering where one exists).
@@ -87,6 +102,11 @@ class HelperContext {
   // Wraps raw storage (a map value) into a tagged pointer valid for the rest
   // of this program run.
   std::uint64_t make_map_value_ptr(std::uint8_t* base, std::size_t size);
+
+  // Flow-cache recorder riding along with this run (null when the microflow
+  // cache is off). Helpers report their kernel-subsystem dependencies and
+  // replayable side effects through it.
+  engine::FlowCacheRecorder* recorder();
 
  private:
   Vm& vm_;

@@ -2,9 +2,50 @@
 
 #include <cstring>
 
+#include "engine/flowcache.h"
 #include "util/logging.h"
 
 namespace linuxfp::ebpf {
+
+void Program::decode() const {
+  decoded.clear();
+  decoded.reserve(insns.size());
+  for (std::size_t pc = 0; pc < insns.size(); ++pc) {
+    const Insn& in = insns[pc];
+    DecodedInsn d;
+    d.op = in.op;
+    d.dst = in.dst;
+    d.src = in.src;
+    d.src_sel = in.use_imm ? static_cast<std::uint8_t>(kImmSlot) : in.src;
+    d.use_imm = in.use_imm;
+    d.size = in.size;
+    d.off = in.off;
+    d.imm = in.imm;
+    d.jump_target = static_cast<std::size_t>(
+        static_cast<std::int64_t>(pc) + 1 + in.off);
+    decoded.push_back(d);
+  }
+}
+
+namespace {
+// Helpers whose behaviour is a pure function of the packet bytes, the
+// generation-guarded kernel subsystems and the recorded replay ops. Anything
+// else (map access, ktime, custom test helpers) makes a run uncacheable.
+bool flowcache_replayable_helper(std::uint32_t id) {
+  switch (id) {
+    case kHelperGetSmpProcessorId:  // per-CPU cache: cpu is fixed
+    case kHelperRedirect:           // target captured in the verdict
+    case kHelperCsumDiff:           // pure over bytes read via mem()
+    case kHelperFibLookup:          // generation-guarded (fib/neigh/dev)
+    case kHelperFdbLookup:          // generation-guarded + FDB replay op
+    case kHelperIptLookup:          // generation-guarded + ct replay op
+    case kHelperCtLookup:           // ct replay op
+      return true;
+    default:
+      return false;
+  }
+}
+}  // namespace
 
 const char* hook_type_name(HookType type) {
   switch (type) {
@@ -129,7 +170,19 @@ std::size_t MapSet::count() const {
 
 util::Result<std::uint8_t*> HelperContext::mem(std::uint64_t tagged,
                                                std::size_t len) {
-  return vm_.translate(tagged, len);
+  auto r = vm_.translate(tagged, len);
+  // Helpers receive an untyped span; conservatively treat packet-region
+  // accesses as both read and written for the flow-cache diff.
+  if (r.ok() && vm_.state_->recorder &&
+      ptr_region(tagged) == Region::kPacket) {
+    vm_.state_->recorder->note_packet_read(ptr_payload(tagged), len);
+    vm_.state_->recorder->note_packet_write(ptr_payload(tagged), len);
+  }
+  return r;
+}
+
+engine::FlowCacheRecorder* HelperContext::recorder() {
+  return vm_.state_->recorder;
 }
 
 void HelperContext::charge(std::uint64_t cycles) {
@@ -255,10 +308,12 @@ std::uint64_t ptr_add(std::uint64_t tagged, std::int64_t delta) {
 }  // namespace
 
 VmResult Vm::run(const Program& entry_prog, net::Packet& pkt,
-                 int ingress_ifindex, kern::Kernel* kernel) {
+                 int ingress_ifindex, kern::Kernel* kernel,
+                 engine::FlowCacheRecorder* recorder) {
   VmResult result;
   RunState state;
   state.pkt = &pkt;
+  state.recorder = recorder;
   std::memset(state.stack, 0, sizeof(state.stack));
   std::memset(state.ctx, 0, sizeof(state.ctx));
   std::memset(state.regs, 0, sizeof(state.regs));
@@ -284,6 +339,10 @@ VmResult Vm::run(const Program& entry_prog, net::Packet& pkt,
   HelperContext hctx(*this, &pkt, kernel, ingress_ifindex);
 
   const Program* prog = &entry_prog;
+  // Hot loop runs over the pre-decoded instruction stream: operand selector
+  // and jump targets were resolved at load time (Program::decode).
+  const DecodedInsn* code = prog->code().data();
+  std::size_t prog_size = prog->insns.size();
   std::size_t pc = 0;
   std::uint64_t executed = 0;
   constexpr std::uint64_t kMaxExecuted = 1u << 20;
@@ -298,16 +357,18 @@ VmResult Vm::run(const Program& entry_prog, net::Packet& pkt,
   };
 
   while (true) {
-    if (pc >= prog->insns.size()) {
+    if (pc >= prog_size) {
       return fail("pc out of bounds (missing exit?)");
     }
     if (++executed > kMaxExecuted) {
       return fail("instruction budget exceeded");
     }
-    const Insn& insn = prog->insns[pc];
+    const DecodedInsn& insn = code[pc];
     auto& regs = state.regs;
-    std::uint64_t src_val =
-        insn.use_imm ? static_cast<std::uint64_t>(insn.imm) : regs[insn.src];
+    // The imm slot mirrors this instruction's immediate, so the second
+    // operand is one unconditional indexed load (no use_imm branch).
+    regs[kImmSlot] = static_cast<std::uint64_t>(insn.imm);
+    std::uint64_t src_val = regs[insn.src_sel];
 
     switch (insn.op) {
       case Op::kMov:
@@ -377,33 +438,44 @@ VmResult Vm::run(const Program& entry_prog, net::Packet& pkt,
         break;
       }
       case Op::kLdx: {
-        auto mem = translate(ptr_add(regs[insn.src], insn.off),
-                             static_cast<std::size_t>(insn.size));
+        std::uint64_t addr = ptr_add(regs[insn.src], insn.off);
+        auto mem = translate(addr, static_cast<std::size_t>(insn.size));
         if (!mem.ok()) return fail(mem.error().message);
+        if (recorder && ptr_region(addr) == Region::kPacket) {
+          recorder->note_packet_read(ptr_payload(addr),
+                                     static_cast<std::size_t>(insn.size));
+        }
         regs[insn.dst] = load_sized(mem.value(), insn.size);
         ++pc;
         break;
       }
       case Op::kStx: {
-        auto mem = translate(ptr_add(regs[insn.dst], insn.off),
-                             static_cast<std::size_t>(insn.size));
+        std::uint64_t addr = ptr_add(regs[insn.dst], insn.off);
+        auto mem = translate(addr, static_cast<std::size_t>(insn.size));
         if (!mem.ok()) return fail(mem.error().message);
+        if (recorder && ptr_region(addr) == Region::kPacket) {
+          recorder->note_packet_write(ptr_payload(addr),
+                                      static_cast<std::size_t>(insn.size));
+        }
         store_sized(mem.value(), insn.size, regs[insn.src]);
         ++pc;
         break;
       }
       case Op::kSt: {
-        auto mem = translate(ptr_add(regs[insn.dst], insn.off),
-                             static_cast<std::size_t>(insn.size));
+        std::uint64_t addr = ptr_add(regs[insn.dst], insn.off);
+        auto mem = translate(addr, static_cast<std::size_t>(insn.size));
         if (!mem.ok()) return fail(mem.error().message);
+        if (recorder && ptr_region(addr) == Region::kPacket) {
+          recorder->note_packet_write(ptr_payload(addr),
+                                      static_cast<std::size_t>(insn.size));
+        }
         store_sized(mem.value(), insn.size,
                     static_cast<std::uint64_t>(insn.imm));
         ++pc;
         break;
       }
       case Op::kJa:
-        pc = static_cast<std::size_t>(static_cast<std::int64_t>(pc) + 1 +
-                                      insn.off);
+        pc = insn.jump_target;
         break;
       case Op::kJeq:
       case Op::kJne:
@@ -432,9 +504,7 @@ VmResult Vm::run(const Program& entry_prog, net::Packet& pkt,
           case Op::kJset: take = (a & b) != 0; break;
           default: break;
         }
-        pc = take ? static_cast<std::size_t>(static_cast<std::int64_t>(pc) +
-                                             1 + insn.off)
-                  : pc + 1;
+        pc = take ? insn.jump_target : pc + 1;
         break;
       }
       case Op::kCall: {
@@ -465,6 +535,8 @@ VmResult Vm::run(const Program& entry_prog, net::Packet& pkt,
                    (*prog_table_)[*target].name);
           }
           prog = &(*prog_table_)[*target];
+          code = prog->code().data();
+          prog_size = prog->insns.size();
           pc = 0;
           // Tail call preserves only the context pointer convention: r1 is
           // re-established; caller-saved state is lost.
@@ -473,6 +545,11 @@ VmResult Vm::run(const Program& entry_prog, net::Packet& pkt,
         }
         const Helper* helper = helpers_.find(helper_id);
         if (!helper) return fail("unknown helper " + std::to_string(helper_id));
+        if (recorder && !flowcache_replayable_helper(helper_id)) {
+          // Map contents, time and custom helpers are outside the
+          // generation-guarded replay model.
+          recorder->mark_uncacheable("helper escapes replay model");
+        }
         std::uint64_t cycles_before = state.extra_cycles;
         state.extra_cycles += cost_.bpf_helper_base;
         regs[kR0] = helper->fn(hctx, regs[kR1], regs[kR2], regs[kR3],

@@ -14,6 +14,10 @@
 #include "kernel/cost_model.h"
 #include "net/packet.h"
 
+namespace linuxfp::engine {
+class FlowCacheRecorder;
+}
+
 namespace linuxfp::ebpf {
 
 struct VmResult {
@@ -34,9 +38,13 @@ class Vm {
       : cost_(cost), helpers_(helpers), maps_(maps), prog_table_(prog_table) {}
 
   // Runs `prog` on the packet. `kernel` is the kernel whose state the
-  // kernel-bound helpers access (nullptr for pure programs).
+  // kernel-bound helpers access (nullptr for pure programs). When `recorder`
+  // is non-null the run is observed for the microflow verdict cache: packet
+  // reads/writes, helper subsystem dependencies and replayable side effects
+  // are captured, and non-replayable runs are marked uncacheable.
   VmResult run(const Program& prog, net::Packet& pkt, int ingress_ifindex,
-               kern::Kernel* kernel);
+               kern::Kernel* kernel,
+               engine::FlowCacheRecorder* recorder = nullptr);
 
   // The CPU this VM models (one engine worker per CPU). Selects the slot of
   // per-CPU maps and the return value of bpf_get_smp_processor_id. A Vm is
@@ -59,7 +67,10 @@ class Vm {
     net::Packet* pkt = nullptr;
     std::uint8_t stack[kStackSize];
     std::uint8_t ctx[kCtxSize];
-    std::uint64_t regs[kNumRegs];
+    // One extra slot (kImmSlot) mirrors the current instruction's immediate
+    // so operand selection is an unconditional indexed load.
+    std::uint64_t regs[kNumRegs + 1];
+    engine::FlowCacheRecorder* recorder = nullptr;
     std::uint64_t extra_cycles = 0;
     int redirect_ifindex = 0;
     int redirect_xsk = -1;

@@ -38,7 +38,9 @@ void Engine::start() {
 }
 
 void Engine::inject(net::Packet&& pkt) {
-  QueueState& qs = *queues_[rss_.queue_for(pkt)];
+  // Hash once at the NIC boundary; the stashed hash rides along for the
+  // worker-side flow cache (and any later consumer) to reuse.
+  QueueState& qs = *queues_[rss_.queue_for_hash(rss_hash_cached(pkt))];
   std::size_t occ = qs.ring.occupancy();
   if (occ > qs.stats.max_occupancy) qs.stats.max_occupancy = occ;
   for (;;) {

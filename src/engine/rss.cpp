@@ -9,16 +9,19 @@ namespace linuxfp::engine {
 
 namespace {
 
-// The 40-byte symmetric RSS key: 0x6d5a repeated. With a periodic 2-byte key
-// the Toeplitz hash of (a, b) equals the hash of (b, a) for the 4-byte
-// aligned src/dst fields below, giving bidirectional flow affinity.
-constexpr std::uint8_t kKeyByteHi = 0x6d;
-constexpr std::uint8_t kKeyByteLo = 0x5a;
+// The Microsoft reference RSS key (mlx5/ixgbe default). Symmetry does NOT
+// come from the key: a key that makes in-place Toeplitz symmetric must be
+// 16-bit periodic (the 0x6d5a convention), which collapses the 32-bit hash
+// image to ~2^16 values with heavy collisions between nearby flows — fatal
+// for the flow cache that indexes on this hash. Instead rss_hash_of
+// canonicalizes the tuple (sorts the endpoints, DPDK's symmetric_toeplitz_
+// sort) and keeps the full-strength key.
 constexpr std::size_t kKeyLen = 40;
-
-std::uint8_t key_byte(std::size_t i) {
-  return (i & 1) ? kKeyByteLo : kKeyByteHi;
-}
+constexpr std::uint8_t kRssKey[kKeyLen] = {
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67,
+    0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0, 0xd0, 0xca, 0x2b, 0xcb,
+    0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa};
 
 }  // namespace
 
@@ -28,17 +31,17 @@ std::uint32_t toeplitz_hash(const std::uint8_t* data, std::size_t len) {
   // 32-bit key window starting at bit i.
   std::uint32_t result = 0;
   // 32-bit window of the key starting at the current input bit.
-  std::uint32_t window = (std::uint32_t{key_byte(0)} << 24) |
-                         (std::uint32_t{key_byte(1)} << 16) |
-                         (std::uint32_t{key_byte(2)} << 8) |
-                         std::uint32_t{key_byte(3)};
+  std::uint32_t window = (std::uint32_t{kRssKey[0]} << 24) |
+                         (std::uint32_t{kRssKey[1]} << 16) |
+                         (std::uint32_t{kRssKey[2]} << 8) |
+                         std::uint32_t{kRssKey[3]};
   for (std::size_t i = 0; i < len; ++i) {
     std::uint8_t byte = data[i];
     for (int bit = 7; bit >= 0; --bit) {
       if (byte & (1u << bit)) result ^= window;
       // Slide the window one bit: shift in the next key bit.
       std::size_t next_bit_index = (i + 4) * 8 + (7 - bit);
-      std::uint8_t next_byte = key_byte(next_bit_index / 8);
+      std::uint8_t next_byte = kRssKey[next_bit_index / 8];
       std::uint32_t next_bit = (next_byte >> (7 - next_bit_index % 8)) & 1u;
       window = (window << 1) | next_bit;
     }
@@ -53,7 +56,15 @@ RssClassifier::RssClassifier(unsigned queues) : queues_(queues) {
   }
 }
 
-std::uint32_t RssClassifier::hash(const net::Packet& pkt) const {
+std::uint32_t rss_hash_cached(net::Packet& pkt) {
+  if (!pkt.rss_hash_valid) {
+    pkt.rss_hash = rss_hash_of(pkt);
+    pkt.rss_hash_valid = true;
+  }
+  return pkt.rss_hash;
+}
+
+std::uint32_t rss_hash_of(const net::Packet& pkt) {
   auto parsed = net::parse_packet(pkt);
   if (!parsed || !parsed->has_ipv4) return 0;
   // Hash input layout follows the Microsoft RSS spec: src ip, dst ip,
@@ -62,6 +73,14 @@ std::uint32_t RssClassifier::hash(const net::Packet& pkt) const {
   std::size_t len = 8;
   std::uint32_t src = parsed->ip_src.value();
   std::uint32_t dst = parsed->ip_dst.value();
+  std::uint16_t sport = parsed->src_port;
+  std::uint16_t dport = parsed->dst_port;
+  // Canonical endpoint order (addresses and ports swapped together) makes
+  // both directions of a flow hash identically without weakening the key.
+  if (src > dst || (src == dst && sport > dport)) {
+    std::swap(src, dst);
+    std::swap(sport, dport);
+  }
   input[0] = static_cast<std::uint8_t>(src >> 24);
   input[1] = static_cast<std::uint8_t>(src >> 16);
   input[2] = static_cast<std::uint8_t>(src >> 8);
@@ -71,10 +90,10 @@ std::uint32_t RssClassifier::hash(const net::Packet& pkt) const {
   input[6] = static_cast<std::uint8_t>(dst >> 8);
   input[7] = static_cast<std::uint8_t>(dst);
   if (parsed->has_ports && !parsed->ip_fragment) {
-    input[8] = static_cast<std::uint8_t>(parsed->src_port >> 8);
-    input[9] = static_cast<std::uint8_t>(parsed->src_port);
-    input[10] = static_cast<std::uint8_t>(parsed->dst_port >> 8);
-    input[11] = static_cast<std::uint8_t>(parsed->dst_port);
+    input[8] = static_cast<std::uint8_t>(sport >> 8);
+    input[9] = static_cast<std::uint8_t>(sport);
+    input[10] = static_cast<std::uint8_t>(dport >> 8);
+    input[11] = static_cast<std::uint8_t>(dport);
     len = 12;
   }
   return toeplitz_hash(input, len);

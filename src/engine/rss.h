@@ -3,11 +3,13 @@
 // multi-core experiments rely on (Pktgen varies source ports precisely so
 // this hash spreads load over cores).
 //
-// The hash is a Toeplitz hash over the IPv4 5-tuple with the "symmetric"
-// key convention (0x6d5a repeated, as recommended for e.g. Suricata): the
-// repeated 2-byte pattern makes hash(src,dst) == hash(dst,src), so both
-// directions of a flow land on the same queue. Non-IP frames (ARP) hash to
-// queue 0, like a NIC that cannot parse the header.
+// The hash is a Toeplitz hash over the IPv4 5-tuple with the Microsoft
+// reference key, made symmetric by canonicalizing the endpoint order before
+// hashing (DPDK's symmetric_toeplitz_sort): hash(src,dst) == hash(dst,src),
+// so both directions of a flow land on the same queue, without the hash-image
+// collapse a 16-bit-periodic "symmetric key" would cause (the flow cache
+// indexes on this hash and needs its full strength). Non-IP frames (ARP)
+// hash to queue 0, like a NIC that cannot parse the header.
 //
 // Queue selection goes through a 128-entry indirection table (the ethtool -x
 // "RETA"), initialized round-robin over the configured queue count.
@@ -22,8 +24,19 @@ namespace linuxfp::engine {
 
 inline constexpr std::size_t kRetaSize = 128;
 
-// Toeplitz hash of `len` bytes of input under the repeated 0x6d5a key.
+// Toeplitz hash of `len` bytes of input under the Microsoft reference key.
 std::uint32_t toeplitz_hash(const std::uint8_t* data, std::size_t len);
+
+// Toeplitz flow hash of the packet (0 when the frame has no IPv4 header).
+// Stateless — the hash is a property of the packet alone; the classifier
+// only adds queue steering on top.
+std::uint32_t rss_hash_of(const net::Packet& pkt);
+
+// Returns the packet's flow hash, computing and stashing it in the packet's
+// rss_hash metadata on first use (skb->hash memoization). Every consumer —
+// engine queue steering, the flow cache, sim-path probes — goes through here
+// so the hash is computed at most once per packet.
+std::uint32_t rss_hash_cached(net::Packet& pkt);
 
 class RssClassifier {
  public:
@@ -32,11 +45,16 @@ class RssClassifier {
   unsigned queues() const { return queues_; }
 
   // Flow hash of the packet (0 when the frame has no IPv4 header).
-  std::uint32_t hash(const net::Packet& pkt) const;
+  std::uint32_t hash(const net::Packet& pkt) const { return rss_hash_of(pkt); }
+
+  // rx queue for an already-computed flow hash.
+  unsigned queue_for_hash(std::uint32_t hash) const {
+    return reta_[hash & (kRetaSize - 1)];
+  }
 
   // rx queue for the packet: reta[hash & (kRetaSize-1)].
   unsigned queue_for(const net::Packet& pkt) const {
-    return reta_[hash(pkt) & (kRetaSize - 1)];
+    return queue_for_hash(rss_hash_of(pkt));
   }
 
   const std::array<unsigned, kRetaSize>& reta() const { return reta_; }

@@ -24,6 +24,7 @@ net::MacAddr stp_multicast_mac() {
 void Bridge::set_priority(std::uint16_t priority) {
   id_.priority = priority;
   if (stp_enabled_) recompute_roles();
+  bump_generation();
 }
 
 void Bridge::add_port(int port_ifindex) {
@@ -39,21 +40,24 @@ void Bridge::add_port(int port_ifindex) {
     transition_start_[port_ifindex] = 0;
     recompute_roles();
   }
+  bump_generation();
 }
 
 void Bridge::del_port(int port_ifindex) {
-  ports_.erase(port_ifindex);
+  bool existed = ports_.erase(port_ifindex) > 0;
   port_best_.erase(port_ifindex);
   transition_start_.erase(port_ifindex);
   // Flush FDB entries learned on the removed port.
   for (auto it = fdb_.begin(); it != fdb_.end();) {
     if (it->second.port_ifindex == port_ifindex) {
       it = fdb_.erase(it);
+      existed = true;
     } else {
       ++it;
     }
   }
   if (stp_enabled_) recompute_roles();
+  if (existed) bump_generation();
 }
 
 bool Bridge::has_port(int port_ifindex) const {
@@ -81,10 +85,24 @@ void Bridge::fdb_learn(const net::MacAddr& mac, std::uint16_t vlan,
   if (mac.is_multicast()) return;  // never learn multicast sources
   const BridgePort* p = port(port_ifindex);
   if (!p || !p->can_learn()) return;
+  // Refreshing the timestamp of an entry already on this port is not a
+  // forwarding-state change and must not bump the generation — the hot path
+  // learns on every packet, and a per-packet bump would self-invalidate any
+  // cached bridge decision. Only a new station or a port migration bumps.
+  auto it = fdb_.find(FdbKey{mac, vlan});
+  if (it != fdb_.end()) {
+    FdbEntry& e = it->second;
+    if (e.is_static) return;
+    bool moved = e.port_ifindex != port_ifindex;
+    e.port_ifindex = port_ifindex;
+    e.updated_ns = now_ns;
+    if (moved) bump_generation();
+    return;
+  }
   FdbEntry& e = fdb_[FdbKey{mac, vlan}];
-  if (e.is_static) return;
   e.port_ifindex = port_ifindex;
   e.updated_ns = now_ns;
+  bump_generation();
 }
 
 void Bridge::fdb_add_static(const net::MacAddr& mac, std::uint16_t vlan,
@@ -92,10 +110,13 @@ void Bridge::fdb_add_static(const net::MacAddr& mac, std::uint16_t vlan,
   FdbEntry& e = fdb_[FdbKey{mac, vlan}];
   e.port_ifindex = port_ifindex;
   e.is_static = true;
+  bump_generation();
 }
 
 bool Bridge::fdb_delete(const net::MacAddr& mac, std::uint16_t vlan) {
-  return fdb_.erase(FdbKey{mac, vlan}) > 0;
+  if (fdb_.erase(FdbKey{mac, vlan}) == 0) return false;
+  bump_generation();
+  return true;
 }
 
 std::size_t Bridge::fdb_age(std::uint64_t now_ns) {
@@ -109,6 +130,7 @@ std::size_t Bridge::fdb_age(std::uint64_t now_ns) {
       ++it;
     }
   }
+  if (removed > 0) bump_generation();
   return removed;
 }
 
@@ -139,6 +161,7 @@ void Bridge::set_stp_enabled(bool enabled) {
     root_ = id_;
     root_port_ = 0;
   }
+  bump_generation();
 }
 
 bool Bridge::process_bpdu(int port_ifindex, const Bpdu& bpdu) {
@@ -169,8 +192,10 @@ bool Bridge::process_bpdu(int port_ifindex, const Bpdu& bpdu) {
 
   std::vector<StpState> new_states;
   for (const auto& [ifi, p] : ports_) new_states.push_back(p.state);
-  return !(old_root == root_) || old_root_port != root_port_ ||
-         old_states != new_states;
+  bool changed = !(old_root == root_) || old_root_port != root_port_ ||
+                 old_states != new_states;
+  if (changed) bump_generation();
+  return changed;
 }
 
 void Bridge::recompute_roles() {
@@ -244,6 +269,7 @@ std::vector<std::pair<int, Bpdu>> Bridge::generate_bpdus() const {
 
 void Bridge::stp_tick(std::uint64_t now_ns) {
   if (!stp_enabled_) return;
+  bool transitioned = false;
   for (auto& [ifi, p] : ports_) {
     if (p.state != StpState::kListening && p.state != StpState::kLearning) {
       continue;
@@ -264,8 +290,10 @@ void Bridge::stp_tick(std::uint64_t now_ns) {
         p.state = StpState::kForwarding;
       }
       it->second = now_ns;
+      transitioned = true;
     }
   }
+  if (transitioned) bump_generation();
 }
 
 }  // namespace linuxfp::kern

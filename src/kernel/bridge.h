@@ -9,6 +9,7 @@
 // bpf_fdb_lookup helper.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -86,8 +87,14 @@ struct BridgePort {
 
 class Bridge {
  public:
-  Bridge(int ifindex, const net::MacAddr& mac)
-      : ifindex_(ifindex) {
+  // `shared_gen` (optional) is a kernel-owned generation counter shared by
+  // every bridge in the netns; the bridge bumps it whenever forwarding state
+  // (ports, FDB, STP, VLAN config) changes so fast-path caches holding
+  // memoized bridge decisions can revalidate cheaply. Bridges constructed
+  // without one (unit tests) simply skip the bumps.
+  Bridge(int ifindex, const net::MacAddr& mac,
+         std::atomic<std::uint64_t>* shared_gen = nullptr)
+      : ifindex_(ifindex), shared_gen_(shared_gen) {
     id_.mac = mac;
     root_ = id_;
   }
@@ -123,7 +130,11 @@ class Bridge {
 
   // --- VLAN filtering --------------------------------------------------------
   bool vlan_filtering() const { return vlan_filtering_; }
-  void set_vlan_filtering(bool enabled) { vlan_filtering_ = enabled; }
+  void set_vlan_filtering(bool enabled) {
+    if (vlan_filtering_ == enabled) return;
+    vlan_filtering_ = enabled;
+    bump_generation();
+  }
 
   // --- STP ---------------------------------------------------------------
   bool stp_enabled() const { return stp_enabled_; }
@@ -144,10 +155,19 @@ class Bridge {
   // Advances listening->learning->forwarding transitions (forward delay).
   void stp_tick(std::uint64_t now_ns);
 
+  // Callers that mutate port configuration through the non-const port()
+  // accessor (e.g. `bridge vlan add`) must call this afterwards so cached
+  // fast-path decisions observe the change.
+  void note_config_changed() { bump_generation(); }
+
  private:
   void recompute_roles();
+  void bump_generation() {
+    if (shared_gen_) shared_gen_->fetch_add(1, std::memory_order_relaxed);
+  }
 
   int ifindex_;
+  std::atomic<std::uint64_t>* shared_gen_ = nullptr;
   BridgeId id_;
   std::map<int, BridgePort> ports_;
   std::unordered_map<FdbKey, FdbEntry, FdbKeyHash> fdb_;

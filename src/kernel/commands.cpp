@@ -201,6 +201,7 @@ Status cmd_bridge(Kernel& k, const Tokens& t) {
     }
     if (pvid) port->pvid = v;
     if (untagged) port->untagged_vlans.insert(v);
+    br->note_config_changed();  // mutated port VLAN config via port()
     br->set_vlan_filtering(true);
     util::Json attrs = util::Json::object();
     attrs["ifname"] = t[4];

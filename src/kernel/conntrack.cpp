@@ -59,6 +59,7 @@ Conntrack::LookupResult Conntrack::lookup_or_create(const net::FlowKey& key,
   auto [it, inserted] = table_.emplace(key, e);
   res.entry = &it->second;
   res.created = inserted;
+  if (inserted) generation_.fetch_add(1, std::memory_order_relaxed);
   return res;
 }
 
@@ -74,6 +75,7 @@ void Conntrack::set_dnat(CtEntry& entry, net::Ipv4Addr addr,
   reply.dst_port = entry.original.src_port;
   reply.proto = entry.original.proto;
   nat_index_[reply] = entry.original;
+  generation_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::size_t Conntrack::expire_idle(std::uint64_t now_ns,
@@ -96,6 +98,7 @@ std::size_t Conntrack::expire_idle(std::uint64_t now_ns,
       ++it;
     }
   }
+  if (removed > 0) generation_.fetch_add(1, std::memory_order_relaxed);
   return removed;
 }
 

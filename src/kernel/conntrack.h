@@ -4,6 +4,7 @@
 // (paper Table I, load balancing row).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -54,11 +55,21 @@ class Conntrack {
   std::size_t size() const { return table_.size(); }
   std::vector<const CtEntry*> dump() const;
 
+  // Bumped on structural changes (entry created, DNAT installed, entries
+  // expired). Per-packet refreshes (last_seen, packet counts, NEW ->
+  // ESTABLISHED promotion) deliberately do NOT bump: fast-path caches
+  // revalidate those by replaying the lookup itself, and bumping per packet
+  // would make conntrack-touching flows permanently uncacheable.
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_relaxed);
+  }
+
  private:
   static net::FlowKey reversed(const net::FlowKey& key);
   std::unordered_map<net::FlowKey, CtEntry> table_;
   // post-NAT reply tuple -> original tuple
   std::unordered_map<net::FlowKey, net::FlowKey> nat_index_;
+  std::atomic<std::uint64_t> generation_{0};
 };
 
 }  // namespace linuxfp::kern

@@ -91,6 +91,9 @@ struct CostModel {
   std::uint64_t bpf_fdb_lookup_helper = 420;   // fdb hash + port state
   std::uint64_t bpf_ipt_per_rule = 5;         // in-helper linear match
   std::uint64_t bpf_redirect = 170;            // devmap redirect + tx queue
+  // Microflow verdict-cache hit: hash index + key compare + generation
+  // vector validation + header diff replay (no interpreter).
+  std::uint64_t flowcache_hit = 30;
 
   // --- Per-byte costs (copies / checksum touch), cycles per byte ----------
   double per_byte_rx = 0.022;   // DMA/cache-line touch on receive

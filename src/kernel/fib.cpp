@@ -49,6 +49,7 @@ void Fib::add_route(const Route& route) {
       [&](const Route& r) { return r.metric == route.metric; });
   if (it != node->routes.end()) {
     *it = route;
+    generation_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   it = std::upper_bound(
@@ -56,6 +57,7 @@ void Fib::add_route(const Route& route) {
       [](const Route& a, const Route& b) { return a.metric < b.metric; });
   node->routes.insert(it, route);
   ++size_;
+  generation_.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool Fib::del_route(const net::Ipv4Prefix& prefix,
@@ -72,6 +74,7 @@ bool Fib::del_route(const net::Ipv4Prefix& prefix,
     node->routes.erase(node->routes.begin());
   }
   --size_;
+  generation_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -104,6 +107,7 @@ std::vector<Route> Fib::purge_interface(int ifindex) {
     walk(node->child[1].get());
   };
   walk(root_.get());
+  if (!removed.empty()) generation_.fetch_add(1, std::memory_order_relaxed);
   return removed;
 }
 

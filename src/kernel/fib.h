@@ -3,6 +3,7 @@
 // shared by the slow path and (via the bpf_fib_lookup helper) the fast path.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -70,11 +71,20 @@ class Fib {
   std::vector<Route> dump() const;
   std::size_t size() const { return size_; }
 
+  // Monotonic mutation counter: bumped whenever the route set changes.
+  // Fast-path caches snapshot it and revalidate with a relaxed load, so a
+  // stale cached FIB decision can never outlive the mutation that made it
+  // stale.
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Node;
   Node* walk_to(const net::Ipv4Prefix& prefix) const;
   std::unique_ptr<Node> root_;
   std::size_t size_ = 0;
+  std::atomic<std::uint64_t> generation_{0};
 };
 
 }  // namespace linuxfp::kern

@@ -15,24 +15,25 @@ util::Status IpSet::add(const net::Ipv4Prefix& member) {
                                "set " + name_ + " is full (maxelem " +
                                    std::to_string(maxelem_) + ")");
     }
-    ips_.insert(member.network());
+    if (ips_.insert(member.network()).second) bump_generation();
   } else {
     if (!nets_.count(member) && nets_.size() >= maxelem_) {
       return util::Error::make("ipset.full",
                                "set " + name_ + " is full (maxelem " +
                                    std::to_string(maxelem_) + ")");
     }
-    nets_.insert(member);
+    if (nets_.insert(member).second) bump_generation();
     net_lens_.insert(member.prefix_len());
   }
   return {};
 }
 
 bool IpSet::del(const net::Ipv4Prefix& member) {
-  if (type_ == IpSetType::kHashIp) {
-    return ips_.erase(member.network()) > 0;
-  }
-  return nets_.erase(member) > 0;
+  bool erased = type_ == IpSetType::kHashIp
+                    ? ips_.erase(member.network()) > 0
+                    : nets_.erase(member) > 0;
+  if (erased) bump_generation();
+  return erased;
 }
 
 bool IpSet::test(net::Ipv4Addr addr) const {
@@ -68,7 +69,8 @@ util::Status IpSetManager::create(const std::string& name, IpSetType type,
   if (maxelem == 0) {
     return util::Error::make("ipset.maxelem", "maxelem must be >= 1");
   }
-  sets_[name] = std::make_unique<IpSet>(name, type, maxelem);
+  sets_[name] = std::make_unique<IpSet>(name, type, maxelem, &generation_);
+  generation_.fetch_add(1, std::memory_order_relaxed);
   return {};
 }
 
@@ -76,6 +78,7 @@ util::Status IpSetManager::destroy(const std::string& name) {
   if (!sets_.erase(name)) {
     return util::Error::make("ipset.missing", "no such set: " + name);
   }
+  generation_.fetch_add(1, std::memory_order_relaxed);
   return {};
 }
 

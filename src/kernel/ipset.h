@@ -4,6 +4,7 @@
 // blacklist into a single ipset-backed rule.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -24,9 +25,14 @@ inline constexpr std::size_t kIpSetDefaultMaxElem = 65536;
 
 class IpSet {
  public:
+  // `shared_gen` (optional) is the owning IpSetManager's generation counter;
+  // member changes bump it so fast-path caches that memoized a set-match
+  // outcome revalidate. Directly-constructed sets (tests) skip the bumps.
   IpSet(std::string name, IpSetType type,
-        std::size_t maxelem = kIpSetDefaultMaxElem)
-      : name_(std::move(name)), type_(type), maxelem_(maxelem) {}
+        std::size_t maxelem = kIpSetDefaultMaxElem,
+        std::atomic<std::uint64_t>* shared_gen = nullptr)
+      : name_(std::move(name)), type_(type), maxelem_(maxelem),
+        shared_gen_(shared_gen) {}
 
   const std::string& name() const { return name_; }
   IpSetType type() const { return type_; }
@@ -40,9 +46,14 @@ class IpSet {
   std::vector<net::Ipv4Prefix> dump() const;
 
  private:
+  void bump_generation() {
+    if (shared_gen_) shared_gen_->fetch_add(1, std::memory_order_relaxed);
+  }
+
   std::string name_;
   IpSetType type_;
   std::size_t maxelem_;
+  std::atomic<std::uint64_t>* shared_gen_ = nullptr;
   std::set<net::Ipv4Addr> ips_;          // hash:ip
   std::set<net::Ipv4Prefix> nets_;       // hash:net (linear by /len buckets)
   std::set<std::uint8_t> net_lens_;      // which prefix lengths exist
@@ -57,8 +68,14 @@ class IpSetManager {
   const IpSet* find(const std::string& name) const;
   std::vector<const IpSet*> dump() const;
 
+  // Bumped on set create/destroy and on any member change in any owned set.
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::map<std::string, std::unique_ptr<IpSet>> sets_;
+  std::atomic<std::uint64_t> generation_{0};
 };
 
 }  // namespace linuxfp::kern

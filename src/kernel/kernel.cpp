@@ -91,6 +91,7 @@ NetDevice& Kernel::add_phys_dev(const std::string& name) {
   NetDevice& ref = *dev;
   devs_[ifi] = std::move(dev);
   dev_names_[name] = ifi;
+  bump_dev_generation();
   publish_link(ref);
   return ref;
 }
@@ -103,6 +104,7 @@ NetDevice& Kernel::add_loopback() {
   NetDevice& ref = *dev;
   devs_[ifi] = std::move(dev);
   dev_names_["lo"] = ifi;
+  bump_dev_generation();
   return ref;
 }
 
@@ -115,7 +117,8 @@ NetDevice& Kernel::add_bridge_dev(const std::string& name) {
   NetDevice& ref = *dev;
   devs_[ifi] = std::move(dev);
   dev_names_[name] = ifi;
-  bridges_[ifi] = std::make_unique<Bridge>(ifi, ref.mac());
+  bridges_[ifi] = std::make_unique<Bridge>(ifi, ref.mac(), &bridge_gen_);
+  bump_dev_generation();
   publish_link(ref);
   return ref;
 }
@@ -151,6 +154,8 @@ NetDevice& Kernel::add_veth_to(const std::string& name, Kernel& peer_kernel,
   ref.veth() = VethPeer{&peer_kernel, peer_ifi};
   peer_ref.veth() = VethPeer{this, ifi};
 
+  bump_dev_generation();
+  peer_kernel.bump_dev_generation();
   publish_link(ref);
   peer_kernel.publish_link(peer_ref);
   return ref;
@@ -169,6 +174,7 @@ NetDevice& Kernel::add_vxlan_dev(const std::string& name, std::uint32_t vni,
   NetDevice& ref = *dev;
   devs_[ifi] = std::move(dev);
   dev_names_[name] = ifi;
+  bump_dev_generation();
   publish_link(ref);
   return ref;
 }
@@ -193,6 +199,7 @@ util::Status Kernel::del_dev(const std::string& name) {
   publish_link(*d, /*deleted=*/true);
   dev_names_.erase(it);
   devs_.erase(ifi);
+  bump_dev_generation();
   return {};
 }
 
@@ -227,6 +234,7 @@ util::Status Kernel::set_link_up(const std::string& name, bool up) {
   if (!d) return util::Error::make("dev.missing", "no such device: " + name);
   if (d->is_up() == up) return {};
   d->set_up(up);
+  bump_dev_generation();
   if (!up) {
     for (Route& r : fib_.purge_interface(d->ifindex())) {
       netlink_.publish(nl::MsgType::kDelRoute, route_attrs(r, name));
@@ -251,6 +259,7 @@ util::Status Kernel::enslave(const std::string& port,
   }
   p->set_master(b->ifindex());
   br->add_port(p->ifindex());
+  bump_dev_generation();
   publish_link(*p);
   return {};
 }
@@ -264,6 +273,7 @@ util::Status Kernel::release(const std::string& port) {
   Bridge* br = bridge(p->master());
   if (br) br->del_port(p->ifindex());
   p->set_master(0);
+  bump_dev_generation();
   publish_link(*p);
   return {};
 }
@@ -279,6 +289,7 @@ util::Status Kernel::add_addr(const std::string& dev_name,
   if (!d->add_addr(addr)) {
     return util::Error::make("addr.exists", "address exists");
   }
+  bump_dev_generation();
   util::Json attrs = util::Json::object();
   attrs["dev"] = dev_name;
   attrs["ifindex"] = d->ifindex();
@@ -306,6 +317,7 @@ util::Status Kernel::del_addr(const std::string& dev_name,
   if (!d->del_addr(addr)) {
     return util::Error::make("addr.missing", "no such address");
   }
+  bump_dev_generation();
   util::Json attrs = util::Json::object();
   attrs["dev"] = dev_name;
   attrs["ifindex"] = d->ifindex();
@@ -390,6 +402,7 @@ util::Status Kernel::del_neigh(net::Ipv4Addr ip) {
 
 util::Status Kernel::set_sysctl(const std::string& key, int value) {
   sysctls_[key] = value;
+  bump_dev_generation();
   util::Json attrs = util::Json::object();
   attrs["key"] = key;
   attrs["value"] = value;

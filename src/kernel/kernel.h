@@ -10,6 +10,7 @@
 // controller.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -154,6 +155,7 @@ class Kernel : public nl::DumpProvider {
   IpSetManager& ipsets() { return ipsets_; }
   const IpSetManager& ipsets() const { return ipsets_; }
   Conntrack& conntrack() { return conntrack_; }
+  const Conntrack& conntrack() const { return conntrack_; }
   Ipvs& ipvs() { return ipvs_; }
   const Ipvs& ipvs() const { return ipvs_; }
   Bridge* bridge(int ifindex);
@@ -244,8 +246,28 @@ class Kernel : public nl::DumpProvider {
 
   // Enables conntrack consultation on forwarded/delivered packets (off by
   // default; the Kubernetes scenario turns it on, like kube-proxy does).
-  void set_conntrack_enabled(bool enabled) { conntrack_enabled_ = enabled; }
+  // Toggling changes helper behaviour, so it counts as a device-level
+  // configuration mutation for cache-coherence purposes.
+  void set_conntrack_enabled(bool enabled) {
+    if (conntrack_enabled_ != enabled) {
+      conntrack_enabled_ = enabled;
+      bump_dev_generation();
+    }
+  }
   bool conntrack_enabled() const { return conntrack_enabled_; }
+
+  // --- generation counters (fast-path cache coherence) ----------------------
+  // Device/link/address/sysctl configuration generation; any change that can
+  // alter what a fast-path helper observes about devices bumps it. Bridges
+  // share one counter (wired into each Bridge at construction); per-subsystem
+  // counters live on the subsystems themselves (fib(), neigh(), netfilter(),
+  // ipsets(), conntrack()).
+  std::uint64_t dev_generation() const {
+    return dev_gen_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bridge_generation() const {
+    return bridge_gen_.load(std::memory_order_relaxed);
+  }
 
  private:
   // Slow-path stages (slowpath.cpp).
@@ -297,6 +319,10 @@ class Kernel : public nl::DumpProvider {
   util::Json link_attrs(const NetDevice& dev) const;
   void publish_link(const NetDevice& dev, bool deleted = false);
 
+  void bump_dev_generation() {
+    dev_gen_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   std::string hostname_;
   CostModel cost_;
   std::uint64_t now_ns_ = 1'000'000'000;  // start at t=1s
@@ -314,6 +340,8 @@ class Kernel : public nl::DumpProvider {
   Ipvs ipvs_;
   std::map<std::string, int> sysctls_;
   bool conntrack_enabled_ = false;
+  std::atomic<std::uint64_t> dev_gen_{0};
+  std::atomic<std::uint64_t> bridge_gen_{0};
 
   nl::Bus netlink_;
   KernelCounters counters_;

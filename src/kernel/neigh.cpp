@@ -15,16 +15,23 @@ const char* neigh_state_name(NeighState s) {
 NeighEntry& NeighborTable::update(net::Ipv4Addr ip, const net::MacAddr& mac,
                                   int ifindex, NeighState state,
                                   std::uint64_t now_ns) {
-  NeighEntry& e = entries_[ip];
+  auto [it, inserted] = entries_.try_emplace(ip);
+  NeighEntry& e = it->second;
+  // PERMANENT entries (static `ip neigh add ... nud permanent`) are never
+  // downgraded by learning.
+  NeighState effective =
+      (!inserted && e.state == NeighState::kPermanent &&
+       state != NeighState::kPermanent)
+          ? e.state
+          : state;
+  bool changed = inserted || e.mac != mac || e.ifindex != ifindex ||
+                 e.state != effective;
   e.ip = ip;
   e.mac = mac;
   e.ifindex = ifindex;
-  // PERMANENT entries (static `ip neigh add ... nud permanent`) are never
-  // downgraded by learning.
-  if (e.state != NeighState::kPermanent || state == NeighState::kPermanent) {
-    e.state = state;
-  }
+  e.state = effective;
   e.updated_ns = now_ns;
+  if (changed) generation_.fetch_add(1, std::memory_order_relaxed);
   return e;
 }
 
@@ -37,6 +44,7 @@ NeighEntry& NeighborTable::create_incomplete(net::Ipv4Addr ip, int ifindex,
   e.ifindex = ifindex;
   e.state = NeighState::kIncomplete;
   e.updated_ns = now_ns;
+  generation_.fetch_add(1, std::memory_order_relaxed);
   return e;
 }
 
@@ -50,7 +58,11 @@ NeighEntry* NeighborTable::lookup_mutable(net::Ipv4Addr ip) {
   return it == entries_.end() ? nullptr : &it->second;
 }
 
-bool NeighborTable::erase(net::Ipv4Addr ip) { return entries_.erase(ip) > 0; }
+bool NeighborTable::erase(net::Ipv4Addr ip) {
+  if (entries_.erase(ip) == 0) return false;
+  generation_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
 
 std::size_t NeighborTable::age(std::uint64_t now_ns, std::uint64_t ttl_ns) {
   std::size_t aged = 0;
@@ -60,6 +72,7 @@ std::size_t NeighborTable::age(std::uint64_t now_ns, std::uint64_t ttl_ns) {
       ++aged;
     }
   }
+  if (aged > 0) generation_.fetch_add(1, std::memory_order_relaxed);
   return aged;
 }
 

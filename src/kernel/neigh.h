@@ -4,6 +4,7 @@
 // unres_qlen packets per pending neighbour).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -51,8 +52,16 @@ class NeighborTable {
   std::vector<const NeighEntry*> dump() const;
   std::size_t size() const { return entries_.size(); }
 
+  // Bumped only when an entry's resolution-relevant fields (mac, ifindex,
+  // state, existence) actually change — pure refreshes of updated_ns keep
+  // the generation stable so fast-path caches are not needlessly flushed.
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::unordered_map<net::Ipv4Addr, NeighEntry> entries_;
+  std::atomic<std::uint64_t> generation_{0};
 };
 
 }  // namespace linuxfp::kern

@@ -8,6 +8,7 @@
 // bpf_ipt_lookup helper reads.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -119,8 +120,12 @@ class Netfilter {
                         const IpSetManager& ipsets) const;
 
   // Monotonic generation, bumped by every mutation; the LinuxFP controller
-  // uses it to detect configuration changes cheaply.
-  std::uint64_t generation() const { return generation_; }
+  // uses it to detect configuration changes cheaply, and fast-path caches
+  // revalidate memoized verdicts against it (hence atomic: bumped on the
+  // control-plane thread, read with relaxed loads from engine workers).
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_relaxed);
+  }
 
  private:
   NfVerdict eval_chain(const Chain& chain, const NfPacketInfo& info,
@@ -130,7 +135,7 @@ class Netfilter {
                            const IpSetManager& ipsets, NfEvalResult& stats);
 
   std::map<std::string, Chain> chains_;
-  std::uint64_t generation_ = 0;
+  std::atomic<std::uint64_t> generation_{0};
 };
 
 }  // namespace linuxfp::kern

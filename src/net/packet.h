@@ -60,6 +60,11 @@ class Packet {
   std::uint32_t rx_queue = 0;
   // VLAN metadata when offloaded by the (simulated) NIC; 0 = untagged.
   std::uint16_t vlan_tci = 0;
+  // RSS Toeplitz flow hash computed once by the (simulated) NIC at receive
+  // (skb->hash analogue). Consumers — queue steering, the microflow verdict
+  // cache — reuse it instead of rehashing; valid only when rss_hash_valid.
+  std::uint32_t rss_hash = 0;
+  bool rss_hash_valid = false;
 
  private:
   std::vector<std::uint8_t> buf_;

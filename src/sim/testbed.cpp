@@ -66,6 +66,7 @@ LinuxTestbed::LinuxTestbed(const ScenarioConfig& config)
     core::ControllerOptions opts;
     opts.hook = config_.accel == Accel::kLinuxFpTc ? "tc" : "xdp";
     opts.chain = config_.chain;
+    opts.flow_cache = config_.flow_cache;
     controller_ = std::make_unique<core::Controller>(kernel_, opts);
     controller_->start();
   }

@@ -33,6 +33,8 @@ struct ScenarioConfig {
   bool use_ipset = false;     // aggregate the blacklist into one ipset rule
   Accel accel = Accel::kNone;
   core::ChainMode chain = core::ChainMode::kInlineCalls;
+  // Microflow verdict cache (DESIGN.md §12) on the deployed fast paths.
+  bool flow_cache = false;
   // Fault schedule armed on the global injector for the testbed's lifetime
   // (see util/fault.h grammar, e.g. "loader.load:p=0.2;maps.update:nth=3").
   // Empty = faults disarmed. Applied after base scenario setup so the

@@ -33,7 +33,7 @@ cmake -B build-tsan -S . -DLINUXFP_SANITIZE=thread
 cmake --build build-tsan -j "${jobs}" --target engine_test util_test
 (cd build-tsan &&
  ctest --output-on-failure -j "${jobs}" \
-   -R 'Engine|BoundedRing|Rss|MetricsConcurrency')
+   -R 'Engine|BoundedRing|Rss|MetricsConcurrency|FlowCache')
 echo "TSan pass OK"
 
 # --- bench smoke: every Reporter-wired bench must emit its BENCH_*.json ---
@@ -44,24 +44,49 @@ echo "=== bench smoke: BENCH_*.json emission ==="
  ./bench_fig1_hotspots --smoke >/dev/null &&
  test -s BENCH_fig1_hotspots.json &&
  ./bench_scaling_queues --smoke >/dev/null &&
- test -s BENCH_scaling_queues.json)
+ test -s BENCH_scaling_queues.json &&
+ ./bench_flowcache --smoke >/dev/null &&
+ test -s BENCH_flowcache.json)
+# The flowcache bench's headline fields must be present and sane: a real
+# hit rate and the >= 1.5x steady-state speedup the cache exists for.
+python3 - <<'EOF'
+import json
+doc = json.load(open("build/bench/BENCH_flowcache.json"))
+hit_rate, speedup = doc["hit_rate"], doc["speedup"]
+print(f"flowcache smoke: hit_rate={hit_rate:.3f} speedup={speedup:.2f}")
+if not (0.5 <= hit_rate <= 1.0):
+    raise SystemExit(f"flowcache hit_rate {hit_rate} out of range")
+if speedup < 1.5:
+    raise SystemExit(f"flowcache speedup {speedup} below 1.5x")
+EOF
 echo "bench smoke OK"
 
 # --- observability overhead guard -----------------------------------------
 # The always-on counters must stay cheap: compare the metered forward-path
-# microbenchmarks against their Bare (metrics-disabled) twins and fail if
-# the metered run is more than 35% slower in host time. (The modeled-cycle
-# budget is <2% — counters charge no simulated cycles at all; this guards
-# the wall-clock cost of the substrate.)
+# microbenchmarks against their Bare (metrics-disabled) twins and fail when
+# the metered run blows the ratio budget below. (The modeled-cycle budget is
+# <2% — counters charge no simulated cycles at all; this guards the
+# wall-clock cost of the substrate.)
 echo "=== observability overhead guard ==="
+# Repetitions + per-name minimum: scheduler interference on a shared single
+# core only ever adds time, so the min is the steadiest estimator. The budget
+# carries headroom for the interference that survives even that (whole
+# repetition blocks slow down together on this box; the seed tree measures
+# ratios up to ~1.45 with zero metering changes) — the guard is here to catch
+# metering suddenly costing a multiple, not to resolve 10% swings.
 build/bench/bench_micro_substrate \
   --benchmark_filter='BM_(Slow|Fast)PathForward(Bare)?$' \
+  --benchmark_repetitions=5 \
   --benchmark_format=json > /tmp/overhead.json
 python3 - <<'EOF'
 import json
-results = {b["name"]: b["cpu_time"]
-           for b in json.load(open("/tmp/overhead.json"))["benchmarks"]}
-budget = 1.35
+results = {}
+for b in json.load(open("/tmp/overhead.json"))["benchmarks"]:
+    if b.get("run_type") != "iteration":
+        continue
+    name, t = b["name"], b["cpu_time"]
+    results[name] = min(results.get(name, t), t)
+budget = 1.55
 ok = True
 for base in ("BM_SlowPathForward", "BM_FastPathForward"):
     metered, bare = results[base], results[base + "Bare"]
@@ -73,3 +98,24 @@ for base in ("BM_SlowPathForward", "BM_FastPathForward"):
 raise SystemExit(0 if ok else "observability overhead exceeds budget")
 EOF
 echo "overhead guard OK"
+
+# --- interpreter ns/insn guard ---------------------------------------------
+# The VM hot loop runs over the pre-decoded instruction array (operand
+# selection and jump targets resolved at load time). Guard the raw per-insn
+# interpretation cost so the decode stage can never silently regress back
+# into the dispatch loop.
+echo "=== interpreter ns/insn guard ==="
+build/bench/bench_micro_substrate \
+  --benchmark_filter='BM_VmNsPerInsn$' \
+  --benchmark_format=json > /tmp/perinsn.json
+python3 - <<'EOF'
+import json
+bench = json.load(open("/tmp/perinsn.json"))["benchmarks"][0]
+ns_per_insn = 1e9 / bench["items_per_second"]
+budget = 60.0
+print(f"BM_VmNsPerInsn: {ns_per_insn:.2f} ns/insn (budget {budget})")
+if ns_per_insn > budget:
+    raise SystemExit(f"interpreter cost {ns_per_insn:.2f} ns/insn "
+                     f"exceeds {budget} budget")
+EOF
+echo "ns/insn guard OK"
