@@ -35,6 +35,10 @@ Controller::Controller(kern::Kernel& kernel, ControllerOptions options)
   // counters into the kernel's registry, next to the slowpath.* stages.
   deployer_.set_metrics(&kernel_.metrics());
   if (options_.flow_cache) deployer_.set_flow_cache(true);
+  if (options_.guard.enabled) {
+    guard_ = std::make_unique<EquivalenceGuard>(kernel_, options_.guard);
+    deployer_.set_guard(guard_.get());
+  }
 }
 
 Reaction Controller::start() {
@@ -43,13 +47,47 @@ Reaction Controller::start() {
 }
 
 Reaction Controller::run_once() {
+  bool guard_reprobe = maintain_guard();
   bool force = force_resynth_;
   bool changed = introspection_.poll() || force;
   bool retry_due = health_.next_retry_ns != 0 &&
                    kernel_.now_ns() >= health_.next_retry_ns;
-  if (!changed && !retry_due) return Reaction{};
+  if (!changed && !retry_due && !guard_reprobe) return Reaction{};
   force_resynth_ = false;
-  return rebuild_and_deploy(force || retry_due);
+  return rebuild_and_deploy(force || retry_due || guard_reprobe);
+}
+
+bool Controller::maintain_guard() {
+  if (!guard_) return false;
+  // Complete breaker trips raised on the datapath since the last pass: park
+  // each tripped hook on its PASS fallback (epoch-flushing the flow cache)
+  // and schedule the re-probe redeploy with jittered backoff.
+  GuardMaintenance gm = guard_->maintain(
+      kernel_.now_ns(), [this](const std::string& dev, ebpf::HookType hook) {
+        deployer_.quarantine(dev, hook);
+      });
+  if (!gm.quarantined_devices.empty()) {
+    health_.degraded = true;
+    health_.last_degraded_ns = kernel_.now_ns();
+    for (const std::string& dev : gm.quarantined_devices) {
+      ++health_.failures_by_code["guard.quarantine"];
+      health_.last_error = "guard.quarantine: " + dev;
+    }
+  }
+  // A breaker close (half-open probes all clean) recovers guard-driven
+  // degradation once no unit is left open — deploy-driven degradation keeps
+  // its own recovery path in record_deploy_success.
+  const GuardTotals t = guard_->totals();
+  if (t.closes > guard_closes_seen_) {
+    guard_closes_seen_ = t.closes;
+    if (health_.degraded && t.units_unhealthy == 0 &&
+        health_.consecutive_failures == 0) {
+      health_.degraded = false;
+      health_.last_recovered_ns = kernel_.now_ns();
+      LFP_INFO("controller") << "guard: all breakers closed; healthy again";
+    }
+  }
+  return gm.reprobe_due;
 }
 
 void Controller::set_custom_snippet(Synthesizer::CustomSnippet snippet) {
@@ -60,6 +98,19 @@ void Controller::set_custom_snippet(Synthesizer::CustomSnippet snippet) {
 HealthStatus Controller::health() const {
   HealthStatus h = health_;
   h.introspection_errors = introspection_.dump_failures();
+  if (guard_) {
+    const GuardTotals t = guard_->totals();
+    h.guard_divergences = t.divergences;
+    h.guard_quarantines = t.quarantines;
+    h.guard_promotions = t.promotions;
+    h.guard_canary_rejections = t.canary_rejections;
+    h.guard_half_open_probes = t.half_open_probes;
+    h.guard_recoveries = t.closes;
+    h.guard_compares = t.compares;
+    h.guard_sampled = t.sampled;
+    h.guard_units = t.units;
+    h.guard_units_open = t.units_open;
+  }
   return h;
 }
 
@@ -87,6 +138,7 @@ void Controller::record_deploy_failure(const DeployReport& report) {
     health_.last_error = f.error.code + ": " + f.error.message;
   }
   health_.degraded = true;
+  health_.last_degraded_ns = kernel_.now_ns();
   // The failed devices run the bare slow path and the installed signature no
   // longer reflects reality; clear it so the retry resynthesizes.
   last_signature_.clear();
@@ -99,9 +151,15 @@ void Controller::record_deploy_failure(const DeployReport& report) {
 }
 
 void Controller::record_deploy_success() {
-  if (health_.degraded) {
+  // A successful deploy ends deploy-driven degradation, but guard-driven
+  // degradation outlives it: the re-probe redeploy of a quarantined unit
+  // succeeds while the breaker is merely half-open, and only a clean probe
+  // streak (observed in maintain_guard) closes it.
+  const bool guard_open = guard_ && guard_->totals().units_unhealthy > 0;
+  if (health_.degraded && !guard_open) {
     health_.degraded = false;
     ++health_.recoveries;
+    health_.last_recovered_ns = kernel_.now_ns();
     LFP_INFO("controller") << "deploy recovered after "
                            << health_.consecutive_failures << " failure(s)";
   }

@@ -50,6 +50,9 @@ struct ControllerOptions {
   // Microflow verdict cache (DESIGN.md §12) on every deployed attachment.
   bool flow_cache = false;
   BackoffPolicy backoff;
+  // Runtime equivalence guard (DESIGN.md §13): canary deployment, sampled
+  // shadow execution and per-FPM circuit breakers. Off by default.
+  GuardPolicy guard;
 };
 
 // One controller reaction (paper Table VI): from seeing a configuration
@@ -85,6 +88,8 @@ class Controller {
   const util::Json& current_graphs() const { return graphs_; }
   Deployer& deployer() { return deployer_; }
   Synthesizer& synthesizer() { return synthesizer_; }
+  // Null unless options.guard.enabled.
+  EquivalenceGuard* guard() { return guard_.get(); }
   const ebpf::HelperRegistry& helpers() const { return helpers_; }
   std::uint64_t resynth_count() const { return resynth_count_; }
 
@@ -98,6 +103,9 @@ class Controller {
 
  private:
   Reaction rebuild_and_deploy(bool force = false);
+  // Guard maintenance pass at the top of run_once; returns true when a
+  // quarantined unit's re-probe deadline passed (forces a redeploy).
+  bool maintain_guard();
   void record_deploy_failure(const DeployReport& report);
   void record_deploy_success();
   std::uint64_t backoff_delay_ns();
@@ -110,6 +118,9 @@ class Controller {
   CapabilityManager capability_;
   Synthesizer synthesizer_;
   Deployer deployer_;
+  // Declared after deployer_ so the guard (whose units front the deployer's
+  // attachments on the device hooks) is destroyed first.
+  std::unique_ptr<EquivalenceGuard> guard_;
   util::Json graphs_;
   std::string last_signature_;
   // Signature of the fast path that actually serves traffic (last successful
@@ -119,6 +130,9 @@ class Controller {
   std::uint64_t resynth_count_ = 0;
   bool force_resynth_ = false;
   HealthStatus health_;
+  // Breaker closes observed at the last run_once; a new close with no unit
+  // left quarantined/half-open clears guard-driven degradation.
+  std::uint64_t guard_closes_seen_ = 0;
   util::Rng backoff_rng_;
 };
 

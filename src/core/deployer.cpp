@@ -56,13 +56,19 @@ util::Result<Deployer::Slot*> Deployer::slot_for(const std::string& device,
     return st.error();
   }
   Slot slot;
+  slot.device = device;
+  slot.hook = hook;
   slot.attachment = std::make_unique<ebpf::Attachment>(
       "lfp@" + device, hook, kernel_, helpers_);
   if (metrics_) slot.attachment->set_metrics(metrics_);
   if (flow_cache_) slot.attachment->set_flow_cache(true);
   slot.attachment->enable_dispatcher();
-  auto st = ebpf::attach_to_device(kernel_, device, hook,
-                                   slot.attachment.get());
+  // With a guard, the hook runs the guard's decorator unit, which fronts the
+  // attachment with the canary/sampling/breaker state machine.
+  kern::PacketProgram* hook_prog =
+      guard_ ? guard_->attach_unit(device, hook, slot.attachment.get())
+             : static_cast<kern::PacketProgram*>(slot.attachment.get());
+  auto st = ebpf::attach_to_device(kernel_, device, hook, hook_prog);
   // On attach failure nothing was installed on the device; dropping the
   // local Slot releases everything the attempt created.
   if (!st.ok()) return st.error();
@@ -89,6 +95,15 @@ void Deployer::degrade_to_pass(Slot& slot) {
     auto st = slot.attachment->swap(slot.pass_prog);
     LFP_CHECK_MSG(st.ok(), "degrade-to-pass swap failed");
   }
+  // A quarantined unit stays quarantined (this degrade IS its completion);
+  // any other mode resets so the next real deploy re-canaries.
+  if (guard_) guard_->on_degrade(slot.device, slot.hook);
+}
+
+void Deployer::quarantine(const std::string& device, ebpf::HookType hook) {
+  auto it = attachments_.find({device, static_cast<int>(hook)});
+  if (it == attachments_.end()) return;
+  degrade_to_pass(it->second);
 }
 
 util::Status Deployer::deploy_one(const SynthesisResult& result,
@@ -148,6 +163,7 @@ util::Status Deployer::deploy_one(const SynthesisResult& result,
       slot.next_chain_index,
       base + static_cast<std::uint32_t>(ids.size() ? ids.size() : 1));
   slot.has_deployed = true;
+  if (guard_) guard_->on_swap(result.device, result.hook, kernel_.now_ns());
   for (const ebpf::Program& prog : result.programs) {
     report.total_insns += prog.size();
     ++report.programs;

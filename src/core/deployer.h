@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/guard.h"
 #include "core/synthesizer.h"
 #include "ebpf/loader.h"
 
@@ -79,8 +80,19 @@ class Deployer {
   // registry so one registry covers both paths.
   void set_metrics(util::MetricsRegistry* registry);
 
-  // Enables the microflow verdict cache (DESIGN.md §12) on every attachment,
-  // present and future. Control-plane call.
+  // Routes every hook through the equivalence guard (core/guard.h): slot
+  // creation installs the guard's decorator unit on the device instead of
+  // the raw attachment, and swap/degrade transitions notify the guard's
+  // breaker state machine. Must be set before the first deploy — existing
+  // slots are not rewired.
+  void set_guard(EquivalenceGuard* guard) { guard_ = guard; }
+
+  // Breaker quarantine: atomically park the hook on its PASS fallback (the
+  // swap bumps the flow epoch, flushing cached verdicts). Called by the
+  // controller when the guard reports a tripped unit.
+  void quarantine(const std::string& device, ebpf::HookType hook);
+
+// present and future. Control-plane call.
   void set_flow_cache(bool on);
   bool flow_cache_enabled() const { return flow_cache_; }
   // Summed over all attachments' per-CPU caches.
@@ -88,6 +100,8 @@ class Deployer {
 
  private:
   struct Slot {
+    std::string device;
+    ebpf::HookType hook = ebpf::HookType::kXdp;
     std::unique_ptr<ebpf::Attachment> attachment;
     std::uint32_t next_chain_index = 1;
     std::uint32_t pass_prog = 0;
@@ -107,6 +121,7 @@ class Deployer {
   std::uint64_t rollbacks_ = 0;
   util::MetricsRegistry* metrics_ = nullptr;
   bool flow_cache_ = false;
+  EquivalenceGuard* guard_ = nullptr;
 };
 
 }  // namespace linuxfp::core

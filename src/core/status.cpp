@@ -28,6 +28,9 @@ util::Json health_json(const HealthStatus& health) {
   h["introspection_errors"] =
       static_cast<std::int64_t>(health.introspection_errors);
   h["next_retry_ns"] = static_cast<std::int64_t>(health.next_retry_ns);
+  h["last_degraded_ns"] = static_cast<std::int64_t>(health.last_degraded_ns);
+  h["last_recovered_ns"] =
+      static_cast<std::int64_t>(health.last_recovered_ns);
   h["last_error"] = health.last_error;
   util::Json by_code = util::Json::object();
   for (const auto& [code, count] : health.failures_by_code) {
@@ -150,6 +153,42 @@ util::Json status_json(Controller& controller) {
   }
 
   out["health"] = health_json(controller.health());
+
+  // Equivalence-guard breaker state (DESIGN.md §13), present only when the
+  // guard is enabled: per-unit mode plus aggregate comparison counters.
+  if (EquivalenceGuard* guard = controller.guard()) {
+    util::Json gj = util::Json::object();
+    util::Json units = util::Json::array();
+    for (GuardUnit* u : guard->units()) {
+      const GuardUnitStats s = u->stats();
+      util::Json uj = util::Json::object();
+      uj["device"] = u->device();
+      uj["mode"] = guard_mode_name(u->mode());
+      uj["trip_reason"] = trip_reason_name(u->trip_reason());
+      uj["compares"] = static_cast<std::int64_t>(s.compares);
+      uj["divergences"] = static_cast<std::int64_t>(s.divergences);
+      uj["sampled"] = static_cast<std::int64_t>(s.sampled);
+      uj["quarantines"] = static_cast<std::int64_t>(s.quarantines);
+      uj["promotions"] = static_cast<std::int64_t>(s.promotions);
+      uj["closes"] = static_cast<std::int64_t>(s.closes);
+      units.push_back(uj);
+    }
+    gj["units"] = units;
+    const GuardTotals t = guard->totals();
+    gj["divergences"] = static_cast<std::int64_t>(t.divergences);
+    gj["quarantines"] = static_cast<std::int64_t>(t.quarantines);
+    gj["promotions"] = static_cast<std::int64_t>(t.promotions);
+    gj["canary_rejections"] =
+        static_cast<std::int64_t>(t.canary_rejections);
+    gj["half_open_probes"] =
+        static_cast<std::int64_t>(t.half_open_probes);
+    gj["closes"] = static_cast<std::int64_t>(t.closes);
+    gj["compares"] = static_cast<std::int64_t>(t.compares);
+    gj["sampled"] = static_cast<std::int64_t>(t.sampled);
+    gj["units_open"] = static_cast<std::int64_t>(t.units_open);
+    out["guard"] = gj;
+  }
+
   util::FaultInjector& fi = util::FaultInjector::global();
   if (fi.armed()) {
     util::Json faults = util::Json::array();
@@ -180,6 +219,27 @@ std::string prometheus_status(Controller& controller) {
   out << "# TYPE linuxfp_controller_resyntheses counter\n";
   out << "linuxfp_controller_resyntheses " << controller.resynth_count()
       << "\n";
+  out << "# TYPE linuxfp_controller_last_degraded_ns gauge\n";
+  out << "linuxfp_controller_last_degraded_ns " << h.last_degraded_ns << "\n";
+  out << "# TYPE linuxfp_controller_last_recovered_ns gauge\n";
+  out << "linuxfp_controller_last_recovered_ns " << h.last_recovered_ns
+      << "\n";
+  if (controller.guard() != nullptr) {
+    out << "# TYPE linuxfp_guard_compares counter\n";
+    out << "linuxfp_guard_compares " << h.guard_compares << "\n";
+    out << "# TYPE linuxfp_guard_divergences counter\n";
+    out << "linuxfp_guard_divergences " << h.guard_divergences << "\n";
+    out << "# TYPE linuxfp_guard_quarantines counter\n";
+    out << "linuxfp_guard_quarantines " << h.guard_quarantines << "\n";
+    out << "# TYPE linuxfp_guard_promotions counter\n";
+    out << "linuxfp_guard_promotions " << h.guard_promotions << "\n";
+    out << "# TYPE linuxfp_guard_recoveries counter\n";
+    out << "linuxfp_guard_recoveries " << h.guard_recoveries << "\n";
+    out << "# TYPE linuxfp_guard_sampled counter\n";
+    out << "linuxfp_guard_sampled " << h.guard_sampled << "\n";
+    out << "# TYPE linuxfp_guard_units_open gauge\n";
+    out << "linuxfp_guard_units_open " << h.guard_units_open << "\n";
+  }
   return out.str();
 }
 

@@ -355,7 +355,7 @@ Attachment::RunResult Attachment::run_on_cpu(net::Packet& pkt,
 }
 
 util::Status attach_to_device(kern::Kernel& kernel, const std::string& dev,
-                              HookType hook, Attachment* attachment) {
+                              HookType hook, kern::PacketProgram* program) {
   // Injected attach failure: models the netlink XDP/TC attach request being
   // rejected (driver without XDP support, qdisc race).
   if (auto st = util::FaultInjector::global().check(util::kFaultLoaderAttach);
@@ -365,9 +365,9 @@ util::Status attach_to_device(kern::Kernel& kernel, const std::string& dev,
   kern::NetDevice* d = kernel.dev_by_name(dev);
   if (!d) return util::Error::make("dev.missing", "no such device: " + dev);
   switch (hook) {
-    case HookType::kXdp: d->attach_xdp(attachment); break;
-    case HookType::kTcIngress: d->attach_tc_ingress(attachment); break;
-    case HookType::kTcEgress: d->attach_tc_egress(attachment); break;
+    case HookType::kXdp: d->attach_xdp(program); break;
+    case HookType::kTcIngress: d->attach_tc_ingress(program); break;
+    case HookType::kTcEgress: d->attach_tc_egress(program); break;
   }
   return {};
 }

@@ -181,9 +181,11 @@ class Attachment : public kern::PacketProgram {
   util::Counter* m_verdicts_[6] = {};  // indexed by Verdict
 };
 
-// Attach/detach convenience wrappers (libbpf-style API).
+// Attach/detach convenience wrappers (libbpf-style API). The program is any
+// kern::PacketProgram — a raw Attachment, or a decorator such as the
+// equivalence guard's GuardUnit wrapping one (core/guard.h).
 util::Status attach_to_device(kern::Kernel& kernel, const std::string& dev,
-                              HookType hook, Attachment* attachment);
+                              HookType hook, kern::PacketProgram* program);
 void detach_from_device(kern::Kernel& kernel, const std::string& dev,
                         HookType hook);
 

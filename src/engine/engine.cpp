@@ -1,7 +1,9 @@
 #include "engine/engine.h"
 
+#include <chrono>
 #include <string>
 
+#include "util/fault.h"
 #include "util/logging.h"
 
 namespace linuxfp::engine {
@@ -28,6 +30,9 @@ void Engine::start() {
   // Per-CPU execution state (VMs, stat shards) is allocated before any
   // worker exists, so the hot loops never allocate or lock.
   if (prog_) prog_->prepare_cpus(cfg_.queues);
+  wd_last_hb_.assign(cfg_.queues, 0);
+  wd_stale_.assign(cfg_.queues, 0);
+  wd_dead_.assign(cfg_.queues, 0);
   live_workers_.store(cfg_.queues, std::memory_order_relaxed);
   running_.store(true, std::memory_order_release);
   workers_.reserve(cfg_.queues);
@@ -43,6 +48,7 @@ void Engine::inject(net::Packet&& pkt) {
   QueueState& qs = *queues_[rss_.queue_for_hash(rss_hash_cached(pkt))];
   std::size_t occ = qs.ring.occupancy();
   if (occ > qs.stats.max_occupancy) qs.stats.max_occupancy = occ;
+  std::uint64_t spins = 0;
   for (;;) {
     if (qs.ring.try_push(std::move(pkt))) {
       ++qs.stats.enqueued;
@@ -50,6 +56,14 @@ void Engine::inject(net::Packet&& pkt) {
     }
     if (!cfg_.backpressure) {
       // NIC tail-drop: the wire does not wait for a stalled ring.
+      ++qs.stats.tail_drops;
+      return;
+    }
+    // Bounded wait: a stuck worker must not wedge the producer forever — the
+    // stall is counted (the watchdog's demand signal) and past the spin
+    // budget the packet drops like a tail-drop.
+    if (spins == 0) ++qs.stats.backpressure_stalls;
+    if (++spins > cfg_.backpressure_spin_limit) {
       ++qs.stats.tail_drops;
       return;
     }
@@ -70,9 +84,15 @@ void Engine::worker_main(unsigned q) {
   QueueState& qs = *queues_[q];
   net::Packet pkt;
   for (;;) {
+    if (cfg_.worker_poll_hook) cfg_.worker_poll_hook(q);
+    qs.heartbeat.fetch_add(1, std::memory_order_relaxed);
     unsigned n = 0;
     while (n < cfg_.napi_budget && qs.ring.try_pop(pkt)) {
       process_packet(q, std::move(pkt));
+      // Per-packet beat: a worker mid-burst is alive, and a busy queue must
+      // not read as stuck just because one NAPI poll outlasts the watchdog's
+      // sampling cadence.
+      qs.heartbeat.fetch_add(1, std::memory_order_relaxed);
       ++n;
     }
     if (n > 0) {
@@ -145,18 +165,60 @@ void Engine::process_packet(unsigned q, net::Packet&& pkt) {
 
   // kPass / kAborted: hand over to the slow-path thread. The kernel's
   // single-writer state is never touched from this worker.
+  std::uint64_t spins = 0;
   for (;;) {
     if (slow_ring_->try_push(std::move(pkt))) return;
     if (!cfg_.backpressure) {
       ++st.slow_handoff_drops;  // backlog overflow, netif_rx-style
       return;
     }
+    if (spins == 0) ++st.handoff_stalls;
+    if (++spins > cfg_.backpressure_spin_limit) {
+      ++st.slow_handoff_drops;
+      return;
+    }
+    // Waiting for slow-ring space is by-design liveness, not a stall: keep
+    // beating so the watchdog doesn't declare this queue dead mid-handoff.
+    queues_[q]->heartbeat.fetch_add(1, std::memory_order_relaxed);
     std::this_thread::yield();
+  }
+}
+
+void Engine::watchdog_check() {
+  for (unsigned q = 0; q < cfg_.queues; ++q) {
+    if (wd_dead_[q]) continue;
+    std::uint64_t hb = queues_[q]->heartbeat.load(std::memory_order_relaxed);
+    // A stuck verdict requires work waiting (occupancy > 0) with a frozen
+    // heartbeat: an idle worker keeps beating, a merely slow one advances
+    // between samples. The fault point forces a false positive for tests.
+    bool forced =
+        util::FaultInjector::global().should_fail(util::kFaultEngineWatchdog);
+    bool suspect = queues_[q]->ring.occupancy() > 0 && hb == wd_last_hb_[q];
+    wd_last_hb_[q] = hb;
+    if (!forced) {
+      if (!suspect) {
+        wd_stale_[q] = 0;
+        continue;
+      }
+      if (++wd_stale_[q] < cfg_.watchdog_stall_checks) continue;
+    }
+    wd_dead_[q] = 1;
+    std::size_t rewritten = rss_.exclude_queue(q);
+    watchdog_resteers_.fetch_add(1, std::memory_order_relaxed);
+    // Health flips last, with release ordering: an observer that sees
+    // !healthy() is guaranteed to also see the completed RETA re-steer and
+    // the bumped counter — the flip is the "trip complete" signal.
+    healthy_.store(false, std::memory_order_release);
+    LFP_WARN("engine") << "watchdog: queue " << q << " stuck"
+                       << (forced ? " (injected)" : "") << "; re-steered "
+                       << rewritten << " RETA entries";
   }
 }
 
 void Engine::slow_main() {
   net::Packet pkt;
+  std::uint64_t ticks = 0;
+  auto wd_last = std::chrono::steady_clock::now();
   auto handle = [this](net::Packet&& p) {
     kern::CycleTrace trace;
     (void)kernel_.rx_from_engine(ifindex_, std::move(p), trace);
@@ -164,6 +226,14 @@ void Engine::slow_main() {
     slow_stats_.cycles += trace.total();
   };
   for (;;) {
+    if (cfg_.watchdog && ++ticks % cfg_.watchdog_check_interval == 0) {
+      auto now = std::chrono::steady_clock::now();
+      if (now - wd_last >=
+          std::chrono::microseconds(cfg_.watchdog_sample_gap_us)) {
+        wd_last = now;
+        watchdog_check();
+      }
+    }
     if (slow_ring_->try_pop(pkt)) {
       handle(std::move(pkt));
       continue;
@@ -192,6 +262,8 @@ void Engine::reconcile() {
                st.tail_drops + st.slow_handoff_drops);
     util::bump(reg.counter(prefix + "occupancy"), st.max_occupancy);
     util::bump(reg.counter(prefix + "processed"), st.processed);
+    util::bump(reg.counter(prefix + "backpressure_stalls"),
+               st.backpressure_stalls + st.handoff_stalls);
 
     kc.fast_path_packets +=
         st.xdp_drop + st.xdp_tx + st.xdp_redirect + st.to_userspace;
@@ -213,6 +285,8 @@ void Engine::reconcile() {
   }
   util::bump(reg.counter("engine.slow.processed"), slow_stats_.processed);
   util::bump(reg.counter("engine.slow.cycles"), slow_stats_.cycles);
+  util::bump(reg.counter("engine.watchdog.resteers"),
+             watchdog_resteers_.load(std::memory_order_relaxed));
 }
 
 std::uint64_t Engine::total_processed() const {

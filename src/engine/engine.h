@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <thread>
@@ -46,6 +47,29 @@ struct EngineConfig {
   // runs deterministic in their counters (equivalence tests). false models
   // real NIC tail-drop under overload.
   bool backpressure = false;
+  // Backpressure waits are bounded: after this many yields the packet drops
+  // (counted in tail_drops / slow_handoff_drops) instead of wedging the
+  // producer or a worker behind a stuck thread forever. The generous default
+  // keeps equivalence runs lossless while still guaranteeing progress.
+  std::uint64_t backpressure_spin_limit = 1'000'000;
+  // Worker watchdog: the slow-path thread samples per-queue heartbeats every
+  // `watchdog_check_interval` loop iterations; a queue with packets waiting
+  // whose heartbeat froze across `watchdog_stall_checks` consecutive samples
+  // is declared stuck — engine health flips and the RETA re-steers new flows
+  // away from the dead queue.
+  bool watchdog = false;
+  unsigned watchdog_stall_checks = 3;
+  unsigned watchdog_check_interval = 4096;
+  // Wall-clock floor between watchdog samples. The tick interval alone is
+  // not enough on an oversubscribed host: an idle slow thread burns
+  // `watchdog_check_interval` iterations in microseconds — far less than a
+  // scheduling quantum — so a worker that is merely descheduled (not stuck)
+  // can look frozen across every sample. A genuinely blocked worker stays
+  // frozen across any real-time gap; a runnable one gets CPU within it.
+  std::uint64_t watchdog_sample_gap_us = 3000;
+  // Test hook: runs at the top of every worker poll iteration, before the
+  // heartbeat bump, so tests can stall a worker deterministically.
+  std::function<void(unsigned q)> worker_poll_hook;
 };
 
 // Per-queue statistics, split by writer so no field is written from two
@@ -55,6 +79,7 @@ struct QueueStats {
   std::uint64_t enqueued = 0;
   std::uint64_t tail_drops = 0;
   std::uint64_t max_occupancy = 0;
+  std::uint64_t backpressure_stalls = 0;  // inject() had to wait for space
   // worker-written
   std::uint64_t polls = 0;       // poll rounds that moved >= 1 packet
   std::uint64_t bursts = 0;      // polls that used the full NAPI budget
@@ -67,6 +92,7 @@ struct QueueStats {
   std::uint64_t to_userspace = 0;
   std::uint64_t aborted = 0;
   std::uint64_t slow_handoff_drops = 0;  // slow ring full (throughput mode)
+  std::uint64_t handoff_stalls = 0;      // worker had to wait for slow ring
   std::uint64_t fast_cycles = 0;  // driver + XDP cycles charged on this CPU
   // fast-path tx accounting per egress ifindex: {packets, bytes}
   std::map<int, std::pair<std::uint64_t, std::uint64_t>> tx_by_ifindex;
@@ -105,6 +131,14 @@ class Engine {
   const EngineConfig& config() const { return cfg_; }
   const RssClassifier& rss() const { return rss_; }
 
+  // False once the watchdog declared any worker stuck. Live-readable;
+  // acquire pairs with the watchdog's release store, so !healthy() implies
+  // the RETA re-steer and resteer counter are fully visible.
+  bool healthy() const { return healthy_.load(std::memory_order_acquire); }
+  std::uint64_t watchdog_resteers() const {
+    return watchdog_resteers_.load(std::memory_order_relaxed);
+  }
+
   // Final after stop().
   const QueueStats& queue_stats(unsigned q) const { return queues_[q]->stats; }
   const SlowPathStats& slow_stats() const { return slow_stats_; }
@@ -118,6 +152,9 @@ class Engine {
   struct QueueState {
     explicit QueueState(std::size_t depth) : ring(depth) {}
     BoundedRing<net::Packet> ring;
+    // Bumped once per worker poll iteration (busy or idle); a frozen value
+    // with packets waiting is the watchdog's stuck signal.
+    std::atomic<std::uint64_t> heartbeat{0};
     // Padded so adjacent queues' stats never share a cache line.
     alignas(64) QueueStats stats;
   };
@@ -125,6 +162,7 @@ class Engine {
   void worker_main(unsigned q);
   void slow_main();
   void process_packet(unsigned q, net::Packet&& pkt);
+  void watchdog_check();
   void reconcile();
 
   kern::Kernel& kernel_;
@@ -143,6 +181,14 @@ class Engine {
   std::atomic<unsigned> live_workers_{0};
   bool started_ = false;
   bool stopped_ = false;
+
+  // Watchdog state: atomics are live-readable from outside; the per-queue
+  // sampling bookkeeping belongs to the slow-path thread alone.
+  std::atomic<bool> healthy_{true};
+  std::atomic<std::uint64_t> watchdog_resteers_{0};
+  std::vector<std::uint64_t> wd_last_hb_;
+  std::vector<unsigned> wd_stale_;
+  std::vector<char> wd_dead_;
 };
 
 }  // namespace linuxfp::engine

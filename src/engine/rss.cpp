@@ -49,11 +49,35 @@ std::uint32_t toeplitz_hash(const std::uint8_t* data, std::size_t len) {
   return result;
 }
 
-RssClassifier::RssClassifier(unsigned queues) : queues_(queues) {
+RssClassifier::RssClassifier(unsigned queues)
+    : queues_(queues), excluded_(queues) {
   LFP_CHECK_MSG(queues_ >= 1, "RSS needs at least one queue");
   for (std::size_t i = 0; i < kRetaSize; ++i) {
-    reta_[i] = static_cast<unsigned>(i % queues_);
+    reta_[i].store(static_cast<unsigned>(i % queues_),
+                   std::memory_order_relaxed);
   }
+}
+
+std::size_t RssClassifier::exclude_queue(unsigned q) {
+  if (q >= queues_) return 0;
+  excluded_[q].store(true, std::memory_order_relaxed);
+  // Survivors, in queue order; bail if excluding q would leave nothing.
+  std::vector<unsigned> alive;
+  for (unsigned i = 0; i < queues_; ++i) {
+    if (!excluded_[i].load(std::memory_order_relaxed)) alive.push_back(i);
+  }
+  if (alive.empty()) {
+    excluded_[q].store(false, std::memory_order_relaxed);
+    return 0;
+  }
+  std::size_t rewritten = 0;
+  std::size_t rr = 0;
+  for (std::size_t i = 0; i < kRetaSize; ++i) {
+    if (reta_[i].load(std::memory_order_relaxed) != q) continue;
+    reta_[i].store(alive[rr++ % alive.size()], std::memory_order_relaxed);
+    ++rewritten;
+  }
+  return rewritten;
 }
 
 std::uint32_t rss_hash_cached(net::Packet& pkt) {

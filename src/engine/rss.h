@@ -16,7 +16,9 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <vector>
 
 #include "net/packet.h"
 
@@ -38,6 +40,11 @@ std::uint32_t rss_hash_of(const net::Packet& pkt);
 // so the hash is computed at most once per packet.
 std::uint32_t rss_hash_cached(net::Packet& pkt);
 
+// RETA entries are atomics because the table is written at runtime: the
+// engine's worker watchdog repairs steering away from a stuck queue
+// (exclude_queue) from the slow-path thread while the producer keeps
+// classifying. Plain relaxed loads/stores — each entry is independent and a
+// momentarily stale read only steers one packet to the old queue.
 class RssClassifier {
  public:
   explicit RssClassifier(unsigned queues);
@@ -49,7 +56,7 @@ class RssClassifier {
 
   // rx queue for an already-computed flow hash.
   unsigned queue_for_hash(std::uint32_t hash) const {
-    return reta_[hash & (kRetaSize - 1)];
+    return reta_[hash & (kRetaSize - 1)].load(std::memory_order_relaxed);
   }
 
   // rx queue for the packet: reta[hash & (kRetaSize-1)].
@@ -57,11 +64,27 @@ class RssClassifier {
     return queue_for_hash(rss_hash_of(pkt));
   }
 
-  const std::array<unsigned, kRetaSize>& reta() const { return reta_; }
+  // Rewrites every RETA entry pointing at `q` round-robin over the remaining
+  // queues (ethtool -X weight 0 analogue; the watchdog's re-steer). No-op
+  // when q is the only queue left. Returns entries rewritten.
+  std::size_t exclude_queue(unsigned q);
+  bool excluded(unsigned q) const {
+    return q < excluded_.size() && excluded_[q].load(std::memory_order_relaxed);
+  }
+
+  // Snapshot of the indirection table (tests / status reporting).
+  std::array<unsigned, kRetaSize> reta() const {
+    std::array<unsigned, kRetaSize> out;
+    for (std::size_t i = 0; i < kRetaSize; ++i) {
+      out[i] = reta_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
 
  private:
   unsigned queues_;
-  std::array<unsigned, kRetaSize> reta_;
+  std::array<std::atomic<unsigned>, kRetaSize> reta_;
+  std::vector<std::atomic<bool>> excluded_;
 };
 
 }  // namespace linuxfp::engine

@@ -85,6 +85,27 @@ struct RxSummary {
   Drop drop = Drop::kNone;
 };
 
+// One transmit attempt observed while a shadow capture was active: the
+// egress device and the exact bytes handed to it (recorded before the
+// link-state check, so an attempted xmit out a downed link still counts as
+// "the slow path chose this interface/rewrite").
+struct ShadowEmission {
+  int ifindex = 0;
+  net::Packet pkt;
+};
+
+// Receiver of shadow-capture results (the equivalence guard, core/guard.h).
+// While a cookie is active, every dev_xmit records an emission; when the
+// top-level rx that activated it completes, the observer gets the packet's
+// terminal summary plus everything it transmitted.
+class ShadowObserver {
+ public:
+  virtual ~ShadowObserver() = default;
+  virtual void on_shadow_resolved(std::uint64_t cookie,
+                                  const RxSummary& summary,
+                                  std::vector<ShadowEmission>&& emissions) = 0;
+};
+
 class Kernel : public nl::DumpProvider {
  public:
   explicit Kernel(std::string hostname, CostModel cost = CostModel{});
@@ -234,6 +255,19 @@ class Kernel : public nl::DumpProvider {
   // stage-by-stage journey through slow path and eBPF VM. Null detaches.
   void set_trace_ring(util::TraceRing* ring) { trace_ring_ = ring; }
   util::TraceRing* trace_ring() { return trace_ring_; }
+
+  // --- shadow capture (equivalence guard) -----------------------------------
+  // At most one observer; null detaches. Must only change with no packet in
+  // flight. Only the single slow-path writer thread drives captures, so the
+  // active-cookie state needs no synchronization.
+  void set_shadow_observer(ShadowObserver* obs) { shadow_observer_ = obs; }
+  ShadowObserver* shadow_observer() const { return shadow_observer_; }
+  // Starts capturing emissions under `cookie` (non-zero). Returns false —
+  // and captures nothing — when a capture is already active (a nested rx
+  // via loopback/veth re-entry) or no observer is attached; the caller then
+  // skips comparison for this packet. Resolution happens automatically when
+  // the top-level rx()/rx_from_engine() that is executing completes.
+  bool shadow_begin(std::uint64_t cookie);
   // FIB activity for the metrics layer; depth comes back in the FibResult
   // (see fib.h) so the const lookup stays free of shared mutable state.
   // Public because the bpf_fib_lookup helper reads fib() directly and must
@@ -357,9 +391,18 @@ class Kernel : public nl::DumpProvider {
 
   std::map<std::pair<std::uint8_t, std::uint16_t>, L4Handler> l4_handlers_;
 
+  // Resolves an active shadow capture begun during the current top-level
+  // entry: hands summary + emissions to the observer and clears the state.
+  void shadow_resolve(const RxSummary& summary);
+
   // Guards against unbounded recursion through veth/vxlan chains.
   int rx_depth_ = 0;
   std::uint64_t last_vxlan_entropy_ = 0;
+
+  // Shadow capture state (single slow-path writer thread only).
+  ShadowObserver* shadow_observer_ = nullptr;
+  std::uint64_t active_shadow_cookie_ = 0;
+  std::vector<ShadowEmission> shadow_emissions_;
 };
 
 }  // namespace linuxfp::kern

@@ -23,11 +23,33 @@ net::FlowKey flow_key_of(const net::ParsedPacket& info) {
 }
 }  // namespace
 
+bool Kernel::shadow_begin(std::uint64_t cookie) {
+  if (shadow_observer_ == nullptr || cookie == 0) return false;
+  if (active_shadow_cookie_ != 0) return false;  // nested rx; skip this one
+  active_shadow_cookie_ = cookie;
+  shadow_emissions_.clear();
+  return true;
+}
+
+void Kernel::shadow_resolve(const RxSummary& summary) {
+  std::uint64_t cookie = active_shadow_cookie_;
+  active_shadow_cookie_ = 0;
+  std::vector<ShadowEmission> emissions;
+  emissions.swap(shadow_emissions_);
+  if (shadow_observer_) {
+    shadow_observer_->on_shadow_resolved(cookie, summary, std::move(emissions));
+  }
+}
+
 RxSummary Kernel::rx(int ifindex, net::Packet&& pkt, CycleTrace& trace) {
   // Attribute stage charges to this kernel while the packet is here; a veth
   // hop into a peer kernel re-binds on entry and restores on the way out.
   util::StageSink* prev_sink = trace.sink();
   trace.bind_sink(metrics_.enabled() ? &stage_sink_ : nullptr);
+  // A shadow capture armed inside this rx (by the guard, at the XDP/TC hook)
+  // resolves when this call completes; one armed by an outer rx (loopback /
+  // veth re-entry) keeps accumulating and resolves there.
+  bool shadow_was_active = active_shadow_cookie_ != 0;
 
   // The outermost rx() of a traced packet opens the trace record; nested
   // hops (veth, vxlan, XDP_TX bounces) keep appending to the same record so
@@ -53,6 +75,9 @@ RxSummary Kernel::rx(int ifindex, net::Packet&& pkt, CycleTrace& trace) {
     trace.bind_packet_trace(nullptr);
     util::set_active_packet_trace(nullptr);
   }
+  if (!shadow_was_active && active_shadow_cookie_ != 0) {
+    shadow_resolve(summary);
+  }
   trace.bind_sink(prev_sink);
   return summary;
 }
@@ -61,6 +86,10 @@ RxSummary Kernel::rx_from_engine(int ifindex, net::Packet&& pkt,
                                  CycleTrace& trace) {
   util::StageSink* prev_sink = trace.sink();
   trace.bind_sink(metrics_.enabled() ? &stage_sink_ : nullptr);
+  // Deferred shadow adoption: an engine worker recorded this packet's
+  // fast-path verdict under pkt.guard_cookie; the slow-path traversal here is
+  // the authoritative run the guard compares against.
+  bool shadow_began = shadow_begin(pkt.guard_cookie);
   NetDevice* d = dev(ifindex);
   RxSummary summary;
   if (!d || !d->is_up()) {
@@ -69,6 +98,7 @@ RxSummary Kernel::rx_from_engine(int ifindex, net::Packet&& pkt,
     pkt.ingress_ifindex = static_cast<std::uint32_t>(ifindex);
     summary = stack_rx(*d, std::move(pkt), trace);
   }
+  if (shadow_began) shadow_resolve(summary);
   trace.bind_sink(prev_sink);
   return summary;
 }
@@ -680,6 +710,13 @@ NetDevice* Kernel::local_addr_owner(net::Ipv4Addr addr) {
 // --- transmit ------------------------------------------------------------------
 
 void Kernel::dev_xmit(int ifindex, net::Packet&& pkt, CycleTrace& trace) {
+  // Shadow capture records every attempted transmit — before the link-state
+  // check, so "slow path chose oif X with rewrite R" is observable even when
+  // X is down (the fast path attempting the same dead oif must compare
+  // equal, not diverge).
+  if (active_shadow_cookie_ != 0) {
+    shadow_emissions_.push_back(ShadowEmission{ifindex, net::Packet(pkt)});
+  }
   NetDevice* d = dev(ifindex);
   if (!d || !d->is_up()) {
     count_drop(Drop::kLinkDown);

@@ -65,6 +65,11 @@ class Packet {
   // cache — reuse it instead of rehashing; valid only when rss_hash_valid.
   std::uint32_t rss_hash = 0;
   bool rss_hash_valid = false;
+  // Equivalence-guard shadow handle (core/guard.h): non-zero marks a packet
+  // whose fast-path verdict was recorded for comparison and that is now
+  // traversing the slow path authoritatively; the slow-path entry point
+  // adopts the cookie and reports the packet's fate back to the guard.
+  std::uint64_t guard_cookie = 0;
 
  private:
   std::vector<std::uint8_t> buf_;

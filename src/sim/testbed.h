@@ -35,6 +35,10 @@ struct ScenarioConfig {
   core::ChainMode chain = core::ChainMode::kInlineCalls;
   // Microflow verdict cache (DESIGN.md §12) on the deployed fast paths.
   bool flow_cache = false;
+  // Runtime equivalence guard (DESIGN.md §13). guard.enabled routes every
+  // deployed hook through canary/sampled-shadow comparison with per-FPM
+  // circuit breakers; the remaining GuardPolicy knobs apply as-is.
+  core::GuardPolicy guard;
   // Fault schedule armed on the global injector for the testbed's lifetime
   // (see util/fault.h grammar, e.g. "loader.load:p=0.2;maps.update:nth=3").
   // Empty = faults disarmed. Applied after base scenario setup so the

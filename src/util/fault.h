@@ -34,6 +34,12 @@ inline constexpr const char* kFaultMapCreate = "maps.create";
 inline constexpr const char* kFaultDeployerAttach = "deployer.attach";
 inline constexpr const char* kFaultNetlinkDump = "netlink.dump";
 inline constexpr const char* kFaultKernelCommand = "kernel.command";
+// Equivalence-guard seams (core/guard.h). The injector is not thread-safe:
+// guard.verdict fires on the datapath, so tests may only arm it on
+// single-threaded (sim inline) runs, never while engine workers execute.
+inline constexpr const char* kFaultGuardVerdict = "guard.verdict";
+inline constexpr const char* kFaultGuardBreaker = "guard.breaker";
+inline constexpr const char* kFaultEngineWatchdog = "engine.watchdog";
 
 class FaultInjector {
  public:

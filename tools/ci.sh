@@ -36,6 +36,19 @@ cmake --build build-tsan -j "${jobs}" --target engine_test util_test
    -R 'Engine|BoundedRing|Rss|MetricsConcurrency|FlowCache')
 echo "TSan pass OK"
 
+# --- UBSan pass: guard + engine suites -------------------------------------
+# A dedicated UBSan-only tier (-DLINUXFP_SANITIZE=undefined) for the runtime
+# equivalence guard and the engine: the guard's cookie packing/bit-mixing and
+# the watchdog's counter arithmetic are where shifts and conversions could
+# silently invoke UB, and -fno-sanitize-recover makes any hit fatal.
+echo "=== UBSan: guard + engine suites ==="
+cmake -B build-ubsan -S . -DLINUXFP_SANITIZE=undefined
+cmake --build build-ubsan -j "${jobs}" --target core_test engine_test
+(cd build-ubsan &&
+ ctest --output-on-failure -j "${jobs}" \
+   -R 'Guard|GuardFuzz|EngineWatchdog|Engine|BoundedRing|Rss')
+echo "UBSan pass OK"
+
 # --- bench smoke: every Reporter-wired bench must emit its BENCH_*.json ---
 echo "=== bench smoke: BENCH_*.json emission ==="
 (cd build/bench &&
@@ -46,7 +59,9 @@ echo "=== bench smoke: BENCH_*.json emission ==="
  ./bench_scaling_queues --smoke >/dev/null &&
  test -s BENCH_scaling_queues.json &&
  ./bench_flowcache --smoke >/dev/null &&
- test -s BENCH_flowcache.json)
+ test -s BENCH_flowcache.json &&
+ ./bench_guard --smoke >/dev/null &&
+ test -s BENCH_guard.json)
 # The flowcache bench's headline fields must be present and sane: a real
 # hit rate and the >= 1.5x steady-state speedup the cache exists for.
 python3 - <<'EOF'
@@ -58,6 +73,20 @@ if not (0.5 <= hit_rate <= 1.0):
     raise SystemExit(f"flowcache hit_rate {hit_rate} out of range")
 if speedup < 1.5:
     raise SystemExit(f"flowcache speedup {speedup} below 1.5x")
+
+# Guard gates: 1-in-64 sampled shadowing must keep >=95% of unguarded
+# throughput, and the injected-divergence lifecycle must have completed
+# (quarantine reached, breaker closed again).
+doc = json.load(open("build/bench/BENCH_guard.json"))
+ratio = doc["overhead_ratio_1_in_64"]
+reaction = doc["reaction"]
+print(f"guard smoke: overhead_ratio={ratio:.3f} "
+      f"detection={reaction['detection_packets']}pkts "
+      f"recovery={reaction['recovery_ns']/1e3:.0f}us")
+if ratio < 0.95:
+    raise SystemExit(f"guard 1-in-64 overhead ratio {ratio} below 0.95")
+if not (reaction["quarantined"] and reaction["recovered"]):
+    raise SystemExit("guard reaction lifecycle incomplete")
 EOF
 echo "bench smoke OK"
 
