@@ -1,0 +1,919 @@
+// Direct-threaded translator (see jit.h for the contract).
+//
+// Layout: ExecState (the run state threaded through handlers), the handler
+// bodies (single-instruction ops first, then the superinstructions), the
+// handler selectors, and finally jit_translate + Vm::run_jit.
+//
+// Every handler mirrors one interpreter case in ebpf/vm.cpp verbatim —
+// including abort messages, flow-cache recorder notes, metric bumps and the
+// order register writes interleave with memory accesses — because the
+// differential oracle (tests/ebpf/jit_diff_test.cpp) compares verdict,
+// register file, map state and charged cycles bit-for-bit between engines.
+
+#include "ebpf/jit.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "ebpf/vm.h"
+#include "engine/flowcache.h"
+#include "util/metrics.h"
+
+namespace linuxfp::ebpf {
+
+namespace jit_detail {
+
+// The dispatch loop's run state. A friend of Vm so handlers reach the
+// bounds-checking translate(), the map set and the pre-resolved metric
+// counters without widening Vm's public surface.
+struct ExecState {
+  ExecState(Vm& vm_in, Vm::RunState& rs_in, HelperContext& hctx_in,
+            VmResult& result_in, const kern::CostModel& cost_in,
+            const std::vector<Program>* prog_table_in, const Program* prog_in)
+      : vm(vm_in), rs(rs_in), hctx(hctx_in), result(result_in), cost(cost_in),
+        prog_table(prog_table_in), prog(prog_in) {}
+
+  Vm& vm;
+  Vm::RunState& rs;
+  HelperContext& hctx;
+  VmResult& result;
+  const kern::CostModel& cost;
+  const std::vector<Program>* prog_table;
+  const Program* prog;  // program currently executing (tail calls move it)
+
+  // Bytecode instructions charged so far; the dispatch loop adds each op's
+  // insn_count *before* running it, matching the interpreter's
+  // count-then-execute order (aborting ops refund unexecuted trailing
+  // constituents themselves).
+  std::uint64_t executed = 0;
+
+  enum Outcome : std::uint8_t { kRunning, kExit, kAbort, kDemote };
+  Outcome outcome = kRunning;
+  std::string error;                      // valid when kAbort
+  const Program* demote_target = nullptr;  // valid when kDemote
+
+  util::Result<std::uint8_t*> mem(std::uint64_t tagged, std::size_t len) {
+    return vm.translate(tagged, len);
+  }
+  Map* map(std::uint32_t id) { return vm.maps_.get(id); }
+  const Helper* find_helper(std::uint32_t id) const {
+    return vm.helpers_.find(id);
+  }
+  bool metrics_on() const { return vm.metrics_ && vm.metrics_->enabled(); }
+  void bump_tail_call() { util::bump(vm.tail_call_counter_); }
+  void bump_helper(std::uint32_t id, std::uint64_t r0) {
+    util::bump(vm.helper_counter(id));
+    if (id == kHelperMapLookup) {
+      util::bump(r0 != 0 ? vm.map_hits_ : vm.map_misses_);
+    }
+  }
+};
+
+}  // namespace jit_detail
+
+namespace {
+
+using jit_detail::ExecState;
+using vmops::load_sized;
+using vmops::ptr_add;
+using vmops::store_sized;
+
+// --- shared primitives --------------------------------------------------------
+
+const JitOp* abort_run(ExecState& st, std::string why) {
+  st.outcome = ExecState::kAbort;
+  st.error = std::move(why);
+  return nullptr;
+}
+
+enum class Swap : std::uint8_t { kNone, k16, k32 };
+
+template <Swap S>
+inline std::uint64_t byteswap(std::uint64_t x) {
+  if constexpr (S == Swap::k16) {
+    std::uint16_t v = static_cast<std::uint16_t>(x);
+    return static_cast<std::uint16_t>((v >> 8) | (v << 8));
+  } else if constexpr (S == Swap::k32) {
+    std::uint32_t v = static_cast<std::uint32_t>(x);
+    return ((v >> 24) & 0xff) | ((v >> 8) & 0xff00) | ((v << 8) & 0xff0000) |
+           (v << 24);
+  } else {
+    return x;
+  }
+}
+
+template <Op CC>
+inline bool cmp(std::uint64_t a, std::uint64_t b) {
+  if constexpr (CC == Op::kJeq) return a == b;
+  if constexpr (CC == Op::kJne) return a != b;
+  if constexpr (CC == Op::kJgt) return a > b;
+  if constexpr (CC == Op::kJge) return a >= b;
+  if constexpr (CC == Op::kJlt) return a < b;
+  if constexpr (CC == Op::kJle) return a <= b;
+  if constexpr (CC == Op::kJset) return (a & b) != 0;
+  return false;
+}
+
+// Leading kLdx of a (possibly fused) op: address from (op->src, op->off,
+// op->size). On an out-of-bounds access the interpreter counts the faulting
+// instruction but none after it, so the op refunds its `uncharged` trailing
+// constituents before aborting.
+inline bool fused_load(const JitOp* op, ExecState& st, std::uint32_t uncharged,
+                       std::uint64_t* out) {
+  std::uint64_t addr = ptr_add(st.rs.regs[op->src], op->off);
+  auto mem = st.mem(addr, static_cast<std::size_t>(op->size));
+  if (!mem.ok()) {
+    st.executed -= uncharged;
+    abort_run(st, mem.error().message);
+    return false;
+  }
+  if (st.rs.recorder && ptr_region(addr) == Region::kPacket) {
+    st.rs.recorder->note_packet_read(ptr_payload(addr),
+                                     static_cast<std::size_t>(op->size));
+  }
+  *out = load_sized(mem.value(), op->size);
+  return true;
+}
+
+// Trailing kStx of a fused op: address from (op->dst2, op->off2, op->size2).
+inline bool fused_store(const JitOp* op, ExecState& st, std::uint64_t v) {
+  std::uint64_t addr = ptr_add(st.rs.regs[op->dst2], op->off2);
+  auto mem = st.mem(addr, static_cast<std::size_t>(op->size2));
+  if (!mem.ok()) {
+    abort_run(st, mem.error().message);
+    return false;
+  }
+  if (st.rs.recorder && ptr_region(addr) == Region::kPacket) {
+    st.rs.recorder->note_packet_write(ptr_payload(addr),
+                                      static_cast<std::size_t>(op->size2));
+  }
+  store_sized(mem.value(), op->size2, v);
+  return true;
+}
+
+// The interpreter's non-tail-call kCall body. Returns false after aborting
+// (unknown helper).
+bool do_helper(ExecState& st, std::uint32_t helper_id) {
+  const Helper* helper = st.find_helper(helper_id);
+  if (!helper) {
+    abort_run(st, "unknown helper " + std::to_string(helper_id));
+    return false;
+  }
+  if (st.rs.recorder && !flowcache_replayable_helper(helper_id)) {
+    st.rs.recorder->mark_uncacheable("helper escapes replay model");
+  }
+  auto& regs = st.rs.regs;
+  std::uint64_t cycles_before = st.rs.extra_cycles;
+  st.rs.extra_cycles += st.cost.bpf_helper_base;
+  regs[kR0] = helper->fn(st.hctx, regs[kR1], regs[kR2], regs[kR3], regs[kR4],
+                         regs[kR5]);
+  if (st.metrics_on()) st.bump_helper(helper_id, regs[kR0]);
+  if (auto* t = util::active_packet_trace()) {
+    t->add("ebpf", helper_name(helper_id),
+           st.rs.extra_cycles - cycles_before);
+  }
+  for (int r = kR1; r <= kR5; ++r) regs[r] = 0;
+  return true;
+}
+
+// --- single-instruction handlers ----------------------------------------------
+
+template <Op OP, bool IMM>
+const JitOp* h_alu(const JitOp* op, ExecState& st) {
+  auto& regs = st.rs.regs;
+  const std::uint64_t src_val =
+      IMM ? static_cast<std::uint64_t>(op->imm) : regs[op->src];
+  (void)src_val;
+  std::uint64_t& dst = regs[op->dst];
+  if constexpr (OP == Op::kMov) {
+    dst = src_val;
+  } else if constexpr (OP == Op::kAdd) {
+    dst = ptr_region(dst) != Region::kNone
+              ? ptr_add(dst, static_cast<std::int64_t>(src_val))
+              : dst + src_val;
+  } else if constexpr (OP == Op::kSub) {
+    if (!IMM && ptr_region(dst) != Region::kNone &&
+        ptr_region(regs[op->src]) == ptr_region(dst)) {
+      // pointer - pointer = scalar distance
+      dst = ptr_payload(dst) - ptr_payload(regs[op->src]);
+    } else if (ptr_region(dst) != Region::kNone) {
+      dst = ptr_add(dst, -static_cast<std::int64_t>(src_val));
+    } else {
+      dst -= src_val;
+    }
+  } else if constexpr (OP == Op::kMul) {
+    dst *= src_val;
+  } else if constexpr (OP == Op::kDiv) {
+    if (src_val == 0) return abort_run(st, "division by zero");
+    dst /= src_val;
+  } else if constexpr (OP == Op::kMod) {
+    if (src_val == 0) return abort_run(st, "mod by zero");
+    dst %= src_val;
+  } else if constexpr (OP == Op::kAnd) {
+    dst &= src_val;
+  } else if constexpr (OP == Op::kOr) {
+    dst |= src_val;
+  } else if constexpr (OP == Op::kXor) {
+    dst ^= src_val;
+  } else if constexpr (OP == Op::kLsh) {
+    dst <<= (src_val & 63);
+  } else if constexpr (OP == Op::kRsh) {
+    dst >>= (src_val & 63);
+  } else if constexpr (OP == Op::kArsh) {
+    dst = static_cast<std::uint64_t>(static_cast<std::int64_t>(dst) >>
+                                     (src_val & 63));
+  } else if constexpr (OP == Op::kNeg) {
+    dst = static_cast<std::uint64_t>(-static_cast<std::int64_t>(dst));
+  } else if constexpr (OP == Op::kBe16) {
+    dst = byteswap<Swap::k16>(dst);
+  } else if constexpr (OP == Op::kBe32) {
+    dst = byteswap<Swap::k32>(dst);
+  }
+  return op + 1;
+}
+
+const JitOp* h_ldx(const JitOp* op, ExecState& st) {
+  std::uint64_t v;
+  if (!fused_load(op, st, 0, &v)) return nullptr;
+  st.rs.regs[op->dst] = v;
+  return op + 1;
+}
+
+const JitOp* h_stx(const JitOp* op, ExecState& st) {
+  auto& regs = st.rs.regs;
+  std::uint64_t addr = ptr_add(regs[op->dst], op->off);
+  auto mem = st.mem(addr, static_cast<std::size_t>(op->size));
+  if (!mem.ok()) return abort_run(st, mem.error().message);
+  if (st.rs.recorder && ptr_region(addr) == Region::kPacket) {
+    st.rs.recorder->note_packet_write(ptr_payload(addr),
+                                      static_cast<std::size_t>(op->size));
+  }
+  store_sized(mem.value(), op->size, regs[op->src]);
+  return op + 1;
+}
+
+const JitOp* h_st(const JitOp* op, ExecState& st) {
+  auto& regs = st.rs.regs;
+  std::uint64_t addr = ptr_add(regs[op->dst], op->off);
+  auto mem = st.mem(addr, static_cast<std::size_t>(op->size));
+  if (!mem.ok()) return abort_run(st, mem.error().message);
+  if (st.rs.recorder && ptr_region(addr) == Region::kPacket) {
+    st.rs.recorder->note_packet_write(ptr_payload(addr),
+                                      static_cast<std::size_t>(op->size));
+  }
+  store_sized(mem.value(), op->size, static_cast<std::uint64_t>(op->imm));
+  return op + 1;
+}
+
+const JitOp* h_ja(const JitOp* op, ExecState&) { return op->target; }
+
+template <Op CC, bool IMM>
+const JitOp* h_jcc(const JitOp* op, ExecState& st) {
+  auto& regs = st.rs.regs;
+  std::uint64_t a = regs[op->dst];
+  std::uint64_t b =
+      IMM ? static_cast<std::uint64_t>(op->imm) : regs[op->src];
+  if constexpr (!IMM) {
+    // Pointer comparisons compare payloads within the same region (the
+    // data_end bounds-check pattern).
+    if (ptr_region(a) != Region::kNone && ptr_region(b) == ptr_region(a)) {
+      a = ptr_payload(a);
+      b = ptr_payload(b);
+    }
+  }
+  return cmp<CC>(a, b) ? op->target : op + 1;
+}
+
+const JitOp* h_call(const JitOp* op, ExecState& st) {
+  return do_helper(st, static_cast<std::uint32_t>(op->imm)) ? op + 1 : nullptr;
+}
+
+const JitOp* h_tail_call(const JitOp* op, ExecState& st) {
+  auto& regs = st.rs.regs;
+  // bpf_tail_call(ctx=r1, prog_array=r2(map id), index=r3)
+  if (st.result.tail_calls + 1 > kMaxTailCalls) {
+    return abort_run(st, "tail call limit exceeded");
+  }
+  Map* prog_array = st.map(static_cast<std::uint32_t>(regs[kR2]));
+  if (!prog_array || prog_array->type() != MapType::kProgArray) {
+    return abort_run(st, "tail call on non prog-array map");
+  }
+  auto target = prog_array->prog_at(static_cast<std::uint32_t>(regs[kR3]));
+  if (!target || !st.prog_table || *target >= st.prog_table->size()) {
+    // Miss: like the kernel, fall through to the next instruction.
+    regs[kR0] = static_cast<std::uint64_t>(-1);
+    return op + 1;
+  }
+  ++st.result.tail_calls;
+  st.rs.extra_cycles += st.cost.bpf_tail_call;
+  if (st.metrics_on()) st.bump_tail_call();
+  const Program& next = (*st.prog_table)[*target];
+  if (auto* t = util::active_packet_trace()) {
+    t->add("ebpf", "tail_call", st.cost.bpf_tail_call, next.name);
+  }
+  // Tail call preserves only the context pointer convention.
+  regs[kR1] = make_ptr(Region::kCtx, 0);
+  st.prog = &next;
+  if (next.jit) return next.jit->ops.data();
+  // Tail call into an untranslated program: demote the rest of the run to
+  // the interpreter. All carried state (registers, stack, counters) is
+  // already where interpret() expects it.
+  st.outcome = ExecState::kDemote;
+  st.demote_target = &next;
+  return nullptr;
+}
+
+const JitOp* h_exit(const JitOp*, ExecState& st) {
+  st.outcome = ExecState::kExit;
+  return nullptr;
+}
+
+// Sentinel appended after the last translated instruction; reached only when
+// control falls off the end (insn_count 0 matches the interpreter, which
+// checks pc before counting).
+const JitOp* h_fell_off(const JitOp*, ExecState& st) {
+  return abort_run(st, "pc out of bounds (missing exit?)");
+}
+
+// --- superinstructions --------------------------------------------------------
+//
+// The synthesizer's parse -> map-lookup -> rewrite programs are dominated by
+// a handful of short idioms; each gets one fused handler. Operand packing is
+// described per pattern in jit_translate. `uncharged` arguments refund
+// not-yet-executed trailing constituents when the leading load faults.
+
+// ldx dst; be dst; and dst, imm; jcc dst, imm2  (load+mask+compare, e.g.
+// "is this the IP version/proto I handle?")
+template <Op CC, Swap S>
+const JitOp* h_ldx_be_and_jcc(const JitOp* op, ExecState& st) {
+  std::uint64_t v;
+  if (!fused_load(op, st, 3, &v)) return nullptr;
+  v = byteswap<S>(v);
+  v &= static_cast<std::uint64_t>(op->imm);
+  st.rs.regs[op->dst] = v;
+  return cmp<CC>(v, static_cast<std::uint64_t>(op->imm2)) ? op->target
+                                                          : op + 1;
+}
+
+// ldx dst; be dst; jcc dst, imm2
+template <Op CC, Swap S>
+const JitOp* h_ldx_be_jcc(const JitOp* op, ExecState& st) {
+  std::uint64_t v;
+  if (!fused_load(op, st, 2, &v)) return nullptr;
+  v = byteswap<S>(v);
+  st.rs.regs[op->dst] = v;
+  return cmp<CC>(v, static_cast<std::uint64_t>(op->imm2)) ? op->target
+                                                          : op + 1;
+}
+
+// ldx dst; and dst, imm; jcc dst, imm2
+template <Op CC>
+const JitOp* h_ldx_and_jcc(const JitOp* op, ExecState& st) {
+  std::uint64_t v;
+  if (!fused_load(op, st, 2, &v)) return nullptr;
+  v &= static_cast<std::uint64_t>(op->imm);
+  st.rs.regs[op->dst] = v;
+  return cmp<CC>(v, static_cast<std::uint64_t>(op->imm2)) ? op->target
+                                                          : op + 1;
+}
+
+// ldx dst; jcc dst, imm2  (map-value null checks, flag tests)
+template <Op CC>
+const JitOp* h_ldx_jcc(const JitOp* op, ExecState& st) {
+  std::uint64_t v;
+  if (!fused_load(op, st, 1, &v)) return nullptr;
+  st.rs.regs[op->dst] = v;
+  return cmp<CC>(v, static_cast<std::uint64_t>(op->imm2)) ? op->target
+                                                          : op + 1;
+}
+
+// ldx dst; [be dst;] stx [dst2+off2] = dst  (field copy / rewrite with
+// optional endianness fix; store address is read after the load's register
+// write, matching the interpreter when dst aliases the address base)
+template <Swap S>
+const JitOp* h_ldx_be_stx(const JitOp* op, ExecState& st) {
+  std::uint64_t v;
+  if (!fused_load(op, st, S == Swap::kNone ? 1 : 2, &v)) return nullptr;
+  v = byteswap<S>(v);
+  st.rs.regs[op->dst] = v;
+  if (!fused_store(op, st, v)) return nullptr;
+  return op + 1;
+}
+
+// mov dst, src; add dst, imm  (pointer bump: cursor = data + off)
+const JitOp* h_mov_add(const JitOp* op, ExecState& st) {
+  auto& regs = st.rs.regs;
+  std::uint64_t v = regs[op->src];
+  regs[op->dst] = ptr_region(v) != Region::kNone
+                      ? ptr_add(v, op->imm)
+                      : v + static_cast<std::uint64_t>(op->imm);
+  return op + 1;
+}
+
+// mov dst, src; add dst, imm; jcc dst, r[dst2]  (the canonical data_end
+// bounds check the verifier demands before every packet access)
+template <Op CC>
+const JitOp* h_mov_add_jcc(const JitOp* op, ExecState& st) {
+  auto& regs = st.rs.regs;
+  std::uint64_t v = regs[op->src];
+  v = ptr_region(v) != Region::kNone
+          ? ptr_add(v, op->imm)
+          : v + static_cast<std::uint64_t>(op->imm);
+  regs[op->dst] = v;
+  std::uint64_t a = v;
+  std::uint64_t b = regs[op->dst2];
+  if (ptr_region(a) != Region::kNone && ptr_region(b) == ptr_region(a)) {
+    a = ptr_payload(a);
+    b = ptr_payload(b);
+  }
+  return cmp<CC>(a, b) ? op->target : op + 1;
+}
+
+// alu dst, imm; alu dst2, imm2  (two independent immediate ALU ops; div/mod
+// excluded so the pair cannot abort mid-op)
+template <Op OP>
+inline void alu_imm_apply(std::uint64_t* regs, std::uint8_t dst_r,
+                          std::int64_t imm) {
+  std::uint64_t& dst = regs[dst_r];
+  const std::uint64_t sv = static_cast<std::uint64_t>(imm);
+  if constexpr (OP == Op::kAdd) {
+    dst = ptr_region(dst) != Region::kNone ? ptr_add(dst, imm) : dst + sv;
+  } else if constexpr (OP == Op::kSub) {
+    dst = ptr_region(dst) != Region::kNone ? ptr_add(dst, -imm) : dst - sv;
+  } else if constexpr (OP == Op::kMul) {
+    dst *= sv;
+  } else if constexpr (OP == Op::kAnd) {
+    dst &= sv;
+  } else if constexpr (OP == Op::kOr) {
+    dst |= sv;
+  } else if constexpr (OP == Op::kXor) {
+    dst ^= sv;
+  } else if constexpr (OP == Op::kLsh) {
+    dst <<= (sv & 63);
+  } else if constexpr (OP == Op::kRsh) {
+    dst >>= (sv & 63);
+  } else if constexpr (OP == Op::kArsh) {
+    dst = static_cast<std::uint64_t>(static_cast<std::int64_t>(dst) >>
+                                     (sv & 63));
+  }
+}
+
+template <Op OP1, Op OP2>
+const JitOp* h_alu_pair(const JitOp* op, ExecState& st) {
+  alu_imm_apply<OP1>(st.rs.regs, op->dst, op->imm);
+  alu_imm_apply<OP2>(st.rs.regs, op->dst2, op->imm2);
+  return op + 1;
+}
+
+// call imm; jcc r[dst2], imm2  (map-lookup + null-check branch)
+template <Op CC>
+const JitOp* h_call_jcc(const JitOp* op, ExecState& st) {
+  if (!do_helper(st, static_cast<std::uint32_t>(op->imm))) {
+    st.executed -= 1;  // the jcc never ran
+    return nullptr;
+  }
+  return cmp<CC>(st.rs.regs[op->dst2], static_cast<std::uint64_t>(op->imm2))
+             ? op->target
+             : op + 1;
+}
+
+// mov dst, imm; exit  (verdict tails: "return XDP_DROP")
+const JitOp* h_mov_imm_exit(const JitOp* op, ExecState& st) {
+  st.rs.regs[op->dst] = static_cast<std::uint64_t>(op->imm);
+  st.outcome = ExecState::kExit;
+  return nullptr;
+}
+
+// --- handler selectors --------------------------------------------------------
+
+#define LFP_PICK_CC0(FN)                  \
+  switch (cc) {                           \
+    case Op::kJeq: return FN<Op::kJeq>;   \
+    case Op::kJne: return FN<Op::kJne>;   \
+    case Op::kJgt: return FN<Op::kJgt>;   \
+    case Op::kJge: return FN<Op::kJge>;   \
+    case Op::kJlt: return FN<Op::kJlt>;   \
+    case Op::kJle: return FN<Op::kJle>;   \
+    case Op::kJset: return FN<Op::kJset>; \
+    default: return nullptr;              \
+  }
+
+#define LFP_PICK_CC1(FN, A)                  \
+  switch (cc) {                              \
+    case Op::kJeq: return FN<Op::kJeq, A>;   \
+    case Op::kJne: return FN<Op::kJne, A>;   \
+    case Op::kJgt: return FN<Op::kJgt, A>;   \
+    case Op::kJge: return FN<Op::kJge, A>;   \
+    case Op::kJlt: return FN<Op::kJlt, A>;   \
+    case Op::kJle: return FN<Op::kJle, A>;   \
+    case Op::kJset: return FN<Op::kJset, A>; \
+    default: return nullptr;                 \
+  }
+
+JitOpFn pick_jcc(Op cc, bool use_imm) {
+  if (use_imm) {
+    LFP_PICK_CC1(h_jcc, true)
+  }
+  LFP_PICK_CC1(h_jcc, false)
+}
+
+template <Swap S>
+JitOpFn pick_ldx_be_and_jcc(Op cc) { LFP_PICK_CC1(h_ldx_be_and_jcc, S) }
+
+template <Swap S>
+JitOpFn pick_ldx_be_jcc(Op cc) { LFP_PICK_CC1(h_ldx_be_jcc, S) }
+
+JitOpFn pick_ldx_and_jcc(Op cc) { LFP_PICK_CC0(h_ldx_and_jcc) }
+JitOpFn pick_ldx_jcc(Op cc) { LFP_PICK_CC0(h_ldx_jcc) }
+JitOpFn pick_mov_add_jcc(Op cc) { LFP_PICK_CC0(h_mov_add_jcc) }
+JitOpFn pick_call_jcc(Op cc) { LFP_PICK_CC0(h_call_jcc) }
+
+#undef LFP_PICK_CC0
+#undef LFP_PICK_CC1
+
+template <bool IMM>
+JitOpFn pick_alu(Op o) {
+  switch (o) {
+    case Op::kMov: return h_alu<Op::kMov, IMM>;
+    case Op::kAdd: return h_alu<Op::kAdd, IMM>;
+    case Op::kSub: return h_alu<Op::kSub, IMM>;
+    case Op::kMul: return h_alu<Op::kMul, IMM>;
+    case Op::kDiv: return h_alu<Op::kDiv, IMM>;
+    case Op::kMod: return h_alu<Op::kMod, IMM>;
+    case Op::kAnd: return h_alu<Op::kAnd, IMM>;
+    case Op::kOr: return h_alu<Op::kOr, IMM>;
+    case Op::kXor: return h_alu<Op::kXor, IMM>;
+    case Op::kLsh: return h_alu<Op::kLsh, IMM>;
+    case Op::kRsh: return h_alu<Op::kRsh, IMM>;
+    case Op::kArsh: return h_alu<Op::kArsh, IMM>;
+    case Op::kNeg: return h_alu<Op::kNeg, IMM>;
+    case Op::kBe16: return h_alu<Op::kBe16, IMM>;
+    case Op::kBe32: return h_alu<Op::kBe32, IMM>;
+    default: return nullptr;
+  }
+}
+
+// Immediate ALU ops safe to pair (no aborts, so a fused pair cannot fail
+// between its halves).
+bool fusable_alu(Op o) {
+  switch (o) {
+    case Op::kAdd: case Op::kSub: case Op::kMul: case Op::kAnd:
+    case Op::kOr: case Op::kXor: case Op::kLsh: case Op::kRsh:
+    case Op::kArsh:
+      return true;
+    default:
+      return false;
+  }
+}
+
+template <Op OP1>
+JitOpFn pick_alu_pair2(Op op2) {
+  switch (op2) {
+    case Op::kAdd: return h_alu_pair<OP1, Op::kAdd>;
+    case Op::kSub: return h_alu_pair<OP1, Op::kSub>;
+    case Op::kMul: return h_alu_pair<OP1, Op::kMul>;
+    case Op::kAnd: return h_alu_pair<OP1, Op::kAnd>;
+    case Op::kOr: return h_alu_pair<OP1, Op::kOr>;
+    case Op::kXor: return h_alu_pair<OP1, Op::kXor>;
+    case Op::kLsh: return h_alu_pair<OP1, Op::kLsh>;
+    case Op::kRsh: return h_alu_pair<OP1, Op::kRsh>;
+    case Op::kArsh: return h_alu_pair<OP1, Op::kArsh>;
+    default: return nullptr;
+  }
+}
+
+JitOpFn pick_alu_pair(Op op1, Op op2) {
+  switch (op1) {
+    case Op::kAdd: return pick_alu_pair2<Op::kAdd>(op2);
+    case Op::kSub: return pick_alu_pair2<Op::kSub>(op2);
+    case Op::kMul: return pick_alu_pair2<Op::kMul>(op2);
+    case Op::kAnd: return pick_alu_pair2<Op::kAnd>(op2);
+    case Op::kOr: return pick_alu_pair2<Op::kOr>(op2);
+    case Op::kXor: return pick_alu_pair2<Op::kXor>(op2);
+    case Op::kLsh: return pick_alu_pair2<Op::kLsh>(op2);
+    case Op::kRsh: return pick_alu_pair2<Op::kRsh>(op2);
+    case Op::kArsh: return pick_alu_pair2<Op::kArsh>(op2);
+    default: return nullptr;
+  }
+}
+
+inline bool is_cond_jump(Op o) { return o >= Op::kJeq && o <= Op::kJset; }
+
+}  // namespace
+
+// --- translator ---------------------------------------------------------------
+
+std::shared_ptr<const JitProgram> jit_translate(const Program& prog,
+                                                std::string* reason) {
+  const std::vector<Insn>& ins = prog.insns;
+  const std::size_t n = ins.size();
+  auto refuse = [&](const char* why) -> std::shared_ptr<const JitProgram> {
+    if (reason) *reason = why;
+    return nullptr;
+  };
+  if (n == 0) return refuse("empty program");
+  if (n > kMaxInsns) {
+    // Oversized programs keep the interpreter's per-instruction budget
+    // check; translated streams omit it (forward-only jumps bound a
+    // translated program's execution to its length).
+    return refuse("program exceeds the verifier size budget");
+  }
+
+  // Structural scan: registers in range, forward-only control flow with
+  // in-range targets, only helpers the handlers model. Marks every jump
+  // target as a fusion barrier (an op must never start mid-superinstruction).
+  std::vector<std::uint8_t> head(n, 0);
+  head[0] = 1;
+  for (std::size_t pc = 0; pc < n; ++pc) {
+    const Insn& in = ins[pc];
+    if (in.op < Op::kMov || in.op > Op::kExit) return refuse("unknown opcode");
+    if (in.dst >= kNumRegs || in.src >= kNumRegs) {
+      return refuse("register out of range");
+    }
+    if (in.op >= Op::kJa && in.op <= Op::kJset) {
+      if (in.off < 0) return refuse("backward jump");
+      std::size_t target = pc + 1 + static_cast<std::size_t>(in.off);
+      if (target >= n) return refuse("jump target out of range");
+      head[target] = 1;
+    }
+    if (in.op == Op::kCall &&
+        static_cast<std::uint32_t>(in.imm) == kHelperRedirectMap) {
+      // redirect_map consults devmap/XSK map state and diverts the frame to
+      // AF_XDP; keep those programs on the interpreter path wholesale.
+      return refuse("redirect_map (XSK) program");
+    }
+  }
+
+  auto jp = std::make_shared<JitProgram>();
+  std::vector<JitOp>& ops = jp->ops;
+  ops.reserve(n + 1);
+  std::vector<std::size_t> op_index;
+  op_index.resize(std::min(n, kMaxInsns));
+  struct Fixup {
+    std::size_t op;
+    std::size_t target_pc;
+  };
+  std::vector<Fixup> fixups;
+
+  // A window [pc, pc+len) is fusable iff it is in range and no interior
+  // instruction is a jump target.
+  auto open = [&](std::size_t pc, std::size_t len) {
+    if (pc + len > n) return false;
+    for (std::size_t k = 1; k < len; ++k) {
+      if (head[pc + k]) return false;
+    }
+    return true;
+  };
+  auto jcc_target = [&](std::size_t jpc) {
+    return jpc + 1 + static_cast<std::size_t>(ins[jpc].off);
+  };
+
+  std::size_t pc = 0;
+  while (pc < n) {
+    op_index[pc] = ops.size();
+    const Insn& a = ins[pc];
+    JitOp op;
+    std::size_t consumed = 0;
+    std::size_t branch_pc = 0;  // trailing jcc's pc when the op branches
+
+    // Superinstruction matching, longest window first. Every pattern keeps
+    // branches/exits strictly final so insn_count stays constant per op.
+    if (a.op == Op::kLdx && open(pc, 4)) {
+      const Insn& b = ins[pc + 1];
+      const Insn& c = ins[pc + 2];
+      const Insn& d = ins[pc + 3];
+      if ((b.op == Op::kBe16 || b.op == Op::kBe32) && b.dst == a.dst &&
+          c.op == Op::kAnd && c.use_imm && c.dst == a.dst &&
+          is_cond_jump(d.op) && d.use_imm && d.dst == a.dst) {
+        op.fn = b.op == Op::kBe16 ? pick_ldx_be_and_jcc<Swap::k16>(d.op)
+                                  : pick_ldx_be_and_jcc<Swap::k32>(d.op);
+        op.dst = a.dst;
+        op.src = a.src;
+        op.size = a.size;
+        op.off = a.off;
+        op.imm = c.imm;
+        op.imm2 = d.imm;
+        consumed = 4;
+        branch_pc = pc + 3;
+      }
+    }
+    if (consumed == 0 && a.op == Op::kMov && !a.use_imm && open(pc, 3)) {
+      const Insn& b = ins[pc + 1];
+      const Insn& c = ins[pc + 2];
+      if (b.op == Op::kAdd && b.use_imm && b.dst == a.dst &&
+          is_cond_jump(c.op) && !c.use_imm && c.dst == a.dst) {
+        op.fn = pick_mov_add_jcc(c.op);
+        op.dst = a.dst;
+        op.src = a.src;
+        op.imm = b.imm;
+        op.dst2 = c.src;
+        consumed = 3;
+        branch_pc = pc + 2;
+      }
+    }
+    if (consumed == 0 && a.op == Op::kLdx && open(pc, 3)) {
+      const Insn& b = ins[pc + 1];
+      const Insn& c = ins[pc + 2];
+      if ((b.op == Op::kBe16 || b.op == Op::kBe32) && b.dst == a.dst &&
+          is_cond_jump(c.op) && c.use_imm && c.dst == a.dst) {
+        op.fn = b.op == Op::kBe16 ? pick_ldx_be_jcc<Swap::k16>(c.op)
+                                  : pick_ldx_be_jcc<Swap::k32>(c.op);
+        op.dst = a.dst;
+        op.src = a.src;
+        op.size = a.size;
+        op.off = a.off;
+        op.imm2 = c.imm;
+        consumed = 3;
+        branch_pc = pc + 2;
+      } else if (b.op == Op::kAnd && b.use_imm && b.dst == a.dst &&
+                 is_cond_jump(c.op) && c.use_imm && c.dst == a.dst) {
+        op.fn = pick_ldx_and_jcc(c.op);
+        op.dst = a.dst;
+        op.src = a.src;
+        op.size = a.size;
+        op.off = a.off;
+        op.imm = b.imm;
+        op.imm2 = c.imm;
+        consumed = 3;
+        branch_pc = pc + 2;
+      } else if ((b.op == Op::kBe16 || b.op == Op::kBe32) && b.dst == a.dst &&
+                 c.op == Op::kStx && c.src == a.dst) {
+        op.fn = b.op == Op::kBe16 ? h_ldx_be_stx<Swap::k16>
+                                  : h_ldx_be_stx<Swap::k32>;
+        op.dst = a.dst;
+        op.src = a.src;
+        op.size = a.size;
+        op.off = a.off;
+        op.dst2 = c.dst;
+        op.off2 = c.off;
+        op.size2 = c.size;
+        consumed = 3;
+      }
+    }
+    if (consumed == 0 && a.op == Op::kLdx && open(pc, 2)) {
+      const Insn& b = ins[pc + 1];
+      if (is_cond_jump(b.op) && b.use_imm && b.dst == a.dst) {
+        op.fn = pick_ldx_jcc(b.op);
+        op.dst = a.dst;
+        op.src = a.src;
+        op.size = a.size;
+        op.off = a.off;
+        op.imm2 = b.imm;
+        consumed = 2;
+        branch_pc = pc + 1;
+      } else if (b.op == Op::kStx && b.src == a.dst) {
+        op.fn = h_ldx_be_stx<Swap::kNone>;
+        op.dst = a.dst;
+        op.src = a.src;
+        op.size = a.size;
+        op.off = a.off;
+        op.dst2 = b.dst;
+        op.off2 = b.off;
+        op.size2 = b.size;
+        consumed = 2;
+      }
+    }
+    if (consumed == 0 && a.op == Op::kMov && !a.use_imm && open(pc, 2)) {
+      const Insn& b = ins[pc + 1];
+      if (b.op == Op::kAdd && b.use_imm && b.dst == a.dst) {
+        op.fn = h_mov_add;
+        op.dst = a.dst;
+        op.src = a.src;
+        op.imm = b.imm;
+        consumed = 2;
+      }
+    }
+    if (consumed == 0 && fusable_alu(a.op) && a.use_imm && open(pc, 2)) {
+      const Insn& b = ins[pc + 1];
+      if (fusable_alu(b.op) && b.use_imm) {
+        op.fn = pick_alu_pair(a.op, b.op);
+        op.dst = a.dst;
+        op.imm = a.imm;
+        op.dst2 = b.dst;
+        op.imm2 = b.imm;
+        consumed = 2;
+      }
+    }
+    if (consumed == 0 && a.op == Op::kCall &&
+        static_cast<std::uint32_t>(a.imm) != kHelperTailCall && open(pc, 2)) {
+      const Insn& b = ins[pc + 1];
+      if (is_cond_jump(b.op) && b.use_imm) {
+        op.fn = pick_call_jcc(b.op);
+        op.imm = a.imm;
+        op.dst2 = b.dst;
+        op.imm2 = b.imm;
+        consumed = 2;
+        branch_pc = pc + 1;
+      }
+    }
+    if (consumed == 0 && a.op == Op::kMov && a.use_imm && open(pc, 2) &&
+        ins[pc + 1].op == Op::kExit) {
+      op.fn = h_mov_imm_exit;
+      op.dst = a.dst;
+      op.imm = a.imm;
+      consumed = 2;
+    }
+
+    // Single-instruction fallthrough.
+    if (consumed == 0) {
+      op.dst = a.dst;
+      op.src = a.src;
+      op.size = a.size;
+      op.off = a.off;
+      op.imm = a.imm;
+      consumed = 1;
+      if (a.op <= Op::kBe32) {
+        op.fn = a.use_imm ? pick_alu<true>(a.op) : pick_alu<false>(a.op);
+      } else if (a.op == Op::kLdx) {
+        op.fn = h_ldx;
+      } else if (a.op == Op::kStx) {
+        op.fn = h_stx;
+      } else if (a.op == Op::kSt) {
+        op.fn = h_st;
+      } else if (a.op == Op::kJa) {
+        op.fn = h_ja;
+        branch_pc = pc;
+      } else if (is_cond_jump(a.op)) {
+        op.fn = pick_jcc(a.op, a.use_imm);
+        branch_pc = pc;
+      } else if (a.op == Op::kCall) {
+        op.fn = static_cast<std::uint32_t>(a.imm) == kHelperTailCall
+                    ? h_tail_call
+                    : h_call;
+      } else {  // Op::kExit
+        op.fn = h_exit;
+      }
+    }
+
+    if (op.fn == nullptr) return refuse("no handler for instruction");
+    op.insn_count = static_cast<std::uint8_t>(consumed);
+    if (branch_pc != 0 || (consumed == 1 &&
+                           (a.op == Op::kJa || is_cond_jump(a.op)))) {
+      fixups.push_back({ops.size(), jcc_target(branch_pc ? branch_pc : pc)});
+    }
+    ops.push_back(op);
+    if (consumed > 1) ++jp->n_fused;
+    pc += consumed;
+  }
+
+  // Fell-off-the-end sentinel, then branch-target resolution (the ops vector
+  // is final, so the pointers stay valid for the JitProgram's lifetime).
+  JitOp sentinel;
+  sentinel.fn = h_fell_off;
+  sentinel.insn_count = 0;
+  ops.push_back(sentinel);
+  for (const Fixup& f : fixups) {
+    ops[f.op].target = ops.data() + op_index[f.target_pc];
+  }
+  jp->n_insns = n;
+  return jp;
+}
+
+// --- dispatch loop ------------------------------------------------------------
+
+VmResult Vm::run_jit(const Program& entry_prog, HelperContext& hctx,
+                     VmResult result) {
+  result.jit = true;
+  if (!entry_prog.jit) {
+    // Untranslated entry program: the whole run is an interpreter fallback.
+    ++result.jit_fallbacks;
+    return interpret(entry_prog, hctx, std::move(result));
+  }
+  RunState& state = *state_;
+  jit_detail::ExecState st{*this,       state, hctx, result,
+                           cost_,       prog_table_, &entry_prog};
+  st.executed = result.insns_executed;
+
+  const JitOp* op = entry_prog.jit->ops.data();
+  while (op) {
+    st.executed += op->insn_count;
+    op = op->fn(op, st);
+  }
+
+  if (st.outcome == jit_detail::ExecState::kDemote) {
+    // Tail call landed in an untranslated program; the interpreter picks up
+    // with the carried counters so cycle accounting stays engine-invariant.
+    ++result.jit_fallbacks;
+    result.insns_executed = st.executed;
+    return interpret(*st.demote_target, hctx, std::move(result));
+  }
+
+  result.insns_executed = st.executed;
+  result.cycles = st.executed * cost_.bpf_insn + state.extra_cycles;
+  for (int r = 0; r < kNumRegs; ++r) result.regs[r] = state.regs[r];
+  if (st.outcome == jit_detail::ExecState::kAbort) {
+    result.aborted = true;
+    result.error = std::move(st.error);
+    result.ret = kActAborted;
+    return result;
+  }
+  result.ret = state.regs[kR0];
+  result.redirect_ifindex = state.redirect_ifindex;
+  result.redirect_xsk = state.redirect_xsk;
+  if (auto* t = util::active_packet_trace()) {
+    t->add("ebpf", "exit", result.cycles, action_name(result.ret));
+  }
+  return result;
+}
+
+}  // namespace linuxfp::ebpf

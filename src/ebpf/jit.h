@@ -1,0 +1,81 @@
+// Load-time translator: verified Program bytecode -> a direct-threaded
+// stream of fused ops (DESIGN.md §14).
+//
+// Instead of the interpreter's fetch/decode/switch per instruction, the
+// translator resolves each instruction — or a superinstruction covering a
+// run of instructions the synthesizer habitually emits together (bounds
+// check, load+byteswap+mask+compare, map-lookup+branch, field copy) — into a
+// function pointer plus pre-extracted operands at load time. Execution is
+// then `op = op->fn(op, state)` until a handler returns null: every fused op
+// costs one indirect call instead of 2-4 dispatch iterations.
+//
+// Semantics contract: bit-for-bit the interpreter's (ebpf/vm.cpp), including
+// region-tagged pointer arithmetic, abort error strings, flow-cache recorder
+// notes and CostModel cycle charging — each op carries the count of bytecode
+// instructions it covers and the run charges `insns * bpf_insn` exactly like
+// the interpreter, so every cost/latency bench and differential oracle stays
+// comparable across engines. Enforced by tests/ebpf/jit_diff_test.cpp.
+//
+// Fallback rules: jit_translate refuses whole programs it cannot prove out
+// (backward jumps, XSK/devmap redirect helpers, out-of-range registers,
+// oversized streams); at run time a tail call into an untranslated program
+// demotes the rest of the run to the interpreter (a tail call resets all
+// state but r1=ctx, so it is a clean handoff point). Both paths are counted
+// in VmResult::jit_fallbacks and surface as the `jit.fallbacks` metric.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ebpf/program.h"
+
+namespace linuxfp::ebpf {
+
+namespace jit_detail {
+struct ExecState;  // defined in jit.cpp; threaded through every handler
+}
+
+struct JitOp;
+
+// A handler executes its op and returns the next op: op+1 on fallthrough,
+// op->target on a taken branch, another program's stream head on a tail
+// call, or nullptr to leave the dispatch loop (exit / abort / demote — the
+// reason is in ExecState::outcome).
+using JitOpFn = const JitOp* (*)(const JitOp* op, jit_detail::ExecState& st);
+
+// One direct-threaded op. Operand roles depend on the handler: for fused ops
+// (dst, src, size, off, imm) describe the leading memory/ALU instruction and
+// (dst2, size2, off2, imm2) the trailing one (second ALU, store target, or
+// compare immediate).
+struct JitOp {
+  JitOpFn fn = nullptr;
+  std::uint8_t insn_count = 1;  // bytecode instructions this op covers
+  std::uint8_t dst = 0;
+  std::uint8_t src = 0;
+  std::uint8_t dst2 = 0;
+  MemSize size = MemSize::kU64;
+  MemSize size2 = MemSize::kU64;
+  std::int32_t off = 0;
+  std::int32_t off2 = 0;
+  std::int64_t imm = 0;
+  std::int64_t imm2 = 0;
+  const JitOp* target = nullptr;  // taken-branch destination
+};
+
+struct JitProgram {
+  std::vector<JitOp> ops;   // terminated by a fell-off-end sentinel
+  std::size_t n_insns = 0;  // bytecode instructions covered
+  std::size_t n_fused = 0;  // ops covering more than one instruction
+};
+
+// Translates `prog` into a direct-threaded stream. Returns null when the
+// program is untranslatable (the attachment then runs it interpreted), with
+// the refusal reason in *reason. Pure function of the instruction list;
+// control-plane only (the loader translates at load time, workers only read
+// the finished stream).
+std::shared_ptr<const JitProgram> jit_translate(const Program& prog,
+                                                std::string* reason = nullptr);
+
+}  // namespace linuxfp::ebpf

@@ -21,6 +21,11 @@ namespace {
 
 using linuxfp::testing::RouterDut;
 
+// Runs once per execution engine: the flow cache must stay invisible whether
+// the miss runs it records come from the interpreter or the direct-threaded
+// translator (DESIGN.md §14).
+class FlowCacheDiff : public ::testing::TestWithParam<ebpf::ExecEngine> {};
+
 void compare_counters(const kern::Kernel& on, const kern::Kernel& off,
                       const char* where) {
   const kern::KernelCounters& a = on.counters();
@@ -63,7 +68,7 @@ void compare_attachments(Controller& on, Controller& off, const char* where) {
   }
 }
 
-TEST(FlowCacheDiff, ChurnedConfigNeverDiverges) {
+TEST_P(FlowCacheDiff, ChurnedConfigNeverDiverges) {
   for (std::uint64_t seed : {17ull, 29ull, 53ull}) {
     util::Rng rng(seed * 9973);
     RouterDut on_dut, off_dut;
@@ -92,8 +97,11 @@ TEST(FlowCacheDiff, ChurnedConfigNeverDiverges) {
 
     ControllerOptions on_opts;
     on_opts.flow_cache = true;
+    on_opts.exec_engine = GetParam();
     Controller on_ctl(on_dut.kernel, on_opts);
-    Controller off_ctl(off_dut.kernel);
+    ControllerOptions off_opts;
+    off_opts.exec_engine = GetParam();
+    Controller off_ctl(off_dut.kernel, off_opts);
     on_ctl.start();
     off_ctl.start();
     ASSERT_TRUE(on_ctl.deployer().flow_cache_enabled());
@@ -185,7 +193,7 @@ TEST(FlowCacheDiff, ChurnedConfigNeverDiverges) {
   }
 }
 
-TEST(FlowCacheDiff, FaultRollbackFlushesEpochAndStaysEquivalent) {
+TEST_P(FlowCacheDiff, FaultRollbackFlushesEpochAndStaysEquivalent) {
   // The cached DUT under an aggressive fault schedule — deploys failing,
   // devices rolling back to the PASS slow path, backoff retries recovering —
   // against a pure-Linux twin. Every rollback swap must bump the flow epoch
@@ -213,6 +221,7 @@ TEST(FlowCacheDiff, FaultRollbackFlushesEpochAndStaysEquivalent) {
 
     ControllerOptions opts;
     opts.flow_cache = true;
+    opts.exec_engine = GetParam();
     Controller controller(cached.kernel, opts);
     controller.start();
 
@@ -313,6 +322,14 @@ TEST(FlowCacheDiff, FaultRollbackFlushesEpochAndStaysEquivalent) {
   // assertions above covered genuine rollback swaps, not only clean deploys.
   EXPECT_GT(total_failures, 0u);
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, FlowCacheDiff,
+    ::testing::Values(ebpf::ExecEngine::kInterpreter, ebpf::ExecEngine::kJit),
+    [](const ::testing::TestParamInfo<ebpf::ExecEngine>& info) {
+      return std::string(info.param == ebpf::ExecEngine::kJit ? "jit"
+                                                              : "interp");
+    });
 
 }  // namespace
 }  // namespace linuxfp::core

@@ -1,0 +1,568 @@
+// JIT-vs-interpreter differential oracle (DESIGN.md §14).
+//
+// The direct-threaded translator promises bit-for-bit interpreter semantics:
+// same verdict, same register file, same abort strings, same charged cycles,
+// same map and packet mutations. These tests enforce that promise with
+// randomized differential execution (structured and garbage generators, both
+// adapted from fuzz_test.cpp), plus targeted coverage of the translator's
+// refusal reasons, superinstruction fusion, and the runtime demotion paths
+// (untranslated entry, tail call into an untranslated target, XSK redirect).
+#include "ebpf/jit.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ebpf/builder.h"
+#include "ebpf/kernel_helpers.h"
+#include "ebpf/loader.h"
+#include "ebpf/verifier.h"
+#include "ebpf/vm.h"
+#include "util/rng.h"
+
+namespace linuxfp::ebpf {
+namespace {
+
+// One engine's world: helpers, maps (prepopulated identically across rigs)
+// and a program table for tail calls. Differential runs use two rigs — one
+// per engine — so map mutations stay independent and comparable.
+class DiffRig {
+ public:
+  DiffRig() {
+    register_all_helpers(helpers_, cost_);
+    hash_id_ = maps_.create("h", MapType::kHash, 4, 8, 64);
+    arr_id_ = maps_.create("a", MapType::kArray, 4, 8, 16);
+    Map* h = maps_.get(hash_id_);
+    Map* a = maps_.get(arr_id_);
+    for (std::uint32_t key = 0; key < 8; ++key) {
+      std::uint64_t value = 0x0101010101ull * (key + 1);
+      (void)h->update(reinterpret_cast<std::uint8_t*>(&key),
+                      reinterpret_cast<std::uint8_t*>(&value));
+      (void)a->update(reinterpret_cast<std::uint8_t*>(&key),
+                      reinterpret_cast<std::uint8_t*>(&value));
+    }
+  }
+
+  util::Status verify_prog(const Program& p) {
+    VerifyOptions opts;
+    opts.helpers = &helpers_;
+    opts.maps = &maps_;
+    return verify(p, opts);
+  }
+
+  VmResult run(const Program& p, net::Packet& pkt, ExecEngine engine) {
+    Vm vm(cost_, helpers_, maps_, &progs_);
+    vm.set_engine(engine);
+    return vm.run(p, pkt, 1, nullptr);
+  }
+
+  std::uint32_t hash_id() const { return hash_id_; }
+  std::uint32_t arr_id() const { return arr_id_; }
+
+  kern::CostModel cost_;
+  HelperRegistry helpers_;
+  MapSet maps_;
+  std::vector<Program> progs_;
+
+ private:
+  std::uint32_t hash_id_ = 0;
+  std::uint32_t arr_id_ = 0;
+};
+
+// Every observable of a run must match between the two engines except the
+// engine bookkeeping itself (VmResult::jit / jit_fallbacks).
+void expect_same_result(const VmResult& interp, const VmResult& jit,
+                        const std::string& what) {
+  EXPECT_EQ(interp.ret, jit.ret) << what;
+  EXPECT_EQ(interp.aborted, jit.aborted) << what;
+  EXPECT_EQ(interp.error, jit.error) << what;
+  EXPECT_EQ(interp.cycles, jit.cycles) << what;
+  EXPECT_EQ(interp.insns_executed, jit.insns_executed) << what;
+  EXPECT_EQ(interp.tail_calls, jit.tail_calls) << what;
+  EXPECT_EQ(interp.redirect_ifindex, jit.redirect_ifindex) << what;
+  EXPECT_EQ(interp.redirect_xsk, jit.redirect_xsk) << what;
+  for (int reg = 0; reg < kNumRegs; ++reg) {
+    EXPECT_EQ(interp.regs[static_cast<std::size_t>(reg)],
+              jit.regs[static_cast<std::size_t>(reg)])
+        << what << " r" << reg;
+  }
+  EXPECT_FALSE(interp.jit) << what;
+  EXPECT_TRUE(jit.jit) << what;
+}
+
+// Map state must match key-by-key after both runs (covers stx through
+// looked-up value pointers).
+void expect_same_maps(DiffRig& a, DiffRig& b, const std::string& what) {
+  for (std::uint32_t id : {a.hash_id(), a.arr_id()}) {
+    Map* ma = a.maps_.get(id);
+    Map* mb = b.maps_.get(id);
+    ASSERT_TRUE(ma != nullptr && mb != nullptr);
+    for (std::uint32_t key = 0; key < 16; ++key) {
+      std::uint8_t* va = ma->lookup(reinterpret_cast<std::uint8_t*>(&key));
+      std::uint8_t* vb = mb->lookup(reinterpret_cast<std::uint8_t*>(&key));
+      ASSERT_EQ(va == nullptr, vb == nullptr) << what << " map " << id
+                                              << " key " << key;
+      if (va != nullptr) {
+        EXPECT_EQ(std::memcmp(va, vb, ma->value_size()), 0)
+            << what << " map " << id << " key " << key;
+      }
+    }
+  }
+}
+
+// Garbage generator, verbatim from fuzz_test.cpp: mostly rejected, but
+// whatever the verifier accepts must behave identically on both engines.
+Program random_program(util::Rng& rng) {
+  Program p;
+  std::size_t n = 1 + rng.next_below(64);
+  for (std::size_t i = 0; i < n; ++i) {
+    Insn insn;
+    insn.op = static_cast<Op>(rng.next_below(28));
+    insn.dst = static_cast<std::uint8_t>(rng.next_below(12));
+    insn.src = static_cast<std::uint8_t>(rng.next_below(12));
+    insn.use_imm = rng.next_below(2) == 0;
+    insn.off = static_cast<std::int32_t>(rng.next_below(128)) - 32;
+    insn.imm = static_cast<std::int64_t>(rng.next_below(1 << 16)) - (1 << 15);
+    insn.size = static_cast<MemSize>(1u << rng.next_below(4));
+    p.insns.push_back(insn);
+  }
+  p.insns.push_back({Op::kMov, kR0, 0, true, 0, 2, MemSize::kU64});
+  p.insns.push_back({Op::kExit, 0, 0, true, 0, 0, MemSize::kU64});
+  return p;
+}
+
+// Structured generator: fuzz_test.cpp's shape extended with the sequences
+// the translator fuses — load+swap+mask+compare, packet writes, map
+// lookup+branch+value write, helper call+branch — so the differential runs
+// squarely through the superinstruction handlers, not just singles.
+Program structured_program(util::Rng& rng, std::uint32_t hash_id,
+                           std::uint32_t arr_id) {
+  ProgramBuilder b("jitfuzz", HookType::kXdp);
+  b.mov_reg(kR6, kR1);
+  b.ldx(kR7, kR6, kCtxData, MemSize::kU64);
+  b.ldx(kR8, kR6, kCtxDataEnd, MemSize::kU64);
+  std::int64_t verified = 16 + static_cast<std::int64_t>(rng.next_below(40));
+  b.mov_reg(kR2, kR7);
+  b.add(kR2, verified);
+  b.jgt_reg(kR2, kR8, "out");
+
+  int ops = 2 + static_cast<int>(rng.next_below(24));
+  for (int i = 0; i < ops; ++i) {
+    switch (rng.next_below(10)) {
+      case 0: {  // verified packet read
+        auto width = static_cast<std::int64_t>(1u << rng.next_below(3));
+        auto off = static_cast<std::int32_t>(
+            rng.next_below(static_cast<std::uint64_t>(verified - width + 1)));
+        b.ldx(kR3, kR7, off,
+              width == 1 ? MemSize::kU8
+                         : width == 2 ? MemSize::kU16 : MemSize::kU32);
+        break;
+      }
+      case 1: {  // stack write + read
+        auto off = -8 * (1 + static_cast<std::int32_t>(rng.next_below(32)));
+        b.mov_reg(kR4, kR10);
+        b.add(kR4, off);
+        b.st(kR4, 0, static_cast<std::int64_t>(rng.next_below(1000)),
+             MemSize::kU64);
+        b.ldx(kR3, kR4, 0, MemSize::kU64);
+        break;
+      }
+      case 2:  // imm ALU pair (AluPairImm fusion)
+        b.mov(kR3, static_cast<std::int64_t>(rng.next_below(100000)));
+        b.add(kR3, 17);
+        b.and_(kR3, 0xffff);
+        break;
+      case 3:
+        b.mov(kR5, static_cast<std::int64_t>(rng.next_below(256)));
+        b.and_(kR5, 0x7f);
+        b.or_(kR5, 0x10);
+        break;
+      case 4:  // byteswap + shift on a value with high bits set
+        b.mov(kR3, static_cast<std::int64_t>(rng.next_below(1 << 20)));
+        b.be32(kR3);
+        b.rsh(kR3, static_cast<std::int64_t>(rng.next_below(31)));
+        break;
+      case 5: {  // parse sequence: ldx+be16+and+jeq (LdxBeAndJcc fusion)
+        auto off = static_cast<std::int32_t>(
+            rng.next_below(static_cast<std::uint64_t>(verified - 1)));
+        std::string label = b.scoped("parse" + std::to_string(i));
+        b.ldx(kR3, kR7, off, MemSize::kU16);
+        b.be16(kR3);
+        b.and_(kR3, 0x0fff);
+        b.jeq(kR3, static_cast<std::int64_t>(rng.next_below(0x1000)), label);
+        b.mov(kR4, 7);
+        b.label(label);
+        b.new_scope();
+        break;
+      }
+      case 6: {  // packet write within the verified range (LdxStx fusion)
+        auto off = static_cast<std::int32_t>(
+            rng.next_below(static_cast<std::uint64_t>(verified - 2)));
+        b.ldx(kR3, kR7, off, MemSize::kU8);
+        b.stx(kR7, off + 1, kR3, MemSize::kU8);
+        break;
+      }
+      case 7: {  // hash/array lookup + branch + value rewrite (CallJcc)
+        std::string label = b.scoped("miss" + std::to_string(i));
+        b.mov_reg(kR2, kR10);
+        b.add(kR2, -8);
+        b.st(kR2, 0, static_cast<std::int64_t>(rng.next_below(16)),
+             MemSize::kU32);
+        b.mov(kR1, rng.next_below(2) == 0 ? hash_id : arr_id);
+        b.call(kHelperMapLookup);
+        b.jeq(kR0, 0, label);
+        b.ldx(kR4, kR0, 0, MemSize::kU64);
+        b.add(kR4, 1);
+        b.stx(kR0, 0, kR4, MemSize::kU64);
+        b.label(label);
+        b.new_scope();
+        break;
+      }
+      case 8: {  // helper call + compare on r0 (CallJcc fusion)
+        std::string label = b.scoped("cpu" + std::to_string(i));
+        b.call(kHelperGetSmpProcessorId);
+        b.jeq(kR0, 0, label);
+        b.mov(kR4, 3);
+        b.label(label);
+        b.new_scope();
+        break;
+      }
+      case 9: {  // reg-reg compare on scalars
+        std::string label = b.scoped("cmp" + std::to_string(i));
+        b.mov(kR3, static_cast<std::int64_t>(rng.next_below(64)));
+        b.mov(kR4, static_cast<std::int64_t>(rng.next_below(64)));
+        b.jgt_reg(kR3, kR4, label);
+        b.xor_reg(kR4, kR3);
+        b.label(label);
+        b.new_scope();
+        break;
+      }
+    }
+  }
+  b.ret(kActPass);
+  b.label("out");
+  b.ret(kActPass);
+  auto built = b.build();
+  EXPECT_TRUE(built.ok());
+  return std::move(built).take();
+}
+
+// The oracle proper: same program, same packet, one run per engine on
+// identically-seeded worlds; every observable must match.
+TEST(JitDiff, StructuredProgramsMatchInterpreter) {
+  util::Rng rng(0x717D1FF);
+  int fused_programs = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    DiffRig interp_rig;
+    DiffRig jit_rig;
+    Program p =
+        structured_program(rng, interp_rig.hash_id(), interp_rig.arr_id());
+    auto st = interp_rig.verify_prog(p);
+    ASSERT_TRUE(st.ok()) << "trial " << trial << ": " << st.error().message;
+    std::string reason;
+    p.jit = jit_translate(p, &reason);
+    ASSERT_TRUE(p.jit != nullptr)
+        << "trial " << trial << " untranslatable: " << reason;
+    if (p.jit->n_fused > 0) ++fused_programs;
+    for (std::size_t len : {14u, 56u, 60u, 128u, 1514u}) {
+      net::Packet pkt_a(len);
+      for (std::size_t i = 0; i < pkt_a.size(); ++i) {
+        pkt_a.data()[i] = static_cast<std::uint8_t>(rng.next_u64());
+      }
+      net::Packet pkt_b(len);
+      if (len > 0) std::memcpy(pkt_b.data(), pkt_a.data(), len);
+      auto ri = interp_rig.run(p, pkt_a, ExecEngine::kInterpreter);
+      auto rj = jit_rig.run(p, pkt_b, ExecEngine::kJit);
+      std::string what =
+          "trial " + std::to_string(trial) + " len " + std::to_string(len);
+      expect_same_result(ri, rj, what);
+      EXPECT_EQ(rj.jit_fallbacks, 0u) << what;
+      ASSERT_EQ(pkt_a.size(), pkt_b.size()) << what;
+      EXPECT_EQ(std::memcmp(pkt_a.data(), pkt_b.data(), pkt_a.size()), 0)
+          << what;
+    }
+    expect_same_maps(interp_rig, jit_rig, "trial " + std::to_string(trial));
+  }
+  // The generator must actually exercise superinstructions, not just singles.
+  EXPECT_GT(fused_programs, 250);
+}
+
+// Garbage streams: whatever the verifier accepts — including programs that
+// abort at runtime on division by zero — must behave identically, whether
+// the translator takes them or refuses them (refusal = interpreter fallback
+// with identical semantics and one counted demotion).
+TEST(JitDiff, GarbageProgramsMatchInterpreter) {
+  util::Rng rng(0xD1FF);
+  int accepted = 0;
+  int translated = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    DiffRig interp_rig;
+    DiffRig jit_rig;
+    Program p = random_program(rng);
+    if (!interp_rig.verify_prog(p).ok()) continue;
+    ++accepted;
+    p.jit = jit_translate(p);
+    if (p.jit != nullptr) ++translated;
+    for (std::size_t len : {0u, 14u, 60u, 1500u}) {
+      net::Packet pkt_a(len);
+      net::Packet pkt_b(len);
+      auto ri = interp_rig.run(p, pkt_a, ExecEngine::kInterpreter);
+      auto rj = jit_rig.run(p, pkt_b, ExecEngine::kJit);
+      std::string what =
+          "trial " + std::to_string(trial) + " len " + std::to_string(len);
+      expect_same_result(ri, rj, what);
+      if (p.jit == nullptr) {
+        EXPECT_EQ(rj.jit_fallbacks, 1u) << what;
+      }
+      if (len > 0) {
+        EXPECT_EQ(std::memcmp(pkt_a.data(), pkt_b.data(), len), 0) << what;
+      }
+    }
+    expect_same_maps(interp_rig, jit_rig, "trial " + std::to_string(trial));
+  }
+  EXPECT_GT(accepted, 0);
+  EXPECT_GT(translated, 0);
+}
+
+// --- translator unit coverage ---------------------------------------------
+
+TEST(JitDiff, TranslatorFusesSynthesizerParseSequence) {
+  // The canonical FPM parse shape: bounds check, ldx+be16 ethertype compare,
+  // map value rewrite. Fusion must shrink the stream below one op per insn.
+  ProgramBuilder b("parse", HookType::kXdp);
+  b.mov_reg(kR6, kR1);
+  b.ldx(kR7, kR6, kCtxData, MemSize::kU64);
+  b.ldx(kR8, kR6, kCtxDataEnd, MemSize::kU64);
+  b.mov_reg(kR2, kR7);
+  b.add(kR2, 14);
+  b.jgt_reg(kR2, kR8, "out");
+  b.ldx(kR3, kR7, 12, MemSize::kU16);
+  b.be16(kR3);
+  b.and_(kR3, 0xffff);
+  b.jne(kR3, 0x0800, "out");
+  b.ldx(kR4, kR7, 0, MemSize::kU8);
+  b.stx(kR7, 1, kR4, MemSize::kU8);
+  b.ret(kActTx);
+  b.label("out");
+  b.ret(kActPass);
+  Program p = b.build().value();
+
+  auto jp = jit_translate(p);
+  ASSERT_TRUE(jp != nullptr);
+  EXPECT_EQ(jp->n_insns, p.insns.size());
+  EXPECT_GE(jp->n_fused, 3u);  // mov+add, ldx+be+and+jne, ldx+stx, mov+exit
+  // ops.size() counts the sentinel; even so the stream must be shorter than
+  // the bytecode.
+  EXPECT_LT(jp->ops.size(), p.insns.size());
+}
+
+TEST(JitDiff, TranslatorRefusesBackwardJump) {
+  Program p;
+  p.insns.push_back({Op::kMov, kR0, 0, true, 0, 2, MemSize::kU64});
+  p.insns.push_back({Op::kJa, 0, 0, true, -1, 0, MemSize::kU64});
+  p.insns.push_back({Op::kExit, 0, 0, true, 0, 0, MemSize::kU64});
+  std::string reason;
+  EXPECT_EQ(jit_translate(p, &reason), nullptr);
+  EXPECT_NE(reason.find("backward jump"), std::string::npos) << reason;
+}
+
+TEST(JitDiff, TranslatorRefusesXskRedirectPrograms) {
+  ProgramBuilder b("xsk", HookType::kXdp);
+  b.mov(kR1, 0);
+  b.mov(kR2, 0);
+  b.call(kHelperRedirectMap);
+  b.exit();
+  Program p = b.build().value();
+  std::string reason;
+  EXPECT_EQ(jit_translate(p, &reason), nullptr);
+  EXPECT_NE(reason.find("redirect_map"), std::string::npos) << reason;
+}
+
+TEST(JitDiff, TranslatorRefusesEmptyAndOversizedPrograms) {
+  Program empty;
+  std::string reason;
+  EXPECT_EQ(jit_translate(empty, &reason), nullptr);
+  EXPECT_NE(reason.find("empty"), std::string::npos) << reason;
+
+  Program huge;
+  for (std::size_t i = 0; i < kMaxInsns + 1; ++i) {
+    huge.insns.push_back({Op::kMov, kR0, 0, true, 0, 0, MemSize::kU64});
+  }
+  EXPECT_EQ(jit_translate(huge, &reason), nullptr);
+  EXPECT_NE(reason.find("size budget"), std::string::npos) << reason;
+}
+
+// --- runtime demotion paths -----------------------------------------------
+
+// XSK-redirecting programs run interpreted under the JIT engine — refused at
+// translation, demoted at entry — with identical observable results.
+TEST(JitDiff, XskRedirectProgramFallsBackWithSameSemantics) {
+  ProgramBuilder b("xskrun", HookType::kXdp);
+  b.mov(kR1, 0);
+  b.mov(kR2, 0);
+  b.call(kHelperRedirectMap);
+  b.exit();
+  Program p = b.build().value();
+
+  DiffRig interp_rig;
+  DiffRig jit_rig;
+  std::uint32_t xa = interp_rig.maps_.create("x", MapType::kXskMap, 4, 4, 4);
+  std::uint32_t xb = jit_rig.maps_.create("x", MapType::kXskMap, 4, 4, 4);
+  ASSERT_EQ(xa, xb);
+  // r1 must carry the map id; rebuild with the real id.
+  ProgramBuilder b2("xskrun", HookType::kXdp);
+  b2.mov(kR1, xa);
+  b2.mov(kR2, 0);
+  b2.call(kHelperRedirectMap);
+  b2.exit();
+  p = b2.build().value();
+  p.jit = jit_translate(p);
+  ASSERT_EQ(p.jit, nullptr);
+
+  net::Packet pkt_a(64);
+  net::Packet pkt_b(64);
+  auto ri = interp_rig.run(p, pkt_a, ExecEngine::kInterpreter);
+  auto rj = jit_rig.run(p, pkt_b, ExecEngine::kJit);
+  expect_same_result(ri, rj, "xsk fallback");
+  EXPECT_EQ(rj.jit_fallbacks, 1u);
+}
+
+// A tail call into a program with no translated stream demotes mid-run: the
+// entry runs threaded, the target runs interpreted, the observables match
+// the all-interpreter run exactly, and the demotion is counted.
+TEST(JitDiff, TailCallIntoUntranslatedProgramDemotes) {
+  auto build_world = [](DiffRig& rig, bool translate_target) {
+    std::uint32_t pa = rig.maps_.create("jmp", MapType::kProgArray, 4, 4, 8);
+    ProgramBuilder target("target", HookType::kXdp);
+    target.mov(kR0, 0);
+    target.add(kR0, 40);
+    target.add(kR0, 2);  // 42
+    target.exit();
+    Program tp = target.build().value();
+    if (translate_target) tp.jit = jit_translate(tp);
+    rig.progs_.push_back(std::move(tp));
+    (void)rig.maps_.get(pa)->set_prog(3, 0);
+
+    ProgramBuilder entry("entry", HookType::kXdp);
+    entry.mov_reg(kR6, kR1);
+    entry.mov_reg(kR1, kR6);
+    entry.mov(kR2, pa);
+    entry.mov(kR3, 3);
+    entry.call(kHelperTailCall);
+    entry.ret(kActPass);  // only on miss
+    Program ep = entry.build().value();
+    ep.jit = jit_translate(ep);
+    EXPECT_TRUE(ep.jit != nullptr);
+    return ep;
+  };
+
+  DiffRig interp_rig;
+  DiffRig jit_rig;
+  Program pi = build_world(interp_rig, false);
+  Program pj = build_world(jit_rig, false);
+  net::Packet pkt_a(64);
+  net::Packet pkt_b(64);
+  auto ri = interp_rig.run(pi, pkt_a, ExecEngine::kInterpreter);
+  auto rj = jit_rig.run(pj, pkt_b, ExecEngine::kJit);
+  expect_same_result(ri, rj, "tail-call demotion");
+  EXPECT_EQ(rj.ret, 42u);
+  EXPECT_EQ(rj.tail_calls, 1u);
+  EXPECT_EQ(rj.jit_fallbacks, 1u);
+
+  // Same world with the target translated: no demotion, same observables.
+  DiffRig jit_full;
+  Program pf = build_world(jit_full, true);
+  net::Packet pkt_c(64);
+  auto rf = jit_full.run(pf, pkt_c, ExecEngine::kJit);
+  expect_same_result(ri, rf, "tail-call fully threaded");
+  EXPECT_EQ(rf.jit_fallbacks, 0u);
+}
+
+// An entry program with no stream at all (loader refusal) interprets the
+// whole run and still reports the engine + one fallback.
+TEST(JitDiff, UntranslatedEntryRunsInterpretedUnderJitEngine) {
+  DiffRig rig;
+  ProgramBuilder b("plain", HookType::kXdp);
+  b.mov(kR0, 5);
+  b.mov(kR1, 0);
+  b.exit();
+  Program p = b.build().value();
+  ASSERT_EQ(p.jit, nullptr);  // never translated
+  net::Packet pkt(64);
+  auto r = rig.run(p, pkt, ExecEngine::kJit);
+  EXPECT_TRUE(r.jit);
+  EXPECT_EQ(r.jit_fallbacks, 1u);
+  EXPECT_EQ(r.ret, 5u);
+  EXPECT_FALSE(r.aborted);
+}
+
+// --- attachment-level engine selection and fallback metric ----------------
+
+TEST(JitDiff, AttachmentCountsJitRunsAndFallbacks) {
+  kern::Kernel kernel("host");
+  HelperRegistry helpers;
+  register_all_helpers(helpers, kernel.cost());
+
+  Attachment att("t", HookType::kXdp, kernel, helpers);
+  att.set_exec_engine(ExecEngine::kJit);
+  ProgramBuilder b("act", HookType::kXdp);
+  b.ret(kActDrop);
+  auto id = att.load(b.build().value());
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(att.set_entry(id.value()).ok());
+  EXPECT_EQ(att.jit_translated(), 1u);
+  EXPECT_EQ(att.jit_untranslatable(), 0u);
+
+  for (int i = 0; i < 5; ++i) {
+    net::Packet pkt(64);
+    att.run(pkt, 1);
+  }
+  EXPECT_EQ(att.stats().jit_runs, 5u);
+  EXPECT_EQ(att.stats().jit_fallbacks, 0u);
+
+  // An XSK sampler is untranslatable: it loads, runs interpreted, and every
+  // run counts one fallback (the jit.fallbacks observable).
+  Attachment xatt("x", HookType::kXdp, kernel, helpers);
+  xatt.set_exec_engine(ExecEngine::kJit);
+  std::uint32_t map_id = xatt.maps().create("xsks", MapType::kXskMap, 4, 4, 4);
+  ProgramBuilder xb("xsk", HookType::kXdp);
+  xb.mov(kR1, map_id);
+  xb.mov(kR2, 0);
+  xb.call(kHelperRedirectMap);
+  xb.exit();
+  auto xid = xatt.load(xb.build().value());
+  ASSERT_TRUE(xid.ok()) << xid.error().message;
+  ASSERT_TRUE(xatt.set_entry(xid.value()).ok());
+  EXPECT_EQ(xatt.jit_untranslatable(), 1u);
+  for (int i = 0; i < 3; ++i) {
+    net::Packet pkt(64);
+    xatt.run(pkt, 1);
+  }
+  EXPECT_EQ(xatt.stats().jit_runs, 3u);
+  EXPECT_EQ(xatt.stats().jit_fallbacks, 3u);
+}
+
+// Switching a loaded attachment to the JIT translates retroactively.
+TEST(JitDiff, SetExecEngineTranslatesAlreadyLoadedPrograms) {
+  kern::Kernel kernel("host");
+  HelperRegistry helpers;
+  register_all_helpers(helpers, kernel.cost());
+  Attachment att("t", HookType::kXdp, kernel, helpers);
+  ProgramBuilder b("act", HookType::kXdp);
+  b.ret(kActPass);
+  auto id = att.load(b.build().value());
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(att.jit_translated(), 0u);
+  att.set_exec_engine(ExecEngine::kJit);
+  EXPECT_EQ(att.jit_translated(), 1u);
+  ASSERT_TRUE(att.set_entry(id.value()).ok());
+  net::Packet pkt(64);
+  att.run(pkt, 1);
+  EXPECT_EQ(att.stats().jit_runs, 1u);
+  EXPECT_EQ(att.stats().jit_fallbacks, 0u);
+}
+
+}  // namespace
+}  // namespace linuxfp::ebpf

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "ebpf/builder.h"
+#include "ebpf/jit.h"
 #include "ebpf/kernel_helpers.h"
 #include "kernel/kernel.h"
 #include "net/headers.h"
@@ -18,6 +19,18 @@ class VmTest : public ::testing::Test {
     Vm vm(cost_, helpers_, maps_, &progs_);
     return vm.run(prog, pkt, 1, nullptr);
   }
+
+  // Runs under the requested engine (translating first for the JIT); edge
+  // tests call this once per engine so both backends cover the same corner.
+  VmResult run_engine(Program prog, net::Packet& pkt, ExecEngine engine) {
+    if (engine == ExecEngine::kJit) prog.jit = jit_translate(prog);
+    Vm vm(cost_, helpers_, maps_, &progs_);
+    vm.set_engine(engine);
+    return vm.run(prog, pkt, 1, nullptr);
+  }
+
+  static constexpr ExecEngine kEngines[] = {ExecEngine::kInterpreter,
+                                            ExecEngine::kJit};
 
   kern::CostModel cost_;
   HelperRegistry helpers_;
@@ -253,6 +266,93 @@ TEST_F(VmTest, MapLookupThroughHelper) {
   auto r = run(b.build().value(), pkt);
   EXPECT_FALSE(r.aborted) << r.error;
   EXPECT_EQ(r.ret, 0xdeadbeefu);
+}
+
+// be16/be32 are 16/32-bit conversions: on a register whose high bits are
+// set they must truncate before swapping, on both engines (the fused
+// ldx+be handlers share this edge).
+TEST_F(VmTest, ByteswapTruncatesHighBitsOnBothEngines) {
+  for (ExecEngine engine : kEngines) {
+    ProgramBuilder b16("be16hi", HookType::kXdp);
+    b16.mov(kR0, 0x11223344);
+    b16.lsh(kR0, 16);
+    b16.or_(kR0, 0x5566);  // r0 = 0x1122_3344_5566
+    b16.be16(kR0);
+    b16.exit();
+    net::Packet pkt(64);
+    auto r = run_engine(b16.build().value(), pkt, engine);
+    EXPECT_EQ(r.ret, 0x6655u) << exec_engine_name(engine);
+
+    ProgramBuilder b32("be32hi", HookType::kXdp);
+    b32.mov(kR0, 0x11223344);
+    b32.lsh(kR0, 16);
+    b32.or_(kR0, 0x5566);
+    b32.be32(kR0);
+    b32.exit();
+    r = run_engine(b32.build().value(), pkt, engine);
+    EXPECT_EQ(r.ret, 0x66554433u) << exec_engine_name(engine);
+  }
+}
+
+// Sub-64-bit loads zero-extend: a u64 of all-ones read back at u32/u16/u8
+// widths must yield exactly the low bytes.
+TEST_F(VmTest, NarrowLoadsZeroExtendOnBothEngines) {
+  struct Case {
+    MemSize size;
+    std::uint64_t want;
+  };
+  const Case cases[] = {{MemSize::kU32, 0xFFFFFFFFu},
+                        {MemSize::kU16, 0xFFFFu},
+                        {MemSize::kU8, 0xFFu}};
+  for (ExecEngine engine : kEngines) {
+    for (const Case& c : cases) {
+      ProgramBuilder b("zext", HookType::kXdp);
+      b.mov_reg(kR2, kR10);
+      b.add(kR2, -8);
+      b.mov(kR3, -1);  // 0xFFFF...FF
+      b.stx(kR2, 0, kR3, MemSize::kU64);
+      b.ldx(kR0, kR2, 0, c.size);
+      b.exit();
+      net::Packet pkt(64);
+      auto r = run_engine(b.build().value(), pkt, engine);
+      EXPECT_EQ(r.ret, c.want) << exec_engine_name(engine);
+    }
+  }
+}
+
+// Division/modulo by zero abort identically (same flag, same error string,
+// same charged cycles) and kArsh stays an arithmetic (sign-extending) shift.
+TEST_F(VmTest, DivModByZeroAndArshEdgesOnBothEngines) {
+  auto raw = [](Op op, std::int64_t lhs, std::int64_t rhs) {
+    Program p;
+    p.name = "aluedge";
+    p.insns.push_back({Op::kMov, kR0, 0, true, 0, lhs, MemSize::kU64});
+    p.insns.push_back({Op::kMov, kR1, 0, true, 0, rhs, MemSize::kU64});
+    p.insns.push_back({op, kR0, kR1, false, 0, 0, MemSize::kU64});
+    p.insns.push_back({Op::kExit, 0, 0, true, 0, 0, MemSize::kU64});
+    return p;
+  };
+
+  net::Packet pkt(64);
+  for (Op op : {Op::kDiv, Op::kMod}) {
+    auto ri = run_engine(raw(op, 5, 0), pkt, ExecEngine::kInterpreter);
+    auto rj = run_engine(raw(op, 5, 0), pkt, ExecEngine::kJit);
+    EXPECT_TRUE(ri.aborted);
+    EXPECT_TRUE(rj.aborted);
+    EXPECT_EQ(ri.error, rj.error);
+    EXPECT_EQ(ri.cycles, rj.cycles);
+    EXPECT_EQ(ri.insns_executed, rj.insns_executed);
+    EXPECT_NE(rj.error.find("zero"), std::string::npos) << rj.error;
+  }
+  for (ExecEngine engine : kEngines) {
+    EXPECT_EQ(run_engine(raw(Op::kDiv, 7, 2), pkt, engine).ret, 3u);
+    EXPECT_EQ(run_engine(raw(Op::kMod, 7, 2), pkt, engine).ret, 1u);
+    // -8 >> 1 arithmetic = -4; logical would give a huge positive.
+    EXPECT_EQ(run_engine(raw(Op::kArsh, -8, 1), pkt, engine).ret,
+              static_cast<std::uint64_t>(-4));
+    EXPECT_EQ(run_engine(raw(Op::kRsh, -8, 1), pkt, engine).ret,
+              static_cast<std::uint64_t>(-8) >> 1);
+  }
 }
 
 TEST_F(VmTest, InstructionBudgetGuard) {

@@ -23,6 +23,11 @@ namespace {
 
 using linuxfp::testing::RouterDut;
 
+// Runs once per execution engine: queue-partition invariance must hold for
+// the interpreter and the direct-threaded translator alike (DESIGN.md §14).
+class EngineEquivalence : public ::testing::TestWithParam<ebpf::ExecEngine> {
+};
+
 // Everything about a run that must be queue-count invariant.
 struct RunCounters {
   std::uint64_t processed = 0;
@@ -49,10 +54,11 @@ struct RunCounters {
 // fully seeded: Zipf(1.1) skew over 256 flows, every 5th packet unroutable
 // (FIB miss -> XDP pass -> slow-path drop), so both fast and slow verdict
 // paths are exercised.
-RunCounters run_scenario(unsigned queues) {
+RunCounters run_scenario(unsigned queues, ebpf::ExecEngine engine) {
   sim::ScenarioConfig cfg;
   cfg.prefixes = 50;
   cfg.accel = sim::Accel::kLinuxFpXdp;
+  cfg.exec_engine = engine;
   sim::LinuxTestbed bed(cfg);
   sim::FlowPattern pattern(50, 256, 64, /*zipf_s=*/1.1);
 
@@ -105,9 +111,9 @@ RunCounters run_scenario(unsigned queues) {
   return rc;
 }
 
-TEST(EngineEquivalence, FourQueueRunMatchesSingleQueue) {
-  RunCounters one = run_scenario(1);
-  RunCounters four = run_scenario(4);
+TEST_P(EngineEquivalence, FourQueueRunMatchesSingleQueue) {
+  RunCounters one = run_scenario(1, GetParam());
+  RunCounters four = run_scenario(4, GetParam());
 
   // Sanity on the baseline itself: the mix really drove both paths.
   EXPECT_EQ(one.processed, 5000u);
@@ -119,14 +125,15 @@ TEST(EngineEquivalence, FourQueueRunMatchesSingleQueue) {
   EXPECT_EQ(one, four);
 }
 
-TEST(EngineEquivalence, PercpuAggregationIsPartitionInvariant) {
+TEST_P(EngineEquivalence, PercpuAggregationIsPartitionInvariant) {
   // A per-CPU counter map sees a different slot partition under 1 and 4
   // queues, but its control-plane aggregate must be identical.
-  auto aggregate_after_run = [](unsigned queues) {
+  auto aggregate_after_run = [](unsigned queues, ebpf::ExecEngine engine) {
     RouterDut dut;
     ebpf::HelperRegistry helpers;
     ebpf::register_all_helpers(helpers, dut.kernel.cost());
     ebpf::Attachment att("pc", ebpf::HookType::kXdp, dut.kernel, helpers);
+    att.set_exec_engine(engine);
     std::uint32_t map_id =
         att.maps().create("cnt", ebpf::MapType::kPercpuArray, 4, 8, 2);
 
@@ -167,16 +174,17 @@ TEST(EngineEquivalence, PercpuAggregationIsPartitionInvariant) {
         reinterpret_cast<std::uint8_t*>(&key));
   };
 
-  std::uint64_t one = aggregate_after_run(1);
-  std::uint64_t four = aggregate_after_run(4);
+  std::uint64_t one = aggregate_after_run(1, GetParam());
+  std::uint64_t four = aggregate_after_run(4, GetParam());
   EXPECT_EQ(one, 3000u);
   EXPECT_EQ(one, four);
 }
 
-TEST(EngineEquivalence, StatusJsonExposesPerQueueStats) {
+TEST_P(EngineEquivalence, StatusJsonExposesPerQueueStats) {
   sim::ScenarioConfig cfg;
   cfg.prefixes = 4;
   cfg.accel = sim::Accel::kLinuxFpXdp;
+  cfg.exec_engine = GetParam();
   sim::LinuxTestbed bed(cfg);
 
   EngineConfig ecfg;
@@ -207,7 +215,27 @@ TEST(EngineEquivalence, StatusJsonExposesPerQueueStats) {
   // The raw counters also reach the Prometheus exporter.
   std::string prom = core::prometheus_status(*bed.controller());
   EXPECT_NE(prom.find("engine_queue0_processed"), std::string::npos);
+
+  // Under the JIT the status document reports the translator's coverage and
+  // the packets above really ran threaded.
+  if (GetParam() == ebpf::ExecEngine::kJit) {
+    ASSERT_TRUE(status.object_items().contains("jit"));
+    const util::Json& jit = status.at("jit");
+    EXPECT_GT(jit.at("translated").as_int(), 0);
+    EXPECT_GT(jit.at("runs").as_int(), 0);
+    EXPECT_EQ(jit.at("fallbacks").as_int(), 0);
+  } else {
+    EXPECT_FALSE(status.object_items().contains("jit"));
+  }
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, EngineEquivalence,
+    ::testing::Values(ebpf::ExecEngine::kInterpreter, ebpf::ExecEngine::kJit),
+    [](const ::testing::TestParamInfo<ebpf::ExecEngine>& info) {
+      return std::string(info.param == ebpf::ExecEngine::kJit ? "jit"
+                                                              : "interp");
+    });
 
 }  // namespace
 }  // namespace linuxfp::engine
