@@ -128,6 +128,19 @@ util::Json status_json(Controller& controller) {
     engine["queues"] = queues;
     engine["slow_processed"] = kernel.metrics().value("engine.slow.processed");
     engine["slow_cycles"] = kernel.metrics().value("engine.slow.cycles");
+    // Adaptive steering counters (DESIGN.md §15), reconciled the same way;
+    // present only when a steering-enabled engine ran against this kernel.
+    const util::Json& counters = metrics.at("counters");
+    if (counters.object_items().contains("engine.steering.decisions")) {
+      util::Json steering = util::Json::object();
+      for (const char* name :
+           {"decisions", "adapt_passes", "rebalances", "reta_rewrites",
+            "rfs_hits", "rfs_inserts", "rfs_migrations", "sprayed",
+            "spray_flows", "unspray_flows"}) {
+        steering[name] = counters.at(std::string("engine.steering.") + name);
+      }
+      engine["steering"] = steering;
+    }
     out["engine"] = engine;
   }
   out["metrics"] = metrics;

@@ -17,6 +17,11 @@ Engine::Engine(kern::Kernel& kernel, int ifindex, EngineConfig cfg)
     queues_.push_back(std::make_unique<QueueState>(cfg_.queue_depth));
   }
   slow_ring_ = std::make_unique<BoundedRing<net::Packet>>(cfg_.slow_ring_depth);
+  if (cfg_.steering.any()) {
+    steerer_ = std::make_unique<FlowSteerer>(
+        rss_, cfg_.steering,
+        [this](unsigned q) { return queues_[q]->ring.occupancy(); });
+  }
 }
 
 Engine::~Engine() { stop(); }
@@ -32,6 +37,7 @@ void Engine::start() {
   if (prog_) prog_->prepare_cpus(cfg_.queues);
   wd_last_hb_.assign(cfg_.queues, 0);
   wd_stale_.assign(cfg_.queues, 0);
+  wd_alive_streak_.assign(cfg_.queues, 0);
   wd_dead_.assign(cfg_.queues, 0);
   live_workers_.store(cfg_.queues, std::memory_order_relaxed);
   running_.store(true, std::memory_order_release);
@@ -45,7 +51,10 @@ void Engine::start() {
 void Engine::inject(net::Packet&& pkt) {
   // Hash once at the NIC boundary; the stashed hash rides along for the
   // worker-side flow cache (and any later consumer) to reuse.
-  QueueState& qs = *queues_[rss_.queue_for_hash(rss_hash_cached(pkt))];
+  const std::uint32_t hash = rss_hash_cached(pkt);
+  const unsigned q =
+      steerer_ ? steerer_->pick_queue(hash) : rss_.queue_for_hash(hash);
+  QueueState& qs = *queues_[q];
   std::size_t occ = qs.ring.occupancy();
   if (occ > qs.stats.max_occupancy) qs.stats.max_occupancy = occ;
   std::uint64_t spins = 0;
@@ -186,7 +195,35 @@ void Engine::process_packet(unsigned q, net::Packet&& pkt) {
 
 void Engine::watchdog_check() {
   for (unsigned q = 0; q < cfg_.queues; ++q) {
-    if (wd_dead_[q]) continue;
+    if (wd_dead_[q]) {
+      if (!cfg_.watchdog_recovery) continue;
+      // Half-open probe (the guard's circuit-breaker close, DESIGN.md §13):
+      // an excluded queue whose heartbeat advances across consecutive
+      // samples is running again — re-include it and re-spread the RETA.
+      std::uint64_t hb = queues_[q]->heartbeat.load(std::memory_order_relaxed);
+      bool advanced = hb != wd_last_hb_[q];
+      wd_last_hb_[q] = hb;
+      if (!advanced) {
+        wd_alive_streak_[q] = 0;
+        continue;
+      }
+      if (++wd_alive_streak_[q] < cfg_.watchdog_recover_checks) continue;
+      wd_dead_[q] = 0;
+      wd_stale_[q] = 0;
+      wd_alive_streak_[q] = 0;
+      std::size_t rewritten = rss_.include_queue(q);
+      watchdog_recoveries_.fetch_add(1, std::memory_order_relaxed);
+      bool any_dead = false;
+      for (unsigned i = 0; i < cfg_.queues; ++i) {
+        if (wd_dead_[i]) any_dead = true;
+      }
+      // Same ordering contract as the trip: health flips last, so an
+      // observer seeing healthy() again also sees the restored RETA.
+      if (!any_dead) healthy_.store(true, std::memory_order_release);
+      LFP_WARN("engine") << "watchdog: queue " << q << " recovered; re-spread "
+                         << rewritten << " RETA entries";
+      continue;
+    }
     std::uint64_t hb = queues_[q]->heartbeat.load(std::memory_order_relaxed);
     // A stuck verdict requires work waiting (occupancy > 0) with a frozen
     // heartbeat: an idle worker keeps beating, a merely slow one advances
@@ -287,6 +324,23 @@ void Engine::reconcile() {
   util::bump(reg.counter("engine.slow.cycles"), slow_stats_.cycles);
   util::bump(reg.counter("engine.watchdog.resteers"),
              watchdog_resteers_.load(std::memory_order_relaxed));
+  util::bump(reg.counter("engine.watchdog.recoveries"),
+             watchdog_recoveries_.load(std::memory_order_relaxed));
+  if (steerer_) {
+    const SteeringStats& ss = steerer_->stats();
+    util::bump(reg.counter("engine.steering.decisions"), ss.decisions);
+    util::bump(reg.counter("engine.steering.adapt_passes"), ss.adapt_passes);
+    util::bump(reg.counter("engine.steering.rebalances"), ss.rebalances);
+    util::bump(reg.counter("engine.steering.reta_rewrites"), ss.reta_rewrites);
+    util::bump(reg.counter("engine.steering.rfs_hits"), ss.rfs_hits);
+    util::bump(reg.counter("engine.steering.rfs_inserts"), ss.rfs_inserts);
+    util::bump(reg.counter("engine.steering.rfs_migrations"),
+               ss.rfs_migrations);
+    util::bump(reg.counter("engine.steering.sprayed"), ss.sprayed);
+    util::bump(reg.counter("engine.steering.spray_flows"), ss.spray_flows);
+    util::bump(reg.counter("engine.steering.unspray_flows"),
+               ss.unspray_flows);
+  }
 }
 
 std::uint64_t Engine::total_processed() const {

@@ -34,6 +34,7 @@
 
 #include "engine/ring.h"
 #include "engine/rss.h"
+#include "engine/steering.h"
 #include "kernel/kernel.h"
 
 namespace linuxfp::engine {
@@ -60,6 +61,13 @@ struct EngineConfig {
   bool watchdog = false;
   unsigned watchdog_stall_checks = 3;
   unsigned watchdog_check_interval = 4096;
+  // Half-open recovery (mirrors the guard's circuit-breaker close): a queue
+  // the watchdog excluded is re-included — RETA re-spread to uniform via
+  // include_queue — after its heartbeat advances across
+  // `watchdog_recover_checks` consecutive samples. Off by default: existing
+  // callers (and tests) treat exclusion as final.
+  bool watchdog_recovery = false;
+  unsigned watchdog_recover_checks = 2;
   // Wall-clock floor between watchdog samples. The tick interval alone is
   // not enough on an oversubscribed host: an idle slow thread burns
   // `watchdog_check_interval` iterations in microseconds — far less than a
@@ -70,6 +78,10 @@ struct EngineConfig {
   // Test hook: runs at the top of every worker poll iteration, before the
   // heartbeat bump, so tests can stall a worker deterministically.
   std::function<void(unsigned q)> worker_poll_hook;
+  // Adaptive steering (steering.h): RETA rebalancing, RFS flow affinity,
+  // elephant spray/migration. All off by default — inject() then steers by
+  // the static RETA exactly as before.
+  SteeringConfig steering;
 };
 
 // Per-queue statistics, split by writer so no field is written from two
@@ -138,6 +150,13 @@ class Engine {
   std::uint64_t watchdog_resteers() const {
     return watchdog_resteers_.load(std::memory_order_relaxed);
   }
+  std::uint64_t watchdog_recoveries() const {
+    return watchdog_recoveries_.load(std::memory_order_relaxed);
+  }
+
+  // Null unless cfg.steering enables something. Producer-owned; read its
+  // stats after stop() (or from the producer thread).
+  const FlowSteerer* steerer() const { return steerer_.get(); }
 
   // Final after stop().
   const QueueStats& queue_stats(unsigned q) const { return queues_[q]->stats; }
@@ -169,6 +188,7 @@ class Engine {
   int ifindex_;
   EngineConfig cfg_;
   RssClassifier rss_;
+  std::unique_ptr<FlowSteerer> steerer_;  // producer-thread state, may be null
   kern::PacketProgram* prog_ = nullptr;  // XDP program at start(), may be null
 
   std::vector<std::unique_ptr<QueueState>> queues_;
@@ -186,8 +206,10 @@ class Engine {
   // sampling bookkeeping belongs to the slow-path thread alone.
   std::atomic<bool> healthy_{true};
   std::atomic<std::uint64_t> watchdog_resteers_{0};
+  std::atomic<std::uint64_t> watchdog_recoveries_{0};
   std::vector<std::uint64_t> wd_last_hb_;
   std::vector<unsigned> wd_stale_;
+  std::vector<unsigned> wd_alive_streak_;  // half-open probe progress
   std::vector<char> wd_dead_;
 };
 

@@ -31,6 +31,15 @@ std::size_t FlowCache::live_entries() const {
   return n;
 }
 
+bool FlowCache::contains(std::uint32_t rss_hash, std::uint64_t epoch) const {
+  std::size_t base = set_base(rss_hash);
+  for (std::size_t w = 0; w < kWays; ++w) {
+    const Entry& e = entries_[base + w];
+    if (e.valid && e.rss_hash == rss_hash && e.epoch == epoch) return true;
+  }
+  return false;
+}
+
 bool FlowCache::key_matches(const Entry& e, const net::Packet& pkt,
                             int ingress_ifindex, std::uint32_t hash) {
   if (e.rss_hash != hash || e.ingress_ifindex != ingress_ifindex ||

@@ -283,6 +283,11 @@ class FlowCache {
   const FlowCacheStats& stats() const { return stats_; }
   std::size_t capacity() const { return entries_.size(); }
   std::size_t live_entries() const;
+  // Whether a valid entry for this flow hash exists at the given program
+  // epoch (steering-migration coherence tests: the hash's warm state is
+  // per-CPU, so after a migration the old CPU's cache may still hold it and
+  // the new CPU's must re-record).
+  bool contains(std::uint32_t rss_hash, std::uint64_t epoch) const;
 
  private:
   struct Entry {

@@ -58,6 +58,36 @@ RssClassifier::RssClassifier(unsigned queues)
   }
 }
 
+std::size_t RssClassifier::include_queue(unsigned q) {
+  if (q >= queues_ || !excluded_[q].load(std::memory_order_relaxed)) return 0;
+  excluded_[q].store(false, std::memory_order_relaxed);
+  // exclude_queue only rewrote the dead queue's entries, so after recovery
+  // the survivors own the whole table. Re-spread every entry round-robin
+  // over the alive set so the table converges back to uniform.
+  std::vector<unsigned> alive;
+  for (unsigned i = 0; i < queues_; ++i) {
+    if (!excluded_[i].load(std::memory_order_relaxed)) alive.push_back(i);
+  }
+  std::size_t rewritten = 0;
+  for (std::size_t i = 0; i < kRetaSize; ++i) {
+    unsigned want = alive[i % alive.size()];
+    if (reta_[i].load(std::memory_order_relaxed) == want) continue;
+    reta_[i].store(want, std::memory_order_relaxed);
+    ++rewritten;
+  }
+  return rewritten;
+}
+
+bool RssClassifier::set_entry(std::size_t index, unsigned q) {
+  if (index >= kRetaSize || q >= queues_ ||
+      excluded_[q].load(std::memory_order_relaxed)) {
+    return false;
+  }
+  if (reta_[index].load(std::memory_order_relaxed) == q) return false;
+  reta_[index].store(q, std::memory_order_relaxed);
+  return true;
+}
+
 std::size_t RssClassifier::exclude_queue(unsigned q) {
   if (q >= queues_) return 0;
   excluded_[q].store(true, std::memory_order_relaxed);
@@ -88,9 +118,38 @@ std::uint32_t rss_hash_cached(net::Packet& pkt) {
   return pkt.rss_hash;
 }
 
+namespace {
+
+// Fallback flow hash for frames the IPv4 parser cannot use (ARP, LLDP,
+// truncated frames): Toeplitz over the canonicalized src/dst MAC pair plus
+// the ethertype. Canonicalizing the MAC order keeps the request/reply
+// directions of e.g. an ARP exchange on one queue, mirroring the 5-tuple
+// symmetry. Without this, all such traffic hashed to 0 and pinned to
+// reta_[0]'s queue while colliding in a single flowcache set.
+std::uint32_t l2_hash_of(const net::Packet& pkt) {
+  const std::uint8_t* d = pkt.data();
+  if (pkt.size() < 14) {
+    // Not even an Ethernet header: hash whatever bytes exist.
+    return toeplitz_hash(d, pkt.size());
+  }
+  std::uint8_t input[14];
+  const std::uint8_t* dst_mac = d;
+  const std::uint8_t* src_mac = d + 6;
+  const std::uint8_t* lo = std::memcmp(src_mac, dst_mac, 6) <= 0 ? src_mac
+                                                                 : dst_mac;
+  const std::uint8_t* hi = lo == src_mac ? dst_mac : src_mac;
+  std::memcpy(input, lo, 6);
+  std::memcpy(input + 6, hi, 6);
+  input[12] = d[12];  // ethertype, big-endian as on the wire
+  input[13] = d[13];
+  return toeplitz_hash(input, sizeof(input));
+}
+
+}  // namespace
+
 std::uint32_t rss_hash_of(const net::Packet& pkt) {
   auto parsed = net::parse_packet(pkt);
-  if (!parsed || !parsed->has_ipv4) return 0;
+  if (!parsed || !parsed->has_ipv4) return l2_hash_of(pkt);
   // Hash input layout follows the Microsoft RSS spec: src ip, dst ip,
   // src port, dst port (big-endian), ports only for TCP/UDP.
   std::uint8_t input[12];

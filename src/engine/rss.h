@@ -8,8 +8,10 @@
 // hashing (DPDK's symmetric_toeplitz_sort): hash(src,dst) == hash(dst,src),
 // so both directions of a flow land on the same queue, without the hash-image
 // collapse a 16-bit-periodic "symmetric key" would cause (the flow cache
-// indexes on this hash and needs its full strength). Non-IP frames (ARP)
-// hash to queue 0, like a NIC that cannot parse the header.
+// indexes on this hash and needs its full strength). Non-IP frames (ARP,
+// LLDP) fall back to an L2 Toeplitz input — canonicalized src/dst MAC plus
+// ethertype — so unparsable traffic still spreads over queues instead of
+// pinning to reta_[0] and colliding in one flowcache set.
 //
 // Queue selection goes through a 128-entry indirection table (the ethtool -x
 // "RETA"), initialized round-robin over the configured queue count.
@@ -29,9 +31,11 @@ inline constexpr std::size_t kRetaSize = 128;
 // Toeplitz hash of `len` bytes of input under the Microsoft reference key.
 std::uint32_t toeplitz_hash(const std::uint8_t* data, std::size_t len);
 
-// Toeplitz flow hash of the packet (0 when the frame has no IPv4 header).
-// Stateless — the hash is a property of the packet alone; the classifier
-// only adds queue steering on top.
+// Toeplitz flow hash of the packet. IPv4 frames hash the canonicalized
+// 5-tuple (ports omitted for fragments so every fragment of a datagram
+// hashes identically); anything else hashes the canonicalized MAC pair +
+// ethertype. Stateless — the hash is a property of the packet alone; the
+// classifier only adds queue steering on top.
 std::uint32_t rss_hash_of(const net::Packet& pkt);
 
 // Returns the packet's flow hash, computing and stashing it in the packet's
@@ -51,7 +55,7 @@ class RssClassifier {
 
   unsigned queues() const { return queues_; }
 
-  // Flow hash of the packet (0 when the frame has no IPv4 header).
+  // Flow hash of the packet (see rss_hash_of).
   std::uint32_t hash(const net::Packet& pkt) const { return rss_hash_of(pkt); }
 
   // rx queue for an already-computed flow hash.
@@ -71,6 +75,18 @@ class RssClassifier {
   bool excluded(unsigned q) const {
     return q < excluded_.size() && excluded_[q].load(std::memory_order_relaxed);
   }
+
+  // Reverses exclude_queue when the watchdog's half-open probe sees the
+  // queue heartbeating again: clears the exclusion and rewrites the WHOLE
+  // table round-robin over the now-alive set, so the recovered queue gets
+  // its fair share of entries back instead of staying starved forever.
+  // Returns entries rewritten (0 if q wasn't excluded).
+  std::size_t include_queue(unsigned q);
+
+  // Point one RETA bucket at a queue (the adaptive rebalancer's write path).
+  // Rejects excluded/out-of-range targets. Returns true when the entry
+  // actually changed.
+  bool set_entry(std::size_t index, unsigned q);
 
   // Snapshot of the indirection table (tests / status reporting).
   std::array<unsigned, kRetaSize> reta() const {

@@ -18,17 +18,12 @@ ThroughputResult ThroughputRunner::run(DeviceUnderTest& dut,
 
   for (std::uint64_t i = 0; i < samples_; ++i) {
     net::Packet pkt = factory(i);
-    // RSS: spread flows over queues/cores by L4 hash (we use the builder's
-    // varying source port, so hash the parsed 5-tuple).
-    auto parsed = net::parse_packet(pkt);
-    std::size_t core = 0;
-    if (parsed && parsed->has_ports) {
-      net::FlowKey key{parsed->ip_src, parsed->ip_dst, parsed->ip_proto,
-                       parsed->src_port, parsed->dst_port};
-      core = std::hash<net::FlowKey>{}(key) % static_cast<std::size_t>(cores);
-    } else {
-      core = i % static_cast<std::size_t>(cores);
-    }
+    // RSS: spread flows over queues/cores by the engine's Toeplitz flow
+    // hash — the same hash every other consumer uses, so fragments and
+    // non-IP frames stay flow-affine instead of round-robining per packet
+    // (the old i % cores fallback straddled such flows across cores).
+    std::size_t core = engine::rss_hash_cached(pkt) %
+                       static_cast<std::size_t>(cores);
     ProcessOutcome out = dut.process(std::move(pkt));
     per_core[core].add(static_cast<double>(out.cycles));
     all.add(static_cast<double>(out.cycles));
@@ -65,14 +60,14 @@ ThroughputResult ThroughputRunner::run(DeviceUnderTest& dut,
   return result;
 }
 
-QueueScalingResult QueueScalingRunner::run(kern::Kernel& kernel,
-                                           int ingress_ifindex,
-                                           const PacketFactory& factory,
-                                           unsigned queues) const {
+QueueScalingResult QueueScalingRunner::run(
+    kern::Kernel& kernel, int ingress_ifindex, const PacketFactory& factory,
+    unsigned queues, const engine::SteeringConfig& steering) const {
   LFP_CHECK(queues >= 1);
   engine::EngineConfig cfg;
   cfg.queues = queues;
   cfg.backpressure = true;  // exact cycle means: no sample may tail-drop
+  cfg.steering = steering;
   engine::Engine eng(kernel, ingress_ifindex, cfg);
   eng.start();
   for (std::uint64_t i = 0; i < samples_; ++i) eng.inject(factory(i));

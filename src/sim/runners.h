@@ -88,8 +88,11 @@ class QueueScalingRunner {
   QueueScalingRunner(double nic_bps = 25e9, std::uint64_t samples = 4000)
       : nic_bps_(nic_bps), samples_(samples) {}
 
+  // `steering` (default: all off) enables the engine's adaptive steering —
+  // the Zipf-recovery benchmark passes SteeringConfig::adaptive() here.
   QueueScalingResult run(kern::Kernel& kernel, int ingress_ifindex,
-                         const PacketFactory& factory, unsigned queues) const;
+                         const PacketFactory& factory, unsigned queues,
+                         const engine::SteeringConfig& steering = {}) const;
 
  private:
   double nic_bps_;

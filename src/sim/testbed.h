@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/controller.h"
+#include "engine/engine.h"
 #include "kernel/commands.h"
 #include "kernel/kernel.h"
 #include "net/headers.h"
@@ -47,6 +48,9 @@ struct ScenarioConfig {
   // topology itself always configures cleanly.
   std::string fault_schedule;
   std::uint64_t fault_seed = 0x1fa017;
+  // Adaptive flow steering (DESIGN.md §15) for engines driven against this
+  // scenario's kernel; engine_config() folds it in. All off by default.
+  engine::SteeringConfig steering;
 };
 
 // Linux / LinuxFP testbed: a kern::Kernel DUT with two physical links,
@@ -79,6 +83,17 @@ class LinuxTestbed : public DeviceUnderTest {
 
   int ingress_ifindex() const { return ingress_ifindex_; }
   std::uint64_t forwarded_count() const { return forwarded_; }
+
+  // EngineConfig for driving a parallel engine against this scenario's
+  // kernel: backpressure mode (deterministic counters) with the scenario's
+  // steering options applied.
+  engine::EngineConfig engine_config(unsigned queues) const {
+    engine::EngineConfig cfg;
+    cfg.queues = queues;
+    cfg.backpressure = true;
+    cfg.steering = config_.steering;
+    return cfg;
+  }
 
   // Per-packet tracing (pwru-style): after enable_tracing, every process()
   // call records its ordered stage/helper/verdict journey into a ring of the

@@ -141,11 +141,27 @@ TEST(Rss, SpreadsFlowsAcrossQueues) {
   }
 }
 
-TEST(Rss, NonIpFallsBackDeterministically) {
+TEST(Rss, NonIpFallsBackToL2Hash) {
+  // Non-IPv4 frames hash the canonicalized MAC pair + ethertype instead of
+  // collapsing to hash 0 (which pinned all such traffic to reta_[0]'s queue
+  // and one flowcache set). Deterministic, and symmetric in the MAC pair so
+  // an ARP request and its reply stay on one queue.
   RssClassifier rss(4);
-  net::Packet arp(64);  // zeroed frame: not IPv4
-  EXPECT_EQ(rss.hash(arp), 0u);
-  EXPECT_EQ(rss.queue_for(arp), rss.reta()[0]);
+  net::Packet req = net::build_arp_request(net::MacAddr::from_id(7),
+                                           net::Ipv4Addr::parse("10.0.0.1").value(),
+                                           net::Ipv4Addr::parse("10.0.0.2").value());
+  EXPECT_NE(rss.hash(req), 0u);
+  EXPECT_EQ(rss.hash(req), rss.hash(req));
+  net::Packet reply = net::build_arp_reply(
+      net::MacAddr::from_id(9), net::Ipv4Addr::parse("10.0.0.2").value(),
+      net::MacAddr::from_id(7), net::Ipv4Addr::parse("10.0.0.1").value());
+  net::Packet reverse = net::build_arp_reply(
+      net::MacAddr::from_id(7), net::Ipv4Addr::parse("10.0.0.1").value(),
+      net::MacAddr::from_id(9), net::Ipv4Addr::parse("10.0.0.2").value());
+  EXPECT_EQ(rss.hash(reply), rss.hash(reverse));
+  // An all-zero runt frame still hashes without tripping the key window.
+  net::Packet runt(8);
+  EXPECT_EQ(rss.hash(runt), rss.hash(runt));
 }
 
 // --- Engine --------------------------------------------------------------------

@@ -126,6 +126,69 @@ TEST(EngineWatchdog, StuckWorkerIsDetectedExcludedAndResteered) {
   EXPECT_EQ(dut.kernel.metrics().value("engine.watchdog.resteers"), 1u);
 }
 
+TEST(EngineWatchdog, RecoveredWorkerIsReincludedAndRetaReconverges) {
+  // Half-open recovery (the guard's circuit-breaker close applied to the
+  // watchdog): once the stuck worker's heartbeat advances across consecutive
+  // samples, the queue is re-included and the RETA re-spreads to uniform —
+  // regression for the permanent-skew bug where a recovered queue never got
+  // entries back.
+  RouterDut dut;
+  dut.add_prefixes(4);
+  std::atomic<bool> block{true};
+  EngineConfig cfg;
+  cfg.queues = 2;
+  cfg.backpressure = true;
+  cfg.watchdog = true;
+  cfg.watchdog_check_interval = 16;
+  cfg.watchdog_stall_checks = 3;
+  cfg.watchdog_recovery = true;
+  cfg.watchdog_recover_checks = 2;
+  cfg.worker_poll_hook = [&block](unsigned q) {
+    if (q != 0) return;
+    while (block.load(std::memory_order_acquire)) std::this_thread::yield();
+  };
+  Engine eng(dut.kernel, dut.eth0_ifindex(), cfg);
+
+  std::uint16_t q0_flow = 0;
+  for (std::uint16_t f = 0; f < 512; ++f) {
+    if (eng.rss().queue_for(dut.packet_to_prefix(0, f)) == 0) {
+      q0_flow = f;
+      break;
+    }
+  }
+  ASSERT_EQ(eng.rss().queue_for(dut.packet_to_prefix(0, q0_flow)), 0u);
+
+  eng.start();
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    eng.inject(dut.packet_to_prefix(0, q0_flow));
+  }
+  ASSERT_TRUE(wait_for([&eng] { return !eng.healthy(); }))
+      << "watchdog never fired";
+  ASSERT_TRUE(eng.rss().excluded(0));
+
+  // Unblock the worker: its heartbeat resumes, the half-open probe closes.
+  block.store(false, std::memory_order_release);
+  ASSERT_TRUE(wait_for([&eng] { return eng.healthy(); }))
+      << "recovery never fired";
+  EXPECT_FALSE(eng.rss().excluded(0));
+  EXPECT_EQ(eng.watchdog_recoveries(), 1u);
+  // The table re-converged to uniform — queue 0 owns half again.
+  unsigned q0_entries = 0;
+  for (unsigned entry : eng.rss().reta()) q0_entries += entry == 0u;
+  EXPECT_EQ(q0_entries, static_cast<unsigned>(kRetaSize / 2));
+
+  // Traffic flows over BOTH queues again, losslessly.
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    eng.inject(dut.packet_to_prefix(0, static_cast<std::uint16_t>(i % 64)));
+  }
+  eng.stop();
+  EXPECT_EQ(eng.total_processed(), 464u);
+  EXPECT_EQ(eng.total_tail_drops(), 0u);
+  EXPECT_GT(eng.queue_stats(0).processed, 0u);
+  EXPECT_GT(eng.queue_stats(1).processed, 0u);
+  EXPECT_EQ(dut.kernel.metrics().value("engine.watchdog.recoveries"), 1u);
+}
+
 TEST(EngineWatchdog, ForcedFalsePositiveTripIsSafe) {
   // The engine.watchdog fault point forces a stuck verdict on a perfectly
   // healthy worker. The failure mode must be graceful: capacity shrinks to

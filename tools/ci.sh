@@ -44,7 +44,7 @@ cmake -B build-tsan -S . -DLINUXFP_SANITIZE=thread
 cmake --build build-tsan -j "${jobs}" --target engine_test util_test ebpf_test
 (cd build-tsan &&
  ctest --output-on-failure -j "${jobs}" \
-   -R 'Engine|BoundedRing|Rss|MetricsConcurrency|FlowCache|JitDiff')
+   -R 'Engine|BoundedRing|Rss|Steering|MetricsConcurrency|FlowCache|JitDiff')
 echo "TSan pass OK"
 
 # --- UBSan pass: guard + engine suites -------------------------------------
@@ -57,7 +57,7 @@ cmake -B build-ubsan -S . -DLINUXFP_SANITIZE=undefined
 cmake --build build-ubsan -j "${jobs}" --target core_test engine_test
 (cd build-ubsan &&
  ctest --output-on-failure -j "${jobs}" \
-   -R 'Guard|GuardFuzz|EngineWatchdog|Engine|BoundedRing|Rss')
+   -R 'Guard|GuardFuzz|EngineWatchdog|Engine|BoundedRing|Rss|Steering')
 echo "UBSan pass OK"
 
 # --- bench smoke: every Reporter-wired bench must emit its BENCH_*.json ---
@@ -69,6 +69,7 @@ echo "=== bench smoke: BENCH_*.json emission ==="
  test -s BENCH_fig1_hotspots.json &&
  ./bench_scaling_queues --smoke >/dev/null &&
  test -s BENCH_scaling_queues.json &&
+ test -s BENCH_steering.json &&
  ./bench_flowcache --smoke >/dev/null &&
  test -s BENCH_flowcache.json &&
  ./bench_guard --smoke >/dev/null &&
@@ -98,6 +99,19 @@ if ratio < 0.95:
     raise SystemExit(f"guard 1-in-64 overhead ratio {ratio} below 0.95")
 if not (reaction["quarantined"] and reaction["recovered"]):
     raise SystemExit("guard reaction lifecycle incomplete")
+
+# Steering gates (ISSUE 8): under the Zipf(1.2) single-elephant mix at 8
+# queues, the adaptive rebalancer must beat static RSS by >= 1.5x and
+# recover >= 3x over the 1-queue baseline.
+doc = json.load(open("build/bench/BENCH_steering.json"))
+shape = doc["shape_checks"]
+on_off, recovery = shape["on_vs_off_8q"], shape["recovery_8q_vs_1q"]
+print(f"steering smoke: on_vs_off_8q={on_off:.2f} "
+      f"recovery_8q_vs_1q={recovery:.2f}")
+if on_off < 1.5:
+    raise SystemExit(f"adaptive steering {on_off:.2f}x over static below 1.5x")
+if recovery < 3.0:
+    raise SystemExit(f"steering recovery {recovery:.2f}x vs 1q below 3.0x")
 EOF
 echo "bench smoke OK"
 
