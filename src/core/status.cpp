@@ -141,6 +141,30 @@ util::Json status_json(Controller& controller) {
       }
       engine["steering"] = steering;
     }
+    // TX subsystem (DESIGN.md §16): ring/doorbell totals reconciled at
+    // Engine::stop(); present whenever an engine ran (TX rings are always
+    // on).
+    if (counters.object_items().contains("engine.tx.descriptors")) {
+      util::Json tx = util::Json::object();
+      for (const char* name :
+           {"enqueued", "stalls", "drops", "transmitted", "bytes", "bursts",
+            "full_bursts", "bad_redirect", "cycles", "descriptors",
+            "doorbells"}) {
+        tx[name] = counters.at(std::string("engine.tx.") + name);
+      }
+      engine["tx"] = tx;
+    }
+    // GRO stage (DESIGN.md §16); present only when a GRO-enabled engine ran.
+    if (counters.object_items().contains("engine.gro.folds")) {
+      util::Json gro = util::Json::object();
+      for (const char* name :
+           {"folds", "coalesced", "superpackets", "bypassed", "flush_idle",
+            "flush_timeout", "flush_mismatch", "flush_ooo", "flush_max_segs",
+            "flush_capacity"}) {
+        gro[name] = counters.at(std::string("engine.gro.") + name);
+      }
+      engine["gro"] = gro;
+    }
     out["engine"] = engine;
   }
   out["metrics"] = metrics;

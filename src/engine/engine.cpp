@@ -17,6 +17,8 @@ Engine::Engine(kern::Kernel& kernel, int ifindex, EngineConfig cfg)
     queues_.push_back(std::make_unique<QueueState>(cfg_.queue_depth));
   }
   slow_ring_ = std::make_unique<BoundedRing<net::Packet>>(cfg_.slow_ring_depth);
+  tx_ = std::make_unique<TxEngine>(kernel_, rss_, cfg_.tx, cfg_.queues);
+  if (cfg_.gro.enabled) gro_ = std::make_unique<GroEngine>(cfg_.gro);
   if (cfg_.steering.any()) {
     steerer_ = std::make_unique<FlowSteerer>(
         rss_, cfg_.steering,
@@ -32,6 +34,10 @@ void Engine::start() {
   kern::NetDevice* d = kernel_.dev(ifindex_);
   LFP_CHECK_MSG(d != nullptr, "engine: unknown ingress ifindex");
   prog_ = d->xdp_prog();
+  // Route every physical transmit through the TX batcher for the run: the
+  // slow-path thread is the only transmitter while the engine is live, so
+  // the batcher's doorbell state stays single-writer.
+  kernel_.set_tx_batcher(tx_.get());
   // Per-CPU execution state (VMs, stat shards) is allocated before any
   // worker exists, so the hot loops never allocate or lock.
   if (prog_) prog_->prepare_cpus(cfg_.queues);
@@ -86,6 +92,7 @@ void Engine::stop() {
   running_.store(false, std::memory_order_release);
   for (std::thread& t : workers_) t.join();
   slow_thread_.join();
+  kernel_.set_tx_batcher(nullptr);
   reconcile();
 }
 
@@ -147,20 +154,14 @@ void Engine::process_packet(unsigned q, net::Packet&& pkt) {
     case kern::PacketProgram::Verdict::kDrop:
       ++st.xdp_drop;
       return;
-    case kern::PacketProgram::Verdict::kTx: {
+    case kern::PacketProgram::Verdict::kTx:
       ++st.xdp_tx;
-      auto& tx = st.tx_by_ifindex[ifindex_];
-      ++tx.first;
-      tx.second += size;
+      tx_enqueue(q, ifindex_, std::move(pkt));
       return;
-    }
-    case kern::PacketProgram::Verdict::kRedirect: {
+    case kern::PacketProgram::Verdict::kRedirect:
       ++st.xdp_redirect;
-      auto& tx = st.tx_by_ifindex[r.redirect_ifindex];
-      ++tx.first;
-      tx.second += size;
+      tx_enqueue(q, r.redirect_ifindex, std::move(pkt));
       return;
-    }
     case kern::PacketProgram::Verdict::kUserspace:
       ++st.to_userspace;
       return;
@@ -188,6 +189,35 @@ void Engine::process_packet(unsigned q, net::Packet&& pkt) {
     }
     // Waiting for slow-ring space is by-design liveness, not a stall: keep
     // beating so the watchdog doesn't declare this queue dead mid-handoff.
+    queues_[q]->heartbeat.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::yield();
+  }
+}
+
+void Engine::tx_enqueue(unsigned q, int oif, net::Packet&& pkt) {
+  QueueStats& st = queues_[q]->stats;
+  // XPS: the TX queue comes from the cached RSS hash through the RETA, so a
+  // flow's descriptors always land on the same ring regardless of which
+  // worker carried the packet.
+  const unsigned txq = tx_->select_queue(pkt);
+  TxDesc d{oif, std::move(pkt)};
+  std::uint64_t spins = 0;
+  for (;;) {
+    if (tx_->try_push(txq, std::move(d))) {
+      ++st.tx_enqueued;
+      return;
+    }
+    if (!cfg_.backpressure) {
+      ++st.tx_drops;  // device ring overrun: the NIC would drop it too
+      return;
+    }
+    if (spins == 0) ++st.tx_stalls;
+    if (++spins > cfg_.backpressure_spin_limit) {
+      ++st.tx_drops;
+      return;
+    }
+    // Same liveness contract as the slow-ring handoff: waiting for the
+    // drainer is not a stall, keep beating.
     queues_[q]->heartbeat.fetch_add(1, std::memory_order_relaxed);
     std::this_thread::yield();
   }
@@ -256,11 +286,32 @@ void Engine::slow_main() {
   net::Packet pkt;
   std::uint64_t ticks = 0;
   auto wd_last = std::chrono::steady_clock::now();
+  std::vector<net::Packet> gro_out;
+  // Accounting is segment-aware so a GRO super-packet is indistinguishable
+  // from per-segment processing in every counter: processed scales by
+  // gso_segs, and a dropped super adds the remaining segments to the same
+  // drop reason the slow path charged once.
   auto handle = [this](net::Packet&& p) {
+    const std::uint32_t segs = p.gso_segs();
     kern::CycleTrace trace;
-    (void)kernel_.rx_from_engine(ifindex_, std::move(p), trace);
-    ++slow_stats_.processed;
+    kern::RxSummary summary =
+        kernel_.rx_from_engine(ifindex_, std::move(p), trace);
+    slow_stats_.processed += segs;
     slow_stats_.cycles += trace.total();
+    if (segs > 1 && summary.drop != kern::Drop::kNone &&
+        summary.drop != kern::Drop::kNeighPending) {
+      kernel_.note_extra_drops(summary.drop, segs - 1);
+    }
+  };
+  auto pop_one = [this, &gro_out, &handle](net::Packet&& p) {
+    if (gro_) {
+      gro_out.clear();
+      slow_stats_.cycles += kernel_.cost().gro_receive;
+      gro_->fold(std::move(p), gro_out);
+      for (net::Packet& out : gro_out) handle(std::move(out));
+    } else {
+      handle(std::move(p));
+    }
   };
   for (;;) {
     if (cfg_.watchdog && ++ticks % cfg_.watchdog_check_interval == 0) {
@@ -271,16 +322,42 @@ void Engine::slow_main() {
         watchdog_check();
       }
     }
+    // TX rings first: a full TX ring stalls every worker, and fast-path
+    // egress should not queue behind the kPass funnel.
+    std::size_t tx_moved = 0;
+    for (unsigned q = 0; q < cfg_.queues; ++q) tx_moved += tx_->drain(q);
     if (slow_ring_->try_pop(pkt)) {
-      handle(std::move(pkt));
+      pop_one(std::move(pkt));
       continue;
     }
+    // Slow funnel idle: close the GRO window (napi_complete analogue) and
+    // ring any doorbells deferred by inline slow-path transmits.
+    if (gro_ && gro_->held() > 0) {
+      gro_out.clear();
+      gro_->flush_all(gro_out);
+      for (net::Packet& out : gro_out) handle(std::move(out));
+      continue;
+    }
+    (void)tx_->flush_doorbells();
     if (live_workers_.load(std::memory_order_acquire) == 0) {
-      // Workers have exited; everything they pushed is visible. Drain and go.
-      while (slow_ring_->try_pop(pkt)) handle(std::move(pkt));
+      // Workers have exited; everything they pushed is visible. Drain the
+      // funnel, close GRO, then empty the TX rings and ring the last
+      // doorbells.
+      while (slow_ring_->try_pop(pkt)) pop_one(std::move(pkt));
+      if (gro_) {
+        gro_out.clear();
+        gro_->flush_all(gro_out);
+        for (net::Packet& out : gro_out) handle(std::move(out));
+      }
+      while (true) {
+        std::size_t moved = 0;
+        for (unsigned q = 0; q < cfg_.queues; ++q) moved += tx_->drain(q);
+        if (moved == 0) break;
+      }
+      (void)tx_->flush_doorbells();
       break;
     }
-    std::this_thread::yield();
+    if (tx_moved == 0) std::this_thread::yield();
   }
 }
 
@@ -296,7 +373,7 @@ void Engine::reconcile() {
     util::bump(reg.counter(prefix + "polls"), st.polls);
     util::bump(reg.counter(prefix + "bursts"), st.bursts);
     util::bump(reg.counter(prefix + "drops"),
-               st.tail_drops + st.slow_handoff_drops);
+               st.tail_drops + st.slow_handoff_drops + st.tx_drops);
     util::bump(reg.counter(prefix + "occupancy"), st.max_occupancy);
     util::bump(reg.counter(prefix + "processed"), st.processed);
     util::bump(reg.counter(prefix + "backpressure_stalls"),
@@ -313,15 +390,55 @@ void Engine::reconcile() {
       in_dev->stats().rx_bytes += st.rx_bytes;
       in_dev->stats().rx_dropped += st.tail_drops + st.slow_handoff_drops;
     }
-    for (const auto& [oif, tx] : st.tx_by_ifindex) {
-      if (kern::NetDevice* out = kernel_.dev(oif)) {
-        out->stats().tx_packets += tx.first;
-        out->stats().tx_bytes += tx.second;
-      }
-    }
+    // No DevStats TX credit here: fast-path egress now flows through the TX
+    // rings into dev_xmit, which accounts tx_packets/tx_bytes identically
+    // for fast- and slow-path transmits.
   }
   util::bump(reg.counter("engine.slow.processed"), slow_stats_.processed);
   util::bump(reg.counter("engine.slow.cycles"), slow_stats_.cycles);
+  {
+    std::uint64_t enq = 0, stalls = 0, drops = 0;
+    for (const auto& q : queues_) {
+      enq += q->stats.tx_enqueued;
+      stalls += q->stats.tx_stalls;
+      drops += q->stats.tx_drops;
+    }
+    std::uint64_t transmitted = 0, bytes = 0, bursts = 0, full = 0, bad = 0,
+                   cycles = 0;
+    for (unsigned q = 0; q < cfg_.queues; ++q) {
+      const TxQueueStats& ts = tx_->queue_stats(q);
+      transmitted += ts.transmitted;
+      bytes += ts.tx_bytes;
+      bursts += ts.bursts;
+      full += ts.full_bursts;
+      bad += ts.bad_redirect;
+      cycles += ts.cycles;
+    }
+    util::bump(reg.counter("engine.tx.enqueued"), enq);
+    util::bump(reg.counter("engine.tx.stalls"), stalls);
+    util::bump(reg.counter("engine.tx.drops"), drops);
+    util::bump(reg.counter("engine.tx.transmitted"), transmitted);
+    util::bump(reg.counter("engine.tx.bytes"), bytes);
+    util::bump(reg.counter("engine.tx.bursts"), bursts);
+    util::bump(reg.counter("engine.tx.full_bursts"), full);
+    util::bump(reg.counter("engine.tx.bad_redirect"), bad);
+    util::bump(reg.counter("engine.tx.cycles"), cycles + tx_->flush_cycles());
+    util::bump(reg.counter("engine.tx.descriptors"), tx_->descriptors());
+    util::bump(reg.counter("engine.tx.doorbells"), tx_->doorbells());
+  }
+  if (gro_) {
+    const GroStats& gs = gro_->stats();
+    util::bump(reg.counter("engine.gro.folds"), gs.folds);
+    util::bump(reg.counter("engine.gro.coalesced"), gs.coalesced);
+    util::bump(reg.counter("engine.gro.superpackets"), gs.superpackets);
+    util::bump(reg.counter("engine.gro.bypassed"), gs.bypassed);
+    util::bump(reg.counter("engine.gro.flush_idle"), gs.flush_idle);
+    util::bump(reg.counter("engine.gro.flush_timeout"), gs.flush_timeout);
+    util::bump(reg.counter("engine.gro.flush_mismatch"), gs.flush_mismatch);
+    util::bump(reg.counter("engine.gro.flush_ooo"), gs.flush_ooo);
+    util::bump(reg.counter("engine.gro.flush_max_segs"), gs.flush_max_segs);
+    util::bump(reg.counter("engine.gro.flush_capacity"), gs.flush_capacity);
+  }
   util::bump(reg.counter("engine.watchdog.resteers"),
              watchdog_resteers_.load(std::memory_order_relaxed));
   util::bump(reg.counter("engine.watchdog.recoveries"),

@@ -32,9 +32,11 @@
 #include <thread>
 #include <vector>
 
+#include "engine/gro.h"
 #include "engine/ring.h"
 #include "engine/rss.h"
 #include "engine/steering.h"
+#include "engine/tx.h"
 #include "kernel/kernel.h"
 
 namespace linuxfp::engine {
@@ -82,6 +84,13 @@ struct EngineConfig {
   // elephant spray/migration. All off by default — inject() then steers by
   // the static RETA exactly as before.
   SteeringConfig steering;
+  // TX engine (tx.h): per-CPU TX rings + xmit_more doorbell coalescing.
+  // Always on — fast-path kTx/kRedirect verdicts transmit through dev_xmit
+  // via the rings; tx.burst=1 models the per-packet-doorbell driver.
+  TxConfig tx;
+  // GRO (gro.h): slow-path segment coalescing ahead of rx_from_engine. Off
+  // by default.
+  GroConfig gro;
 };
 
 // Per-queue statistics, split by writer so no field is written from two
@@ -106,8 +115,10 @@ struct QueueStats {
   std::uint64_t slow_handoff_drops = 0;  // slow ring full (throughput mode)
   std::uint64_t handoff_stalls = 0;      // worker had to wait for slow ring
   std::uint64_t fast_cycles = 0;  // driver + XDP cycles charged on this CPU
-  // fast-path tx accounting per egress ifindex: {packets, bytes}
-  std::map<int, std::pair<std::uint64_t, std::uint64_t>> tx_by_ifindex;
+  // TX-ring handoff (kTx/kRedirect verdicts posted to the XPS-selected ring)
+  std::uint64_t tx_enqueued = 0;
+  std::uint64_t tx_stalls = 0;  // worker had to wait for TX-ring space
+  std::uint64_t tx_drops = 0;   // TX ring full (throughput mode)
 };
 
 struct SlowPathStats {
@@ -158,6 +169,11 @@ class Engine {
   // stats after stop() (or from the producer thread).
   const FlowSteerer* steerer() const { return steerer_.get(); }
 
+  // The TX subsystem (never null after construction) and the GRO stage
+  // (null unless cfg.gro.enabled). Their stats are final after stop().
+  const TxEngine& tx() const { return *tx_; }
+  const GroEngine* gro() const { return gro_.get(); }
+
   // Final after stop().
   const QueueStats& queue_stats(unsigned q) const { return queues_[q]->stats; }
   const SlowPathStats& slow_stats() const { return slow_stats_; }
@@ -181,6 +197,7 @@ class Engine {
   void worker_main(unsigned q);
   void slow_main();
   void process_packet(unsigned q, net::Packet&& pkt);
+  void tx_enqueue(unsigned q, int oif, net::Packet&& pkt);
   void watchdog_check();
   void reconcile();
 
@@ -193,6 +210,8 @@ class Engine {
 
   std::vector<std::unique_ptr<QueueState>> queues_;
   std::unique_ptr<BoundedRing<net::Packet>> slow_ring_;
+  std::unique_ptr<TxEngine> tx_;
+  std::unique_ptr<GroEngine> gro_;  // slow-thread state, null when disabled
   SlowPathStats slow_stats_;
 
   std::vector<std::thread> workers_;

@@ -34,6 +34,16 @@ struct CostModel {
   // --- Driver / NIC ----------------------------------------------------
   std::uint64_t driver_rx = 190;   // NAPI poll, DMA sync, descriptor
   std::uint64_t driver_tx = 160;   // descriptor write, doorbell (amortized)
+  // Split TX cost for the engine's xmit_more path (DESIGN.md §16): when a
+  // TX batcher is installed, dev_xmit charges only the descriptor write per
+  // packet and the batcher charges one doorbell per burst. driver_tx above
+  // stays as the calibrated pre-amortized constant for non-engine paths.
+  std::uint64_t tx_descriptor = 60;   // descriptor write + DMA map, no MMIO
+  std::uint64_t tx_doorbell = 500;    // doorbell MMIO + PCIe posted write
+
+  // --- GRO / GSO (engine TX subsystem, DESIGN.md §16) -------------------
+  std::uint64_t gro_receive = 90;   // per-segment flow match + header fold
+  std::uint64_t gso_segment = 55;   // per-produced-segment header fixup at TX
 
   // --- Generic stack entry ----------------------------------------------
   std::uint64_t skb_alloc = 380;       // build_skb + memset + metadata

@@ -34,6 +34,7 @@ const char* drop_name(Drop reason) {
     case Drop::kXdpDrop: return "xdp_drop";
     case Drop::kTcDrop: return "tc_drop";
     case Drop::kNoHandler: return "no_handler";
+    case Drop::kNoDevice: return "no_device";
   }
   return "unknown";
 }
@@ -42,7 +43,7 @@ Kernel::Kernel(std::string hostname, CostModel cost)
     : hostname_(std::move(hostname)), cost_(cost) {
   netlink_.set_dump_provider(this);
   stage_sink_.bind(&metrics_, "slowpath.");
-  for (int i = 0; i <= static_cast<int>(Drop::kNoHandler); ++i) {
+  for (int i = 0; i <= static_cast<int>(Drop::kNoDevice); ++i) {
     drop_counters_[i] = metrics_.counter(
         std::string("drop.") + drop_name(static_cast<Drop>(i)));
   }

@@ -51,6 +51,10 @@ enum class Drop {
   kXdpDrop,
   kTcDrop,
   kNoHandler,
+  // Transmit toward an ifindex with no device behind it (e.g. an XDP
+  // redirect verdict naming an ifindex that was never created or was
+  // deleted). Distinct from kLinkDown: the device exists but is down.
+  kNoDevice,
 };
 
 // Stable lower-case name for a drop reason ("policy", "no_route", ...);
@@ -104,6 +108,23 @@ class ShadowObserver {
   virtual void on_shadow_resolved(std::uint64_t cookie,
                                   const RxSummary& summary,
                                   std::vector<ShadowEmission>&& emissions) = 0;
+};
+
+// TX batching hook (DESIGN.md §16): when installed, dev_xmit routes the
+// physical-NIC transmit cost through the batcher instead of charging the
+// flat driver_tx constant. The batcher charges tx_descriptor per packet on
+// the packet's own trace and defers the doorbell MMIO, ringing it once per
+// xmit_more window — the skb->xmit_more contract: packets are still handed
+// to the device immediately and in order; only the doorbell cost moves.
+class TxBatcher {
+ public:
+  virtual ~TxBatcher() = default;
+  // Called by dev_xmit for every packet posted to a physical device, after
+  // DevStats accounting, instead of the driver_tx charge. `trace` is the
+  // packet's cycle trace; implementations charge tx_descriptor (and, when
+  // the pending window fills, one tx_doorbell) into it.
+  virtual void post_descriptor(NetDevice& dev, std::size_t bytes,
+                               CycleTrace& trace) = 0;
 };
 
 class Kernel : public nl::DumpProvider {
@@ -241,6 +262,25 @@ class Kernel : public nl::DumpProvider {
 
   const KernelCounters& counters() const { return counters_; }
   KernelCounters& mutable_counters() { return counters_; }
+
+  // --- TX batching (engine xmit_more path, DESIGN.md §16) -------------------
+  // At most one batcher; null detaches (dev_xmit then charges the legacy
+  // amortized driver_tx). Must only change with no packet in flight; only
+  // the single slow-path writer thread transmits, so no synchronization.
+  void set_tx_batcher(TxBatcher* batcher) { tx_batcher_ = batcher; }
+  TxBatcher* tx_batcher() const { return tx_batcher_; }
+
+  // Segment-aware drop accounting for GRO super-packets: when the slow path
+  // drops a coalesced packet it counted ONE drop; the engine (the only
+  // caller, on the slow-path thread) adds the remaining segments so drop
+  // counters match per-segment processing exactly.
+  void note_extra_drops(Drop reason, std::uint64_t extra) {
+    if (extra == 0) return;
+    counters_.drops[reason] += extra;
+    if (metrics_.enabled()) {
+      util::bump(drop_counters_[static_cast<int>(reason)], extra);
+    }
+  }
 
   // --- observability --------------------------------------------------------
   // One registry per kernel holds slow-path stage counters, per-reason drop
@@ -398,6 +438,9 @@ class Kernel : public nl::DumpProvider {
   // Guards against unbounded recursion through veth/vxlan chains.
   int rx_depth_ = 0;
   std::uint64_t last_vxlan_entropy_ = 0;
+
+  // TX batcher hook (single slow-path writer thread only).
+  TxBatcher* tx_batcher_ = nullptr;
 
   // Shadow capture state (single slow-path writer thread only).
   ShadowObserver* shadow_observer_ = nullptr;

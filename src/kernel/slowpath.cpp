@@ -86,6 +86,21 @@ RxSummary Kernel::rx_from_engine(int ifindex, net::Packet&& pkt,
                                  CycleTrace& trace) {
   util::StageSink* prev_sink = trace.sink();
   trace.bind_sink(metrics_.enabled() ? &stage_sink_ : nullptr);
+  // Engine packets get the same pwru-style trace records as rx(): the worker
+  // already ran the XDP hook, so the record starts at the slow-path handoff.
+  util::PacketTrace* started = nullptr;
+  if (trace_ring_ && !trace.packet_trace()) {
+    const NetDevice* in_dev = dev(ifindex);
+    started = trace_ring_->begin_packet(ifindex, in_dev ? in_dev->name() : "?");
+    trace.bind_packet_trace(started);
+    util::set_active_packet_trace(started);
+  }
+  if (pkt.gso_segs() > 1) {
+    if (auto* t = trace.packet_trace()) {
+      t->add("gro", "superpacket", 0,
+             std::to_string(pkt.gso_segs()) + " segments");
+    }
+  }
   // Deferred shadow adoption: an engine worker recorded this packet's
   // fast-path verdict under pkt.guard_cookie; the slow-path traversal here is
   // the authoritative run the guard compares against.
@@ -99,6 +114,15 @@ RxSummary Kernel::rx_from_engine(int ifindex, net::Packet&& pkt,
     summary = stack_rx(*d, std::move(pkt), trace);
   }
   if (shadow_began) shadow_resolve(summary);
+  if (started) {
+    started->fast_path = summary.fast_path;
+    started->verdict =
+        summary.drop == Drop::kNone ? "ok" : drop_name(summary.drop);
+    started->total_cycles = trace.total();
+    if (summary.drop == Drop::kNone) started->add("verdict", "ok", 0);
+    trace.bind_packet_trace(nullptr);
+    util::set_active_packet_trace(nullptr);
+  }
   trace.bind_sink(prev_sink);
   return summary;
 }
@@ -156,7 +180,10 @@ RxSummary Kernel::rx_inner(int ifindex, net::Packet&& pkt, CycleTrace& trace) {
 
 RxSummary Kernel::stack_rx(NetDevice& d, net::Packet&& pkt,
                            CycleTrace& trace) {
-  ++counters_.slow_path_packets;
+  // A GRO super-packet traverses the linear stages once but stands for
+  // gso_segs() wire packets; every packet counter scales by that so a
+  // coalesced run's counters exactly equal per-segment processing.
+  counters_.slow_path_packets += pkt.gso_segs();
   trace.charge("skb_alloc", cost_.skb_alloc);
   trace.charge("netif_receive", cost_.netif_receive);
   trace.charge_bytes("skb_bytes", cost_.per_byte_slow, pkt.size());
@@ -430,7 +457,7 @@ RxSummary Kernel::ipvs_in(NetDevice& in_dev, net::Packet&& pkt,
   net::Ipv4View ttl_view(pkt.data() + info.l3_offset);
   if (ttl_view.ttl() <= 1) return drop(Drop::kTtlExceeded);
   ttl_view.decrement_ttl();
-  ++counters_.forwarded;
+  counters_.forwarded += pkt.gso_segs();
   Drop outcome =
       resolve_and_xmit(std::move(pkt), hit->next_hop, hit->route.oif, trace);
   return RxSummary{false, outcome};
@@ -499,7 +526,7 @@ RxSummary Kernel::ip_forward(NetDevice& in_dev, net::Packet&& pkt,
   if (ip.ttl() <= 1) return drop(Drop::kTtlExceeded);
   ip.decrement_ttl();
 
-  ++counters_.forwarded;
+  counters_.forwarded += pkt.gso_segs();
   Drop outcome =
       resolve_and_xmit(std::move(pkt), hit->next_hop, hit->route.oif, trace);
   return RxSummary{false, outcome};
@@ -543,11 +570,11 @@ RxSummary Kernel::local_deliver(NetDevice& in_dev, net::Packet&& pkt,
       if (icmp.type() == 8) {
         trace.charge("icmp", cost_.icmp_process);
         icmp_echo_reply(in_dev, pkt, info, trace);
-        ++counters_.locally_delivered;
+        counters_.locally_delivered += pkt.gso_segs();
         return RxSummary{false, Drop::kNone};
       }
     }
-    ++counters_.locally_delivered;
+    counters_.locally_delivered += pkt.gso_segs();
     return RxSummary{false, Drop::kNone};
   }
 
@@ -556,12 +583,12 @@ RxSummary Kernel::local_deliver(NetDevice& in_dev, net::Packet&& pkt,
     auto it = l4_handlers_.find({info.ip_proto, info.dst_port});
     if (it != l4_handlers_.end()) {
       trace.charge("socket_queue", cost_.socket_queue);
-      ++counters_.locally_delivered;
+      counters_.locally_delivered += pkt.gso_segs();
       it->second(*this, info, pkt, trace);
       return RxSummary{false, Drop::kNone};
     }
   }
-  ++counters_.locally_delivered;
+  counters_.locally_delivered += pkt.gso_segs();
   return RxSummary{false, Drop::kNone};
 }
 
@@ -710,6 +737,21 @@ NetDevice* Kernel::local_addr_owner(net::Ipv4Addr addr) {
 // --- transmit ------------------------------------------------------------------
 
 void Kernel::dev_xmit(int ifindex, net::Packet&& pkt, CycleTrace& trace) {
+  // GSO: a GRO super-packet (engine/gro.h) splits back into its original
+  // wire segments here, before shadow capture and the egress hooks, so every
+  // downstream observer — the guard's emissions, TC egress, DevStats, the
+  // wire — sees exactly the frames per-segment processing would have sent.
+  if (pkt.gro_segs.size() > 1) {
+    std::vector<net::Packet> segs = net::gso_segment(pkt);
+    trace.charge("gso_segment",
+                 cost_.gso_segment * static_cast<std::uint64_t>(segs.size()));
+    if (auto* t = trace.packet_trace()) {
+      t->add("gro", "gso_segment", 0,
+             std::to_string(segs.size()) + " segments");
+    }
+    for (net::Packet& seg : segs) dev_xmit(ifindex, std::move(seg), trace);
+    return;
+  }
   // Shadow capture records every attempted transmit — before the link-state
   // check, so "slow path chose oif X with rewrite R" is observable even when
   // X is down (the fast path attempting the same dead oif must compare
@@ -718,7 +760,13 @@ void Kernel::dev_xmit(int ifindex, net::Packet&& pkt, CycleTrace& trace) {
     shadow_emissions_.push_back(ShadowEmission{ifindex, net::Packet(pkt)});
   }
   NetDevice* d = dev(ifindex);
-  if (!d || !d->is_up()) {
+  if (!d) {
+    // No device behind this ifindex at all (a redirect verdict naming a
+    // never-created or deleted device): its own reason, never silent.
+    count_drop(Drop::kNoDevice);
+    return;
+  }
+  if (!d->is_up()) {
     count_drop(Drop::kLinkDown);
     return;
   }
@@ -743,7 +791,15 @@ void Kernel::dev_xmit(int ifindex, net::Packet&& pkt, CycleTrace& trace) {
 
   switch (d->kind()) {
     case DevKind::kPhysical: {
-      trace.charge("driver_tx", cost_.driver_tx);
+      // xmit_more path: with a batcher installed, the packet still reaches
+      // the device right here (ordering and delivery are untouched) but only
+      // the descriptor write is charged per packet — the batcher rings one
+      // doorbell per burst. Without one, the legacy amortized constant.
+      if (tx_batcher_ != nullptr) {
+        tx_batcher_->post_descriptor(*d, pkt.size(), trace);
+      } else {
+        trace.charge("driver_tx", cost_.driver_tx);
+      }
       if (d->phys_tx()) {
         d->phys_tx()(std::move(pkt));
       }

@@ -281,6 +281,65 @@ void strip_vlan_tag(Packet& pkt) {
   store_be16(pkt.data() + 12, inner);
 }
 
+std::vector<Packet> gso_segment(const Packet& pkt) {
+  std::vector<Packet> out;
+  const std::size_t nsegs = pkt.gro_segs.size();
+  if (nsegs < 2) {
+    out.push_back(pkt);
+    out.back().gro_segs.clear();
+    return out;
+  }
+  // GroEngine only coalesces standard Eth+IPv4(ihl=5)+TCP(doff=5)/UDP frames
+  // (engine/gro.cpp); the payload of segment i sits at hdr_len + sum of the
+  // preceding payload lengths.
+  const std::uint8_t* base = pkt.data();
+  Ipv4View super_ip(const_cast<std::uint8_t*>(base) + kEthHdrLen);
+  const bool tcp = super_ip.protocol() == kIpProtoTcp;
+  const std::size_t l4_len = tcp ? kTcpHdrLen : kUdpHdrLen;
+  const std::size_t hdr_len = kEthHdrLen + kIpv4HdrLen + l4_len;
+  LFP_CHECK_MSG(pkt.size() >= hdr_len, "gso_segment: super-packet too short");
+  std::uint32_t base_seq = 0;
+  if (tcp) {
+    TcpView super_tcp(const_cast<std::uint8_t*>(base) + kEthHdrLen +
+                      kIpv4HdrLen);
+    base_seq = super_tcp.seq();
+  }
+
+  out.reserve(nsegs);
+  std::size_t payload_off = hdr_len;
+  std::uint32_t cum_payload = 0;
+  for (const GroSeg& meta : pkt.gro_segs) {
+    Packet seg(hdr_len + meta.payload_len);
+    // Receive metadata rides along unchanged (the split happens at TX; the
+    // segments logically arrived on the super-packet's ingress path).
+    seg.ingress_ifindex = pkt.ingress_ifindex;
+    seg.rx_queue = pkt.rx_queue;
+    seg.vlan_tci = pkt.vlan_tci;
+    seg.rss_hash = pkt.rss_hash;
+    seg.rss_hash_valid = pkt.rss_hash_valid;
+    std::memcpy(seg.data(), base, hdr_len);
+    std::memcpy(seg.data() + hdr_len, base + payload_off, meta.payload_len);
+    Ipv4View ip(seg.data() + kEthHdrLen);
+    ip.set_total_len(
+        static_cast<std::uint16_t>(kIpv4HdrLen + l4_len + meta.payload_len));
+    ip.set_id(meta.ip_id);
+    if (tcp) {
+      TcpView tcpv(seg.data() + kEthHdrLen + kIpv4HdrLen);
+      tcpv.set_seq(base_seq + cum_payload);
+      store_be16(seg.data() + kEthHdrLen + kIpv4HdrLen + 16, meta.l4_csum);
+    } else {
+      UdpView udp(seg.data() + kEthHdrLen + kIpv4HdrLen);
+      udp.set_length(static_cast<std::uint16_t>(kUdpHdrLen + meta.payload_len));
+      udp.set_checksum(meta.l4_csum);
+    }
+    ip.update_checksum();
+    payload_off += meta.payload_len;
+    cum_payload += meta.payload_len;
+    out.push_back(std::move(seg));
+  }
+  return out;
+}
+
 void vxlan_encap(Packet& pkt, std::uint32_t vni, const MacAddr& outer_src_mac,
                  const MacAddr& outer_dst_mac, Ipv4Addr outer_src,
                  Ipv4Addr outer_dst, std::uint16_t src_port_entropy) {

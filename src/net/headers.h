@@ -265,6 +265,16 @@ void insert_vlan_tag(Packet& pkt, std::uint16_t vid);
 // Removes the 802.1Q tag; precondition: packet is tagged.
 void strip_vlan_tag(Packet& pkt);
 
+// GSO resegmentation: splits a GRO super-packet (pkt.gro_segs.size() >= 2)
+// back into its original wire segments. Each segment carries the (possibly
+// rewritten) super-packet headers with per-segment fields restored from the
+// recorded GroSeg metadata: IP total_len/id, TCP seq (base + cumulative
+// payload) or UDP length, the original L4 checksum bytes, and a freshly
+// computed IP header checksum. Precondition: the super-packet was built by
+// GroEngine (contiguous standard headers, no VLAN/options). The returned
+// segments have empty gro_segs.
+std::vector<Packet> gso_segment(const Packet& pkt);
+
 // VXLAN encapsulation: pushes outer Ethernet+IPv4+UDP+VXLAN in the headroom.
 void vxlan_encap(Packet& pkt, std::uint32_t vni, const MacAddr& outer_src_mac,
                  const MacAddr& outer_dst_mac, Ipv4Addr outer_src,

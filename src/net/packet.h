@@ -12,6 +12,18 @@
 
 namespace linuxfp::net {
 
+// Per-segment metadata recorded when GRO coalesces a segment into a
+// super-packet (engine/gro.h). Everything the TX-side resegmentation needs
+// to reproduce the original wire bytes exactly: the payload length, the
+// original IP identification, and the original L4 checksum bytes (the slow
+// path never touches L4 checksums, so restoring the stored value is
+// byte-identical to having forwarded the segment alone).
+struct GroSeg {
+  std::uint16_t payload_len = 0;
+  std::uint16_t ip_id = 0;
+  std::uint16_t l4_csum = 0;
+};
+
 class Packet {
  public:
   static constexpr std::size_t kDefaultHeadroom = 128;
@@ -70,6 +82,18 @@ class Packet {
   // traversing the slow path authoritatively; the slow-path entry point
   // adopts the cookie and reports the packet's fate back to the guard.
   std::uint64_t guard_cookie = 0;
+  // GRO super-packet state: one entry per coalesced segment, in arrival
+  // order (skb_shinfo gso_segs analogue). Empty for ordinary packets; a
+  // packet with >= 2 entries is resegmented by dev_xmit before it reaches a
+  // device (net::gso_segment).
+  std::vector<GroSeg> gro_segs;
+  // Number of wire segments this packet represents (>= 1). Counters that
+  // account "packets" on the slow path scale by this so a coalesced run is
+  // indistinguishable from per-segment processing in every packet count.
+  std::uint32_t gso_segs() const {
+    return gro_segs.size() > 1 ? static_cast<std::uint32_t>(gro_segs.size())
+                               : 1u;
+  }
 
  private:
   std::vector<std::uint8_t> buf_;

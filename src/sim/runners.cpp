@@ -141,6 +141,109 @@ QueueScalingResult QueueScalingRunner::run(
   return result;
 }
 
+ForwardingResult ForwardingRunner::run(kern::Kernel& kernel,
+                                       int ingress_ifindex,
+                                       const PacketFactory& factory,
+                                       const ForwardingOptions& opts) const {
+  LFP_CHECK(opts.queues >= 1);
+  // True packets-out: physical-device TX deltas over the run.
+  std::uint64_t tx_before = 0;
+  for (kern::NetDevice* d : kernel.devices()) {
+    if (d->kind() == kern::DevKind::kPhysical) tx_before += d->stats().tx_packets;
+  }
+
+  engine::EngineConfig cfg;
+  cfg.queues = opts.queues;
+  cfg.backpressure = true;  // exact cycle means: no sample may drop
+  cfg.tx = opts.tx;
+  cfg.gro = opts.gro;
+  engine::Engine eng(kernel, ingress_ifindex, cfg);
+  eng.start();
+  for (std::uint64_t i = 0; i < samples_; ++i) eng.inject(factory(i));
+  eng.stop();
+
+  ForwardingResult result;
+  result.queues = opts.queues;
+  result.packets_in = samples_;
+  const double cpu_hz = kernel.cost().cpu_hz;
+
+  std::uint64_t tx_after = 0;
+  for (kern::NetDevice* d : kernel.devices()) {
+    if (d->kind() == kern::DevKind::kPhysical) tx_after += d->stats().tx_packets;
+  }
+  result.packets_out = tx_after - tx_before;
+
+  std::uint64_t processed = 0, fast_cycles_total = 0;
+  for (unsigned q = 0; q < opts.queues; ++q) {
+    processed += eng.queue_stats(q).processed;
+    fast_cycles_total += eng.queue_stats(q).fast_cycles;
+  }
+  // Worker bottleneck, as in QueueScalingRunner: RSS pins flows, the hottest
+  // queue's capacity/share throttles the offered rate.
+  double fast_pps = 0;
+  bool any_queue = false;
+  for (unsigned q = 0; q < opts.queues; ++q) {
+    const engine::QueueStats& st = eng.queue_stats(q);
+    if (st.processed == 0) continue;
+    double capacity = cpu_hz * static_cast<double>(st.processed) /
+                      static_cast<double>(st.fast_cycles);
+    double share = static_cast<double>(st.processed) /
+                   static_cast<double>(processed);
+    double sustainable = capacity / share;
+    if (!any_queue || sustainable < fast_pps) fast_pps = sustainable;
+    any_queue = true;
+  }
+  if (!any_queue) fast_pps = 0;
+  if (processed > 0) {
+    result.mean_fast_cycles = static_cast<double>(fast_cycles_total) /
+                              static_cast<double>(processed);
+    result.fast_path_fraction =
+        static_cast<double>(eng.total_fast_verdicts()) /
+        static_cast<double>(processed);
+  }
+
+  // Slow-thread budget: the one thread that walks the stack for kPass
+  // traffic, folds GRO, drains the TX rings and rings the doorbells. Its
+  // total measured cycles per injected packet bound the sustainable rate.
+  std::uint64_t slow_thread_cycles = eng.slow_stats().cycles;
+  for (unsigned q = 0; q < opts.queues; ++q) {
+    const engine::TxQueueStats& ts = eng.tx().queue_stats(q);
+    slow_thread_cycles += ts.cycles;
+    result.tx_transmitted += ts.transmitted;
+  }
+  slow_thread_cycles += eng.tx().flush_cycles();
+  result.descriptors = eng.tx().descriptors();
+  result.doorbells = eng.tx().doorbells();
+  result.slow_processed = eng.slow_stats().processed;
+  if (const engine::GroEngine* gro = eng.gro()) {
+    result.gro_coalesced = gro->stats().coalesced;
+    result.gro_superpackets = gro->stats().superpackets;
+  }
+
+  double total_pps = fast_pps;
+  if (slow_thread_cycles > 0 && samples_ > 0) {
+    result.slow_thread_cycles = static_cast<double>(slow_thread_cycles) /
+                                static_cast<double>(samples_);
+    double slow_cap_pps = cpu_hz / result.slow_thread_cycles;
+    if (total_pps >= slow_cap_pps) {
+      total_pps = slow_cap_pps;
+      result.slow_path_limited = true;
+    }
+  }
+
+  net::Packet probe = factory(0);
+  double wire_bits = static_cast<double>(probe.wire_size()) * 8.0;
+  double wire_pps_cap = nic_bps_ / wire_bits;
+  if (total_pps >= wire_pps_cap) {
+    total_pps = wire_pps_cap;
+    result.line_rate_limited = true;
+  }
+
+  result.total_pps = total_pps;
+  result.total_bps = total_pps * wire_bits;
+  return result;
+}
+
 RrResult RrLatencyRunner::run(
     DeviceUnderTest& dut,
     const std::function<net::Packet(int session)>& request,

@@ -99,6 +99,61 @@ class QueueScalingRunner {
   std::uint64_t samples_;
 };
 
+struct ForwardingOptions {
+  unsigned queues = 8;
+  engine::TxConfig tx;   // burst=1 is the per-packet-doorbell leg
+  engine::GroConfig gro;
+};
+
+struct ForwardingResult {
+  unsigned queues = 0;
+  double total_pps = 0;
+  double total_bps = 0;  // wire bits/s including framing
+  bool line_rate_limited = false;
+  bool slow_path_limited = false;  // slow thread (stack + TX drain) bound
+  // True packets-in/packets-out: injected at eth0 vs frames that left a
+  // physical device (DevStats tx_packets delta over the run).
+  std::uint64_t packets_in = 0;
+  std::uint64_t packets_out = 0;
+  std::uint64_t tx_transmitted = 0;  // left via the TX rings (fast path)
+  std::uint64_t descriptors = 0;
+  std::uint64_t doorbells = 0;
+  std::uint64_t gro_coalesced = 0;
+  std::uint64_t gro_superpackets = 0;
+  double mean_fast_cycles = 0;      // worker-side driver + XDP per packet
+  double slow_thread_cycles = 0;    // stack + GRO + TX drain, per injected
+  double fast_path_fraction = 0;
+  std::uint64_t slow_processed = 0;  // wire packets through the stack
+};
+
+// The closed-loop forwarding harness (DESIGN.md §16): drives the full
+// RX engine -> fast path -> TX engine pipeline on real threads — packets in
+// at eth0, frames out at a physical egress — then models sustained
+// throughput from the measured per-thread cycle budgets:
+//   R = min over queues of (worker capacity_q / share_q),
+//       capped by the slow thread, which serializes the stack traversal of
+//       kPass traffic AND the TX-ring drains/doorbells of fast-path egress:
+//       slow_cap = cpu_hz * packets_in / slow_thread_cycles_total,
+//       and by line rate on the probe's wire size.
+// Unlike QueueScalingRunner this makes TX cost visible: at burst=1 every
+// packet pays the doorbell MMIO on the TX drain thread; at burst=64 the
+// doorbell amortizes and the bottleneck moves back to the workers.
+class ForwardingRunner {
+ public:
+  using PacketFactory = std::function<net::Packet(std::uint64_t index)>;
+
+  ForwardingRunner(double nic_bps = 25e9, std::uint64_t samples = 4000)
+      : nic_bps_(nic_bps), samples_(samples) {}
+
+  ForwardingResult run(kern::Kernel& kernel, int ingress_ifindex,
+                       const PacketFactory& factory,
+                       const ForwardingOptions& opts) const;
+
+ private:
+  double nic_bps_;
+  std::uint64_t samples_;
+};
+
 struct RrConfig {
   int sessions = 128;       // parallel netperf sessions (paper §VI-A1)
   int transactions = 4000;  // total RR transactions to simulate

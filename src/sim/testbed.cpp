@@ -151,6 +151,29 @@ net::Packet LinuxTestbed::forward_packet(int prefix_index, std::uint16_t flow,
   return net::build_udp_packet(src_mac_, eth0_mac_, f, frame_len);
 }
 
+net::Packet LinuxTestbed::forward_tcp_segment(int prefix_index,
+                                              std::uint16_t flow,
+                                              std::size_t frame_len,
+                                              std::uint32_t seq,
+                                              std::uint16_t ip_id) const {
+  net::FlowKey f;
+  f.src_ip = net::Ipv4Addr::parse("10.10.1.2").value();
+  f.dst_ip = net::Ipv4Addr::from_octets(
+      10, static_cast<std::uint8_t>(100 + (prefix_index % 150)),
+      static_cast<std::uint8_t>(prefix_index / 150), 9);
+  f.proto = net::kIpProtoTcp;
+  f.src_port = static_cast<std::uint16_t>(1024 + flow);
+  f.dst_port = 80;
+  net::Packet pkt =
+      net::build_tcp_packet(src_mac_, eth0_mac_, f, /*flags=*/0x18, frame_len);
+  net::Ipv4View ip(pkt.data() + net::kEthHdrLen);
+  ip.set_id(ip_id);
+  ip.update_checksum();
+  net::TcpView tcp(pkt.data() + net::kEthHdrLen + net::kIpv4HdrLen);
+  tcp.set_seq(seq);
+  return pkt;
+}
+
 net::Packet LinuxTestbed::blacklisted_packet(int entry,
                                              std::uint16_t flow) const {
   net::FlowKey f;

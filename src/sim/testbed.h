@@ -51,6 +51,11 @@ struct ScenarioConfig {
   // Adaptive flow steering (DESIGN.md §15) for engines driven against this
   // scenario's kernel; engine_config() folds it in. All off by default.
   engine::SteeringConfig steering;
+  // TX engine (DESIGN.md §16): doorbell burst etc.; engine_config() folds it
+  // in. burst=1 models the per-packet-doorbell driver.
+  engine::TxConfig tx;
+  // Slow-path GRO (DESIGN.md §16); off by default.
+  engine::GroConfig gro;
 };
 
 // Linux / LinuxFP testbed: a kern::Kernel DUT with two physical links,
@@ -78,6 +83,12 @@ class LinuxTestbed : public DeviceUnderTest {
   // Packet factories for the scenario's traffic matrix.
   net::Packet forward_packet(int prefix_index, std::uint16_t flow,
                              std::size_t frame_len = 64) const;
+  // One TCP segment of a same-flow stream toward a routed prefix, with
+  // caller-controlled sequence number and IP identification — the traffic
+  // shape GRO coalesces and gso_segment must restore byte-exactly.
+  net::Packet forward_tcp_segment(int prefix_index, std::uint16_t flow,
+                                  std::size_t frame_len, std::uint32_t seq,
+                                  std::uint16_t ip_id) const;
   // A packet whose source is on the configured blacklist.
   net::Packet blacklisted_packet(int entry, std::uint16_t flow) const;
 
@@ -92,6 +103,8 @@ class LinuxTestbed : public DeviceUnderTest {
     cfg.queues = queues;
     cfg.backpressure = true;
     cfg.steering = config_.steering;
+    cfg.tx = config_.tx;
+    cfg.gro = config_.gro;
     return cfg;
   }
 

@@ -44,7 +44,7 @@ cmake -B build-tsan -S . -DLINUXFP_SANITIZE=thread
 cmake --build build-tsan -j "${jobs}" --target engine_test util_test ebpf_test
 (cd build-tsan &&
  ctest --output-on-failure -j "${jobs}" \
-   -R 'Engine|BoundedRing|Rss|Steering|MetricsConcurrency|FlowCache|JitDiff')
+   -R 'Engine|BoundedRing|Rss|Steering|MetricsConcurrency|FlowCache|JitDiff|Tx|Gro')
 echo "TSan pass OK"
 
 # --- UBSan pass: guard + engine suites -------------------------------------
@@ -57,7 +57,7 @@ cmake -B build-ubsan -S . -DLINUXFP_SANITIZE=undefined
 cmake --build build-ubsan -j "${jobs}" --target core_test engine_test
 (cd build-ubsan &&
  ctest --output-on-failure -j "${jobs}" \
-   -R 'Guard|GuardFuzz|EngineWatchdog|Engine|BoundedRing|Rss|Steering')
+   -R 'Guard|GuardFuzz|EngineWatchdog|Engine|BoundedRing|Rss|Steering|Tx|Gro')
 echo "UBSan pass OK"
 
 # --- bench smoke: every Reporter-wired bench must emit its BENCH_*.json ---
@@ -73,7 +73,9 @@ echo "=== bench smoke: BENCH_*.json emission ==="
  ./bench_flowcache --smoke >/dev/null &&
  test -s BENCH_flowcache.json &&
  ./bench_guard --smoke >/dev/null &&
- test -s BENCH_guard.json)
+ test -s BENCH_guard.json &&
+ ./bench_forwarding --smoke >/dev/null &&
+ test -s BENCH_forwarding.json)
 # The flowcache bench's headline fields must be present and sane: a real
 # hit rate and the >= 1.5x steady-state speedup the cache exists for.
 python3 - <<'EOF'
@@ -112,6 +114,22 @@ if on_off < 1.5:
     raise SystemExit(f"adaptive steering {on_off:.2f}x over static below 1.5x")
 if recovery < 3.0:
     raise SystemExit(f"steering recovery {recovery:.2f}x vs 1q below 3.0x")
+
+# Forwarding gates (ISSUE 9): the closed-loop harness must conserve packets
+# (out == in on every run) and show the two headline effects — xmit_more
+# doorbell coalescing >= 1.3x on the TX-bound router, GRO >= 1.5x on the
+# slow-path-bound TCP forwarder.
+doc = json.load(open("build/bench/BENCH_forwarding.json"))
+shape = doc["shape_checks"]
+doorbell, gro = shape["doorbell_speedup"], shape["gro_speedup"]
+print(f"forwarding smoke: doorbell_speedup={doorbell:.2f} "
+      f"gro_speedup={gro:.2f} conserved={shape['packets_conserved']}")
+if not shape["packets_conserved"]:
+    raise SystemExit("forwarding loop lost packets (out != in)")
+if doorbell < 1.3:
+    raise SystemExit(f"doorbell coalescing {doorbell:.2f}x below 1.3x")
+if gro < 1.5:
+    raise SystemExit(f"GRO speedup {gro:.2f}x below 1.5x")
 EOF
 echo "bench smoke OK"
 
