@@ -1,0 +1,112 @@
+// Mega-ruleset scaling (DESIGN.md §17): single-core gateway throughput at
+// 1k/10k/100k blacklist rules, LinuxFP with the linear bpf_ipt_lookup scan
+// versus the same helper backed by the compiled tuple-space classifier.
+// Claims: the linear path collapses as the scan grows; the compiled path is
+// flat (one masked-tuple probe per packet) and >=10x faster at 10k rules —
+// while staying bit-exact: same verdicts, same per-rule hit counters.
+#include "bench/bench_util.h"
+
+using namespace linuxfp;
+using namespace linuxfp::bench;
+
+namespace {
+
+// Differential exactness probe: stream a verdict-diverse mix (deep misses,
+// hits across the whole rule window) through both twins and compare verdict
+// flags and every per-rule hit counter.
+bool exactness_check(sim::LinuxTestbed& lin, sim::LinuxTestbed& clf,
+                     int rules, int packets) {
+  for (int i = 0; i < packets; ++i) {
+    sim::ProcessOutcome a, b;
+    if (i % 3 == 2) {
+      int entry = static_cast<int>((static_cast<long long>(i) * 7919) % rules);
+      a = lin.process(lin.blacklisted_packet(entry, 9));
+      b = clf.process(clf.blacklisted_packet(entry, 9));
+    } else {
+      a = lin.process(lin.forward_packet(i % 50, static_cast<std::uint16_t>(i % 64)));
+      b = clf.process(clf.forward_packet(i % 50, static_cast<std::uint16_t>(i % 64)));
+    }
+    if (a.forwarded != b.forwarded ||
+        a.dropped_by_policy != b.dropped_by_policy) {
+      return false;
+    }
+  }
+  auto da = lin.kernel().netfilter().dump();
+  auto db = clf.kernel().netfilter().dump();
+  if (da.size() != db.size()) return false;
+  for (std::size_t c = 0; c < da.size(); ++c) {
+    if (da[c]->rules.size() != db[c]->rules.size()) return false;
+    for (std::size_t r = 0; r < da[c]->rules.size(); ++r) {
+      if (da[c]->rules[r].hits != db[c]->rules[r].hits ||
+          da[c]->rules[r].hit_bytes != db[c]->rules[r].hit_bytes) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Reporter reporter("ruleset", argc, argv);
+  print_header(
+      "Mega-ruleset scaling — gateway throughput vs 1k/10k/100k rules (64B)",
+      "DESIGN.md §17: compiled classifier holds throughput flat where the "
+      "linear bpf_ipt_lookup scan collapses, with exact scan semantics");
+
+  const int samples = reporter.smoke() ? 300 : 600;
+  sim::ThroughputRunner runner(25e9, samples);
+  const int flows = 256;
+  std::vector<int> widths{9, 14, 14, 10, 7};
+  print_row({"rules", "LinuxFP(lin)", "LinuxFP(clf)", "speedup", "exact"},
+            widths);
+  print_row({"", "(Mpps)", "(Mpps)", "(x)", ""}, widths);
+
+  std::vector<int> rule_counts{1000, 10000, 100000};
+  if (reporter.smoke()) rule_counts = {1000, 10000};
+
+  double speedup_10k = 0;
+  bool all_exact = true;
+  for (int rules : rule_counts) {
+    sim::ScenarioConfig lin_cfg;
+    lin_cfg.prefixes = 50;
+    lin_cfg.filter_rules = rules;
+    lin_cfg.accel = sim::Accel::kLinuxFpXdp;
+    sim::LinuxTestbed lin_dut(lin_cfg);
+
+    auto clf_cfg = lin_cfg;
+    clf_cfg.rule_classifier = true;
+    sim::LinuxTestbed clf_dut(clf_cfg);
+
+    // Forward traffic misses the whole blacklist: the linear twin scans all
+    // `rules` entries per packet, the compiled twin probes one tuple group.
+    auto l = runner.run(lin_dut, forward_factory(lin_dut, 50, flows), 1, 64);
+    auto c = runner.run(clf_dut, forward_factory(clf_dut, 50, flows), 1, 64);
+    double speedup = l.total_pps > 0 ? c.total_pps / l.total_pps : 0;
+    if (rules == 10000) speedup_10k = speedup;
+
+    bool exact = exactness_check(lin_dut, clf_dut, rules,
+                                 reporter.smoke() ? 150 : 450);
+    all_exact = all_exact && exact;
+
+    print_row({std::to_string(rules), fmt_mpps(l.total_pps),
+               fmt_mpps(c.total_pps), fmt(speedup, 1),
+               exact ? "yes" : "NO"},
+              widths);
+    util::Json row = util::Json::object();
+    row["rules"] = rules;
+    row["linear_mpps"] = l.total_pps / 1e6;
+    row["clf_mpps"] = c.total_pps / 1e6;
+    row["speedup"] = speedup;
+    row["exact"] = exact;
+    reporter.add_row(std::move(row));
+  }
+  reporter.set("speedup_10k", speedup_10k);
+  reporter.set("exact", all_exact);
+
+  std::printf("\nshape checks: linear column decays ~1/rules; clf column "
+              "flat; speedup >=10x from 10k rules; exact=yes everywhere "
+              "(verdicts and hit counters identical).\n");
+  return 0;
+}

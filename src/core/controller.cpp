@@ -195,30 +195,68 @@ Reaction Controller::rebuild_and_deploy(bool force) {
   last_signature_ = signature;
   ++resynth_count_;
 
+  // Delta synthesis (DESIGN.md §17): diff each graph's description against
+  // the signature recorded at its last successful deploy and re-emit only
+  // the changed ones. `coverage` carries the full desired device set so the
+  // deployer withdraws exactly the devices no graph wants anymore — reused
+  // devices keep their current program untouched. A forced redeploy
+  // (snippet, guard re-probe, failure retry) regenerates everything: those
+  // paths change program content without changing graph descriptions.
+  const bool delta = options_.delta_synthesis && !force;
+  std::set<std::pair<std::string, int>> coverage;
+  std::map<std::pair<std::string, int>, std::string> desired_sigs;
   std::vector<SynthesisResult> results;
   for (std::size_t i = 0; i < graphs_.size(); ++i) {
+    const util::Json& g = graphs_.at(i);
+    const std::string device = g.at("device").as_string();
+    ebpf::HookType hook = g.at("hook").as_string() == "tc"
+                              ? ebpf::HookType::kTcIngress
+                              : ebpf::HookType::kXdp;
+    const std::pair<std::string, int> key{device, static_cast<int>(hook)};
+    std::string graph_sig = TopologyManager::signature(g);
+    coverage.insert(key);
+    auto deployed = deployed_graph_sigs_.find(key);
+    if (delta && deployed != deployed_graph_sigs_.end() &&
+        deployed->second == graph_sig) {
+      ++reaction.reused_graphs;
+      continue;
+    }
     // Fresh tail-call indices are assigned by the deployer slot; pass the
     // next free index hint (only meaningful for tail-call mode).
-    const util::Json& g = graphs_.at(i);
-    std::uint32_t base = deployer_.next_chain_index(
-        g.at("device").as_string(),
-        g.at("hook").as_string() == "tc" ? ebpf::HookType::kTcIngress
-                                         : ebpf::HookType::kXdp);
+    std::uint32_t base = deployer_.next_chain_index(device, hook);
     auto result = synthesizer_.synthesize(g, base);
     if (!result.ok()) {
-      LFP_WARN("controller") << "synthesis failed for "
-                             << g.at("device").as_string() << ": "
+      LFP_WARN("controller") << "synthesis failed for " << device << ": "
                              << result.error().message;
       continue;
     }
+    ++graph_resynth_count_;
+    ++reaction.synthesized_graphs;
+    desired_sigs[key] = std::move(graph_sig);
     results.push_back(std::move(result).take());
   }
 
   ++health_.deploy_attempts;
-  DeployReport report = deployer_.deploy(results, old_is_current);
+  DeployReport report = deployer_.deploy(results, old_is_current, &coverage);
   reaction.graphs = graphs_.size();
   reaction.programs = report.programs;
   reaction.insns = report.total_insns;
+  // Update the per-graph diff basis: withdrawn devices forget their
+  // signature, freshly deployed devices record theirs, and devices whose
+  // deploy failed drop it so the retry re-synthesizes them even under delta.
+  for (auto it = deployed_graph_sigs_.begin();
+       it != deployed_graph_sigs_.end();) {
+    if (!coverage.count(it->first)) it = deployed_graph_sigs_.erase(it);
+    else ++it;
+  }
+  for (auto& [key, sig] : desired_sigs) deployed_graph_sigs_[key] = sig;
+  for (const DeviceFailure& f : report.failures) {
+    for (auto it = deployed_graph_sigs_.begin();
+         it != deployed_graph_sigs_.end();) {
+      if (it->first.first == f.device) it = deployed_graph_sigs_.erase(it);
+      else ++it;
+    }
+  }
   if (!report.all_ok()) {
     reaction.deploy_failed = true;
     reaction.failed_devices = report.failures.size();

@@ -12,8 +12,10 @@
 #pragma once
 
 #include <chrono>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/capability.h"
@@ -57,6 +59,12 @@ struct ControllerOptions {
   // Runtime equivalence guard (DESIGN.md §13): canary deployment, sampled
   // shadow execution and per-FPM circuit breakers. Off by default.
   GuardPolicy guard;
+  // Delta synthesis (DESIGN.md §17): diff per-graph signatures on each
+  // reaction and re-emit/re-verify/re-deploy only graphs whose description
+  // changed, so reaction time scales with the delta instead of the config.
+  // Forced redeploys (snippet injection, guard re-probes, failure retries)
+  // bypass the diff and rebuild everything, as do deploy-failed devices.
+  bool delta_synthesis = true;
 };
 
 // One controller reaction (paper Table VI): from seeing a configuration
@@ -71,6 +79,10 @@ struct Reaction {
   // a retry is scheduled (see Controller::health()).
   bool deploy_failed = false;
   std::size_t failed_devices = 0;
+  // Delta-synthesis split of `graphs`: how many were re-synthesized this
+  // reaction versus left untouched because their description was unchanged.
+  std::size_t synthesized_graphs = 0;
+  std::size_t reused_graphs = 0;
   double wall_seconds = 0;     // measured in this reproduction
   double modeled_seconds = 0;  // + modeled clang/libbpf stages (Table VI)
 };
@@ -95,7 +107,11 @@ class Controller {
   // Null unless options.guard.enabled.
   EquivalenceGuard* guard() { return guard_.get(); }
   const ebpf::HelperRegistry& helpers() const { return helpers_; }
+  // Reactions that synthesized at least one graph (historic semantics).
   std::uint64_t resynth_count() const { return resynth_count_; }
+  // Individual graphs synthesized across all reactions: the delta-synthesis
+  // work metric (a from-scratch controller pays graphs-per-reaction here).
+  std::uint64_t graph_resynth_count() const { return graph_resynth_count_; }
 
   // Health record: degraded-mode state and failure counters (including the
   // per-injection-point table when fault injection is armed).
@@ -131,7 +147,12 @@ class Controller {
   // deploy); tells the deployer whether the old program is still current when
   // a redeploy fails.
   std::string deployed_signature_;
+  // Per-graph deployed signatures, keyed like the deployer's slots: the diff
+  // basis for delta synthesis. An entry is present iff that (device, hook)
+  // runs a successfully deployed program derived from the recorded graph.
+  std::map<std::pair<std::string, int>, std::string> deployed_graph_sigs_;
   std::uint64_t resynth_count_ = 0;
+  std::uint64_t graph_resynth_count_ = 0;
   bool force_resynth_ = false;
   HealthStatus health_;
   // Breaker closes observed at the last run_once; a new close with no unit

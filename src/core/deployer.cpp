@@ -193,13 +193,17 @@ util::Status Deployer::deploy_one(const SynthesisResult& result,
 }
 
 DeployReport Deployer::deploy(const std::vector<SynthesisResult>& results,
-                              bool old_is_current) {
+                              bool old_is_current,
+                              const std::set<std::pair<std::string, int>>*
+                                  coverage) {
   DeployReport report;
   bool has_filter = false;
   // Devices covered by a synthesis result — including ones whose deploy
   // failed — must not be withdrawn below; withdrawal is only for devices no
-  // graph wants anymore.
+  // graph wants anymore. A delta deploy passes the full desired coverage
+  // explicitly, since its `results` hold only the changed graphs.
   std::set<std::pair<std::string, int>> covered;
+  if (coverage) covered = *coverage;
   for (const SynthesisResult& r : results) {
     covered.insert({r.device, static_cast<int>(r.hook)});
     auto st = deploy_one(r, report);

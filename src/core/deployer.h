@@ -16,7 +16,9 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/guard.h"
@@ -61,8 +63,17 @@ class Deployer {
   // matches the live configuration and keeps serving; when false (structure
   // changed) the old program is stale, so the device degrades to the bare
   // slow path (PASS) to preserve fast/slow coherence.
+  //
+  // `coverage` widens the withdrawal rule for delta synthesis (DESIGN.md
+  // §17): when non-null it names every (device, hook-int) the desired
+  // configuration still wants — devices in `coverage` but absent from
+  // `results` were synthesized before, are unchanged, and keep their current
+  // program untouched. When null (from-scratch deploy), coverage is exactly
+  // the devices in `results`, preserving the original semantics.
   DeployReport deploy(const std::vector<SynthesisResult>& results,
-                      bool old_is_current = false);
+                      bool old_is_current = false,
+                      const std::set<std::pair<std::string, int>>* coverage =
+                          nullptr);
 
   ebpf::Attachment* attachment(const std::string& device,
                                ebpf::HookType hook);

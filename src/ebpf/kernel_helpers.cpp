@@ -350,9 +350,12 @@ void register_ipt(HelperRegistry& registry, const kern::CostModel& cost) {
         auto result = kernel->netfilter().evaluate(hook, info,
                                                    kernel->ipsets());
         const kern::CostModel& c = cost_of(ctx, cost);
-        ctx.charge(c.nf_hook_base +
-                   c.bpf_ipt_per_rule * result.rules_examined +
-                   c.ipset_lookup * result.ipset_probes);
+        // Same ABI, same verdict — only the charge reflects how the lookup
+        // was answered: per-rule scan work, or tuple probes + residual
+        // compares when the compiled classifier served it (DESIGN.md §17).
+        ctx.charge(kern::nf_eval_cost(result, c.nf_hook_base,
+                                      c.bpf_ipt_per_rule, c.bpf_ipt_clf_probe,
+                                      c.ipset_lookup));
         return result.verdict == kern::NfVerdict::kDrop ? kIptVerdictDrop
                                                         : kIptVerdictAccept;
       });

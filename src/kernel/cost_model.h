@@ -71,6 +71,10 @@ struct CostModel {
   // --- Netfilter ----------------------------------------------------------
   std::uint64_t nf_hook_base = 90;     // hook traversal with >=1 rule
   std::uint64_t ipt_per_rule = 15;     // linear per-rule match cost
+  // Compiled classifier (DESIGN.md §17): one charge per tuple-group hash
+  // probe (mask + hash + bucket walk) instead of per rule; residual rules
+  // still pay ipt_per_rule. Calibrated ≈ one hash-map probe on cold cache.
+  std::uint64_t ipt_clf_probe = 90;
   std::uint64_t ipset_lookup = 110;    // hash/LPM set probe
   std::uint64_t conntrack_lookup = 240;
   std::uint64_t conntrack_new = 520;
@@ -100,6 +104,9 @@ struct CostModel {
   std::uint64_t bpf_fib_lookup_helper = 450;   // fib + neigh resolution
   std::uint64_t bpf_fdb_lookup_helper = 420;   // fdb hash + port state
   std::uint64_t bpf_ipt_per_rule = 5;         // in-helper linear match
+  // In-helper tuple probe when the compiled classifier answers the lookup
+  // (cheaper than the slow-path twin: no skb field re-extraction).
+  std::uint64_t bpf_ipt_clf_probe = 45;
   std::uint64_t bpf_redirect = 170;            // devmap redirect + tx queue
   // Microflow verdict-cache hit: hash index + key compare + generation
   // vector validation + header diff replay (no interpreter).

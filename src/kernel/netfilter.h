@@ -11,6 +11,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -21,6 +22,8 @@
 #include "util/result.h"
 
 namespace linuxfp::kern {
+
+class NfClassifier;
 
 enum class NfHook { kPrerouting, kInput, kForward, kOutput, kPostrouting };
 
@@ -54,8 +57,29 @@ struct Rule {
   RuleMatch match;
   RuleTarget target = RuleTarget::kAccept;
   std::string jump_chain;  // for kJump
-  mutable std::uint64_t hits = 0;
-  mutable std::uint64_t hit_bytes = 0;
+  // Hit counters are bumped during evaluation, which engine workers run
+  // concurrently from several CPUs: relaxed atomics keep the counters exact
+  // without ordering cost (they guard no other state).
+  mutable std::atomic<std::uint64_t> hits{0};
+  mutable std::atomic<std::uint64_t> hit_bytes{0};
+
+  Rule() = default;
+  Rule(const Rule& o)
+      : match(o.match),
+        target(o.target),
+        jump_chain(o.jump_chain),
+        hits(o.hits.load(std::memory_order_relaxed)),
+        hit_bytes(o.hit_bytes.load(std::memory_order_relaxed)) {}
+  Rule& operator=(const Rule& o) {
+    match = o.match;
+    target = o.target;
+    jump_chain = o.jump_chain;
+    hits.store(o.hits.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    hit_bytes.store(o.hit_bytes.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    return *this;
+  }
 };
 
 struct Chain {
@@ -82,14 +106,40 @@ struct NfPacketInfo {
 
 struct NfEvalResult {
   NfVerdict verdict = NfVerdict::kAccept;
-  // Rules examined (linear-search work done); drives the cost model.
+  // Rules examined (linear-search work done). Identical on the linear and
+  // the classified path — the classifier computes the window the linear scan
+  // would have covered in O(1) — so differential tests can compare the
+  // accounting bit-for-bit; only the cost CHARGED differs (see nf_eval_cost).
   std::size_t rules_examined = 0;
   std::size_t ipset_probes = 0;
+  // Set when the compiled classifier produced this result; the cost model
+  // then charges the algorithmic work below instead of the per-rule scan.
+  bool compiled = false;
+  std::size_t tuple_probes = 0;       // hash probes (one per tuple group)
+  std::size_t residual_examined = 0;  // residual rules linearly compared
 };
+
+// Cycles a netfilter evaluation costs under the given charge constants:
+// per-rule scan work on the linear path, per-tuple probe + residual compare
+// work on the compiled path. ipset probes cost the same on both.
+inline std::uint64_t nf_eval_cost(const NfEvalResult& r,
+                                  std::uint64_t hook_base,
+                                  std::uint64_t per_rule,
+                                  std::uint64_t clf_probe,
+                                  std::uint64_t ipset_cost) {
+  std::uint64_t cycles = hook_base + ipset_cost * r.ipset_probes;
+  if (r.compiled) {
+    cycles += clf_probe * r.tuple_probes + per_rule * r.residual_examined;
+  } else {
+    cycles += per_rule * r.rules_examined;
+  }
+  return cycles;
+}
 
 class Netfilter {
  public:
   Netfilter();
+  ~Netfilter();
 
   // --- chain management -----------------------------------------------------
   util::Status new_chain(const std::string& name);
@@ -127,15 +177,32 @@ class Netfilter {
     return generation_.load(std::memory_order_relaxed);
   }
 
+  // --- compiled classifier (DESIGN.md §17) ---------------------------------
+  // Opt-in tuple-space index over the rule tables, rebuilt at rule-change
+  // time; evaluate() uses it when it is current, with exact linear-scan
+  // semantics, and falls back to the scan otherwise. Control-plane call.
+  void set_classifier_enabled(bool enabled);
+  bool classifier_enabled() const { return classifier_ != nullptr; }
+  NfClassifier* classifier() { return classifier_.get(); }
+  const NfClassifier* classifier() const { return classifier_.get(); }
+
+  // Single-rule match predicate shared by the linear scan and the
+  // classifier's verification/residual paths (accounts ipset probes).
+  static bool rule_matches(const Rule& rule, const NfPacketInfo& info,
+                           const IpSetManager& ipsets, NfEvalResult& stats);
+
  private:
   NfVerdict eval_chain(const Chain& chain, const NfPacketInfo& info,
                        const IpSetManager& ipsets, NfEvalResult& stats,
                        int depth, bool& decided) const;
-  static bool rule_matches(const Rule& rule, const NfPacketInfo& info,
-                           const IpSetManager& ipsets, NfEvalResult& stats);
+  NfVerdict eval_chain_classified(const Chain& chain, const NfPacketInfo& info,
+                                  const IpSetManager& ipsets,
+                                  NfEvalResult& stats, int depth,
+                                  bool& decided) const;
 
   std::map<std::string, Chain> chains_;
   std::atomic<std::uint64_t> generation_{0};
+  std::unique_ptr<NfClassifier> classifier_;
 };
 
 }  // namespace linuxfp::kern

@@ -1,0 +1,203 @@
+#include "kernel/nf_classifier.h"
+
+#include <algorithm>
+
+namespace linuxfp::kern {
+
+namespace {
+
+inline std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 31;
+  return h;
+}
+
+inline std::uint64_t hash_str(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) h = (h ^ c) * 0x100000001b3ULL;
+  return h;
+}
+
+inline std::uint32_t mask_for(std::uint8_t len) {
+  return len == 0 ? 0u : ~0u << (32 - len);
+}
+
+}  // namespace
+
+bool NfClassifier::indexable(const RuleMatch& m) {
+  if (m.src && m.src_negated) return false;
+  if (m.dst && m.dst_negated) return false;
+  if (!m.match_set.empty()) return false;  // live set contents stay residual
+  if (!m.ct_state.empty()) return false;   // per-packet dynamic state
+  return true;
+}
+
+NfClassifier::TupleSig NfClassifier::signature_of(const RuleMatch& m) {
+  TupleSig sig;
+  if (m.src) sig.src_len = m.src->prefix_len();
+  if (m.dst) sig.dst_len = m.dst->prefix_len();
+  sig.has_proto = m.proto.has_value();
+  sig.has_sport = m.sport.has_value();
+  sig.has_dport = m.dport.has_value();
+  sig.has_in_if = !m.in_if.empty();
+  sig.has_out_if = !m.out_if.empty();
+  return sig;
+}
+
+std::uint64_t NfClassifier::key_of_rule(const RuleMatch& m,
+                                        const TupleSig& sig) {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;
+  if (sig.src_len != 255) {
+    h = mix(h, m.src->network().value() & mask_for(sig.src_len));
+  }
+  if (sig.dst_len != 255) {
+    h = mix(h, m.dst->network().value() & mask_for(sig.dst_len));
+  }
+  if (sig.has_proto) h = mix(h, *m.proto);
+  if (sig.has_sport) h = mix(h, *m.sport);
+  if (sig.has_dport) h = mix(h, *m.dport);
+  if (sig.has_in_if) h = mix(h, hash_str(m.in_if));
+  if (sig.has_out_if) h = mix(h, hash_str(m.out_if));
+  return h;
+}
+
+std::uint64_t NfClassifier::key_of_packet(const NfPacketInfo& info,
+                                          const TupleSig& sig) {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;
+  if (sig.src_len != 255) h = mix(h, info.src.value() & mask_for(sig.src_len));
+  if (sig.dst_len != 255) h = mix(h, info.dst.value() & mask_for(sig.dst_len));
+  if (sig.has_proto) h = mix(h, info.proto);
+  if (sig.has_sport) h = mix(h, info.sport);
+  if (sig.has_dport) h = mix(h, info.dport);
+  if (sig.has_in_if) h = mix(h, hash_str(info.in_if));
+  if (sig.has_out_if) h = mix(h, hash_str(info.out_if));
+  return h;
+}
+
+void NfClassifier::index_rule(ChainIndex& index, const Rule& rule,
+                              std::uint32_t rule_idx) {
+  if (!indexable(rule.match)) {
+    index.residual.push_back(rule_idx);
+    return;
+  }
+  TupleSig sig = signature_of(rule.match);
+  TupleGroup* group = nullptr;
+  for (TupleGroup& g : index.groups) {
+    if (g.sig == sig) {
+      group = &g;
+      break;
+    }
+  }
+  if (!group) {
+    index.groups.emplace_back();
+    index.groups.back().sig = sig;
+    group = &index.groups.back();
+  }
+  group->buckets[key_of_rule(rule.match, sig)].push_back(rule_idx);
+}
+
+void NfClassifier::rebuild_chain(const std::string& chain) {
+  const Chain* c = nf_.find_chain(chain);
+  if (!c) {
+    chains_.erase(chain);
+    return;
+  }
+  ChainIndex index;
+  for (std::size_t i = 0; i < c->rules.size(); ++i) {
+    index_rule(index, c->rules[i], static_cast<std::uint32_t>(i));
+  }
+  chains_[chain] = std::move(index);
+}
+
+void NfClassifier::build_all(std::uint64_t generation) {
+  chains_.clear();
+  for (const Chain* c : nf_.dump()) rebuild_chain(c->name);
+  ++full_builds_;
+  built_generation_ = generation;
+}
+
+void NfClassifier::on_append(const std::string& chain,
+                             std::uint64_t generation) {
+  const Chain* c = nf_.find_chain(chain);
+  if (c && !c->rules.empty()) {
+    // Appending keeps every existing index valid and the new index is the
+    // largest, so bucket vectors stay ascending: O(1) incremental update.
+    index_rule(chains_[chain], c->rules.back(),
+               static_cast<std::uint32_t>(c->rules.size() - 1));
+    ++incremental_appends_;
+  }
+  built_generation_ = generation;
+}
+
+void NfClassifier::on_chain_mutated(const std::string& chain,
+                                    std::uint64_t generation) {
+  rebuild_chain(chain);
+  ++chain_rebuilds_;
+  built_generation_ = generation;
+}
+
+void NfClassifier::on_chain_removed(const std::string& chain,
+                                    std::uint64_t generation) {
+  chains_.erase(chain);
+  built_generation_ = generation;
+}
+
+std::size_t NfClassifier::tuple_count(const std::string& chain) const {
+  auto it = chains_.find(chain);
+  return it == chains_.end() ? 0 : it->second.groups.size();
+}
+
+std::size_t NfClassifier::residual_count(const std::string& chain) const {
+  auto it = chains_.find(chain);
+  return it == chains_.end() ? 0 : it->second.residual.size();
+}
+
+std::size_t NfClassifier::first_match(const Chain& chain,
+                                      const NfPacketInfo& info,
+                                      const IpSetManager& ipsets,
+                                      std::size_t pos,
+                                      NfEvalResult& stats) const {
+  auto it = chains_.find(chain.name);
+  if (it == chains_.end()) {
+    // No index (chain created empty and never appended to): nothing matches.
+    return kNoMatch;
+  }
+  const ChainIndex& index = it->second;
+
+  // Best candidate among the tuple groups: one hash probe per group, then
+  // the first bucket entry >= pos. Bucket entries share a hash, not
+  // necessarily a key, so each candidate is verified with the real matcher
+  // (tuple rules carry no ipset/state matches, so verification is free of
+  // observable side effects).
+  std::size_t candidate = kNoMatch;
+  for (const TupleGroup& g : index.groups) {
+    ++stats.tuple_probes;
+    auto bucket = g.buckets.find(key_of_packet(info, g.sig));
+    if (bucket == g.buckets.end()) continue;
+    const std::vector<std::uint32_t>& rules = bucket->second;
+    for (auto ri = std::lower_bound(rules.begin(), rules.end(), pos);
+         ri != rules.end() && *ri < candidate; ++ri) {
+      if (Netfilter::rule_matches(chain.rules[*ri], info, ipsets, stats)) {
+        candidate = *ri;
+        break;
+      }
+    }
+  }
+
+  // Residual rules (negations, ipset matches, conntrack state) are scanned
+  // in first-match order, but only inside the window the linear scan would
+  // have covered: [pos, candidate). This keeps ipset probe accounting exact
+  // — no residual rule past the linear scan's stopping point is evaluated.
+  for (auto ri = std::lower_bound(index.residual.begin(),
+                                  index.residual.end(), pos);
+       ri != index.residual.end() && *ri < candidate; ++ri) {
+    ++stats.residual_examined;
+    if (Netfilter::rule_matches(chain.rules[*ri], info, ipsets, stats)) {
+      return *ri;
+    }
+  }
+  return candidate;
+}
+
+}  // namespace linuxfp::kern

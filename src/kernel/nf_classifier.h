@@ -1,0 +1,138 @@
+// Compiled rule classifier for the netfilter model (DESIGN.md §17).
+//
+// Production gateways carry 10k–100k iptables rules; the kernel's (and this
+// repro's) linear scan is O(rules) per packet. This classifier compiles each
+// chain into a tuple-space index at rule-change time: rules that match only
+// on exact maskable dimensions (src/dst prefix, proto, ports, in/out
+// interface) are grouped by their mask signature ("tuple"), and within a
+// tuple the masked field values key a hash bucket holding the rule indices
+// in ascending (first-match) order. A packet probe costs one hash lookup per
+// tuple group instead of one compare per rule.
+//
+// Exactness contract: the classified path must be indistinguishable from the
+// linear scan — same verdict, same first-match order, same per-rule hit
+// counters, same rules_examined and ipset_probes accounting. Match kinds the
+// compiler does not index (negations, ipset membership, conntrack state)
+// stay on a per-chain *residual* list that is scanned linearly, but only
+// over the index window [pos, best-tuple-candidate) the linear scan would
+// itself have covered — so ipset probe counts and side effects line up
+// bit-for-bit. Chains, jumps and RETURN are handled by the caller
+// (Netfilter::eval_chain_classified) re-querying with an advancing position,
+// mirroring eval_chain's traversal exactly.
+//
+// Coherence: the index records the netfilter generation it was built at;
+// every Netfilter mutation re-syncs it (O(1) for appends, per-chain rebuild
+// otherwise) and stamps the new generation. If the index is ever stale
+// (generation mismatch), evaluate() falls back to the linear scan — and
+// because the flowcache's generation vector already snapshots the same
+// netfilter generation, every cached verdict that predates a rebuild is
+// invalidated for free.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kernel/netfilter.h"
+
+namespace linuxfp::kern {
+
+// Per-query cost accounting (merged into NfEvalResult by the caller): the
+// cost model charges tuple probes + residual compares instead of per-rule
+// scan work when a result was produced by the classifier.
+class NfClassifier {
+ public:
+  static constexpr std::size_t kNoMatch = static_cast<std::size_t>(-1);
+
+  explicit NfClassifier(const Netfilter& nf) : nf_(nf) {}
+
+  // Full rebuild of every chain index from the current rule tables.
+  void build_all(std::uint64_t generation);
+
+  // Incremental maintenance, called by the Netfilter mutators. Appends are
+  // O(1) (bucket push_back keeps indices ascending); inserts/deletes rebuild
+  // the one affected chain; flush/delete_chain drop its index.
+  void on_append(const std::string& chain, std::uint64_t generation);
+  void on_chain_mutated(const std::string& chain, std::uint64_t generation);
+  void on_chain_removed(const std::string& chain, std::uint64_t generation);
+  // Non-structural mutation (e.g. policy change): just re-stamp.
+  void on_stamp(std::uint64_t generation) { built_generation_ = generation; }
+
+  // Test hook: forget the built generation so evaluate() falls back to the
+  // linear scan until the next mutation re-syncs the index.
+  void invalidate() { built_generation_ = static_cast<std::uint64_t>(-1); }
+
+  std::uint64_t built_generation() const { return built_generation_; }
+  bool ready(std::uint64_t current_generation) const {
+    return built_generation_ == current_generation;
+  }
+
+  // Index of the first rule >= pos in `chain` that matches `info`, or
+  // kNoMatch. Accounts classifier work into stats.tuple_probes /
+  // stats.residual_examined and (via the residual rule_matches calls)
+  // stats.ipset_probes — exactly the probes the linear scan would have made
+  // up to the returned index.
+  std::size_t first_match(const Chain& chain, const NfPacketInfo& info,
+                          const IpSetManager& ipsets, std::size_t pos,
+                          NfEvalResult& stats) const;
+
+  // --- introspection -------------------------------------------------------
+  std::uint64_t full_builds() const { return full_builds_; }
+  std::uint64_t chain_rebuilds() const { return chain_rebuilds_; }
+  std::uint64_t incremental_appends() const { return incremental_appends_; }
+  // Tuple groups in a chain's index (0 when the chain has no index yet).
+  std::size_t tuple_count(const std::string& chain) const;
+  std::size_t residual_count(const std::string& chain) const;
+
+ private:
+  // A tuple signature: which dimensions the group's rules require, and at
+  // what prefix width. Rules whose match uses only these dimensions (no
+  // negation, no ipset, no conntrack state) are indexable.
+  struct TupleSig {
+    std::uint8_t src_len = 255;  // 255 = src not matched
+    std::uint8_t dst_len = 255;
+    bool has_proto = false;
+    bool has_sport = false;
+    bool has_dport = false;
+    bool has_in_if = false;
+    bool has_out_if = false;
+
+    bool operator==(const TupleSig& o) const {
+      return src_len == o.src_len && dst_len == o.dst_len &&
+             has_proto == o.has_proto && has_sport == o.has_sport &&
+             has_dport == o.has_dport && has_in_if == o.has_in_if &&
+             has_out_if == o.has_out_if;
+    }
+  };
+
+  struct TupleGroup {
+    TupleSig sig;
+    // Masked-field hash -> ascending rule indices. Collisions are tolerated:
+    // candidates are verified with the real rule_matches before use.
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets;
+  };
+
+  struct ChainIndex {
+    std::vector<TupleGroup> groups;
+    std::vector<std::uint32_t> residual;  // ascending indices
+  };
+
+  static bool indexable(const RuleMatch& m);
+  static TupleSig signature_of(const RuleMatch& m);
+  static std::uint64_t key_of_rule(const RuleMatch& m, const TupleSig& sig);
+  static std::uint64_t key_of_packet(const NfPacketInfo& info,
+                                     const TupleSig& sig);
+  void index_rule(ChainIndex& index, const Rule& rule, std::uint32_t rule_idx);
+  void rebuild_chain(const std::string& chain);
+
+  const Netfilter& nf_;
+  std::map<std::string, ChainIndex> chains_;
+  std::uint64_t built_generation_ = static_cast<std::uint64_t>(-1);
+  std::uint64_t full_builds_ = 0;
+  std::uint64_t chain_rebuilds_ = 0;
+  std::uint64_t incremental_appends_ = 0;
+};
+
+}  // namespace linuxfp::kern

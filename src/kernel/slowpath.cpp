@@ -367,9 +367,9 @@ RxSummary Kernel::bridge_rx(Bridge& br, NetDevice& port_dev,
           nfi.ct_state = ct_state;
           auto result = netfilter_.evaluate(NfHook::kForward, nfi, ipsets_);
           trace.charge("br_nf_forward",
-                       cost_.nf_hook_base +
-                           cost_.ipt_per_rule * result.rules_examined +
-                           cost_.ipset_lookup * result.ipset_probes);
+                       nf_eval_cost(result, cost_.nf_hook_base,
+                                    cost_.ipt_per_rule, cost_.ipt_clf_probe,
+                                    cost_.ipset_lookup));
           if (result.verdict == NfVerdict::kDrop) return drop(Drop::kPolicy);
         }
       }
@@ -516,8 +516,8 @@ RxSummary Kernel::ip_forward(NetDevice& in_dev, net::Packet&& pkt,
     nfi.ct_state = ct_state;
     auto result = netfilter_.evaluate(NfHook::kForward, nfi, ipsets_);
     trace.charge("nf_forward",
-                 cost_.nf_hook_base + cost_.ipt_per_rule * result.rules_examined +
-                     cost_.ipset_lookup * result.ipset_probes);
+                 nf_eval_cost(result, cost_.nf_hook_base, cost_.ipt_per_rule,
+                              cost_.ipt_clf_probe, cost_.ipset_lookup));
     if (result.verdict == NfVerdict::kDrop) return drop(Drop::kPolicy);
   }
 
@@ -556,8 +556,8 @@ RxSummary Kernel::local_deliver(NetDevice& in_dev, net::Packet&& pkt,
     nfi.ct_state = ct_state;
     auto result = netfilter_.evaluate(NfHook::kInput, nfi, ipsets_);
     trace.charge("nf_input",
-                 cost_.nf_hook_base + cost_.ipt_per_rule * result.rules_examined +
-                     cost_.ipset_lookup * result.ipset_probes);
+                 nf_eval_cost(result, cost_.nf_hook_base, cost_.ipt_per_rule,
+                              cost_.ipt_clf_probe, cost_.ipset_lookup));
     if (result.verdict == NfVerdict::kDrop) return drop(Drop::kPolicy);
   }
 
@@ -661,8 +661,8 @@ void Kernel::send_ip_packet(net::Packet&& pkt, CycleTrace& trace) {
     nfi.bytes = pkt.size();
     auto result = netfilter_.evaluate(NfHook::kOutput, nfi, ipsets_);
     trace.charge("nf_output",
-                 cost_.nf_hook_base + cost_.ipt_per_rule * result.rules_examined +
-                     cost_.ipset_lookup * result.ipset_probes);
+                 nf_eval_cost(result, cost_.nf_hook_base, cost_.ipt_per_rule,
+                              cost_.ipt_clf_probe, cost_.ipset_lookup));
     if (result.verdict == NfVerdict::kDrop) {
       count_drop(Drop::kPolicy);
       return;

@@ -30,20 +30,33 @@ LinuxTestbed::LinuxTestbed(const ScenarioConfig& config)
         std::to_string(i / 150) + ".0/24 via 10.10.2.2 dev eth1");
   }
 
+  // The compiled classifier must be enabled before the blacklist loads so
+  // each rule is an O(1) incremental append instead of a rebuild — the same
+  // ordering a production restore (iptables-restore) would use.
+  if (config_.rule_classifier) kernel_.netfilter().set_classifier_enabled(true);
+
   // Virtual-gateway filtering: a blacklist of source addresses
   // (paper §VI-A1, "100 rules blocking a blacklist of IP addresses").
+  // Addresses walk 10.66.0.0/15 so mega-ruleset scenarios (up to ~128k
+  // entries) stay valid; the first 62500 match the paper's original 10.66/16
+  // layout exactly.
   if (config_.filter_rules > 0) {
     if (config_.use_ipset) {
-      run("ipset create blacklist hash:ip");
+      // Size the set to the scenario: mega-ruleset configs exceed the
+      // kernel-default 65536 maxelem.
+      std::string create = "ipset create blacklist hash:ip";
+      if (static_cast<std::size_t>(config_.filter_rules) >
+          kern::kIpSetDefaultMaxElem) {
+        create += " maxelem " + std::to_string(config_.filter_rules);
+      }
+      run(create);
       for (int i = 0; i < config_.filter_rules; ++i) {
-        run("ipset add blacklist 10.66." + std::to_string(i / 250) + "." +
-            std::to_string(1 + i % 250));
+        run("ipset add blacklist " + blacklist_address(i));
       }
       run("iptables -A FORWARD -m set --match-set blacklist src -j DROP");
     } else {
       for (int i = 0; i < config_.filter_rules; ++i) {
-        run("iptables -A FORWARD -s 10.66." + std::to_string(i / 250) + "." +
-            std::to_string(1 + i % 250) + " -j DROP");
+        run("iptables -A FORWARD -s " + blacklist_address(i) + " -j DROP");
       }
     }
   }
@@ -95,13 +108,14 @@ util::Json LinuxTestbed::latest_trace_json() const {
 }
 
 std::string LinuxTestbed::name() const {
+  std::string suffix = config_.rule_classifier ? " +clf" : "";
   switch (config_.accel) {
     case Accel::kNone:
-      return config_.use_ipset ? "Linux (ipset)" : "Linux";
+      return (config_.use_ipset ? "Linux (ipset)" : "Linux") + suffix;
     case Accel::kLinuxFpXdp:
-      return config_.use_ipset ? "LinuxFP (ipset)" : "LinuxFP";
+      return (config_.use_ipset ? "LinuxFP (ipset)" : "LinuxFP") + suffix;
     case Accel::kLinuxFpTc:
-      return "LinuxFP (tc)";
+      return "LinuxFP (tc)" + suffix;
   }
   return "?";
 }
@@ -174,11 +188,18 @@ net::Packet LinuxTestbed::forward_tcp_segment(int prefix_index,
   return pkt;
 }
 
+std::string LinuxTestbed::blacklist_address(int entry) {
+  return "10." + std::to_string(66 + (entry / 250) / 250) + "." +
+         std::to_string((entry / 250) % 250) + "." +
+         std::to_string(1 + entry % 250);
+}
+
 net::Packet LinuxTestbed::blacklisted_packet(int entry,
                                              std::uint16_t flow) const {
   net::FlowKey f;
   f.src_ip = net::Ipv4Addr::from_octets(
-      10, 66, static_cast<std::uint8_t>(entry / 250),
+      10, static_cast<std::uint8_t>(66 + (entry / 250) / 250),
+      static_cast<std::uint8_t>((entry / 250) % 250),
       static_cast<std::uint8_t>(1 + entry % 250));
   f.dst_ip = net::Ipv4Addr::parse("10.100.0.9").value();
   f.proto = net::kIpProtoUdp;

@@ -32,6 +32,10 @@ struct ScenarioConfig {
   int prefixes = 50;          // iproute2-installed routes
   int filter_rules = 0;       // iptables FORWARD blacklist entries
   bool use_ipset = false;     // aggregate the blacklist into one ipset rule
+  // Compile the rule tables into the tuple-space classifier (DESIGN.md §17):
+  // exact linear-scan semantics at algorithmic cost. Applies to whichever
+  // netfilter consumer the scenario runs (slow path or bpf_ipt_lookup).
+  bool rule_classifier = false;
   Accel accel = Accel::kNone;
   core::ChainMode chain = core::ChainMode::kInlineCalls;
   // Microflow verdict cache (DESIGN.md §12) on the deployed fast paths.
@@ -91,6 +95,8 @@ class LinuxTestbed : public DeviceUnderTest {
                                   std::uint16_t ip_id) const;
   // A packet whose source is on the configured blacklist.
   net::Packet blacklisted_packet(int entry, std::uint16_t flow) const;
+  // The i-th blacklist source address (shared by setup and packet factory).
+  static std::string blacklist_address(int entry);
 
   int ingress_ifindex() const { return ingress_ifindex_; }
   std::uint64_t forwarded_count() const { return forwarded_; }

@@ -1,0 +1,248 @@
+// Delta synthesis (DESIGN.md §17): on a configuration event the controller
+// diffs each FPM graph against the signature recorded at its last deploy and
+// re-emits only the changed ones. These tests pin the equivalence contract —
+// a delta controller and a from-scratch controller driven through identical
+// event sequences must converge to identical deployed programs — plus the
+// work accounting (unchanged graphs are reused, not re-synthesized), the
+// withdrawal rule, and the failed-device retry path.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/controller.h"
+#include "ebpf/loader.h"
+#include "kernel/commands.h"
+#include "kernel/kernel.h"
+#include "util/fault.h"
+
+namespace linuxfp::core {
+namespace {
+
+// Mixed DUT: routed physical uplinks (router/filter graphs) plus a bridge
+// with pod-facing veth ports (bridge-port graphs) — the container-host shape
+// where most events touch a small fraction of the graphs.
+struct MixedDut {
+  kern::Kernel kernel{"host"};
+  int pods = 0;
+
+  MixedDut() {
+    for (const char* d : {"eth0", "eth1", "eth2"}) {
+      kernel.add_phys_dev(d).set_phys_tx([](net::Packet&&) {});
+      run(std::string("ip link set ") + d + " up");
+    }
+    run("ip addr add 10.10.1.1/24 dev eth0");
+    run("ip addr add 10.10.2.1/24 dev eth1");
+    run("ip addr add 10.10.3.1/24 dev eth2");
+    run("sysctl -w net.ipv4.ip_forward=1");
+    run("ip neigh add 10.10.2.2 lladdr " + net::MacAddr::from_id(0x77).to_string() +
+        " dev eth1 nud permanent");
+    // Routing must be active (ip_forward + at least one route) for the
+    // uplinks to grow router graphs.
+    run("ip route add 10.100.0.0/24 via 10.10.2.2 dev eth1");
+    run("ip route add 10.101.0.0/24 via 10.10.2.2 dev eth1");
+    run("ip link add br0 type bridge");
+    run("ip link set br0 up");
+  }
+
+  void run(const std::string& cmd) {
+    auto st = kern::run_command(kernel, cmd);
+    ASSERT_TRUE(st.ok()) << cmd << " — " << st.error().message;
+  }
+
+  void add_pod() {
+    std::string port = "pod" + std::to_string(pods);
+    run("ip link add " + port + " type veth peer name ns" +
+        std::to_string(pods));
+    run("ip link set " + port + " up");
+    run("ip link set " + port + " master br0");
+    ++pods;
+  }
+
+  void del_pod() {
+    if (pods == 0) return;
+    --pods;
+    run("ip link del pod" + std::to_string(pods));
+  }
+
+  std::vector<std::string> device_names() const {
+    std::vector<std::string> names{"eth0", "eth1", "eth2"};
+    for (int i = 0; i < pods; ++i) names.push_back("pod" + std::to_string(i));
+    return names;
+  }
+};
+
+ControllerOptions mixed_options(bool delta) {
+  ControllerOptions opts;
+  opts.attach_bridge_ports = true;
+  opts.delta_synthesis = delta;
+  return opts;
+}
+
+// The deployed-FPM-set equivalence check: for every device and hook, both
+// controllers expose the same attachment presence and a bit-identical active
+// program (name + instruction stream).
+void compare_deployments(Controller& a, Controller& b, MixedDut& dut,
+                         const char* where) {
+  ASSERT_EQ(a.deployer().attachment_count(), b.deployer().attachment_count())
+      << where;
+  for (const std::string& dev : dut.device_names()) {
+    for (ebpf::HookType hook :
+         {ebpf::HookType::kXdp, ebpf::HookType::kTcIngress}) {
+      ebpf::Attachment* aa = a.deployer().attachment(dev, hook);
+      ebpf::Attachment* ab = b.deployer().attachment(dev, hook);
+      ASSERT_EQ(aa == nullptr, ab == nullptr) << where << " " << dev;
+      if (!aa) continue;
+      const ebpf::Program& pa = aa->programs()[aa->active_prog_id()];
+      const ebpf::Program& pb = ab->programs()[ab->active_prog_id()];
+      EXPECT_EQ(pa.name, pb.name) << where << " " << dev;
+      ASSERT_EQ(pa.insns.size(), pb.insns.size()) << where << " " << dev;
+      for (std::size_t i = 0; i < pa.insns.size(); ++i) {
+        const ebpf::Insn& x = pa.insns[i];
+        const ebpf::Insn& y = pb.insns[i];
+        ASSERT_TRUE(x.op == y.op && x.dst == y.dst && x.src == y.src &&
+                    x.use_imm == y.use_imm && x.off == y.off &&
+                    x.imm == y.imm && x.size == y.size)
+            << where << " " << dev << " insn " << i;
+      }
+    }
+  }
+}
+
+TEST(DeltaSynth, ConvergesWithFromScratchUnderChurn) {
+  MixedDut delta_dut, full_dut;
+  Controller delta_ctl(delta_dut.kernel, mixed_options(true));
+  Controller full_ctl(full_dut.kernel, mixed_options(false));
+  delta_ctl.start();
+  full_ctl.start();
+  compare_deployments(delta_ctl, full_ctl, delta_dut, "startup");
+
+  auto both = [&](const std::string& cmd) {
+    delta_dut.run(cmd);
+    full_dut.run(cmd);
+  };
+  auto react = [&] {
+    delta_ctl.run_once();
+    full_ctl.run_once();
+  };
+
+  // An event storm touching different slices of the graph set.
+  for (int i = 0; i < 3; ++i) {
+    delta_dut.add_pod();
+    full_dut.add_pod();
+    react();
+    compare_deployments(delta_ctl, full_ctl, delta_dut, "pod add");
+  }
+  for (int i = 0; i < 12; ++i) {
+    both("ip route add 10." + std::to_string(120 + i) +
+         ".0.0/24 via 10.10.2.2 dev eth1");
+    react();
+  }
+  compare_deployments(delta_ctl, full_ctl, delta_dut, "routes");
+  both("iptables -A FORWARD -s 10.66.0.1 -j DROP");
+  react();
+  both("ip route del 10.120.0.0/24");
+  react();
+  both("ip link set eth2 down");
+  react();
+  compare_deployments(delta_ctl, full_ctl, delta_dut, "link down");
+  both("ip link set eth2 up");
+  react();
+  delta_dut.del_pod();
+  full_dut.del_pod();
+  react();
+  compare_deployments(delta_ctl, full_ctl, delta_dut, "final");
+
+  // The whole point: the delta controller synthesized a fraction of the
+  // graph-emissions the from-scratch controller burned on the same events.
+  EXPECT_EQ(delta_ctl.resynth_count(), full_ctl.resynth_count());
+  EXPECT_LT(delta_ctl.graph_resynth_count() * 2,
+            full_ctl.graph_resynth_count());
+}
+
+TEST(DeltaSynth, ReusesUnchangedGraphs) {
+  MixedDut dut;
+  Controller ctl(dut.kernel, mixed_options(true));
+  ctl.start();
+  for (int i = 0; i < 4; ++i) dut.add_pod();
+  Reaction r = ctl.run_once();
+  ASSERT_TRUE(r.changed);
+
+  // A route event touches only the routed uplinks; the four pod ports and
+  // the untouched uplink graphs are reused verbatim.
+  dut.run("ip route add 10.200.0.0/24 via 10.10.2.2 dev eth1");
+  r = ctl.run_once();
+  ASSERT_TRUE(r.changed);
+  EXPECT_GT(r.reused_graphs, 0u);
+  EXPECT_LT(r.synthesized_graphs, r.graphs);
+  EXPECT_EQ(r.synthesized_graphs + r.reused_graphs, r.graphs);
+
+  // A pod attach synthesizes exactly the new port's graph.
+  dut.add_pod();
+  r = ctl.run_once();
+  ASSERT_TRUE(r.changed);
+  EXPECT_EQ(r.synthesized_graphs, 1u);
+  EXPECT_EQ(r.reused_graphs, r.graphs - 1);
+
+  // A no-op config event (dynamic neighbour) synthesizes nothing at all.
+  dut.run("ip neigh add 10.10.2.9 lladdr 02:00:00:00:00:09 dev eth1");
+  r = ctl.run_once();
+  EXPECT_EQ(r.synthesized_graphs, 0u);
+}
+
+TEST(DeltaSynth, WithdrawalOnlyTouchesDepartingDevice) {
+  MixedDut dut;
+  Controller ctl(dut.kernel, mixed_options(true));
+  ctl.start();
+  for (int i = 0; i < 3; ++i) dut.add_pod();
+  ctl.run_once();
+  std::uint64_t before = ctl.graph_resynth_count();
+
+  // Pod teardown: the departing port's attachment is withdrawn; every other
+  // graph is unchanged, so nothing is re-synthesized.
+  dut.del_pod();
+  Reaction r = ctl.run_once();
+  ASSERT_TRUE(r.changed);
+  EXPECT_EQ(r.synthesized_graphs, 0u);
+  EXPECT_GT(r.reused_graphs, 0u);
+  EXPECT_EQ(ctl.graph_resynth_count(), before);
+
+  // The surviving pods keep serving; re-adding a pod synthesizes one graph.
+  dut.add_pod();
+  r = ctl.run_once();
+  EXPECT_EQ(r.synthesized_graphs, 1u);
+}
+
+TEST(DeltaSynth, FailedDeviceIsResynthesizedDespiteUnchangedGraph) {
+  MixedDut dut;
+  Controller ctl(dut.kernel, mixed_options(true));
+  {
+    // Fault the first deploy wave: at least one device degrades, its
+    // recorded graph signature is dropped, and consecutive failures arm the
+    // retry timer.
+    util::FaultScope faults(0x5eed);
+    ASSERT_TRUE(faults->install_schedule("deployer.attach:nth=2").ok());
+    Reaction r = ctl.start();
+    ASSERT_TRUE(r.deploy_failed);
+    ASSERT_TRUE(ctl.health().degraded);
+  }
+
+  // A config event NOT touching the failed device's graph arrives before the
+  // retry timer: the delta diff must still re-synthesize the failed device
+  // (its deploy never landed, so its recorded signature was dropped)
+  // alongside the genuinely new graph — two emissions, not one.
+  dut.add_pod();
+  Reaction r = ctl.run_once();
+  ASSERT_TRUE(r.changed);
+  EXPECT_FALSE(r.deploy_failed);
+  EXPECT_GE(r.synthesized_graphs, 2u);
+  EXPECT_FALSE(ctl.health().degraded);
+
+  // Steady state afterwards: delta accounting is back to normal.
+  dut.run("ip route add 10.211.0.0/24 via 10.10.2.2 dev eth1");
+  r = ctl.run_once();
+  EXPECT_LT(r.synthesized_graphs, r.graphs);
+}
+
+}  // namespace
+}  // namespace linuxfp::core

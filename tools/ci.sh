@@ -38,13 +38,15 @@ echo "JIT differential tier OK"
 # The engine runs a worker pool + slow-path thread; its tests and the atomic
 # metrics regression push real concurrency through the rings, the per-CPU
 # VMs and the counter registry. ThreadSanitizer proves the lock-free
-# structures' memory ordering, which ASan cannot see.
+# structures' memory ordering, which ASan cannot see. The classifier suites
+# ride along: engine workers evaluate netfilter (atomic rule hit counters +
+# generation checks) concurrently with control-plane rebuilds.
 echo "=== TSan: engine + metrics concurrency tests ==="
 cmake -B build-tsan -S . -DLINUXFP_SANITIZE=thread
-cmake --build build-tsan -j "${jobs}" --target engine_test util_test ebpf_test
+cmake --build build-tsan -j "${jobs}" --target engine_test util_test ebpf_test kernel_test core_test
 (cd build-tsan &&
  ctest --output-on-failure -j "${jobs}" \
-   -R 'Engine|BoundedRing|Rss|Steering|MetricsConcurrency|FlowCache|JitDiff|Tx|Gro')
+   -R 'Engine|BoundedRing|Rss|Steering|MetricsConcurrency|FlowCache|JitDiff|Tx|Gro|NfClassifier|ClassifierDiff|DeltaSynth')
 echo "TSan pass OK"
 
 # --- UBSan pass: guard + engine suites -------------------------------------
@@ -54,10 +56,10 @@ echo "TSan pass OK"
 # silently invoke UB, and -fno-sanitize-recover makes any hit fatal.
 echo "=== UBSan: guard + engine suites ==="
 cmake -B build-ubsan -S . -DLINUXFP_SANITIZE=undefined
-cmake --build build-ubsan -j "${jobs}" --target core_test engine_test
+cmake --build build-ubsan -j "${jobs}" --target core_test engine_test kernel_test
 (cd build-ubsan &&
  ctest --output-on-failure -j "${jobs}" \
-   -R 'Guard|GuardFuzz|EngineWatchdog|Engine|BoundedRing|Rss|Steering|Tx|Gro')
+   -R 'Guard|GuardFuzz|EngineWatchdog|Engine|BoundedRing|Rss|Steering|Tx|Gro|NfClassifier|ClassifierDiff|DeltaSynth')
 echo "UBSan pass OK"
 
 # --- bench smoke: every Reporter-wired bench must emit its BENCH_*.json ---
@@ -75,7 +77,11 @@ echo "=== bench smoke: BENCH_*.json emission ==="
  ./bench_guard --smoke >/dev/null &&
  test -s BENCH_guard.json &&
  ./bench_forwarding --smoke >/dev/null &&
- test -s BENCH_forwarding.json)
+ test -s BENCH_forwarding.json &&
+ ./bench_ruleset_scale --smoke >/dev/null &&
+ test -s BENCH_ruleset.json &&
+ ./bench_table6_reaction --smoke >/dev/null &&
+ test -s BENCH_reaction.json)
 # The flowcache bench's headline fields must be present and sane: a real
 # hit rate and the >= 1.5x steady-state speedup the cache exists for.
 python3 - <<'EOF'
@@ -130,6 +136,33 @@ if doorbell < 1.3:
     raise SystemExit(f"doorbell coalescing {doorbell:.2f}x below 1.3x")
 if gro < 1.5:
     raise SystemExit(f"GRO speedup {gro:.2f}x below 1.5x")
+
+# Mega-ruleset gates (ISSUE 10): the compiled classifier must be >= 10x over
+# the linear bpf_ipt_lookup scan at 10k rules while staying bit-exact
+# (verdicts + per-rule hit counters), and delta synthesis must cut the
+# event-storm reaction cost >= 5x (modeled clang/libbpf reaction time AND
+# graph emissions) with a deployed FPM set identical to from-scratch.
+doc = json.load(open("build/bench/BENCH_ruleset.json"))
+speedup_10k, exact = doc["speedup_10k"], doc["exact"]
+print(f"ruleset smoke: speedup_10k={speedup_10k:.1f} exact={exact}")
+if speedup_10k < 10.0:
+    raise SystemExit(f"classifier speedup {speedup_10k:.1f}x at 10k rules "
+                     f"below 10x")
+if not exact:
+    raise SystemExit("classifier diverged from the linear scan")
+
+doc = json.load(open("build/bench/BENCH_reaction.json"))
+modeled = doc["storm_modeled_speedup"]
+ratio = doc["storm_resynth_ratio"]
+equivalent = doc["storm_equivalent"]
+print(f"reaction storm smoke: modeled_speedup={modeled:.1f} "
+      f"resynth_ratio={ratio:.1f} equivalent={equivalent}")
+if modeled < 5.0:
+    raise SystemExit(f"delta storm modeled speedup {modeled:.1f}x below 5x")
+if ratio < 5.0:
+    raise SystemExit(f"delta graph-emission ratio {ratio:.1f}x below 5x")
+if not equivalent:
+    raise SystemExit("delta deployed FPM set diverged from from-scratch")
 EOF
 echo "bench smoke OK"
 
